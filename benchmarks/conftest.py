@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper.  Simulation
+windows are reduced relative to the library defaults (the closed-loop
+system reaches steady state within a few round trips); the per-figure
+``check_shape`` functions still pass at these settings, which the
+benchmarks assert.
+
+Results are printed after each benchmark so a ``pytest benchmarks/
+--benchmark-only -s`` run produces the full set of regenerated
+tables/figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    return ExperimentSettings(warmup_us=15.0, window_us=50.0)

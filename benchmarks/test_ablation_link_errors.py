@@ -1,0 +1,75 @@
+"""Ablation: link error rate vs the cost of packet-integrity retries.
+
+The paper pays ~547 ns of infrastructure latency partly for CRCs and
+sequence numbers; this ablation shows what that machinery buys and
+costs as the SerDes error rate grows: bandwidth degrades gracefully and
+the latency *tail* stretches long before the mean moves.
+"""
+
+from repro.core.report import render_table
+from repro.faults import LinkFaultModel
+from repro.fpga.board import AC510Board
+from repro.fpga.gups import PortConfig
+
+ERROR_RATES = (0.0, 1e-4, 1e-3, 5e-3)
+
+
+def run_ablation(settings):
+    rows = []
+    for rate in ERROR_RATES:
+        board = AC510Board()
+        board.controller.fault_model = LinkFaultModel(flit_error_rate=rate, seed=3)
+        gups = board.load_gups(PortConfig(payload_bytes=128))
+        gups.start()
+        warmup = settings.warmup_us * 1e3
+        board.sim.run(until=warmup)
+        board.controller.begin_measurement()
+        board.sim.run(until=warmup + settings.window_us * 1e3)
+        board.controller.end_measurement()
+        gups.stop()
+        board.sim.run()
+        sampler = board.controller.read_latency
+        rows.append(
+            {
+                "rate": rate,
+                "bandwidth": board.controller.bandwidth_gbs,
+                "mean_us": sampler.stats.mean / 1e3,
+                "p99_us": sampler.quantiles.quantile(0.99) / 1e3,
+                "max_us": sampler.stats.maximum / 1e3,
+                "retries": board.controller.fault_model.retries,
+            }
+        )
+    return rows
+
+
+def test_ablation_link_errors(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        run_ablation, args=(bench_settings,), rounds=1, iterations=1
+    )
+    print(
+        "\n"
+        + render_table(
+            ("Flit BER", "BW (GB/s)", "mean RTT (us)", "P99 (us)", "max RTT (us)", "retries"),
+            [
+                [
+                    f"{r['rate']:g}",
+                    r["bandwidth"],
+                    r["mean_us"],
+                    r["p99_us"],
+                    r["max_us"],
+                    r["retries"],
+                ]
+                for r in rows
+            ],
+            title="Ablation: link error rate vs retry cost (128 B reads)",
+        )
+    )
+    by_rate = {r["rate"]: r for r in rows}
+    assert by_rate[0.0]["retries"] == 0
+    # The tail stretches at error rates that barely move the mean.
+    assert by_rate[1e-3]["max_us"] > 1.3 * by_rate[0.0]["max_us"]
+    assert by_rate[1e-3]["mean_us"] < 1.3 * by_rate[0.0]["mean_us"]
+    # Heavy error rates cost real bandwidth, but nothing is lost.
+    assert by_rate[5e-3]["bandwidth"] < by_rate[0.0]["bandwidth"]
+    bandwidths = [r["bandwidth"] for r in rows]
+    assert all(b <= a * 1.02 for a, b in zip(bandwidths, bandwidths[1:]))

@@ -1,0 +1,58 @@
+"""Ablation: link geometry (Eq. 2 peak vs achieved bandwidth).
+
+Sweeps the configurable lane speed (10/12.5/15 Gbps) and width
+(half/full) of the HMC 1.1's two links.  Achieved read bandwidth scales
+with the wire rate until the HMC-internal limits take over, and always
+stays below the Eq. 2 peak.
+"""
+
+from dataclasses import replace
+
+from repro.core.experiment import measure_bandwidth
+from repro.core.report import render_table
+from repro.hmc.config import HMC_1_1_4GB, LinkConfig
+
+GEOMETRIES = (
+    (8, 10.0),
+    (8, 12.5),
+    (8, 15.0),
+    (16, 15.0),
+)
+
+
+def run_ablation(settings):
+    rows = []
+    for lanes, gbps in GEOMETRIES:
+        links = LinkConfig(num_links=2, lanes_per_link=lanes, gbps_per_lane=gbps)
+        config = replace(HMC_1_1_4GB, links=links)
+        link_settings = replace(settings, config=config)
+        measurement = measure_bandwidth(payload_bytes=128, settings=link_settings)
+        rows.append(
+            {
+                "lanes": lanes,
+                "gbps": gbps,
+                "peak": links.peak_bandwidth_gbs,
+                "achieved": measurement.bandwidth_gbs,
+            }
+        )
+    return rows
+
+
+def test_ablation_links(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        run_ablation, args=(bench_settings,), rounds=1, iterations=1
+    )
+    print(
+        "\n"
+        + render_table(
+            ("Lanes/link", "Gbps/lane", "Eq.2 peak (GB/s)", "Achieved ro (GB/s)"),
+            [[r["lanes"], r["gbps"], r["peak"], r["achieved"]] for r in rows],
+            title="Ablation: link geometry vs achieved read bandwidth",
+        )
+    )
+    achieved = [r["achieved"] for r in rows]
+    assert all(b > a for a, b in zip(achieved, achieved[1:-1]))  # speed scales
+    for r in rows:
+        assert r["achieved"] < r["peak"]
+    # Full-width doubles the wire but the HMC internals cap the gain.
+    assert achieved[-1] < 2.0 * achieved[-2]

@@ -1,0 +1,78 @@
+"""Ablation: temperature-derated refresh (paper §I's third mechanism).
+
+Quantifies the bandwidth-temperature-refresh feedback: a hot device
+refreshes twice as often, stealing bank time and adding power.  The
+discrete-event side measures the bank-time theft on a bank-limited
+pattern; the analytic side closes the full loop per cooling config.
+"""
+
+from repro.core.patterns import pattern_by_name
+from repro.core.report import render_table
+from repro.fpga.board import AC510Board
+from repro.fpga.gups import PortConfig
+from repro.hmc.packet import RequestType
+from repro.hmc.refresh import RefreshPolicy
+from repro.thermal.cooling import ALL_CONFIGS
+from repro.thermal.feedback import solve_with_refresh
+
+
+def _bank_limited_bw(settings, refresh, junction_c):
+    board = AC510Board(refresh=refresh, junction_c=junction_c)
+    gups = board.load_gups(
+        PortConfig(payload_bytes=128, mask=pattern_by_name("2 banks").mask)
+    )
+    gups.start()
+    warmup = settings.warmup_us * 1e3
+    board.sim.run(until=warmup)
+    board.controller.begin_measurement()
+    board.sim.run(until=warmup + settings.window_us * 1e3)
+    board.controller.end_measurement()
+    return board.controller.bandwidth_gbs
+
+
+def run_ablation(settings):
+    des = {
+        "off": _bank_limited_bw(settings, None, 60.0),
+        "base rate": _bank_limited_bw(settings, RefreshPolicy(), 60.0),
+        "2x rate (hot)": _bank_limited_bw(settings, RefreshPolicy(), 95.0),
+    }
+    loop = {
+        cooling.name: solve_with_refresh(cooling, RequestType.READ, 20.6)
+        for cooling in ALL_CONFIGS
+    }
+    return des, loop
+
+
+def test_ablation_refresh(benchmark, bench_settings):
+    des, loop = benchmark.pedantic(
+        run_ablation, args=(bench_settings,), rounds=1, iterations=1
+    )
+    print(
+        "\n"
+        + render_table(
+            ("Refresh", "2-bank BW (GB/s)"),
+            [[label, bw] for label, bw in des.items()],
+            title="Ablation (DES): refresh stealing bank time",
+        )
+    )
+    print(
+        render_table(
+            ("Cooling", "Junction C", "Refresh rate", "Effective BW", "Lost GB/s"),
+            [
+                [
+                    name,
+                    f"{r.junction_c:.1f}",
+                    f"{r.refresh_multiplier:.2f}x",
+                    f"{r.bandwidth_gbs:.2f}",
+                    f"{r.bandwidth_lost_gbs:.2f}",
+                ]
+                for name, r in loop.items()
+            ],
+            title="Ablation (analytic): bandwidth-temperature-refresh loop at 20.6 GB/s nominal",
+        )
+    )
+    assert des["base rate"] < des["off"]
+    assert des["2x rate (hot)"] < des["base rate"]
+    assert all(r.converged for r in loop.values())
+    assert loop["Cfg4"].refresh_multiplier > loop["Cfg1"].refresh_multiplier
+    assert loop["Cfg4"].bandwidth_gbs < loop["Cfg1"].bandwidth_gbs

@@ -1,0 +1,43 @@
+"""Ablation: Pico-API software accesses vs hardware GUPS (paper §III-B).
+
+The paper justifies building GUPS in Verilog: "since its read and write
+operations are bundled with software, a pure software solution to
+measure the bandwidth lacks sufficient speed".  This bench quantifies
+the gap on the simulated system.
+"""
+
+from repro.core.experiment import measure_bandwidth
+from repro.core.report import render_table
+from repro.fpga.host import EX700Config, PicoHost
+
+
+def run_ablation(settings):
+    software = PicoHost().software_read_sweep(40, payload_bytes=128)
+    gups = measure_bandwidth(payload_bytes=128, settings=settings)
+    return software, gups
+
+
+def test_ablation_software_path(benchmark, bench_settings):
+    software, gups = benchmark.pedantic(
+        run_ablation, args=(bench_settings,), rounds=1, iterations=1
+    )
+    ratio = gups.bandwidth_gbs / software.bandwidth_gbs
+    backplane = EX700Config()
+    print(
+        "\n"
+        + render_table(
+            ("Driver", "BW (GB/s)", "per-op latency"),
+            [
+                ["Pico API (software)", f"{software.bandwidth_gbs:.3f}", f"{software.per_operation_us:.1f} us"],
+                ["GUPS (hardware)", f"{gups.bandwidth_gbs:.1f}", f"{gups.read_latency_avg_us:.2f} us"],
+                ["ratio", f"{ratio:,.0f}x", "-"],
+            ],
+            title="Ablation: software-driven vs FPGA-driven measurement",
+        )
+    )
+    print(
+        f"EX700 context: one module's PCIe x8 = {backplane.module_link_gbs} GB/s;"
+        f" six modules cap at the host's x16 = {backplane.aggregate_module_gbs(6)} GB/s."
+    )
+    assert ratio > 100
+    assert software.bandwidth_gbs < 0.1

@@ -1,0 +1,49 @@
+"""Ablation: read tag-pool depth (outstanding-request limit).
+
+The AC-510's 64-deep per-port tag pools bound the in-flight reads.
+Shallow pools starve the device (bandwidth tracks depth/RTT); past the
+knee the device-side limits take over and extra tags only add queueing
+latency - the mechanism behind the paper's high-load latencies.
+"""
+
+from dataclasses import replace
+
+from repro.core.experiment import measure_bandwidth
+from repro.core.report import render_table
+
+DEPTHS = (4, 8, 16, 32, 64, 128)
+
+
+def run_ablation(settings):
+    rows = []
+    for depth in DEPTHS:
+        calibration = replace(settings.calibration, read_tag_pool_depth=depth)
+        depth_settings = replace(settings, calibration=calibration)
+        measurement = measure_bandwidth(payload_bytes=128, settings=depth_settings)
+        rows.append(
+            {
+                "depth": depth,
+                "bandwidth": measurement.bandwidth_gbs,
+                "latency_ns": measurement.read_latency_avg_ns,
+            }
+        )
+    return rows
+
+
+def test_ablation_tag_pool(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        run_ablation, args=(bench_settings,), rounds=1, iterations=1
+    )
+    print(
+        "\n"
+        + render_table(
+            ("Tag depth/port", "BW (GB/s)", "Read latency (us)"),
+            [[r["depth"], r["bandwidth"], r["latency_ns"] / 1e3] for r in rows],
+            title="Ablation: read tag-pool depth vs bandwidth/latency",
+        )
+    )
+    bw = {r["depth"]: r["bandwidth"] for r in rows}
+    lat = {r["depth"]: r["latency_ns"] for r in rows}
+    assert bw[8] > 1.5 * bw[4]  # starved region: BW tracks depth
+    assert bw[64] < 1.1 * bw[32]  # saturated region: depth stops paying
+    assert lat[128] > lat[16]  # ... and only adds queueing latency

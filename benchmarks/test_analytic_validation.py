@@ -1,0 +1,84 @@
+"""Validation: analytic queueing model vs discrete-event simulation.
+
+Runs the structural bottleneck model + MVA against the simulator across
+the pattern/size grid and asserts agreement.  This is the repository's
+internal consistency check: two independently-built models of the same
+machine must tell the same story.
+"""
+
+from repro.analysis.bottleneck import BottleneckModel
+from repro.core.experiment import measure_bandwidth_cached
+from repro.core.patterns import pattern_by_name
+from repro.core.report import render_table
+
+GRID = [
+    ("1 bank", 128),
+    ("2 banks", 128),
+    ("4 banks", 128),
+    ("1 vault", 32),
+    ("1 vault", 128),
+    ("2 vaults", 128),
+    ("16 vaults", 32),
+    ("16 vaults", 128),
+]
+
+
+def run_validation(settings):
+    model = BottleneckModel()
+    rows = []
+    for pattern_name, size in GRID:
+        pattern = pattern_by_name(pattern_name)
+        predicted = model.predict(pattern, payload_bytes=size)
+        simulated = measure_bandwidth_cached(
+            pattern, payload_bytes=size, settings=settings
+        )
+        rows.append(
+            {
+                "pattern": pattern_name,
+                "size": size,
+                "bottleneck": predicted.bottleneck.name,
+                "pred_bw": predicted.saturation_bandwidth_gbs,
+                "sim_bw": simulated.bandwidth_gbs,
+                "pred_lat": predicted.latency_ns,
+                "sim_lat": simulated.read_latency_avg_ns,
+            }
+        )
+    return rows
+
+
+def test_analytic_validation(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        run_validation, args=(bench_settings,), rounds=1, iterations=1
+    )
+    print(
+        "\n"
+        + render_table(
+            (
+                "Pattern",
+                "Size",
+                "Bottleneck",
+                "BW pred",
+                "BW sim",
+                "Lat pred (us)",
+                "Lat sim (us)",
+            ),
+            [
+                [
+                    r["pattern"],
+                    f"{r['size']} B",
+                    r["bottleneck"],
+                    f"{r['pred_bw']:.2f}",
+                    f"{r['sim_bw']:.2f}",
+                    f"{r['pred_lat'] / 1e3:.2f}",
+                    f"{r['sim_lat'] / 1e3:.2f}",
+                ]
+                for r in rows
+            ],
+            title="MVA + bottleneck model vs discrete-event simulation",
+        )
+    )
+    for r in rows:
+        bw_error = abs(r["pred_bw"] - r["sim_bw"]) / r["sim_bw"]
+        lat_error = abs(r["pred_lat"] - r["sim_lat"]) / r["sim_lat"]
+        assert bw_error < 0.25, f"{r['pattern']} {r['size']}B bw error {bw_error:.0%}"
+        assert lat_error < 0.25, f"{r['pattern']} {r['size']}B lat error {lat_error:.0%}"

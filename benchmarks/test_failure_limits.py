@@ -1,0 +1,13 @@
+"""Benchmark regenerating the SIV-C thermal-failure study."""
+
+from repro.experiments import failure_limits
+
+
+def test_failure_limits(benchmark, bench_settings):
+    matrix = benchmark.pedantic(
+        failure_limits.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert failure_limits.check_shape(matrix) == []
+    assert matrix.failures_for("ro") == ()
+    assert set(matrix.failures_for("wo")) == {"Cfg3", "Cfg4"}
+    assert matrix.failures_for("rw") == ("Cfg4",)

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 6 (bandwidth vs address-mask position)."""
+
+from repro.experiments import fig06_address_mask
+
+
+def test_fig6_address_mask(benchmark, bench_settings):
+    points = benchmark.pedantic(
+        fig06_address_mask.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig06_address_mask.check_shape(points) == []
+    by_label = {p.label: p.bandwidth_gbs["ro"] for p in points}
+    # Paper-shape anchors: ~2 GB/s at the one-bank mask, full bandwidth
+    # at the high mask, single-vault plateau at 3-10.
+    assert by_label["7-14"] < 3.5
+    assert by_label["24-31"] > 17.0
+    assert 10.0 < by_label["3-10"] < 14.0

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 7 (ro/rw/wo bandwidth by pattern)."""
+
+from repro.experiments import fig07_pattern_bandwidth
+
+
+def test_fig7_pattern_bandwidth(benchmark, bench_settings):
+    results = benchmark.pedantic(
+        fig07_pattern_bandwidth.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig07_pattern_bandwidth.check_shape(results) == []
+    distributed = {r.pattern: r.bandwidth_gbs for r in results}["16 vaults"]
+    # Paper: ro ~22, rw ~26, wo ~12 GB/s (raw, incl. packet overhead).
+    assert 17.0 <= distributed["ro"] <= 25.0
+    assert 20.0 <= distributed["rw"] <= 29.0
+    assert 9.0 <= distributed["wo"] <= 17.0

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 8 (read bandwidth + MRPS by size)."""
+
+from repro.experiments import fig08_request_sizes
+
+
+def test_fig8_request_sizes(benchmark, bench_settings):
+    points = benchmark.pedantic(
+        fig08_request_sizes.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig08_request_sizes.check_shape(points) == []
+    distributed = {p.pattern: p for p in points}["16 vaults"]
+    # Paper: ~2x the requests/second at 32 B vs 128 B, similar bandwidth.
+    assert distributed.mrps[32] / distributed.mrps[128] > 1.4
+    assert distributed.bandwidth_gbs[32] > 0.55 * distributed.bandwidth_gbs[128]

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 9 (temperature + bandwidth per pattern)."""
+
+from repro.experiments import fig09_thermal
+
+
+def test_fig9_thermal(benchmark, bench_settings):
+    panels = benchmark.pedantic(
+        fig09_thermal.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig09_thermal.check_shape(panels) == []
+    wo = next(p for p in panels if p.request_type.value == "wo")
+    rw = next(p for p in panels if p.request_type.value == "rw")
+    # The paper's figure excludes the failing configs per panel.
+    assert set(wo.excluded) == {"Cfg3", "Cfg4"}
+    assert set(rw.excluded) == {"Cfg4"}

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 10 (system power per pattern)."""
+
+from repro.experiments import fig10_power
+
+
+def test_fig10_power(benchmark, bench_settings):
+    panels = benchmark.pedantic(
+        fig10_power.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig10_power.check_shape(panels) == []
+    ro = next(p for p in panels if p.request_type.value == "ro")
+    # Paper Fig. 10a: system power spans roughly 104-113 W.
+    low = min(min(series) for series in ro.system_power_w.values())
+    high = max(max(series) for series in ro.system_power_w.values())
+    assert 103.0 <= low <= 107.0
+    assert 106.0 <= high <= 115.0

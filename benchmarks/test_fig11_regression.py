@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 11 (T/P vs bandwidth fits in Cfg2)."""
+
+from repro.experiments import fig11_regression
+
+
+def test_fig11_regression(benchmark, bench_settings):
+    results = benchmark.pedantic(
+        fig11_regression.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig11_regression.check_shape(results) == []
+    # Paper: +3 degC (ro) and +4 degC (rw) from 5 to 20 GB/s; ~+2 W power.
+    assert abs(results["ro"].temp_rise_5_to_20_c - 3.0) < 1.5
+    assert abs(results["rw"].temp_rise_5_to_20_c - 4.0) < 1.5
+    assert abs(results["ro"].power_rise_5_to_20_w - 2.0) < 1.0

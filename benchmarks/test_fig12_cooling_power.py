@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 12 (iso-temperature cooling power)."""
+
+from repro.experiments import fig12_cooling_power
+
+
+def test_fig12_cooling_power(benchmark, bench_settings):
+    panels = benchmark.pedantic(
+        fig12_cooling_power.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig12_cooling_power.check_shape(panels) == []
+    # Paper: on average +16 GB/s costs ~1.5 W of cooling.
+    avg = sum(p.average_w_per_16_gbs() for p in panels) / len(panels)
+    assert 0.5 <= avg <= 3.5

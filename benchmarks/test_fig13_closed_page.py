@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 13 (linear vs random by request size)."""
+
+from repro.experiments import fig13_closed_page
+from repro.fpga.address_gen import AddressingMode
+
+
+def test_fig13_closed_page(benchmark, bench_settings):
+    groups = benchmark.pedantic(
+        fig13_closed_page.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig13_closed_page.check_shape(groups) == []
+    by_key = {(g.footprint, g.mode): g.bandwidth_gbs for g in groups}
+    linear = by_key[("16 vaults", AddressingMode.LINEAR)]
+    random_ = by_key[("16 vaults", AddressingMode.RANDOM)]
+    # Closed page: linear within 10% of random at the default footprint.
+    assert abs(linear[128] - random_[128]) / random_[128] < 0.1

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 14 (TX-path latency deconstruction)."""
+
+from repro.experiments import fig14_tx_path
+
+
+def test_fig14_tx_path(benchmark, bench_settings):
+    budget = benchmark.pedantic(
+        fig14_tx_path.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig14_tx_path.check_shape(budget) == []
+    assert abs(budget.infrastructure_ns - 547.0) < 3.0

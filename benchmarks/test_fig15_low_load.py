@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 15 (low-load latency vs stream depth)."""
+
+from repro.experiments import fig15_low_load
+
+
+def test_fig15_low_load(benchmark, bench_settings):
+    panels = benchmark.pedantic(
+        fig15_low_load.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig15_low_load.check_shape(panels) == []
+    by_size = {p.payload_bytes: p for p in panels}
+    # Paper: 711 ns minimum at 128 B, 655 ns at 16 B.
+    assert abs(by_size[128].results[0].min_ns - 711.0) < 50.0
+    assert abs(by_size[16].results[0].min_ns - 655.0) < 40.0

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 16 (high-load read latency)."""
+
+from repro.experiments import fig16_high_load
+
+
+def test_fig16_high_load(benchmark, bench_settings):
+    points = benchmark.pedantic(
+        fig16_high_load.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig16_high_load.check_shape(points) == []
+    by_name = {p.pattern: p for p in points}
+    # Paper: 24,233 ns (1 bank, 128 B) down to 1,966 ns (16 vaults, 32 B).
+    assert abs(by_name["1 bank"].latency_ns[128] - 24233.0) < 8000.0
+    assert abs(by_name["16 vaults"].latency_ns[32] - 1966.0) < 700.0

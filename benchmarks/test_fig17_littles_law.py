@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 17 (Little's-law occupancy)."""
+
+from repro.experiments import fig17_littles_law
+
+
+def test_fig17_littles_law(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        fig17_littles_law.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig17_littles_law.check_shape(result) == []
+    # The paper's headline invariant: twice the banks, twice the
+    # occupancy (one queue per bank), constant across packet sizes.
+    assert abs(result.bank_ratio - 2.0) < 0.4

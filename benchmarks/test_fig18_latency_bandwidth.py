@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 18 (latency-bandwidth, all patterns)."""
+
+from repro.experiments import fig18_latency_bandwidth
+
+
+def test_fig18_latency_bandwidth(benchmark, bench_settings):
+    summaries = benchmark.pedantic(
+        fig18_latency_bandwidth.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert fig18_latency_bandwidth.check_shape(summaries) == []

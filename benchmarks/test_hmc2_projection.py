@@ -1,0 +1,13 @@
+"""Benchmark: projecting the characterization onto HMC 2.0 (Table I)."""
+
+from repro.experiments import hmc2_projection
+
+
+def test_hmc2_projection(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        hmc2_projection.run, args=(bench_settings,), rounds=1, iterations=1
+    )
+    assert hmc2_projection.check_shape(rows) == []
+    by_name = {r.pattern: r for r in rows}
+    # Four full-width links (2x wire each) over two half-width ones.
+    assert 1.8 <= by_name["16 vaults"].speedup <= 3.5

@@ -1,0 +1,27 @@
+"""Benchmarks regenerating the paper's Tables I-III and Figure 3.
+
+These are derivation-only (no simulation), so the benchmark numbers
+measure the cost of the structural computations themselves.
+"""
+
+from repro.experiments import fig03_address_map, tab01_properties, tab02_packets, tab03_cooling
+
+
+def test_table1_properties(benchmark):
+    derived = benchmark(tab01_properties.run)
+    assert tab01_properties.mismatches(derived) == []
+
+
+def test_table2_packets(benchmark):
+    derived = benchmark(tab02_packets.run)
+    assert tab02_packets.matches_paper(derived)
+
+
+def test_table3_cooling(benchmark):
+    configs = benchmark(tab03_cooling.run)
+    assert tab03_cooling.cooling_power_errors(configs) == []
+
+
+def test_fig3_address_map(benchmark):
+    results = benchmark(fig03_address_map.run)
+    assert fig03_address_map.field_position_errors(results) == []

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a data layout for a streaming application.
+
+The paper's SIV-D advice for applications: do not chase spatial
+locality (the closed page gives none); instead stripe data across
+vaults and banks, issue large requests, and keep them on 32 B
+boundaries.  This example evaluates three candidate layouts of a large
+streaming array and shows how badly a "keep it contiguous in one vault"
+layout loses, plus what the mapping registers say about page-level
+parallelism.
+
+Usage:
+    python examples/data_placement.py
+"""
+
+from repro.core.experiment import ExperimentSettings, measure_bandwidth
+from repro.core.patterns import pattern_by_name
+from repro.core.report import render_table
+from repro.fpga.address_gen import AddressingMode
+from repro.hmc.address import AddressMapping
+from repro.hmc.config import HMC_1_1_4GB
+from repro.hmc.packet import RequestType, effective_bandwidth_fraction
+
+LAYOUTS = (
+    # (description, pattern the traffic lands on, request size)
+    ("striped across 16 vaults, 128 B requests", "16 vaults", 128),
+    ("striped across 16 vaults, 32 B requests", "16 vaults", 32),
+    ("contiguous within one vault, 128 B requests", "1 vault", 128),
+    ("contiguous within two banks, 128 B requests", "2 banks", 128),
+)
+
+
+def main() -> None:
+    settings = ExperimentSettings(warmup_us=20.0, window_us=80.0)
+    rows = []
+    for description, pattern_name, size in LAYOUTS:
+        pattern = pattern_by_name(pattern_name)
+        result = measure_bandwidth(
+            mask=pattern.mask,
+            request_type=RequestType.READ,
+            payload_bytes=size,
+            mode=AddressingMode.LINEAR,
+            settings=settings,
+            pattern_name=description,
+        )
+        efficiency = effective_bandwidth_fraction(size)
+        rows.append(
+            [
+                description,
+                f"{result.bandwidth_gbs:.1f}",
+                f"{result.bandwidth_gbs * efficiency:.1f}",
+                f"{efficiency:.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ("Layout", "Raw BW (GB/s)", "Payload BW (GB/s)", "Packet eff."),
+            rows,
+            title="Streaming-read bandwidth by data layout (linear access)",
+        )
+    )
+
+    mapping = AddressMapping(HMC_1_1_4GB)
+    vaults, banks = mapping.page_footprint(0)
+    print(
+        f"\nDefault mapping: one 4 KB page touches {len(banks)} banks across "
+        f"{len(vaults)} vaults; {mapping.pages_for_full_blp()} sequential pages "
+        "reach every bank in the device."
+    )
+    print(
+        "Takeaways (paper SIV-D): stripe across vaults (a single vault caps at"
+        "\n10 GB/s), use 128 B requests (89% packet efficiency vs 50% at 16 B),"
+        "\nand do not bother optimizing for row locality - the page is closed"
+        "\nafter every access anyway."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: measure HMC bandwidth and latency for a few workloads.
+
+Runs the simulated AC-510 (FPGA + 4 GB HMC Gen2) with full-scale GUPS
+traffic and prints the kind of numbers the paper's Figs. 7 and 16
+report: raw bandwidth (request + response bytes including the one-flit
+packet overhead), request rate, and round-trip read latency.
+
+Usage:
+    python examples/quickstart.py
+"""
+
+from repro.core.experiment import ExperimentSettings, measure_pattern
+from repro.core.patterns import pattern_by_name
+from repro.core.report import render_table
+from repro.hmc.packet import RequestType
+
+
+def main() -> None:
+    settings = ExperimentSettings(warmup_us=20.0, window_us=80.0)
+    rows = []
+    for pattern_name in ("1 bank", "4 banks", "1 vault", "16 vaults"):
+        pattern = pattern_by_name(pattern_name)
+        for request_type in (RequestType.READ, RequestType.READ_MODIFY_WRITE):
+            result = measure_pattern(
+                pattern,
+                request_type=request_type,
+                payload_bytes=128,
+                settings=settings,
+            )
+            rows.append(
+                [
+                    pattern_name,
+                    request_type.value,
+                    f"{result.bandwidth_gbs:.1f}",
+                    f"{result.mrps:.0f}",
+                    f"{result.read_latency_avg_ns / 1e3:.2f}"
+                    if result.reads_completed
+                    else "-",
+                ]
+            )
+    print(
+        render_table(
+            ("Pattern", "Type", "BW (GB/s)", "MRPS", "Read RTT (us)"),
+            rows,
+            title="Simulated HMC 1.1 (Gen2), 128 B requests, full-scale GUPS",
+        )
+    )
+    print(
+        "\nNote how targeted patterns serialize on banks (high latency, low\n"
+        "bandwidth) while distributed patterns exploit vault- and bank-level\n"
+        "parallelism - the paper's central observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on environments whose
+setuptools lacks PEP 660 support (no `wheel` package available offline)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro: a simulation-based reproduction of "Demystifying the
+Characteristics of 3D-Stacked Memories: A Case Study for Hybrid Memory
+Cube" (Hadidi et al., IISWC 2017).
+
+The package models the paper's entire experimental apparatus - the HMC
+1.1 (Gen2) device, the AC-510 FPGA infrastructure with its GUPS traffic
+generators, the cooling rig, and the power instrumentation - and
+provides experiment runners that regenerate every table and figure of
+the paper's evaluation.
+
+Quick start::
+
+    from repro.core import measure_bandwidth
+    from repro.core.patterns import pattern_by_name
+    from repro.hmc import RequestType
+
+    pattern = pattern_by_name("4 vaults")
+    result = measure_bandwidth(
+        mask=pattern.mask, request_type=RequestType.READ, payload_bytes=128
+    )
+    print(result.bandwidth_gbs, "GB/s")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "hmc", "fpga", "thermal", "power", "sim", "baseline", "experiments"]

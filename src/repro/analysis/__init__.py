@@ -1,0 +1,15 @@
+"""Analytical performance models that cross-validate the simulator.
+
+The paper reasons about its latency-bandwidth measurements with
+queueing arguments (Little's law, saturation knees).  This package
+makes those arguments executable: a closed-network Mean Value Analysis
+(:mod:`repro.analysis.queueing`) and a structural bottleneck model
+(:mod:`repro.analysis.bottleneck`) that together predict each access
+pattern's saturation bandwidth and latency curve without running the
+discrete-event simulation.
+"""
+
+from repro.analysis.bottleneck import BottleneckModel, StationLoad
+from repro.analysis.queueing import ClosedNetworkPrediction, mva
+
+__all__ = ["mva", "ClosedNetworkPrediction", "BottleneckModel", "StationLoad"]

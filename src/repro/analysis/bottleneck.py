@@ -1,0 +1,220 @@
+"""Structural bottleneck model for the paper's access patterns.
+
+For a given access pattern (how many vaults/banks the traffic reaches),
+request type and payload size, this model enumerates each shared
+station's *effective per-request service time* and picks the slowest -
+the queueing station the MVA of :mod:`repro.analysis.queueing` then
+predicts with.  It is the back-of-envelope a performance engineer would
+do with the paper's numbers, made executable and checkable against the
+discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.queueing import (
+    ClosedNetworkPrediction,
+    knee_population,
+    mva,
+)
+from repro.core.patterns import AccessPattern
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.dram import DramTimings
+from repro.hmc.packet import (
+    RequestType,
+    packet_bytes,
+    request_flits,
+    response_flits,
+    transaction_raw_bytes,
+)
+
+
+@dataclass(frozen=True)
+class StationLoad:
+    """One shared resource's effective per-request service time."""
+
+    name: str
+    service_ns: float
+
+
+@dataclass(frozen=True)
+class BottleneckPrediction:
+    """Analytic prediction for one (pattern, type, size) workload."""
+
+    pattern_name: str
+    payload_bytes: int
+    stations: Tuple[StationLoad, ...]
+    bottleneck: StationLoad
+    population: int
+    mva_result: ClosedNetworkPrediction
+    raw_bytes_per_request: int
+
+    @property
+    def saturation_bandwidth_gbs(self) -> float:
+        """Bandwidth at the modelled population (GB/s raw)."""
+        return self.mva_result.bandwidth_gbs(self.raw_bytes_per_request)
+
+    @property
+    def latency_ns(self) -> float:
+        return self.mva_result.round_trip_ns
+
+    @property
+    def knee_population(self) -> float:
+        return knee_population(self.bottleneck.service_ns, self.mva_result.think_ns)
+
+
+class BottleneckModel:
+    """Enumerates station loads and runs the closed-network MVA."""
+
+    def __init__(
+        self,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        timings: DramTimings | None = None,
+        num_links: int = 2,
+    ) -> None:
+        self.calibration = calibration
+        self.timings = timings or DramTimings(bus_gbps=calibration.vault_bandwidth_gbps)
+        self.num_links = num_links
+
+    # ------------------------------------------------------------------
+    # station service times
+    # ------------------------------------------------------------------
+    def station_loads(
+        self,
+        pattern: AccessPattern,
+        request_type: RequestType,
+        payload_bytes: int,
+    ) -> List[StationLoad]:
+        """Per-request service time of every shared station.
+
+        A station serving K parallel copies (banks, vaults, links) has
+        its per-request time divided by K - the fluid approximation that
+        is exact at saturation.
+        """
+        cal = self.calibration
+        is_write = request_type is RequestType.WRITE
+        banks = pattern.total_banks
+        vaults = pattern.vaults
+        loads = [
+            StationLoad(
+                "banks",
+                self.timings.occupancy_ns(is_write, payload_bytes) / banks,
+            ),
+            StationLoad(
+                "vault data bus",
+                self.timings.bus_bytes_moved(payload_bytes)
+                / cal.vault_bandwidth_gbps
+                / vaults,
+            ),
+            StationLoad(
+                "vault command issue",
+                cal.vault_command_ns / vaults,
+            ),
+        ]
+        links = self.num_links
+        request_bytes = packet_bytes(request_flits(is_write, payload_bytes))
+        response_bytes = packet_bytes(response_flits(is_write, payload_bytes))
+        loads.append(
+            StationLoad(
+                "link TX",
+                (cal.tx_packet_overhead_ns + request_bytes / cal.tx_bytes_per_ns)
+                / links,
+            )
+        )
+        loads.append(
+            StationLoad(
+                "link RX",
+                (cal.rx_packet_overhead_ns + response_bytes / cal.rx_bytes_per_ns)
+                / links,
+            )
+        )
+        # Link tokens: a request holds its flits' tokens from TX until
+        # the return arrives - serialization, flight, routing, vault
+        # processing, then the return latency.  The pool sustains at
+        # most capacity/flits requests per holding period per link.
+        flits = request_flits(is_write, payload_bytes)
+        token_holding_ns = (
+            cal.tx_packet_overhead_ns
+            + request_bytes / cal.tx_bytes_per_ns
+            + cal.link_propagation_ns
+            + cal.quadrant_route_local_ns
+            + cal.vault_processing_ns
+            + cal.token_return_latency_ns
+        )
+        loads.append(
+            StationLoad(
+                "link tokens",
+                token_holding_ns * flits / cal.link_tokens_per_link / links,
+            )
+        )
+        return loads
+
+    def no_load_round_trip_ns(
+        self, request_type: RequestType, payload_bytes: int
+    ) -> float:
+        """The delay-station time: the fixed, uncontended round trip."""
+        cal = self.calibration
+        is_write = request_type is RequestType.WRITE
+        req_flits = request_flits(is_write, payload_bytes)
+        resp_flits = response_flits(is_write, payload_bytes)
+        dram = (
+            self.timings.write_commit_ns(payload_bytes)
+            if is_write
+            else self.timings.read_data_ready_ns(payload_bytes)
+        )
+        return (
+            cal.tx_pipeline_ns(req_flits)
+            + cal.tx_packet_overhead_ns
+            + packet_bytes(req_flits) / cal.tx_bytes_per_ns
+            + 2 * cal.link_propagation_ns
+            + cal.quadrant_route_local_ns
+            + cal.vault_processing_ns
+            + cal.vault_command_ns
+            + dram
+            + cal.response_processing_ns
+            + cal.response_route_ns
+            + cal.rx_packet_overhead_ns
+            + packet_bytes(resp_flits) / cal.rx_bytes_per_ns
+            + cal.rx_pipeline_ns(resp_flits)
+        )
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def default_population(self, pattern: AccessPattern) -> int:
+        """Outstanding requests full-scale GUPS sustains on a pattern.
+
+        Bounded by the tag pools, the flow-control threshold, and - for
+        targeted patterns - the per-bank vault queues that back-pressure
+        the rest of the window.
+        """
+        cal = self.calibration
+        tags = cal.gups_ports * cal.read_tag_pool_depth
+        return min(tags, cal.flow_control_threshold)
+
+    def predict(
+        self,
+        pattern: AccessPattern,
+        request_type: RequestType = RequestType.READ,
+        payload_bytes: int = 128,
+        population: int | None = None,
+    ) -> BottleneckPrediction:
+        loads = self.station_loads(pattern, request_type, payload_bytes)
+        bottleneck = max(loads, key=lambda s: s.service_ns)
+        think = self.no_load_round_trip_ns(request_type, payload_bytes)
+        n = population or self.default_population(pattern)
+        # MVA's think time excludes the bottleneck's own service.
+        result = mva(bottleneck.service_ns, think, n)
+        return BottleneckPrediction(
+            pattern_name=pattern.name,
+            payload_bytes=payload_bytes,
+            stations=tuple(loads),
+            bottleneck=bottleneck,
+            population=n,
+            mva_result=result,
+            raw_bytes_per_request=transaction_raw_bytes(
+                request_type is RequestType.WRITE, payload_bytes
+            ),
+        )

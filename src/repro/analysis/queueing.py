@@ -1,0 +1,110 @@
+"""Closed-network Mean Value Analysis (MVA).
+
+The GUPS system is a classic closed queueing network: a fixed
+population of outstanding requests (tag pools / flow-control window)
+circulates between a *delay station* (the fixed round-trip
+infrastructure latency, where requests never queue on each other) and a
+*queueing station* (the bottleneck resource - a bank, a vault's TSV
+bus, or the link RX path).  Exact MVA for a single queueing station
+gives the full latency-throughput curve, including the knee the paper's
+Fig. 17/18 sweeps trace out:
+
+    R(n) = s * (1 + Q(n-1))          response at the bottleneck
+    X(n) = n / (Z + R(n))            system throughput
+    Q(n) = X(n) * R(n)               bottleneck queue length
+
+with asymptotes X <= 1/s and X <= n/(Z+s), crossing at the knee
+population n* = (Z+s)/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class ClosedNetworkPrediction:
+    """MVA outcome for one population size."""
+
+    population: int
+    service_ns: float
+    think_ns: float
+    throughput_per_ns: float  # requests per nanosecond
+    response_ns: float  # time at the bottleneck station
+    round_trip_ns: float  # think + response
+    bottleneck_queue: float
+
+    @property
+    def mrps(self) -> float:
+        return self.throughput_per_ns * 1e3
+
+    def bandwidth_gbs(self, raw_bytes_per_request: int) -> float:
+        return self.throughput_per_ns * raw_bytes_per_request
+
+
+def mva(service_ns: float, think_ns: float, population: int) -> ClosedNetworkPrediction:
+    """Exact MVA for one queueing station plus a delay station."""
+    if service_ns <= 0:
+        raise ValueError("service time must be positive")
+    if think_ns < 0:
+        raise ValueError("think time cannot be negative")
+    if population < 1:
+        raise ValueError("population must be at least 1")
+    queue = 0.0
+    response = service_ns
+    throughput = 0.0
+    for n in range(1, population + 1):
+        response = service_ns * (1.0 + queue)
+        throughput = n / (think_ns + response)
+        queue = throughput * response
+    return ClosedNetworkPrediction(
+        population=population,
+        service_ns=service_ns,
+        think_ns=think_ns,
+        throughput_per_ns=throughput,
+        response_ns=response,
+        round_trip_ns=think_ns + response,
+        bottleneck_queue=queue,
+    )
+
+
+def mva_sweep(
+    service_ns: float, think_ns: float, populations: List[int]
+) -> List[ClosedNetworkPrediction]:
+    """MVA at several populations (one pass; MVA is incremental)."""
+    results = []
+    queue = 0.0
+    throughput = 0.0
+    response = service_ns
+    targets = set(populations)
+    top = max(populations)
+    for n in range(1, top + 1):
+        response = service_ns * (1.0 + queue)
+        throughput = n / (think_ns + response)
+        queue = throughput * response
+        if n in targets:
+            results.append(
+                ClosedNetworkPrediction(
+                    population=n,
+                    service_ns=service_ns,
+                    think_ns=think_ns,
+                    throughput_per_ns=throughput,
+                    response_ns=response,
+                    round_trip_ns=think_ns + response,
+                    bottleneck_queue=queue,
+                )
+            )
+    return results
+
+
+def knee_population(service_ns: float, think_ns: float) -> float:
+    """The population where the two throughput asymptotes cross."""
+    if service_ns <= 0:
+        raise ValueError("service time must be positive")
+    return (think_ns + service_ns) / service_ns
+
+
+def saturation_throughput_per_ns(service_ns: float) -> float:
+    """The bottleneck-bound asymptote, requests per nanosecond."""
+    return 1.0 / service_ns

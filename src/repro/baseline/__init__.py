@@ -1,0 +1,5 @@
+"""Baseline comparators: a JEDEC-style open-page DDR DIMM model."""
+
+from repro.baseline.ddr import DdrConfig, DdrDimm, DdrResult
+
+__all__ = ["DdrConfig", "DdrDimm", "DdrResult"]

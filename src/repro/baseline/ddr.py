@@ -1,0 +1,148 @@
+"""An open-page DDR-style DIMM baseline (paper §II-C, §IV-D context).
+
+The paper contrasts HMC's closed-page policy and 256 B pages with
+DDR4's open-page operation over 512-2048 B rows: open-page rewards
+spatial locality (linear streams hit the row buffer), closed-page makes
+linear and random equivalent.  This module provides the counterfactual
+device for that comparison - a synchronous-bus DIMM with per-bank row
+buffers and a single shared data bus, processed in arrival order (the
+JEDEC protocol has no packet switching and deterministic timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hmc.dram import OpenPageTimings
+from repro.hmc.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DdrConfig:
+    """A single-channel DDR4-like DIMM."""
+
+    capacity_bytes: int = 4 << 30
+    num_banks: int = 16
+    row_bytes: int = 1024  # DDR4 rows are 512-2048 B; HMC's are 256 B
+    bus_gbs: float = 19.2  # e.g. DDR4-2400 x64: 2400 MT/s * 8 B
+    timings: OpenPageTimings = OpenPageTimings(bus_bytes=64, bus_gbps=19.2)
+
+    def __post_init__(self) -> None:
+        if self.row_bytes <= 0 or self.row_bytes & (self.row_bytes - 1):
+            raise ConfigurationError("row size must be a power of two")
+        if self.num_banks <= 0 or self.num_banks & (self.num_banks - 1):
+            raise ConfigurationError("bank count must be a power of two")
+
+
+@dataclass(frozen=True)
+class DdrResult:
+    """Outcome of replaying one address stream."""
+
+    accesses: int
+    elapsed_ns: float
+    row_hits: int
+    row_misses: int
+    row_empties: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def bandwidth_gbs(self, payload_bytes: int) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.accesses * payload_bytes / self.elapsed_ns
+
+    @property
+    def avg_access_ns(self) -> float:
+        return self.elapsed_ns / self.accesses if self.accesses else 0.0
+
+
+class DdrDimm:
+    """Replays address streams under the open-page policy.
+
+    Consecutive-bank interleaving at row granularity: the bank is the
+    row-aligned address's low bank-count bits, so a linear stream stays
+    in one bank's open row until it crosses a row boundary.
+    """
+
+    def __init__(self, config: DdrConfig = DdrConfig()) -> None:
+        self.config = config
+
+    def _bank_and_row(self, address: int) -> tuple:
+        row_index = address // self.config.row_bytes
+        return row_index % self.config.num_banks, row_index // self.config.num_banks
+
+    def replay(
+        self,
+        addresses: Sequence[int],
+        payload_bytes: int,
+        is_write: bool = False,
+        window: int = 4,
+    ) -> DdrResult:
+        """Process a stream FCFS with a ``window``-deep controller queue.
+
+        Banks operate concurrently, the shared data bus serializes the
+        transfers, and at most ``window`` accesses are in flight - the
+        limited memory-level parallelism of a synchronous-bus DIMM.
+        Back-to-back hits to an open row pipeline at burst rate (CAS
+        commands every tCCD); misses pay precharge+activate before the
+        column access, which is where random streams lose.
+        """
+        import heapq
+
+        timings = self.config.timings
+        t_ccd = 3.3  # column-to-column command spacing, ns
+        open_rows = [None] * self.config.num_banks
+        bank_free = [0.0] * self.config.num_banks
+        bus_free = 0.0
+        hits = misses = empties = 0
+        transfer = payload_bytes / self.config.bus_gbs
+        in_flight: list = []
+        clock = 0.0
+
+        for address in addresses:
+            if len(in_flight) >= window:
+                clock = max(clock, heapq.heappop(in_flight))
+            bank, row = self._bank_and_row(address % self.config.capacity_bytes)
+            start = max(clock, bank_free[bank])
+            column = timings.t_cwl_ns if is_write else timings.t_cl_ns
+            if open_rows[bank] == row:
+                hits += 1
+                latency = column
+                occupancy = max(t_ccd, transfer)
+            elif open_rows[bank] is None:
+                empties += 1
+                latency = timings.t_rcd_ns + column
+                occupancy = latency + max(t_ccd, transfer)
+            else:
+                misses += 1
+                latency = timings.t_rp_ns + timings.t_rcd_ns + column
+                occupancy = latency + max(t_ccd, transfer)
+            open_rows[bank] = row
+            bank_free[bank] = start + occupancy
+            data_ready = start + latency
+            bus_start = max(data_ready, bus_free)
+            bus_free = bus_start + transfer
+            heapq.heappush(in_flight, bus_free)
+            clock = start + 1.0
+
+        elapsed = max(bus_free, clock)
+        return DdrResult(
+            accesses=len(addresses),
+            elapsed_ns=elapsed,
+            row_hits=hits,
+            row_misses=misses,
+            row_empties=empties,
+        )
+
+    def linear_stream(self, count: int, payload_bytes: int, start: int = 0) -> list:
+        return [start + i * payload_bytes for i in range(count)]
+
+    def random_stream(self, count: int, payload_bytes: int, seed: int = 0) -> list:
+        import random
+
+        rng = random.Random(seed)
+        slots = self.config.capacity_bytes // payload_bytes
+        return [rng.randrange(slots) * payload_bytes for _ in range(count)]

@@ -1,0 +1,188 @@
+"""Command-line interface: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig7
+    python -m repro run fig16 --fast
+    python -m repro campaign --fast --output report.txt
+    python -m repro kernels
+    python -m repro sweep --patterns "2 banks" "16 vaults" --csv out.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.campaign import run_campaign, run_experiment
+from repro.core.experiment import ExperimentSettings
+from repro.experiments import REGISTRY
+
+FAST_SETTINGS = ExperimentSettings(warmup_us=10.0, window_us=40.0)
+
+_DESCRIPTIONS = {
+    "table1": "structural properties of HMC versions",
+    "table2": "transaction sizes in flits",
+    "table3": "cooling configurations + derived cooling power",
+    "fig3": "address mapping by max block size",
+    "fig6": "bandwidth vs 8-bit address mask position",
+    "fig7": "bandwidth by access pattern (ro/rw/wo)",
+    "fig8": "read bandwidth + MRPS by request size",
+    "fig9": "temperature + bandwidth per pattern, Cfg1-4",
+    "fig10": "system power + bandwidth per pattern",
+    "fig11": "linear fits of T/P vs bandwidth (Cfg2)",
+    "fig12": "iso-temperature cooling power vs bandwidth",
+    "fig13": "linear vs random by request size (closed page)",
+    "fig14": "TX-path latency deconstruction",
+    "fig15": "low-load latency vs stream depth",
+    "fig16": "high-load read latency by pattern/size",
+    "fig17": "Little's-law occupancy at saturation",
+    "fig18": "latency-bandwidth for all patterns and sizes",
+    "failures": "thermal failure limits + recovery",
+    "hmc2": "projection onto HMC 2.0 (extension)",
+}
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    return FAST_SETTINGS if args.fast else ExperimentSettings()
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    width = max(len(i) for i in REGISTRY)
+    for experiment_id in REGISTRY:
+        description = _DESCRIPTIONS.get(experiment_id, "")
+        print(f"{experiment_id:{width}s}  {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    outcome = run_experiment(args.experiment, _settings(args))
+    print(outcome.report)
+    if not outcome.passed:
+        print("Shape deviations:", "; ".join(outcome.problems), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    result = run_campaign(_settings(args), experiment_ids=args.only or None)
+    report = result.full_report()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.output}")
+    print(result.summary())
+    return 0 if result.passed else 1
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        characterize,
+        graph_traversal,
+        hash_table_updates,
+        pointer_chase,
+        stencil_2d,
+        streaming,
+        strided,
+    )
+
+    count = 2000 if args.fast else 6000
+    kernels = (
+        streaming(count),
+        strided(count, 2048),
+        stencil_2d(32, 128),
+        pointer_chase(max(100, count // 20)),
+        hash_table_updates(count // 2),
+        graph_traversal(count, skew=2.0),
+    )
+    for trace in kernels:
+        report = characterize(trace)
+        print(
+            f"{report.trace_name:24s} {report.pattern_class:32s} "
+            f"BW={report.result.bandwidth_gbs:6.2f} GB/s  "
+            f"RTT={report.result.latency_avg_ns / 1e3:6.2f} us"
+        )
+        print(f"{'':24s} -> {report.advice()}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sweeps import SweepGrid, run_sweep, to_csv
+    from repro.hmc.packet import RequestType
+
+    grid = SweepGrid(
+        patterns=tuple(args.patterns),
+        request_types=tuple(RequestType.from_label(t) for t in args.types),
+        payload_bytes=tuple(args.sizes),
+    )
+    records = run_sweep(grid, _settings(args))
+    text = to_csv(records, args.csv)
+    if args.csv:
+        print(f"wrote {args.csv} ({len(records)} records)")
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the `repro` argument parser (list/run/campaign/kernels)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the HMC characterization paper's evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(REGISTRY))
+    run_parser.add_argument(
+        "--fast", action="store_true", help="reduced simulation windows"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    campaign_parser = sub.add_parser("campaign", help="run every experiment")
+    campaign_parser.add_argument("--fast", action="store_true")
+    campaign_parser.add_argument("--output", help="write the full report to a file")
+    campaign_parser.add_argument(
+        "--only", nargs="*", metavar="ID", help="restrict to these experiment ids"
+    )
+    campaign_parser.set_defaults(func=_cmd_campaign)
+
+    kernels_parser = sub.add_parser(
+        "kernels", help="characterize application kernels (extension)"
+    )
+    kernels_parser.add_argument("--fast", action="store_true")
+    kernels_parser.set_defaults(func=_cmd_kernels)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="measure a workload grid and export CSV"
+    )
+    sweep_parser.add_argument(
+        "--patterns", nargs="+", default=["16 vaults"], metavar="PATTERN"
+    )
+    sweep_parser.add_argument(
+        "--types", nargs="+", default=["ro"], choices=["ro", "wo", "rw"]
+    )
+    sweep_parser.add_argument(
+        "--sizes", nargs="+", type=int, default=[128], metavar="BYTES"
+    )
+    sweep_parser.add_argument("--csv", help="write records to this file")
+    sweep_parser.add_argument("--fast", action="store_true")
+    sweep_parser.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The characterization toolkit: the paper's methodology as a library.
+
+This is the public API most users want:
+
+* :mod:`repro.core.patterns` - the paper's targeted access patterns
+  ("2 banks", "4 vaults", ...) expressed as address masks;
+* :mod:`repro.core.experiment` - bandwidth / latency / stream / thermal
+  experiment runners over the simulated AC-510;
+* :mod:`repro.core.regression` and :mod:`repro.core.littles_law` - the
+  analyses behind Figs. 11, 12 and 17;
+* :mod:`repro.core.report` - plain-text rendering of tables and series.
+"""
+
+from repro.core.experiment import (
+    BandwidthMeasurement,
+    ExperimentSettings,
+    LatencySweepPoint,
+    ThermalRunResult,
+    measure_bandwidth,
+    measure_bandwidth_cached,
+    run_latency_sweep,
+    run_stream_latency,
+    run_thermal_experiment,
+)
+from repro.core.littles_law import LittlesLawAnalysis, occupancy_requests, saturation_point
+from repro.core.patterns import (
+    PATTERN_NAMES,
+    AccessPattern,
+    eight_bit_mask,
+    pattern_by_name,
+    pattern_footprint,
+)
+from repro.core.regression import LinearFit
+from repro.core.report import render_series, render_table
+
+__all__ = [
+    "AccessPattern",
+    "PATTERN_NAMES",
+    "pattern_by_name",
+    "pattern_footprint",
+    "eight_bit_mask",
+    "ExperimentSettings",
+    "BandwidthMeasurement",
+    "LatencySweepPoint",
+    "ThermalRunResult",
+    "measure_bandwidth",
+    "measure_bandwidth_cached",
+    "run_latency_sweep",
+    "run_stream_latency",
+    "run_thermal_experiment",
+    "LinearFit",
+    "LittlesLawAnalysis",
+    "occupancy_requests",
+    "saturation_point",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,122 @@
+"""Campaign driver: regenerate every experiment in one run.
+
+``run_campaign`` executes each registered experiment module, captures
+its regenerated table/figure text, runs its ``check_shape`` claims
+verification when present, and assembles a single report - the
+programmatic equivalent of re-running the paper's whole evaluation.
+"""
+
+from __future__ import annotations
+
+import inspect
+import io
+import time
+from contextlib import redirect_stdout
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.experiment import ExperimentSettings
+from repro.experiments import REGISTRY, load
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One experiment's regenerated output and claim verdicts."""
+
+    experiment_id: str
+    report: str
+    problems: List[str]
+    seconds: float
+
+    @property
+    def passed(self) -> bool:
+        return not self.problems
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All outcomes of one campaign, with summary/report rendering."""
+
+    outcomes: Dict[str, ExperimentOutcome]
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(outcome.seconds for outcome in self.outcomes.values())
+
+    def summary(self) -> str:
+        lines = ["Campaign summary:"]
+        for experiment_id, outcome in self.outcomes.items():
+            status = "ok" if outcome.passed else "SHAPE DEVIATION"
+            lines.append(
+                f"  {experiment_id:10s} {status:16s} ({outcome.seconds:.1f}s)"
+            )
+            for problem in outcome.problems:
+                lines.append(f"      - {problem}")
+        verdict = "all claims reproduced" if self.passed else "deviations found"
+        lines.append(f"Total: {self.total_seconds:.1f}s; {verdict}.")
+        return "\n".join(lines)
+
+    def full_report(self) -> str:
+        parts = []
+        for experiment_id, outcome in self.outcomes.items():
+            parts.append("=" * 72)
+            parts.append(f"[{experiment_id}]")
+            parts.append(outcome.report)
+        parts.append("=" * 72)
+        parts.append(self.summary())
+        return "\n".join(parts)
+
+
+def _call_with_optional_settings(func, settings: ExperimentSettings):
+    """Invoke ``func``, passing settings only when it takes them.
+
+    Static experiments (the tables, Fig. 3) have no simulation window to
+    configure; their entry points simply lack a ``settings`` parameter.
+    """
+    if "settings" in inspect.signature(func).parameters:
+        return func(settings)
+    return func()
+
+
+def run_experiment(
+    experiment_id: str, settings: ExperimentSettings = ExperimentSettings()
+) -> ExperimentOutcome:
+    """Run one experiment module; capture its report and claims."""
+    module = load(experiment_id)
+    started = time.perf_counter()
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        _call_with_optional_settings(module.main, settings)
+    report = buffer.getvalue().rstrip()
+
+    problems: List[str] = []
+    if hasattr(module, "check_shape") and hasattr(module, "run"):
+        result = _call_with_optional_settings(module.run, settings)
+        problems = list(module.check_shape(result))
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        report=report,
+        problems=problems,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def run_campaign(
+    settings: ExperimentSettings = ExperimentSettings(),
+    experiment_ids: Optional[Iterable[str]] = None,
+) -> CampaignResult:
+    """Run all (or selected) experiments and collect their outcomes.
+
+    The memoized bandwidth measurements are shared across experiments,
+    so the campaign costs far less than the sum of standalone runs.
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else list(REGISTRY)
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {unknown}")
+    outcomes = {i: run_experiment(i, settings) for i in ids}
+    return CampaignResult(outcomes=outcomes)

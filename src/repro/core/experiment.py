@@ -1,0 +1,351 @@
+"""Experiment runners: the paper's measurement protocol on the simulator.
+
+The hardware protocol (§III-B) is: configure the ports (type, size,
+mask, addressing mode), let the workload run, then read the hardware
+counters - 20 s for bandwidth, 200 s for thermal runs.  The simulated
+equivalent runs a short warm-up to reach the closed-loop steady state,
+opens the measurement window, and reads the same counters; thermal and
+power outcomes are then solved from the measured bandwidth through the
+RC thermal model instead of simulating 200 s of wall-clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from repro.core.patterns import AccessPattern
+from repro.fpga.board import AC510Board
+from repro.fpga.gups import PortConfig
+from repro.fpga.stream import StreamResult
+from repro.fpga.address_gen import AddressingMode
+from repro.hmc.address import AddressMask
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.config import HMCConfig, HMC_1_1_4GB
+from repro.hmc.packet import RequestType
+from repro.power.model import (
+    OperatingPoint,
+    WRITE_FRACTION,
+    solve_operating_point,
+)
+from repro.thermal.cooling import CoolingConfig
+from repro.thermal.model import ThermalModel, ThermalReading
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Simulation-window and device settings shared by experiments."""
+
+    config: HMCConfig = HMC_1_1_4GB
+    calibration: Calibration = DEFAULT_CALIBRATION
+    warmup_us: float = 30.0
+    window_us: float = 120.0
+    max_block_bytes: int = 128
+
+    def scaled(self, factor: float) -> "ExperimentSettings":
+        """Shrink/grow both windows (tests use small factors)."""
+        return replace(
+            self, warmup_us=self.warmup_us * factor, window_us=self.window_us * factor
+        )
+
+
+@dataclass(frozen=True)
+class BandwidthMeasurement:
+    """Counters read back after one bandwidth experiment."""
+
+    pattern_name: str
+    request_type: RequestType
+    payload_bytes: int
+    mode: AddressingMode
+    active_ports: int
+    bandwidth_gbs: float
+    mrps: float
+    reads_completed: int
+    writes_completed: int
+    read_latency_avg_ns: float
+    read_latency_min_ns: float
+    read_latency_max_ns: float
+    write_latency_avg_ns: float
+    window_ns: float
+
+    @property
+    def total_completed(self) -> int:
+        return self.reads_completed + self.writes_completed
+
+    @property
+    def write_fraction(self) -> float:
+        total = self.total_completed
+        return self.writes_completed / total if total else 0.0
+
+    @property
+    def read_latency_avg_us(self) -> float:
+        return self.read_latency_avg_ns / 1e3
+
+
+def measure_bandwidth(
+    mask: AddressMask = AddressMask(),
+    request_type: RequestType = RequestType.READ,
+    payload_bytes: int = 128,
+    mode: AddressingMode = AddressingMode.RANDOM,
+    active_ports: Optional[int] = None,
+    settings: ExperimentSettings = ExperimentSettings(),
+    pattern_name: str = "",
+    seed: int = 1,
+) -> BandwidthMeasurement:
+    """Run one full-/small-scale GUPS experiment and read the counters."""
+    board = AC510Board(
+        config=settings.config,
+        calibration=settings.calibration,
+        max_block_bytes=settings.max_block_bytes,
+    )
+    gups = board.load_gups(
+        PortConfig(
+            request_type=request_type,
+            payload_bytes=payload_bytes,
+            mode=mode,
+            mask=mask,
+            seed=seed,
+        ),
+        active_ports=active_ports,
+    )
+    gups.start()
+    sim = board.sim
+    warmup_ns = settings.warmup_us * 1e3
+    window_ns = settings.window_us * 1e3
+    sim.run(until=warmup_ns)
+    board.controller.begin_measurement()
+    sim.run(until=warmup_ns + window_ns)
+    board.controller.end_measurement()
+    gups.stop()
+
+    controller = board.controller
+    reads = controller.read_latency.stats
+    writes = controller.write_latency.stats
+    return BandwidthMeasurement(
+        pattern_name=pattern_name,
+        request_type=request_type,
+        payload_bytes=payload_bytes,
+        mode=mode,
+        active_ports=gups.active_ports,
+        bandwidth_gbs=controller.bandwidth_gbs,
+        mrps=controller.mrps,
+        reads_completed=controller.reads_completed_in_window,
+        writes_completed=controller.writes_completed_in_window,
+        read_latency_avg_ns=reads.mean if reads.count else math.nan,
+        read_latency_min_ns=reads.minimum if reads.count else math.nan,
+        read_latency_max_ns=reads.maximum if reads.count else math.nan,
+        write_latency_avg_ns=writes.mean if writes.count else math.nan,
+        window_ns=controller.traffic.window_ns,
+    )
+
+
+def measure_pattern(
+    pattern: AccessPattern,
+    request_type: RequestType = RequestType.READ,
+    payload_bytes: int = 128,
+    settings: ExperimentSettings = ExperimentSettings(),
+    mode: AddressingMode = AddressingMode.RANDOM,
+    active_ports: Optional[int] = None,
+) -> BandwidthMeasurement:
+    """Convenience wrapper taking an :class:`AccessPattern`."""
+    return measure_bandwidth(
+        mask=pattern.mask,
+        request_type=request_type,
+        payload_bytes=payload_bytes,
+        mode=mode,
+        active_ports=active_ports,
+        settings=settings,
+        pattern_name=pattern.name,
+    )
+
+
+@lru_cache(maxsize=512)
+def _cached(
+    mask: AddressMask,
+    request_type: RequestType,
+    payload_bytes: int,
+    mode: AddressingMode,
+    active_ports: Optional[int],
+    settings: ExperimentSettings,
+    pattern_name: str,
+) -> BandwidthMeasurement:
+    return measure_bandwidth(
+        mask=mask,
+        request_type=request_type,
+        payload_bytes=payload_bytes,
+        mode=mode,
+        active_ports=active_ports,
+        settings=settings,
+        pattern_name=pattern_name,
+    )
+
+
+def measure_bandwidth_cached(
+    pattern: AccessPattern,
+    request_type: RequestType = RequestType.READ,
+    payload_bytes: int = 128,
+    settings: ExperimentSettings = ExperimentSettings(),
+    mode: AddressingMode = AddressingMode.RANDOM,
+    active_ports: Optional[int] = None,
+) -> BandwidthMeasurement:
+    """Memoized :func:`measure_pattern`.
+
+    The thermal/power/regression experiments (Figs. 9-12) reuse the
+    bandwidth profiles of Fig. 7; caching keeps a full campaign run from
+    re-simulating identical workloads.
+    """
+    return _cached(
+        pattern.mask,
+        request_type,
+        payload_bytes,
+        mode,
+        active_ports,
+        settings,
+        pattern.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# latency-bandwidth sweeps (small-scale GUPS; Figs. 17-18)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LatencySweepPoint:
+    """One (offered load, latency) sample from small-scale GUPS."""
+
+    active_ports: int
+    bandwidth_gbs: float
+    mrps: float
+    read_latency_avg_ns: float
+
+    @property
+    def read_latency_avg_us(self) -> float:
+        return self.read_latency_avg_ns / 1e3
+
+
+def run_latency_sweep(
+    pattern: AccessPattern,
+    payload_bytes: int,
+    settings: ExperimentSettings = ExperimentSettings(),
+    request_type: RequestType = RequestType.READ,
+    port_counts: Optional[Tuple[int, ...]] = None,
+) -> List[LatencySweepPoint]:
+    """Tune request rate via the number of active ports (§III-B)."""
+    counts = port_counts or tuple(range(1, settings.calibration.gups_ports + 1))
+    points = []
+    for ports in counts:
+        measurement = measure_bandwidth_cached(
+            pattern,
+            request_type=request_type,
+            payload_bytes=payload_bytes,
+            settings=settings,
+            active_ports=ports,
+        )
+        points.append(
+            LatencySweepPoint(
+                active_ports=ports,
+                bandwidth_gbs=measurement.bandwidth_gbs,
+                mrps=measurement.mrps,
+                read_latency_avg_ns=measurement.read_latency_avg_ns,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# stream (low-load) latency, Fig. 15
+# ----------------------------------------------------------------------
+def run_stream_latency(
+    num_requests: int,
+    payload_bytes: int,
+    settings: ExperimentSettings = ExperimentSettings(),
+    trials: int = 8,
+    seed: int = 7,
+) -> StreamResult:
+    """Average several independent low-load streams of reads.
+
+    Each trial uses a fresh board (the hardware equivalent: the stream
+    fully drains between groups) and fresh random addresses.
+    """
+    import random
+
+    rng = random.Random(seed)
+    avg_acc = 0.0
+    min_acc = math.inf
+    max_acc = -math.inf
+    for _ in range(trials):
+        board = AC510Board(
+            config=settings.config,
+            calibration=settings.calibration,
+            max_block_bytes=settings.max_block_bytes,
+        )
+        stream = board.load_stream_gups()
+        slots = settings.config.capacity_bytes // payload_bytes
+        addresses = [rng.randrange(slots) * payload_bytes for _ in range(num_requests)]
+        result = stream.run_read_stream(num_requests, payload_bytes, addresses)
+        avg_acc += result.avg_ns
+        min_acc = min(min_acc, result.min_ns)
+        max_acc = max(max_acc, result.max_ns)
+    return StreamResult(
+        num_requests=num_requests,
+        payload_bytes=payload_bytes,
+        avg_ns=avg_acc / trials,
+        min_ns=min_acc,
+        max_ns=max_acc,
+    )
+
+
+# ----------------------------------------------------------------------
+# thermal/power runs (Figs. 9-10 and the failure study)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ThermalRunResult:
+    """Outcome of one 200 s thermal experiment."""
+
+    measurement: BandwidthMeasurement
+    operating_point: OperatingPoint
+    readings: Tuple[ThermalReading, ...] = field(default=())
+
+    @property
+    def failed(self) -> bool:
+        return not self.operating_point.thermally_safe
+
+
+def run_thermal_experiment(
+    pattern: AccessPattern,
+    request_type: RequestType,
+    cooling: CoolingConfig,
+    payload_bytes: int = 128,
+    settings: ExperimentSettings = ExperimentSettings(),
+    duration_s: float = 200.0,
+    reading_interval_s: float = 20.0,
+) -> ThermalRunResult:
+    """Measure bandwidth, then solve the thermal/power steady state.
+
+    Returns the camera readings over the run (first-order transient) and
+    the operating point; ``failed`` mirrors the paper's §IV-C failure
+    criterion (the caller decides whether to raise).
+    """
+    measurement = measure_bandwidth_cached(
+        pattern,
+        request_type=request_type,
+        payload_bytes=payload_bytes,
+        settings=settings,
+    )
+    point = solve_operating_point(
+        cooling,
+        request_type,
+        measurement.bandwidth_gbs,
+        calibration=settings.calibration,
+        write_fraction=WRITE_FRACTION[request_type],
+    )
+    thermal = ThermalModel(cooling, settings.calibration)
+    steps = int(duration_s / reading_interval_s) + 1
+    readings = tuple(
+        thermal.camera_reading(i * reading_interval_s, point.activity_power_w)
+        for i in range(steps)
+    )
+    return ThermalRunResult(
+        measurement=measurement, operating_point=point, readings=readings
+    )

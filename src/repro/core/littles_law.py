@@ -1,0 +1,93 @@
+"""Little's-law occupancy analysis (paper §IV-E4, Fig. 17).
+
+Treating a vault controller as a black box of queue+server, the average
+number of resident requests is the product of the average residence
+time and the arrival rate at the saturation point.  The paper finds a
+constant ~375 outstanding requests for 4-bank patterns across packet
+sizes, and half that for 2-bank patterns, and infers one queue per bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.experiment import LatencySweepPoint
+
+
+def occupancy_requests(point: LatencySweepPoint) -> float:
+    """N = lambda * W at one sweep point, in requests.
+
+    ``mrps`` is requests/us when divided by 1e3... concretely:
+    requests/s * seconds = (mrps * 1e6) * (latency_ns * 1e-9).
+    """
+    arrival_per_ns = point.mrps * 1e-3  # requests per nanosecond
+    return arrival_per_ns * point.read_latency_avg_ns
+
+
+def occupancy_bytes(point: LatencySweepPoint, response_bytes: int) -> float:
+    """Occupancy in bytes, the intermediate quantity the paper computes."""
+    return occupancy_requests(point) * response_bytes
+
+
+def saturation_point(
+    points: Sequence[LatencySweepPoint], tolerance: float = 0.05
+) -> LatencySweepPoint:
+    """The knee of the latency-bandwidth curve.
+
+    Defined as the first sweep point whose bandwidth is within
+    ``tolerance`` of the maximum: beyond it additional offered load only
+    raises latency (the vertical part of Fig. 17's curves), so the knee
+    is where the resident population equals what the bank queues and
+    servers actually need - the quantity the paper's Little's-law
+    analysis extracts.
+    """
+    if not points:
+        raise ValueError("empty sweep")
+    max_bw = max(p.bandwidth_gbs for p in points)
+    for point in points:
+        if point.bandwidth_gbs >= (1.0 - tolerance) * max_bw:
+            return point
+    raise AssertionError("unreachable: some point attains the maximum")
+
+
+def is_saturated(points: Sequence[LatencySweepPoint], tolerance: float = 0.05) -> bool:
+    """Did the sweep actually reach saturation?
+
+    True when the last two points' bandwidths agree within ``tolerance``
+    (more ports no longer buys throughput).  The paper notes patterns
+    wider than two vaults never saturate on its infrastructure because
+    GUPS cannot generate more parallel accesses.
+    """
+    if len(points) < 2:
+        return False
+    last, prev = points[-1], points[-2]
+    if prev.bandwidth_gbs == 0:
+        return False
+    return (last.bandwidth_gbs - prev.bandwidth_gbs) / prev.bandwidth_gbs < tolerance
+
+
+@dataclass(frozen=True)
+class LittlesLawAnalysis:
+    """Occupancy summary of one latency-bandwidth sweep."""
+
+    pattern_name: str
+    payload_bytes: int
+    saturated: bool
+    saturation_bandwidth_gbs: float
+    saturation_latency_ns: float
+    occupancy_requests: float
+
+    @classmethod
+    def from_sweep(
+        cls, pattern_name: str, payload_bytes: int, points: Sequence[LatencySweepPoint]
+    ) -> "LittlesLawAnalysis":
+        sat = saturation_point(points)
+        return cls(
+            pattern_name=pattern_name,
+            payload_bytes=payload_bytes,
+            saturated=is_saturated(points),
+            saturation_bandwidth_gbs=sat.bandwidth_gbs,
+            saturation_latency_ns=sat.read_latency_avg_ns,
+            occupancy_requests=occupancy_requests(sat),
+        )

@@ -1,0 +1,153 @@
+"""Targeted access patterns (paper §IV-A).
+
+The paper builds its workloads by applying address masks that restrict
+random traffic to a chosen slice of the structural hierarchy: an
+``N-bank`` pattern targets N banks within one vault, an ``N-vault``
+pattern targets all banks of N vaults.  This module derives those masks
+from the device's address mapping instead of hard-coding bit positions,
+so they remain correct for non-default mappings and other HMC
+generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.hmc.address import AddressMapping, AddressMask
+from repro.hmc.config import HMCConfig, HMC_1_1_4GB
+from repro.hmc.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """A named slice of the vault/bank hierarchy."""
+
+    name: str
+    mask: AddressMask
+    vaults: int
+    banks_per_vault: int
+
+    @property
+    def total_banks(self) -> int:
+        return self.vaults * self.banks_per_vault
+
+
+def _clear_field_top(low: int, width: int, keep: int) -> int:
+    """Bits to clear so only ``keep`` of ``2**width`` values remain."""
+    if keep <= 0 or keep & (keep - 1):
+        raise ConfigurationError(f"keep must be a power of two, got {keep}")
+    keep_bits = keep.bit_length() - 1
+    clear_bits = width - keep_bits
+    if clear_bits < 0:
+        raise ConfigurationError(f"cannot keep {keep} values in a {width}-bit field")
+    mask = 0
+    for bit in range(low + keep_bits, low + width):
+        mask |= 1 << bit
+    return mask
+
+
+def make_pattern(
+    mapping: AddressMapping, vaults: int, banks_per_vault: int
+) -> AccessPattern:
+    """Build the mask that confines traffic to the requested slice."""
+    layout = mapping.field_layout()
+    vq_low, vq_high = layout["vault_in_quadrant"]
+    q_low, q_high = layout["quadrant"]
+    bank_low, bank_high = layout["bank"]
+    vault_low, vault_width = vq_low, q_high - vq_low
+
+    clear = _clear_field_top(vault_low, vault_width, vaults)
+    clear |= _clear_field_top(bank_low, bank_high - bank_low, banks_per_vault)
+
+    max_banks = mapping.config.banks_per_vault
+    if banks_per_vault == max_banks:
+        name = f"{vaults} vault" + ("s" if vaults != 1 else "")
+    else:
+        if vaults != 1:
+            raise ConfigurationError("bank patterns target banks within one vault")
+        name = f"{banks_per_vault} bank" + ("s" if banks_per_vault != 1 else "")
+    return AccessPattern(
+        name=name,
+        mask=AddressMask(clear=clear),
+        vaults=vaults,
+        banks_per_vault=banks_per_vault,
+    )
+
+
+def standard_patterns(config: HMCConfig = HMC_1_1_4GB) -> Dict[str, AccessPattern]:
+    """The nine patterns of the paper's Figs. 7-10 and 16, by name."""
+    mapping = AddressMapping(config)
+    patterns: Dict[str, AccessPattern] = {}
+    banks = 1
+    while banks < config.banks_per_vault:
+        pattern = make_pattern(mapping, 1, banks)
+        patterns[pattern.name] = pattern
+        banks *= 2
+    vaults = 1
+    while vaults <= config.num_vaults:
+        pattern = make_pattern(mapping, vaults, config.banks_per_vault)
+        patterns[pattern.name] = pattern
+        vaults *= 2
+    return patterns
+
+
+#: The paper's x-axis order (least to most distributed).
+PATTERN_NAMES: Tuple[str, ...] = (
+    "1 bank",
+    "2 banks",
+    "4 banks",
+    "8 banks",
+    "1 vault",
+    "2 vaults",
+    "4 vaults",
+    "8 vaults",
+    "16 vaults",
+)
+
+
+def pattern_by_name(name: str, config: HMCConfig = HMC_1_1_4GB) -> AccessPattern:
+    """Look up one of the paper's standard patterns by its name."""
+    patterns = standard_patterns(config)
+    if name not in patterns:
+        raise ConfigurationError(
+            f"unknown pattern {name!r}; available: {sorted(patterns)}"
+        )
+    return patterns[name]
+
+
+def eight_bit_mask(low_bit: int) -> AddressMask:
+    """The paper's Fig. 6 experiment: clear eight bits at ``low_bit``."""
+    return AddressMask.clearing_bits(low_bit, low_bit + 7)
+
+
+#: Fig. 6's x-axis, as (label, low bit) in the paper's plotted order.
+FIG6_MASK_POSITIONS: Tuple[Tuple[str, int], ...] = (
+    ("24-31", 24),
+    ("10-17", 10),
+    ("7-14", 7),
+    ("3-10", 3),
+    ("2-9", 2),
+    ("1-8", 1),
+    ("0-7", 0),
+)
+
+
+def pattern_footprint(
+    mask: AddressMask, mapping: AddressMapping, request_bytes: int = 128
+) -> Tuple[int, int]:
+    """(vaults, banks) reachable under a mask.
+
+    Enumerated exactly over the vault/bank fields rather than sampled:
+    every combination of unmasked vault/bank bits is decoded once.
+    """
+    config = mapping.config
+    vaults_seen = set()
+    banks_seen = set()
+    for vault in range(config.num_vaults):
+        for bank in range(config.banks_per_vault):
+            address = mask.apply(mapping.encode(vault, bank))
+            decoded = mapping.decode(address)
+            vaults_seen.add(decoded.vault)
+            banks_seen.add((decoded.vault, decoded.bank))
+    return len(vaults_seen), len(banks_seen)

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment outputs.
+
+Every experiment module and benchmark prints through these helpers so
+"regenerate the paper's table/figure" produces a consistent, diffable
+text artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}".rstrip("0").rstrip(".") if value % 1 else f"{value:.0f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width text table."""
+    materialized: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence,
+    series: Sequence[tuple],
+    title: Optional[str] = None,
+) -> str:
+    """A figure as columns: x plus one column per (name, values) series."""
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for _, values in series])
+    return render_table(headers, rows, title=title)
+
+
+def paper_vs_measured(
+    label: str, paper_value: str, measured_value: str, note: str = ""
+) -> str:
+    """One line of the EXPERIMENTS.md-style comparison."""
+    suffix = f"  ({note})" if note else ""
+    return f"{label}: paper={paper_value}  measured={measured_value}{suffix}"

@@ -1,0 +1,119 @@
+"""Parameter sweeps with tabular export.
+
+The experiment modules regenerate the paper's figures; this module is
+the open-ended counterpart for users exploring their own parameter
+spaces: run a grid over (pattern, request type, payload size, port
+count), collect flat records, and export CSV for external plotting.
+No third-party dataframe dependency - records are plain dicts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.experiment import ExperimentSettings, measure_bandwidth_cached
+from repro.core.patterns import pattern_by_name
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import RequestType
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The cartesian product of workload knobs to measure."""
+
+    patterns: Tuple[str, ...] = ("16 vaults",)
+    request_types: Tuple[RequestType, ...] = (RequestType.READ,)
+    payload_bytes: Tuple[int, ...] = (128,)
+    active_ports: Tuple[Optional[int], ...] = (None,)  # None = full-scale
+
+    def __post_init__(self) -> None:
+        for field_name in ("patterns", "request_types", "payload_bytes", "active_ports"):
+            if not getattr(self, field_name):
+                raise ConfigurationError(f"{field_name} must not be empty")
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.patterns)
+            * len(self.request_types)
+            * len(self.payload_bytes)
+            * len(self.active_ports)
+        )
+
+    def points(self) -> Iterable[Tuple[str, RequestType, int, Optional[int]]]:
+        for pattern in self.patterns:
+            for request_type in self.request_types:
+                for payload in self.payload_bytes:
+                    for ports in self.active_ports:
+                        yield pattern, request_type, payload, ports
+
+
+FIELDS = (
+    "pattern",
+    "request_type",
+    "payload_bytes",
+    "active_ports",
+    "bandwidth_gbs",
+    "mrps",
+    "read_latency_avg_ns",
+    "read_latency_min_ns",
+    "read_latency_max_ns",
+    "write_latency_avg_ns",
+    "write_fraction",
+)
+
+
+def run_sweep(
+    grid: SweepGrid,
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[Dict]:
+    """Measure every grid point; returns one flat record per point."""
+    records: List[Dict] = []
+    for pattern_name, request_type, payload, ports in grid.points():
+        pattern = pattern_by_name(pattern_name, settings.config)
+        m = measure_bandwidth_cached(
+            pattern,
+            request_type=request_type,
+            payload_bytes=payload,
+            settings=settings,
+            active_ports=ports,
+        )
+        records.append(
+            {
+                "pattern": pattern_name,
+                "request_type": request_type.value,
+                "payload_bytes": payload,
+                "active_ports": m.active_ports,
+                "bandwidth_gbs": round(m.bandwidth_gbs, 4),
+                "mrps": round(m.mrps, 3),
+                "read_latency_avg_ns": round(m.read_latency_avg_ns, 1),
+                "read_latency_min_ns": round(m.read_latency_min_ns, 1),
+                "read_latency_max_ns": round(m.read_latency_max_ns, 1),
+                "write_latency_avg_ns": round(m.write_latency_avg_ns, 1),
+                "write_fraction": round(m.write_fraction, 4),
+            }
+        )
+    return records
+
+
+def to_csv(records: Sequence[Dict], path: Union[str, Path, None] = None) -> str:
+    """Render records as CSV; optionally also write them to ``path``."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=FIELDS)
+    writer.writeheader()
+    for record in records:
+        writer.writerow({k: record.get(k, "") for k in FIELDS})
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def load_csv(path: Union[str, Path]) -> List[Dict]:
+    """Read records previously written by :func:`to_csv`."""
+    with open(path, newline="") as handle:
+        return [dict(row) for row in csv.DictReader(handle)]

@@ -1,0 +1,117 @@
+"""Figure 18: read latency vs request bandwidth for every pattern and
+request size (the extended version of Fig. 17).
+
+Paper claims that must reproduce:
+
+* bank patterns saturate at bandwidths proportional to the bank count
+  until the vault's 10 GB/s cap takes over (>= 8 banks stop scaling);
+* the 2-vault saturation point sits near 2x the single-vault limit
+  (~19-20 GB/s);
+* patterns wider than two vaults never saturate on this infrastructure
+  (GUPS cannot generate enough parallel accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.experiment import (
+    ExperimentSettings,
+    LatencySweepPoint,
+    run_latency_sweep,
+)
+from repro.core.littles_law import is_saturated, saturation_point
+from repro.core.patterns import PATTERN_NAMES, standard_patterns
+from repro.core.report import render_table
+
+SIZES = (16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    pattern: str
+    payload_bytes: int
+    points: Tuple[LatencySweepPoint, ...]
+    saturated: bool
+    knee_bandwidth_gbs: float
+    knee_latency_ns: float
+
+
+def run(
+    settings: ExperimentSettings = ExperimentSettings(),
+    sizes: Tuple[int, ...] = SIZES,
+    pattern_names: Tuple[str, ...] = PATTERN_NAMES,
+) -> List[SweepSummary]:
+    patterns = standard_patterns(settings.config)
+    summaries = []
+    for name in pattern_names:
+        for size in sizes:
+            points = tuple(run_latency_sweep(patterns[name], size, settings=settings))
+            knee = saturation_point(points)
+            summaries.append(
+                SweepSummary(
+                    pattern=name,
+                    payload_bytes=size,
+                    points=points,
+                    saturated=is_saturated(points),
+                    knee_bandwidth_gbs=knee.bandwidth_gbs,
+                    knee_latency_ns=knee.read_latency_avg_ns,
+                )
+            )
+    return summaries
+
+
+def check_shape(summaries: List[SweepSummary]) -> List[str]:
+    problems = []
+    knee = {
+        (s.pattern, s.payload_bytes): s.knee_bandwidth_gbs for s in summaries
+    }
+
+    def k(pattern: str, size: int = 128) -> float:
+        return knee[(pattern, size)]
+
+    if not 1.6 <= k("2 banks") / k("1 bank") <= 2.4:
+        problems.append("2-bank saturation not ~2x 1-bank")
+    if not 1.6 <= k("4 banks") / k("2 banks") <= 2.4:
+        problems.append("4-bank saturation not ~2x 2-bank")
+    if not k("1 vault") / k("8 banks") < 1.15:
+        problems.append(">8 banks kept scaling past the vault cap")
+    two_vault_ratio = k("2 vaults") / k("1 vault")
+    if not 1.4 <= two_vault_ratio <= 2.2:
+        problems.append(
+            f"2-vault saturation is {two_vault_ratio:.2f}x one vault, paper ~2x"
+        )
+    return problems
+
+
+def main(settings: ExperimentSettings = ExperimentSettings()) -> str:
+    summaries = run(settings)
+    rows = [
+        [
+            s.pattern,
+            f"{s.payload_bytes} B",
+            f"{s.knee_bandwidth_gbs:.2f}",
+            f"{s.knee_latency_ns/1e3:.2f}",
+            "yes" if s.saturated else "no",
+        ]
+        for s in summaries
+    ]
+    text = render_table(
+        ("Pattern", "Size", "Knee BW (GB/s)", "Knee latency (us)", "Saturated"),
+        rows,
+        title="Figure 18: latency-bandwidth saturation by pattern and size",
+    )
+    problems = check_shape(summaries)
+    text += (
+        "\nShape matches the paper: bank patterns scale ~2x per doubling until"
+        "\nthe 10 GB/s vault cap; two vaults saturate near 2x one vault."
+        if not problems
+        else "\nShape deviations: " + "; ".join(problems)
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Table II: HMC read/write request/response sizes in flits."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.report import render_table
+from repro.hmc.packet import table_ii
+
+#: The published table: (min, max) flits per packet.
+PAPER_TABLE = {
+    "Read": {"Request": (1, 1), "Response": (2, 9)},
+    "Write": {"Request": (2, 9), "Response": (1, 1)},
+}
+
+
+def run() -> Dict[str, Dict]:
+    return table_ii()
+
+
+def matches_paper(derived: Dict[str, Dict]) -> bool:
+    return derived == PAPER_TABLE
+
+
+def main() -> str:
+    derived = run()
+
+    def cell(span) -> str:
+        low, high = span
+        return f"{low} Flit" + ("s" if high > 1 else "") if low == high else f"{low}~{high} Flits"
+
+    rows = [
+        [kind, cell(sides["Request"]), cell(sides["Response"])]
+        for kind, sides in derived.items()
+    ]
+    text = render_table(
+        ("Type", "Request", "Response"),
+        rows,
+        title="Table II: HMC transaction sizes (flits, incl. 1 flit overhead)",
+    )
+    text += "\nMatches the published table." if matches_paper(derived) else "\nDEVIATES from the published table!"
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Fault injection for the packet-switched link protocol.
+
+The paper credits HMC's packet interface with "features such as data
+integrity" - CRCs, sequence numbers and link-level retry (§IV-E1's TX
+stages exist to support them).  This package injects transmission
+errors and exercises the retry path, quantifying what that integrity
+machinery costs under an unreliable link.
+"""
+
+from repro.faults.link_faults import LinkFaultModel
+
+__all__ = ["LinkFaultModel"]

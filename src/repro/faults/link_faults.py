@@ -1,0 +1,65 @@
+"""Link transmission errors and CRC-triggered retry.
+
+Every flit of a transaction (request and response packets both carry
+CRCs) is independently corrupted with ``flit_error_rate``; a corrupted
+packet fails verification on the receive path and the whole transaction
+retries through the TX pipeline after a retry-buffer turnaround.  The
+paper's latency accounting keeps running across retries - the retried
+request's round-trip time includes every failed attempt, which is where
+the latency tail comes from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import Request
+
+
+@dataclass
+class LinkFaultModel:
+    """Bit-error behaviour of the SerDes lanes, at flit granularity."""
+
+    flit_error_rate: float = 0.0
+    retry_latency_ns: float = 120.0
+    """Retry-buffer turnaround: error detection, retry request to the
+    sequence-number machinery, and re-arbitration."""
+    max_retries: int = 64
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+    retries: int = field(init=False, default=0)
+    transactions_affected: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flit_error_rate < 1.0:
+            raise ConfigurationError("flit error rate must be in [0, 1)")
+        if self.retry_latency_ns < 0:
+            raise ConfigurationError("retry latency cannot be negative")
+        if self.max_retries < 1:
+            raise ConfigurationError("max_retries must be positive")
+        self._rng = random.Random(self.seed)
+
+    def packet_error_probability(self, flits: int) -> float:
+        """Probability that a packet of ``flits`` flits is corrupted."""
+        return 1.0 - (1.0 - self.flit_error_rate) ** flits
+
+    def transaction_fails(self, request: Request) -> bool:
+        """Draw whether this round trip is corrupted (either direction)."""
+        if self.flit_error_rate == 0.0:
+            return False
+        total_flits = request.request_flits + request.response_flits
+        failed = self._rng.random() < self.packet_error_probability(total_flits)
+        if failed:
+            self.retries += 1
+            retried_before = getattr(request, "retry_count", 0)
+            if retried_before == 0:
+                self.transactions_affected += 1
+            request.retry_count = retried_before + 1  # type: ignore[attr-defined]
+            if request.retry_count > self.max_retries:  # type: ignore[attr-defined]
+                raise RuntimeError(
+                    f"transaction exceeded {self.max_retries} retries; the "
+                    "link is effectively down"
+                )
+        return failed

@@ -1,0 +1,26 @@
+"""AC-510 substrate: the FPGA-side infrastructure of the experiments.
+
+Models the Micron HMC controller (TX/RX pipelines of Fig. 14, link
+tokens, request flow control) and the GUPS traffic generators of
+§III-B: nine ports with configurable address generation, read tag
+pools, write FIFOs and arbitration, plus the AXI-Stream variant used
+for low-load latency and data-integrity runs.
+"""
+
+from repro.fpga.address_gen import AddressGenerator, AddressingMode
+from repro.fpga.board import AC510Board
+from repro.fpga.controller import HmcController
+from repro.fpga.gups import Gups, GupsPort, PortConfig
+from repro.fpga.stream import StreamGups, StreamResult
+
+__all__ = [
+    "AddressGenerator",
+    "AddressingMode",
+    "AC510Board",
+    "HmcController",
+    "Gups",
+    "GupsPort",
+    "PortConfig",
+    "StreamGups",
+    "StreamResult",
+]

@@ -1,0 +1,72 @@
+"""AC-510 accelerator module assembly (paper §III-A, Fig. 4).
+
+One AC-510 carries a Kintex UltraScale FPGA and a 4 GB HMC Gen2 with
+two half-width links at 15 Gbps (60 GB/s bi-directional peak, Eq. 2).
+:class:`AC510Board` wires a fresh simulator, device and controller
+together - the starting point for every experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fpga.controller import HmcController
+from repro.fpga.gups import Gups, PortConfig
+from repro.fpga.stream import StreamGups
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.config import HMCConfig, HMC_1_1_4GB
+from repro.hmc.device import HMCDevice
+from repro.hmc.dram import DramTimings
+from repro.hmc.refresh import RefreshPolicy
+from repro.sim.engine import Simulator
+
+
+class AC510Board:
+    """A simulator, an HMC device and its FPGA-side controller."""
+
+    def __init__(
+        self,
+        config: HMCConfig = HMC_1_1_4GB,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        timings: Optional[DramTimings] = None,
+        max_block_bytes: int = 128,
+        interleave: str = "vault-first",
+        refresh: Optional[RefreshPolicy] = None,
+        junction_c: float = 60.0,
+    ) -> None:
+        self.sim = Simulator()
+        self.calibration = calibration
+        self.device = HMCDevice(
+            self.sim,
+            config=config,
+            calibration=calibration,
+            timings=timings,
+            max_block_bytes=max_block_bytes,
+            interleave=interleave,
+            refresh=refresh,
+            junction_c=junction_c,
+        )
+        self.controller = HmcController(self.sim, self.device, calibration)
+
+    # ------------------------------------------------------------------
+    # firmware loadouts
+    # ------------------------------------------------------------------
+    def load_gups(self, config: PortConfig, active_ports: Optional[int] = None) -> Gups:
+        """Program the FPGA with (full- or small-scale) GUPS."""
+        return Gups(
+            self.sim,
+            self.device,
+            self.controller,
+            config=config,
+            active_ports=active_ports,
+            calibration=self.calibration,
+        )
+
+    def load_stream_gups(self) -> StreamGups:
+        """Program the FPGA with the AXI-Stream GUPS variant."""
+        return StreamGups(self.sim, self.device, self.controller, self.calibration)
+
+    @property
+    def peak_bandwidth_gbs(self) -> float:
+        """Eq. 2's bi-directional peak for this board's link geometry."""
+        return self.device.config.links.peak_bandwidth_gbs

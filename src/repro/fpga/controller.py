@@ -1,0 +1,188 @@
+"""The FPGA-side HMC controller (paper Fig. 14, §IV-E1).
+
+The controller owns the TX path (flit conversion, arbitration, sequence
+numbers, flow control, CRC, SerDes conversion and serialization), the RX
+path (deserialization, verification, routing back to ports), the
+per-link token pools of the HMC link protocol, and the *request
+flow-control unit*: when outstanding requests exceed a threshold it
+raises a stop signal that pauses the GUPS ports' request generation.
+
+Latency accounting matches the paper: a transaction's round-trip time
+runs from :meth:`submit` (the request enters the controller) until the
+response clears the RX pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict
+
+from repro.hmc.calibration import Calibration
+from repro.hmc.device import HMCDevice
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import Request, packet_bytes
+from repro.sim.engine import Simulator
+from repro.sim.stats import RateMeter, WindowedSampler
+
+CompletionHandler = Callable[[Request], None]
+
+# Each hmc_node on the FPGA exposes five TX ports (Fig. 14); ports are
+# assigned to links in contiguous groups of five.
+PORTS_PER_LINK_GROUP = 5
+
+
+class HmcController:
+    """TX/RX datapaths between the GUPS ports and the HMC device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: HMCDevice,
+        calibration: Calibration,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.calibration = calibration
+        device.on_response = self._on_device_response
+
+        self.outstanding = 0
+        self.submitted = 0
+        self.completed = 0
+        self.raw_bytes_total = 0
+        self.reads_total = 0
+        self.writes_total = 0
+        self._stop_waiters: Deque[Callable[[], None]] = deque()
+        self._handlers: Dict[int, CompletionHandler] = {}
+        # Optional link fault injection (see repro.faults): corrupted
+        # transactions re-enter the TX path instead of completing.
+        self.fault_model = None
+
+        # Measurement-window instrumentation.
+        self.traffic = RateMeter()
+        self.read_latency = WindowedSampler()
+        self.write_latency = WindowedSampler()
+        self.reads_completed_in_window = 0
+        self.writes_completed_in_window = 0
+
+    # ------------------------------------------------------------------
+    # port plumbing
+    # ------------------------------------------------------------------
+    def register_port(self, port_index: int, handler: CompletionHandler) -> None:
+        """Route completions for ``port_index`` to ``handler``."""
+        self._handlers[port_index] = handler
+
+    def link_for_port(self, port_index: int) -> int:
+        num_links = len(self.device.links)
+        return min(port_index // PORTS_PER_LINK_GROUP, num_links - 1)
+
+    # ------------------------------------------------------------------
+    # flow control (the stop signal of Fig. 14, item 5)
+    # ------------------------------------------------------------------
+    @property
+    def can_generate(self) -> bool:
+        return self.outstanding < self.calibration.flow_control_threshold
+
+    def park_until_resume(self, callback: Callable[[], None]) -> None:
+        """Hold a generation attempt until the stop signal deasserts."""
+        self._stop_waiters.append(callback)
+
+    def _maybe_resume_one(self) -> None:
+        if self._stop_waiters and self.can_generate:
+            self.sim.schedule(0.0, self._stop_waiters.popleft())
+
+    # ------------------------------------------------------------------
+    # TX path
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """A port submits a request; the paper's latency clock starts."""
+        request.submit_ns = self.sim.now
+        request.link = self.link_for_port(request.port)
+        self.outstanding += 1
+        self.submitted += 1
+        pipeline_done = self.sim.now + self.calibration.tx_pipeline_ns(
+            request.request_flits
+        )
+        self.sim.schedule_at(pipeline_done, self._acquire_tokens, request)
+
+    def _acquire_tokens(self, request: Request) -> None:
+        link = self.device.links[request.link]
+        flits = request.request_flits
+        if link.tokens.acquire(flits, lambda: self._transmit(request)):
+            self._transmit(request)
+
+    def _transmit(self, request: Request) -> None:
+        link = self.device.links[request.link]
+        tx_done = link.tx.acquire(packet_bytes(request.request_flits))
+        self.device.submit_from_link(request, tx_done + link.propagation_ns)
+
+    # ------------------------------------------------------------------
+    # RX path
+    # ------------------------------------------------------------------
+    def _on_device_response(self, request: Request, rx_done_ns: float) -> None:
+        complete_at = rx_done_ns + self.calibration.rx_pipeline_ns(
+            request.response_flits
+        )
+        self.sim.schedule_at(complete_at, self._complete, request)
+
+    def _complete(self, request: Request) -> None:
+        if self.fault_model is not None and self.fault_model.transaction_fails(request):
+            # CRC verification failed; the sequence-number machinery
+            # replays the transaction through the TX pipeline.  The
+            # latency clock keeps running from the original submission.
+            self.sim.schedule(
+                self.fault_model.retry_latency_ns, self._acquire_tokens, request
+            )
+            return
+        request.complete_ns = self.sim.now
+        self.outstanding -= 1
+        if self.outstanding < 0:
+            raise ConfigurationError("completion without submission")
+        self.completed += 1
+        self.raw_bytes_total += request.raw_bytes
+        if request.is_write:
+            self.writes_total += 1
+        else:
+            self.reads_total += 1
+
+        self.traffic.record(request.raw_bytes)
+        if self.traffic.is_open:
+            if request.is_write:
+                self.writes_completed_in_window += 1
+                self.write_latency.record(request.latency_ns)
+            else:
+                self.reads_completed_in_window += 1
+                self.read_latency.record(request.latency_ns)
+
+        handler = self._handlers.get(request.port)
+        if handler is not None:
+            handler(request)
+        self._maybe_resume_one()
+
+    # ------------------------------------------------------------------
+    # measurement protocol (the "read counters after N seconds" of §III-B)
+    # ------------------------------------------------------------------
+    def begin_measurement(self) -> None:
+        self.traffic.open(self.sim.now)
+        self.read_latency.open()
+        self.write_latency.open()
+        self.reads_completed_in_window = 0
+        self.writes_completed_in_window = 0
+        for link in self.device.links:
+            link.reset_counters()
+        for vault in self.device.vaults:
+            vault.reset_counters()
+
+    def end_measurement(self) -> None:
+        self.traffic.close(self.sim.now)
+        self.read_latency.close()
+        self.write_latency.close()
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        """Raw bandwidth over the measurement window (GB/s)."""
+        return self.traffic.gbytes_per_s
+
+    @property
+    def mrps(self) -> float:
+        """Million requests per second over the measurement window."""
+        return self.traffic.mrps

@@ -1,0 +1,213 @@
+"""GUPS traffic generators (paper §III-B, Fig. 4b).
+
+Nine copies of the GUPS module ("ports") generate requests as fast as
+the 187.5 MHz FPGA clock allows, each with a configurable address
+generator, a 64-deep read tag pool, a write-request FIFO, and an
+arbitration unit choosing the request type.  Ports pause when the
+controller's request flow-control unit raises the stop signal.
+
+``full-scale`` GUPS activates all nine ports; ``small-scale`` GUPS
+activates a subset to tune the offered request rate (used for the
+latency-bandwidth sweeps of Figs. 17-18).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, List, Optional
+
+from repro.fpga.address_gen import AddressGenerator, AddressingMode
+from repro.fpga.controller import HmcController
+from repro.hmc.address import AddressMask
+from repro.hmc.calibration import Calibration
+from repro.hmc.device import HMCDevice
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import Request, RequestType
+from repro.sim.engine import Simulator
+from repro.sim.resources import TokenPool
+
+
+@dataclass(frozen=True)
+class PortConfig:
+    """Per-port request generation settings."""
+
+    request_type: RequestType = RequestType.READ
+    payload_bytes: int = 128
+    mode: AddressingMode = AddressingMode.RANDOM
+    mask: AddressMask = field(default_factory=AddressMask)
+    seed: int = 0
+    start: int = 0
+
+    def for_port(self, port: int, total_ports: int, capacity_bytes: int) -> "PortConfig":
+        """Per-port variant: distinct random seed, partitioned linear start.
+
+        Hardware GUPS ports walk disjoint slices of the address space in
+        linear mode; sharing one start would alias every port onto the
+        same bank sequence.
+        """
+        slice_bytes = capacity_bytes // total_ports
+        container = 1 << (self.payload_bytes - 1).bit_length()
+        start = (self.start + port * slice_bytes) // container * container
+        return replace(self, seed=self.seed * 131 + port, start=start)
+
+
+class GupsPort:
+    """One GUPS request generator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: HmcController,
+        index: int,
+        config: PortConfig,
+        calibration: Calibration,
+        capacity_bytes: int,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.index = index
+        self.config = config
+        self.calibration = calibration
+        self.cycle_ns = calibration.fpga_cycle_ns
+        self.generator = AddressGenerator(
+            capacity_bytes=capacity_bytes,
+            request_bytes=config.payload_bytes,
+            mode=config.mode,
+            mask=config.mask,
+            seed=config.seed,
+            start=config.start,
+        )
+        self.read_tags = TokenPool(
+            sim, calibration.read_tag_pool_depth, name=f"port{index}.tags"
+        )
+        self.write_credits = TokenPool(
+            sim, calibration.write_fifo_depth, name=f"port{index}.wrfifo"
+        )
+        self._pending_writebacks: Deque[int] = deque()
+        self.active = False
+        self.reads_issued = 0
+        self.writes_issued = 0
+        controller.register_port(index, self._on_complete)
+
+    # ------------------------------------------------------------------
+    # generation loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.active = True
+        self.sim.schedule(0.0, self._try_issue)
+
+    def stop(self) -> None:
+        self.active = False
+
+    def _next_is_write(self) -> bool:
+        if self.config.request_type is RequestType.WRITE:
+            return True
+        if self.config.request_type is RequestType.READ_MODIFY_WRITE:
+            return bool(self._pending_writebacks)
+        return False
+
+    def _try_issue(self) -> None:
+        """Arbitrate the next request and acquire its port resource."""
+        if not self.active:
+            return
+        is_write = self._next_is_write()
+        pool = self.write_credits if is_write else self.read_tags
+        if pool.acquire(lambda: self._issue(is_write)):
+            self._issue(is_write)
+
+    def _issue(self, is_write: bool) -> None:
+        """Issue holding the tag/credit; honours the stop signal."""
+        if not self.active:
+            # Experiment ended while parked; return the held resource.
+            (self.write_credits if is_write else self.read_tags).release()
+            return
+        if not self.controller.can_generate:
+            self.controller.park_until_resume(lambda: self._issue(is_write))
+            return
+        if is_write and self._pending_writebacks:
+            address = self._pending_writebacks.popleft()
+        else:
+            address = self.generator.next()
+        request = Request(
+            address=address,
+            payload_bytes=self.config.payload_bytes,
+            is_write=is_write,
+            port=self.index,
+        )
+        if is_write:
+            self.writes_issued += 1
+        else:
+            self.reads_issued += 1
+        self.controller.submit(request)
+        self.sim.schedule(self.cycle_ns, self._try_issue)
+
+    # ------------------------------------------------------------------
+    # completion path
+    # ------------------------------------------------------------------
+    def _on_complete(self, request: Request) -> None:
+        if request.is_write:
+            self.write_credits.release()
+            return
+        self.read_tags.release()
+        if self.config.request_type is RequestType.READ_MODIFY_WRITE:
+            # Read-modify-write: the returned data is modified and
+            # written back to the same location.
+            self._pending_writebacks.append(request.address)
+
+
+class Gups:
+    """A bank of GUPS ports driving one controller.
+
+    ``active_ports=9`` is the paper's full-scale GUPS;
+    fewer active ports is small-scale GUPS.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: HMCDevice,
+        controller: HmcController,
+        config: PortConfig,
+        active_ports: Optional[int] = None,
+        calibration: Optional[Calibration] = None,
+    ) -> None:
+        calibration = calibration or device.calibration
+        total = calibration.gups_ports
+        active = total if active_ports is None else active_ports
+        if not 1 <= active <= total:
+            raise ConfigurationError(
+                f"active_ports must be 1..{total}, got {active_ports}"
+            )
+        self.sim = sim
+        self.device = device
+        self.controller = controller
+        self.config = config
+        self.ports: List[GupsPort] = [
+            GupsPort(
+                sim,
+                controller,
+                index=i,
+                config=config.for_port(i, total, device.config.capacity_bytes),
+                calibration=calibration,
+                capacity_bytes=device.config.capacity_bytes,
+            )
+            for i in range(total)
+        ]
+        self.active_ports = active
+
+    def start(self) -> None:
+        for port in self.ports[: self.active_ports]:
+            port.start()
+
+    def stop(self) -> None:
+        for port in self.ports:
+            port.stop()
+
+    @property
+    def reads_issued(self) -> int:
+        return sum(port.reads_issued for port in self.ports)
+
+    @property
+    def writes_issued(self) -> int:
+        return sum(port.writes_issued for port in self.ports)

@@ -1,0 +1,129 @@
+"""Host-side infrastructure: Pico SC-6 Mini, EX700 backplane, Pico API.
+
+The experiments run host-free (the FPGA generates all traffic), but the
+paper's §III describes the surrounding system and §III-B makes a
+measurable claim about it: the Pico API's software read/write path is
+far too slow to exercise the HMC, which is why GUPS exists.  This
+module models that path - PCIe 3.0 x8 to the module through the EX700's
+switch, plus driver/syscall overhead per bundled operation - so the
+claim can be quantified against the GUPS numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.board import AC510Board
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import Request, VALID_PAYLOAD_BYTES
+
+
+@dataclass(frozen=True)
+class EX700Config:
+    """The PCIe backplane (paper §III-A)."""
+
+    host_link_gbs: float = 32.0  # PCIe 3.0 x16 to the host
+    module_link_gbs: float = 7.88  # PCIe 3.0 x8 per AC-510 module
+    max_modules: int = 6
+
+    def aggregate_module_gbs(self, modules: int) -> float:
+        """Peak host<->modules bandwidth with ``modules`` AC-510s.
+
+        The x16 host port caps what the switch can move in aggregate.
+        """
+        if not 1 <= modules <= self.max_modules:
+            raise ConfigurationError(
+                f"EX700 holds 1..{self.max_modules} modules, not {modules}"
+            )
+        return min(self.host_link_gbs, modules * self.module_link_gbs)
+
+
+@dataclass(frozen=True)
+class PicoApiConfig:
+    """The software read/write path through the Pico driver."""
+
+    driver_overhead_us: float = 2.0
+    """Syscall, driver and PCIe-transaction setup per bundled operation;
+    operations are synchronous ("bundled with software", §III-B)."""
+
+    pcie_gbs: float = 7.88  # module link the transfer crosses
+
+
+@dataclass(frozen=True)
+class SoftwareAccessResult:
+    """Measured behaviour of Pico-API-driven accesses."""
+
+    operations: int
+    payload_bytes: int
+    elapsed_ns: float
+    hmc_rtt_avg_ns: float
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        """Payload bandwidth the software path sustains."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.operations * self.payload_bytes / self.elapsed_ns
+
+    @property
+    def per_operation_us(self) -> float:
+        return self.elapsed_ns / self.operations / 1e3 if self.operations else 0.0
+
+
+class PicoHost:
+    """Issues synchronous software reads through a simulated board."""
+
+    def __init__(
+        self,
+        board: AC510Board | None = None,
+        api: PicoApiConfig = PicoApiConfig(),
+    ) -> None:
+        self.board = board or AC510Board()
+        self.api = api
+        self._pending = 0
+        self._rtt_total = 0.0
+        self.board.controller.register_port(0, self._on_complete)
+
+    def _on_complete(self, request: Request) -> None:
+        self._pending -= 1
+        self._rtt_total += request.latency_ns
+
+    def software_read_sweep(
+        self, operations: int, payload_bytes: int = 128, stride: int = 4096
+    ) -> SoftwareAccessResult:
+        """Measure ``operations`` synchronous Pico-API reads.
+
+        Each operation pays the driver overhead, crosses PCIe both ways,
+        and performs one HMC access; the next operation starts only when
+        the previous returned - the "bundled with software" behaviour.
+        """
+        if payload_bytes not in VALID_PAYLOAD_BYTES:
+            raise ConfigurationError(f"payload must be one of {VALID_PAYLOAD_BYTES}")
+        if operations <= 0:
+            raise ConfigurationError("need at least one operation")
+        sim = self.board.sim
+        start = sim.now
+        pcie_ns = 2 * payload_bytes / self.api.pcie_gbs  # both directions
+        self._rtt_total = 0.0
+        for i in range(operations):
+            # Driver + PCIe setup before the access becomes visible.
+            sim.run(until=sim.now + self.api.driver_overhead_us * 1e3 + pcie_ns)
+            request = Request(
+                address=(i * stride) % self.board.device.config.capacity_bytes
+                // payload_bytes
+                * payload_bytes,
+                payload_bytes=payload_bytes,
+                is_write=False,
+                port=0,
+            )
+            self._pending += 1
+            self.board.controller.submit(request)
+            sim.run()  # synchronous: wait for the response
+            if self._pending:
+                raise RuntimeError("software read did not complete")
+        return SoftwareAccessResult(
+            operations=operations,
+            payload_bytes=payload_bytes,
+            elapsed_ns=sim.now - start,
+            hmc_rtt_avg_ns=self._rtt_total / operations,
+        )

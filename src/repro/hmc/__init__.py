@@ -1,0 +1,55 @@
+"""Transaction-level model of a Hybrid Memory Cube device.
+
+The model follows the HMC 1.1 (Gen2) specification as described in §II of
+the paper: a logic die with one vault controller per vault, DRAM layers
+partitioned into banks above each vault, quadrants sharing external
+SerDes links, a packet protocol with one flit (16 B) of header+tail
+overhead per packet, closed-page DRAM with 256 B rows, a 32 B vault data
+bus, and low-order-interleaved address mapping with a configurable
+maximum block size.
+"""
+
+from repro.hmc.address import AddressMapping, AddressMask, DecodedAddress
+from repro.hmc.calibration import Calibration
+from repro.hmc.config import (
+    HMCConfig,
+    LinkConfig,
+    HMC_1_0,
+    HMC_1_1_2GB,
+    HMC_1_1_4GB,
+    HMC_2_0_4GB,
+    HMC_2_0_8GB,
+)
+from repro.hmc.device import HMCDevice
+from repro.hmc.dram import DramTimings
+from repro.hmc.errors import (
+    AddressRangeError,
+    ConfigurationError,
+    HMCError,
+    ThermalShutdownError,
+)
+from repro.hmc.packet import Request, RequestType, flits_for_payload, packet_bytes
+
+__all__ = [
+    "AddressMapping",
+    "AddressMask",
+    "DecodedAddress",
+    "Calibration",
+    "HMCConfig",
+    "LinkConfig",
+    "HMC_1_0",
+    "HMC_1_1_2GB",
+    "HMC_1_1_4GB",
+    "HMC_2_0_4GB",
+    "HMC_2_0_8GB",
+    "HMCDevice",
+    "DramTimings",
+    "HMCError",
+    "ConfigurationError",
+    "AddressRangeError",
+    "ThermalShutdownError",
+    "Request",
+    "RequestType",
+    "flits_for_payload",
+    "packet_bytes",
+]

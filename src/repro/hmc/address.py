@@ -1,0 +1,231 @@
+"""HMC internal address mapping (paper §II-C, Figure 3).
+
+HMC 1.1 employs low-order interleaving: after the four ignored
+block-offset bits (16 B granularity), the bits up to the configurable
+*maximum block size* address within a block, then four bits select the
+vault (two of which are the quadrant), then the bank within the vault,
+and the remaining high bits walk DRAM rows.  Sequential max-size blocks
+therefore spread first across vaults, then across banks - which is what
+gives sequential page accesses their bank-level parallelism.
+
+The request header carries a 34-bit address field (16 GB addressable);
+bits above the device capacity are ignored, exactly as the hardware
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.errors import AddressRangeError, ConfigurationError
+
+ADDRESS_FIELD_BITS = 34  # request-header address width (16 GB)
+OS_PAGE_BYTES = 4096
+
+
+def _bits(value: int) -> int:
+    """log2 for exact powers of two."""
+    if value <= 0 or value & (value - 1):
+        raise ConfigurationError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """The structural coordinates a physical address maps to."""
+
+    quadrant: int
+    vault: int  # global vault id
+    vault_in_quadrant: int
+    bank: int  # bank id within the vault
+    row: int  # DRAM row within the bank
+    block_offset: int  # byte offset of the 16 B block inside the max block
+    address: int
+
+
+@dataclass(frozen=True)
+class AddressMask:
+    """GUPS mask/anti-mask registers (paper §III-B, §IV-A).
+
+    ``clear`` bits are forced to zero (the mask register); ``set`` bits
+    are forced to one (the anti-mask register).  The paper's address-
+    mapping experiments apply an eight-bit clear mask at varying
+    positions.
+    """
+
+    clear: int = 0
+    set: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clear & self.set:
+            raise ConfigurationError(
+                f"mask and anti-mask overlap: {self.clear:#x} & {self.set:#x}"
+            )
+
+    @classmethod
+    def clearing_bits(cls, low: int, high: int) -> "AddressMask":
+        """Mask that forces bits ``low..high`` (inclusive) to zero."""
+        if not 0 <= low <= high < ADDRESS_FIELD_BITS:
+            raise ConfigurationError(f"bad bit range {low}..{high}")
+        width = high - low + 1
+        return cls(clear=((1 << width) - 1) << low)
+
+    def apply(self, address: int) -> int:
+        return (address & ~self.clear) | self.set
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.clear and not self.set
+
+
+class AddressMapping:
+    """Decodes physical addresses into (quadrant, vault, bank, row).
+
+    Parameters
+    ----------
+    config:
+        Structural device description (vault/bank counts, page size).
+    max_block_bytes:
+        The Address Mapping Mode Register setting: 16, 32, 64 or 128.
+        The hardware default is 128 B (register value 0x2).
+    """
+
+    VALID_MAX_BLOCKS = (16, 32, 64, 128)
+    VALID_INTERLEAVES = ("vault-first", "bank-first")
+
+    def __init__(
+        self,
+        config: HMCConfig,
+        max_block_bytes: int = 128,
+        interleave: str = "vault-first",
+    ) -> None:
+        if max_block_bytes not in self.VALID_MAX_BLOCKS:
+            raise ConfigurationError(
+                f"max block size must be one of {self.VALID_MAX_BLOCKS}, "
+                f"got {max_block_bytes}"
+            )
+        if interleave not in self.VALID_INTERLEAVES:
+            raise ConfigurationError(
+                f"interleave must be one of {self.VALID_INTERLEAVES}, "
+                f"got {interleave!r}"
+            )
+        self.config = config
+        self.max_block_bytes = max_block_bytes
+        self.interleave = interleave
+
+        self.ignored_bits = _bits(config.block_bytes)  # 4: 16 B blocks
+        self.offset_bits = _bits(max_block_bytes // config.block_bytes)
+        self.vault_bits = _bits(config.num_vaults)
+        self.quadrant_bits = _bits(config.num_quadrants)
+        self.bank_bits = _bits(config.banks_per_vault)
+
+        # The spec's default puts the vault field below the bank field so
+        # sequential blocks spread across vaults first; the user may
+        # fine-tune the mapping by moving those bit positions (SII-C),
+        # modelled here as the swapped "bank-first" order.
+        fields_low = self.ignored_bits + self.offset_bits
+        if interleave == "vault-first":
+            self.vault_low = fields_low
+            self.bank_low = self.vault_low + self.vault_bits
+            self.row_low = self.bank_low + self.bank_bits
+        else:
+            self.bank_low = fields_low
+            self.vault_low = self.bank_low + self.bank_bits
+            self.row_low = self.vault_low + self.vault_bits
+        self.capacity_bits = _bits(config.capacity_bytes)
+
+    # ------------------------------------------------------------------
+    # field extents, for rendering Figure 3
+    # ------------------------------------------------------------------
+    def field_layout(self) -> dict:
+        """Bit ranges ``[low, high)`` of each field."""
+        vq_bits = self.vault_bits - self.quadrant_bits
+        return {
+            "ignored": (0, self.ignored_bits),
+            "block": (self.ignored_bits, self.ignored_bits + self.offset_bits),
+            "vault_in_quadrant": (self.vault_low, self.vault_low + vq_bits),
+            "quadrant": (self.vault_low + vq_bits, self.vault_low + self.vault_bits),
+            "bank": (self.bank_low, self.bank_low + self.bank_bits),
+            "dram_row": (self.row_low, self.capacity_bits),
+        }
+
+    # ------------------------------------------------------------------
+    # decode / encode
+    # ------------------------------------------------------------------
+    def decode(self, address: int) -> DecodedAddress:
+        """Map a physical address to its structural coordinates.
+
+        Address bits above the device capacity are ignored (the paper:
+        "the two high-order address bits are ignored" for the 4 GB part),
+        but addresses beyond the 34-bit header field are rejected.
+        """
+        if address < 0 or address >= (1 << ADDRESS_FIELD_BITS):
+            raise AddressRangeError(
+                f"address {address:#x} outside the 34-bit request field"
+            )
+        address &= (1 << self.capacity_bits) - 1
+
+        vq_bits = self.vault_bits - self.quadrant_bits
+        vault_field = (address >> self.vault_low) & ((1 << self.vault_bits) - 1)
+        vault_in_quadrant = vault_field & ((1 << vq_bits) - 1)
+        quadrant = vault_field >> vq_bits
+        bank = (address >> self.bank_low) & ((1 << self.bank_bits) - 1)
+        upper = address >> self.row_low
+        blocks_per_row = self.config.page_bytes // self.max_block_bytes
+        row = upper // blocks_per_row if blocks_per_row > 1 else upper
+        block_offset = address & (self.max_block_bytes - 1)
+        return DecodedAddress(
+            quadrant=quadrant,
+            vault=vault_field,
+            vault_in_quadrant=vault_in_quadrant,
+            bank=bank,
+            row=row,
+            block_offset=block_offset,
+            address=address,
+        )
+
+    def encode(self, vault: int, bank: int, upper: int = 0, block_offset: int = 0) -> int:
+        """Build an address that decodes to the given coordinates."""
+        if not 0 <= vault < self.config.num_vaults:
+            raise AddressRangeError(f"vault {vault} out of range")
+        if not 0 <= bank < self.config.banks_per_vault:
+            raise AddressRangeError(f"bank {bank} out of range")
+        if not 0 <= block_offset < self.max_block_bytes:
+            raise AddressRangeError(f"block offset {block_offset} out of range")
+        address = (
+            (upper << self.row_low)
+            | (bank << self.bank_low)
+            | (vault << self.vault_low)
+            | block_offset
+        )
+        if address >= self.config.capacity_bytes:
+            raise AddressRangeError(f"address {address:#x} exceeds device capacity")
+        return address
+
+    # ------------------------------------------------------------------
+    # higher-level abstractions (paper §II-C page analysis)
+    # ------------------------------------------------------------------
+    def page_footprint(self, page_address: int) -> Tuple[set, set]:
+        """(vaults, (vault, bank) pairs) touched by one 4 KB OS page.
+
+        With the default 128 B max block, a page lands in two banks of
+        every vault of an HMC 1.1.
+        """
+        base = page_address & ~(OS_PAGE_BYTES - 1)
+        vaults: set = set()
+        banks: set = set()
+        for offset in range(0, OS_PAGE_BYTES, self.max_block_bytes):
+            decoded = self.decode(base + offset)
+            vaults.add(decoded.vault)
+            banks.add((decoded.vault, decoded.bank))
+        return vaults, banks
+
+    def pages_for_full_blp(self) -> int:
+        """Sequential pages needed to touch every bank once (paper: 128
+        for a 4 GB HMC 1.1 at the default mapping)."""
+        _, banks = self.page_footprint(0)
+        banks_per_page_per_vault = len(banks) // self.config.num_vaults
+        pages_per_vault = self.config.banks_per_vault // banks_per_page_per_vault
+        return self.config.num_vaults * pages_per_vault

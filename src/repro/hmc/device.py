@@ -1,0 +1,212 @@
+"""The assembled HMC device (paper Fig. 2).
+
+:class:`HMCDevice` wires quadrants, vaults, banks and links together and
+implements the request path from link ingress to bank access and back.
+Link-attached quadrants route packets to vaults; an access to a vault in
+the link's own quadrant is cheaper than a hop to another quadrant
+(paper §II-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.hmc.address import AddressMapping
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.config import HMCConfig, HMC_1_1_4GB
+from repro.hmc.dram import DramTimings
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.link import Link
+from repro.hmc.packet import Request, packet_bytes
+from repro.hmc.refresh import RefreshPolicy
+from repro.hmc.vault import VaultController
+from repro.sim.engine import Simulator
+
+ResponseHandler = Callable[[Request, float], None]
+
+
+class HMCDevice:
+    """Transaction-level HMC with its external links.
+
+    The device does not generate traffic; the FPGA-side controller
+    (:class:`repro.fpga.controller.HmcController`) submits
+    :class:`~repro.hmc.packet.Request` objects through
+    :meth:`submit_from_link` and receives completions through the
+    ``on_response`` callback, timestamped with the instant the response
+    packet clears the link's RX channel.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: HMCConfig = HMC_1_1_4GB,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        timings: Optional[DramTimings] = None,
+        max_block_bytes: int = 128,
+        interleave: str = "vault-first",
+        refresh: Optional["RefreshPolicy"] = None,
+        junction_c: float = 60.0,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.calibration = calibration
+        self.timings = timings or DramTimings(
+            bus_bytes=config.vault_bus_bytes,
+            bus_gbps=calibration.vault_bandwidth_gbps,
+        )
+        self.mapping = AddressMapping(
+            config, max_block_bytes=max_block_bytes, interleave=interleave
+        )
+        self.on_response: Optional[ResponseHandler] = None
+        # Optional functional backing store (stream GUPS data-integrity
+        # checks); None keeps the hot path free of per-request dict work.
+        self.store: Optional[dict] = None
+
+        # The calibrated channel rates describe the AC-510's half-width
+        # 15 Gbps links (15 GB/s raw per direction); other lane widths
+        # and speeds scale the effective rates proportionally.
+        wire_scale = config.links.link_gbs_per_direction / 15.0
+        self.links: List[Link] = [
+            Link(
+                sim,
+                index=i,
+                tx_bytes_per_ns=calibration.tx_bytes_per_ns * wire_scale,
+                tx_overhead_ns=calibration.tx_packet_overhead_ns,
+                rx_bytes_per_ns=calibration.rx_bytes_per_ns * wire_scale,
+                rx_overhead_ns=calibration.rx_packet_overhead_ns,
+                tokens_flits=calibration.link_tokens_per_link,
+                propagation_ns=calibration.link_propagation_ns,
+            )
+            for i in range(config.links.num_links)
+        ]
+        self.vaults: List[VaultController] = [
+            VaultController(
+                sim,
+                index=v,
+                num_banks=config.banks_per_vault,
+                timings=self.timings,
+                calibration=calibration,
+                on_response=self._vault_response,
+            )
+            for v in range(config.num_vaults)
+        ]
+
+        # Optional temperature-derated refresh: every bank periodically
+        # blocks for tRFC, staggered so refreshes do not align.
+        self.refresh = refresh
+        self.junction_c = junction_c
+        if refresh is not None:
+            interval = refresh.interval_ns(junction_c)
+            total_banks = config.num_vaults * config.banks_per_vault
+            slot = 0
+            for vault in self.vaults:
+                for bank in vault.banks:
+                    bank.start_refresh(
+                        interval_ns=interval,
+                        occupancy_ns=refresh.t_rfc_ns,
+                        offset_ns=interval * slot / total_banks,
+                    )
+                    slot += 1
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def link_quadrant(self, link_index: int) -> int:
+        """The quadrant a link is attached to.
+
+        Links attach to distinct quadrants; with two links on a
+        four-quadrant device, quadrants 2 and 3 are only reachable
+        through another quadrant's crossbar.
+        """
+        return link_index % self.config.num_quadrants
+
+    def route_delay_ns(self, link_index: int, quadrant: int) -> float:
+        """Link ingress to vault-controller command issue.
+
+        Includes the vault controller's request processing (decode, CRC
+        and sequence verification) ahead of the bank queue.
+        """
+        cal = self.calibration
+        delay = cal.quadrant_route_local_ns + cal.vault_processing_ns
+        if quadrant != self.link_quadrant(link_index):
+            delay += cal.quadrant_route_remote_ns
+        return delay
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit_from_link(self, request: Request, arrival_ns: float) -> None:
+        """A request packet fully arrived at the link's ingress.
+
+        The caller (controller) has already consumed link tokens for the
+        packet; the device returns them ``token_return_latency_ns`` after
+        the vault accepts the request into a bank queue.
+        """
+        decoded = self.mapping.decode(request.address)
+        delay = self.route_delay_ns(request.link, decoded.quadrant)
+        self.sim.schedule_at(
+            max(arrival_ns, self.sim.now) + delay,
+            self._deliver_to_vault,
+            request,
+            decoded.vault,
+            decoded.bank,
+        )
+
+    def _deliver_to_vault(self, request: Request, vault: int, bank: int) -> None:
+        request.vault_arrival_ns = self.sim.now
+        link = self.links[request.link]
+        flits = request.request_flits
+
+        def tokens_home() -> None:
+            link.tokens.release(flits)
+
+        def accepted() -> None:
+            self.sim.schedule(self.calibration.token_return_latency_ns, tokens_home)
+
+        self.vaults[vault].accept(request, bank, on_accepted=accepted)
+
+    def _vault_response(self, request: Request, depart_ns: float) -> None:
+        """A bank finished; route the response back and cross RX."""
+        if self.store is not None:
+            if request.is_write:
+                self.store[request.address] = request.data
+            else:
+                request.data = self.store.get(request.address)
+        decoded_quadrant = self.mapping.decode(request.address).quadrant
+        link = self.links[request.link]
+        delay = self.calibration.response_processing_ns + self.calibration.response_route_ns
+        if decoded_quadrant != self.link_quadrant(request.link):
+            delay += self.calibration.quadrant_route_remote_ns
+        ready = depart_ns + delay + link.propagation_ns
+        rx_done = link.rx.acquire(packet_bytes(request.response_flits), earliest=ready)
+        if self.on_response is None:
+            raise ConfigurationError("HMCDevice.on_response handler not installed")
+        self.sim.schedule_at(rx_done, self.on_response, request, rx_done)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def enable_data_store(self) -> None:
+        """Turn on the functional backing store (payload round-tripping)."""
+        if self.store is None:
+            self.store = {}
+
+    def reset(self) -> None:
+        """Power-cycle the device after a thermal shutdown.
+
+        Mirrors the paper's recovery procedure: stored DRAM contents are
+        lost and must be restored by external checkpointing.
+        """
+        if self.store is not None:
+            self.store.clear()
+        self.reset_counters()
+
+    @property
+    def total_queued(self) -> int:
+        return sum(vault.queued for vault in self.vaults)
+
+    def reset_counters(self) -> None:
+        for vault in self.vaults:
+            vault.reset_counters()
+        for link in self.links:
+            link.reset_counters()

@@ -1,0 +1,110 @@
+"""DRAM timing inside an HMC vault (paper §II-C, §IV-B, §IV-D).
+
+HMC operates its DRAM with a closed-page policy: every reference opens a
+row, transfers data across the vault's 32 B data bus, and precharges.
+There are no row-buffer hits, which is why the paper finds linear and
+random access streams achieve the same bandwidth (Fig. 13).
+
+Absolute timing of the HMC DRAM arrays is not published; the values
+below are chosen so that one bank sustains ~2.1 GB/s on 128 B reads and
+eight banks saturate a vault's 10 GB/s TSV bandwidth, matching §IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hmc.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Closed-page bank timing parameters, in nanoseconds."""
+
+    t_rcd_ns: float = 16.0  # activate to column command
+    t_cl_ns: float = 16.0  # read column access latency
+    t_cwl_ns: float = 12.0  # write column latency
+    t_wr_ns: float = 18.0  # write recovery before precharge
+    t_rp_ns: float = 16.0  # precharge
+    bus_bytes: int = 32  # vault DRAM data-bus granularity
+    bus_gbps: float = 10.0  # vault internal bandwidth (TSV bus)
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd_ns", "t_cl_ns", "t_cwl_ns", "t_wr_ns", "t_rp_ns"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.bus_bytes <= 0 or self.bus_bytes & (self.bus_bytes - 1):
+            raise ConfigurationError("bus_bytes must be a positive power of two")
+        if self.bus_gbps <= 0:
+            raise ConfigurationError("bus_gbps must be positive")
+
+    # ------------------------------------------------------------------
+    # data-bus occupancy
+    # ------------------------------------------------------------------
+    def bus_beats(self, payload_bytes: int) -> int:
+        """32 B bus beats moved for a payload.
+
+        Requests that start or end off a 32 B boundary still move whole
+        beats - the spec's note that 16 B-granular requests use the DRAM
+        bus inefficiently.
+        """
+        if payload_bytes <= 0:
+            raise ValueError(f"payload must be positive, got {payload_bytes}")
+        return -(-payload_bytes // self.bus_bytes)
+
+    def bus_bytes_moved(self, payload_bytes: int) -> int:
+        return self.bus_beats(payload_bytes) * self.bus_bytes
+
+    def transfer_ns(self, payload_bytes: int) -> float:
+        """Time the vault data bus is occupied by one access."""
+        return self.bus_bytes_moved(payload_bytes) / self.bus_gbps
+
+    # ------------------------------------------------------------------
+    # closed-page access composition
+    # ------------------------------------------------------------------
+    def read_data_ready_ns(self, payload_bytes: int) -> float:
+        """Activate to last data beat out of the arrays (read)."""
+        return self.t_rcd_ns + self.t_cl_ns + self.transfer_ns(payload_bytes)
+
+    def read_occupancy_ns(self, payload_bytes: int) -> float:
+        """Bank busy time for one closed-page read (incl. precharge)."""
+        return self.read_data_ready_ns(payload_bytes) + self.t_rp_ns
+
+    def write_commit_ns(self, payload_bytes: int) -> float:
+        """Activate to write data committed (response can be issued)."""
+        return self.t_rcd_ns + self.t_cwl_ns + self.transfer_ns(payload_bytes)
+
+    def write_occupancy_ns(self, payload_bytes: int) -> float:
+        """Bank busy time for one closed-page write (recovery+precharge)."""
+        return self.write_commit_ns(payload_bytes) + self.t_wr_ns + self.t_rp_ns
+
+    def occupancy_ns(self, is_write: bool, payload_bytes: int) -> float:
+        if is_write:
+            return self.write_occupancy_ns(payload_bytes)
+        return self.read_occupancy_ns(payload_bytes)
+
+    def peak_bank_gbs(self, payload_bytes: int, is_write: bool = False) -> float:
+        """Payload throughput one bank can sustain, GB/s."""
+        return payload_bytes / self.occupancy_ns(is_write, payload_bytes)
+
+
+@dataclass(frozen=True)
+class OpenPageTimings(DramTimings):
+    """Open-page variant used by the DDR baseline and ablations.
+
+    Keeps rows open after access: a row hit skips activate and
+    precharge, paying only the column access.
+    """
+
+    def row_hit_occupancy_ns(self, is_write: bool, payload_bytes: int) -> float:
+        """Row already open: column access plus data transfer only."""
+        column = self.t_cwl_ns if is_write else self.t_cl_ns
+        return column + self.transfer_ns(payload_bytes)
+
+    def row_empty_occupancy_ns(self, is_write: bool, payload_bytes: int) -> float:
+        """Bank idle (no open row): activate, then the column access."""
+        return self.t_rcd_ns + self.row_hit_occupancy_ns(is_write, payload_bytes)
+
+    def row_miss_occupancy_ns(self, is_write: bool, payload_bytes: int) -> float:
+        """Row conflict: precharge the old row, then activate and access."""
+        return self.t_rp_ns + self.row_empty_occupancy_ns(is_write, payload_bytes)

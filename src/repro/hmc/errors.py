@@ -1,0 +1,35 @@
+"""Exception hierarchy for the HMC model."""
+
+from __future__ import annotations
+
+
+class HMCError(Exception):
+    """Base class for all errors raised by the HMC model."""
+
+
+class ConfigurationError(HMCError, ValueError):
+    """A device/link/timing configuration is internally inconsistent."""
+
+
+class AddressRangeError(HMCError, ValueError):
+    """An address falls outside the device's addressable range."""
+
+
+class ThermalShutdownError(HMCError, RuntimeError):
+    """The device exceeded its reliable operating temperature.
+
+    Mirrors the paper's §IV-C: the HMC signals an inevitable thermal
+    failure through response head/tail bits; DRAM contents are lost and
+    recovery requires cooling down, resetting the HMC and FPGA
+    transceivers, and re-initializing both.
+    """
+
+    def __init__(self, surface_temp_c: float, threshold_c: float, write_fraction: float):
+        self.surface_temp_c = surface_temp_c
+        self.threshold_c = threshold_c
+        self.write_fraction = write_fraction
+        super().__init__(
+            f"thermal shutdown: surface {surface_temp_c:.1f} degC exceeded "
+            f"{threshold_c:.1f} degC (write fraction {write_fraction:.2f}); "
+            "stored data lost, device requires reset"
+        )

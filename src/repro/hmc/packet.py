@@ -1,0 +1,159 @@
+"""HMC packet protocol model (paper §II-B, Table II).
+
+Packets are built from 16-byte flits.  Data payloads span one to eight
+flits (16-128 B); every request and every response additionally carries
+an eight-byte header and an eight-byte tail - one flit of overhead per
+packet.  Raw bandwidth in the paper (and everywhere in this codebase)
+counts request plus response bytes *including* that overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+FLIT_BYTES = 16
+OVERHEAD_FLITS = 1  # 8 B header + 8 B tail per packet
+MIN_PAYLOAD_BYTES = 16
+MAX_PAYLOAD_BYTES = 128
+VALID_PAYLOAD_BYTES = tuple(range(16, 129, 16))  # 16, 32, ..., 128
+
+
+class RequestType(enum.Enum):
+    """GUPS request classes (paper §III-B)."""
+
+    READ = "ro"
+    WRITE = "wo"
+    READ_MODIFY_WRITE = "rw"
+
+    @property
+    def reads(self) -> bool:
+        return self in (RequestType.READ, RequestType.READ_MODIFY_WRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (RequestType.WRITE, RequestType.READ_MODIFY_WRITE)
+
+    @classmethod
+    def from_label(cls, label: str) -> "RequestType":
+        for member in cls:
+            if member.value == label:
+                return member
+        raise ValueError(f"unknown request type {label!r}; expected ro/wo/rw")
+
+
+def flits_for_payload(payload_bytes: int) -> int:
+    """Number of data flits for a payload (1-8 for 16-128 B)."""
+    if payload_bytes == 0:
+        return 0
+    if not 0 < payload_bytes <= MAX_PAYLOAD_BYTES:
+        raise ValueError(
+            f"payload must be 1..{MAX_PAYLOAD_BYTES} bytes, got {payload_bytes}"
+        )
+    return -(-payload_bytes // FLIT_BYTES)
+
+
+def request_flits(is_write: bool, payload_bytes: int) -> int:
+    """Total flits of a request packet (Table II 'Request' column)."""
+    data = flits_for_payload(payload_bytes) if is_write else 0
+    return data + OVERHEAD_FLITS
+
+
+def response_flits(is_write: bool, payload_bytes: int) -> int:
+    """Total flits of a response packet (Table II 'Response' column)."""
+    data = 0 if is_write else flits_for_payload(payload_bytes)
+    return data + OVERHEAD_FLITS
+
+
+def packet_bytes(flits: int) -> int:
+    """Wire bytes of a packet of ``flits`` flits."""
+    return flits * FLIT_BYTES
+
+
+def transaction_raw_bytes(is_write: bool, payload_bytes: int) -> int:
+    """Request + response wire bytes for one transaction, with overhead.
+
+    This is the quantity the paper's bandwidth numbers are built from:
+    "multiplying the number of accesses by the cumulative size of request
+    and response packets including header, tail and data payload".
+    """
+    return packet_bytes(
+        request_flits(is_write, payload_bytes) + response_flits(is_write, payload_bytes)
+    )
+
+
+def effective_bandwidth_fraction(payload_bytes: int) -> float:
+    """Payload fraction of a data-bearing packet (paper §IV-D).
+
+    128 B requests reach 128/(128+16) = 89 % efficiency; 16 B requests
+    only 16/(16+16) = 50 %.
+    """
+    return payload_bytes / (payload_bytes + OVERHEAD_FLITS * FLIT_BYTES)
+
+
+def table_ii() -> dict:
+    """The paper's Table II as a data structure (sizes in flits)."""
+    return {
+        "Read": {
+            "Request": (OVERHEAD_FLITS, OVERHEAD_FLITS),
+            "Response": (
+                OVERHEAD_FLITS + flits_for_payload(MIN_PAYLOAD_BYTES),
+                OVERHEAD_FLITS + flits_for_payload(MAX_PAYLOAD_BYTES),
+            ),
+        },
+        "Write": {
+            "Request": (
+                OVERHEAD_FLITS + flits_for_payload(MIN_PAYLOAD_BYTES),
+                OVERHEAD_FLITS + flits_for_payload(MAX_PAYLOAD_BYTES),
+            ),
+            "Response": (OVERHEAD_FLITS, OVERHEAD_FLITS),
+        },
+    }
+
+
+@dataclass
+class Request:
+    """One in-flight GUPS transaction.
+
+    Timestamps are filled in as the transaction crosses the model;
+    ``latency_ns`` is defined exactly as the paper measures it - from
+    submission to the HMC controller until the response returns to the
+    port (round-trip time, §IV-E).
+    """
+
+    address: int
+    payload_bytes: int
+    is_write: bool
+    port: int
+    link: int = 0
+    parent: Optional["Request"] = None  # the read of a read-modify-write pair
+    data: Optional[bytes] = None  # payload contents when the data store is on
+    submit_ns: float = field(default=-1.0)
+    vault_arrival_ns: float = field(default=-1.0)
+    bank_start_ns: float = field(default=-1.0)
+    complete_ns: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes not in VALID_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload must be one of {VALID_PAYLOAD_BYTES}, got {self.payload_bytes}"
+            )
+
+    @property
+    def request_flits(self) -> int:
+        return request_flits(self.is_write, self.payload_bytes)
+
+    @property
+    def response_flits(self) -> int:
+        return response_flits(self.is_write, self.payload_bytes)
+
+    @property
+    def raw_bytes(self) -> int:
+        return transaction_raw_bytes(self.is_write, self.payload_bytes)
+
+    @property
+    def latency_ns(self) -> float:
+        if self.submit_ns < 0 or self.complete_ns < 0:
+            raise ValueError("transaction has not completed")
+        return self.complete_ns - self.submit_ns

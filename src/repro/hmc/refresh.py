@@ -1,0 +1,77 @@
+"""Temperature-dependent DRAM refresh (paper §I).
+
+The paper notes that high temperatures "trigger mechanisms such as
+frequent refresh, which also increases power consumption".  This module
+models the standard derating: each bank is refreshed every ``tREFI``
+with the bank blocked for ``tRFC``; above the extended-temperature
+threshold the refresh rate doubles (tREFI halves), stealing twice the
+bank time and dissipating twice the refresh power.
+
+The discrete-event banks consume this through
+:meth:`RefreshPolicy.interval_ns`; the analytical feedback loop in
+:mod:`repro.thermal.feedback` uses the closed-form
+:meth:`bandwidth_derate` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hmc.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """Per-bank refresh timing with temperature derating."""
+
+    t_refi_ns: float = 7800.0  # base per-bank refresh interval
+    t_rfc_ns: float = 160.0  # bank blocked per refresh
+    derate_junction_c: float = 85.0  # extended-temperature threshold
+    derate_factor: float = 2.0  # rate multiplier above the threshold
+    ramp_c: float = 5.0  # width of the ramp around the threshold
+    refresh_power_w: float = 0.25  # device power at the base rate
+
+    def __post_init__(self) -> None:
+        if self.t_refi_ns <= 0 or self.t_rfc_ns <= 0:
+            raise ConfigurationError("refresh timings must be positive")
+        if self.t_rfc_ns >= self.t_refi_ns:
+            raise ConfigurationError("tRFC must be below tREFI")
+        if self.derate_factor < 1.0:
+            raise ConfigurationError("derate factor cannot be below 1")
+        if self.ramp_c <= 0:
+            raise ConfigurationError("ramp width must be positive")
+
+    def rate_multiplier(self, junction_c: float) -> float:
+        """How much faster than base the device refreshes at ``junction_c``.
+
+        Ramps linearly across ``2 * ramp_c`` around the threshold rather
+        than stepping - retention degrades gradually, and the continuous
+        form keeps the thermal feedback loop's fixed point stable.
+        """
+        low = self.derate_junction_c - self.ramp_c
+        high = self.derate_junction_c + self.ramp_c
+        if junction_c <= low:
+            return 1.0
+        if junction_c >= high:
+            return self.derate_factor
+        frac = (junction_c - low) / (high - low)
+        return 1.0 + (self.derate_factor - 1.0) * frac
+
+    def interval_ns(self, junction_c: float) -> float:
+        """Effective per-bank refresh interval at a junction temperature."""
+        return self.t_refi_ns / self.rate_multiplier(junction_c)
+
+    def bank_time_stolen(self, junction_c: float) -> float:
+        """Fraction of each bank's time spent refreshing."""
+        return self.t_rfc_ns / self.interval_ns(junction_c)
+
+    def bandwidth_derate(self, junction_c: float) -> float:
+        """Multiplier on achievable bandwidth (1.0 = no loss)."""
+        return 1.0 - self.bank_time_stolen(junction_c)
+
+    def power_w(self, junction_c: float) -> float:
+        """Refresh power at a junction temperature."""
+        return self.refresh_power_w * self.rate_multiplier(junction_c)
+
+
+DEFAULT_REFRESH = RefreshPolicy()

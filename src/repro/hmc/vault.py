@@ -1,0 +1,196 @@
+"""Vault controller and DRAM bank models (paper §II-A, §IV-B, §IV-E4).
+
+Each vault owns a memory controller on the logic die with one queue per
+bank (the organization the paper infers from its Little's-law analysis
+of Fig. 17), a shared TSV data bus capped at 10 GB/s, and closed-page
+banks above it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.hmc.calibration import Calibration
+from repro.hmc.dram import DramTimings
+from repro.hmc.link import Channel
+from repro.hmc.packet import Request
+from repro.sim.engine import Simulator
+from repro.sim.resources import BoundedQueue
+
+
+class Bank:
+    """One closed-page DRAM bank with its vault-controller queue."""
+
+    def __init__(self, sim: Simulator, vault: "VaultController", index: int) -> None:
+        self.sim = sim
+        self.vault = vault
+        self.index = index
+        self.queue = BoundedQueue(
+            sim,
+            vault.calibration.vault_queue_per_bank,
+            name=f"vault{vault.index}.bank{index}.q",
+        )
+        self.busy_until = 0.0
+        self.busy_time = 0.0
+        self.accesses = 0
+        self.refreshes = 0
+        self._kick_scheduled = False
+
+    # ------------------------------------------------------------------
+    # refresh (enabled by the device when a RefreshPolicy is configured)
+    # ------------------------------------------------------------------
+    def start_refresh(self, interval_ns: float, occupancy_ns: float, offset_ns: float) -> None:
+        """Begin periodic refresh; banks stagger their first refresh."""
+        self._refresh_interval = interval_ns
+        self._refresh_occupancy = occupancy_ns
+        self.sim.schedule(offset_ns, self._refresh)
+
+    def _refresh(self) -> None:
+        self.refreshes += 1
+        self.busy_until = max(self.busy_until, self.sim.now) + self._refresh_occupancy
+        if len(self.queue):
+            self.kick()
+        self.sim.schedule(self._refresh_interval, self._refresh)
+
+    # ------------------------------------------------------------------
+    # service loop
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Ensure the service loop will run when the bank next frees up."""
+        if self._kick_scheduled:
+            return
+        self._kick_scheduled = True
+        self.sim.schedule_at(max(self.sim.now, self.busy_until), self._service)
+
+    def _service(self) -> None:
+        self._kick_scheduled = False
+        if self.sim.now < self.busy_until:
+            self.kick()
+            return
+        request = self.queue.take()
+        if request is None:
+            return
+        self._access(request)
+        if len(self.queue):
+            self.kick()
+
+    def _access(self, request: Request) -> None:
+        """Perform one closed-page access and emit the response."""
+        timings = self.vault.timings
+        start = self.vault.command.acquire(0)
+        request.bank_start_ns = start
+        self.accesses += 1
+        moved = timings.bus_bytes_moved(request.payload_bytes)
+
+        if request.is_write:
+            # Write data crosses the TSV bus, then commits in the arrays.
+            earliest = start + timings.t_rcd_ns + timings.t_cwl_ns
+            tsv_done = self.vault.tsv.acquire(moved, earliest=earliest)
+            depart = tsv_done
+            self.busy_until = max(
+                start + timings.write_occupancy_ns(request.payload_bytes),
+                tsv_done + timings.t_wr_ns + timings.t_rp_ns,
+            )
+            self.busy_time += self.busy_until - start
+        else:
+            # Read data becomes available after RCD+CL, then streams up
+            # the shared TSV bus toward the logic die.
+            earliest = start + timings.t_rcd_ns + timings.t_cl_ns
+            tsv_done = self.vault.tsv.acquire(moved, earliest=earliest)
+            depart = tsv_done
+            self.busy_until = max(
+                start + timings.read_occupancy_ns(request.payload_bytes),
+                tsv_done + timings.t_rp_ns,
+            )
+            self.busy_time += self.busy_until - start
+        self.vault.complete(request, depart)
+
+
+class VaultController:
+    """The per-vault memory controller in the logic layer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        num_banks: int,
+        timings: DramTimings,
+        calibration: Calibration,
+        on_response: Callable[[Request, float], None],
+    ) -> None:
+        self.sim = sim
+        self.index = index
+        self.timings = timings
+        self.calibration = calibration
+        self.tsv = Channel(
+            sim,
+            bytes_per_ns=calibration.vault_bandwidth_gbps,
+            packet_overhead_ns=0.0,
+            name=f"vault{index}.tsv",
+        )
+        # One DRAM command leaves the vault controller per
+        # `vault_command_ns`; small requests in a single vault are
+        # command-rate limited before they are data-limited.
+        self.command = Channel(
+            sim,
+            bytes_per_ns=1.0,
+            packet_overhead_ns=calibration.vault_command_ns,
+            name=f"vault{index}.cmd",
+        )
+        self.banks: List[Bank] = [Bank(sim, self, b) for b in range(num_banks)]
+        self._on_response = on_response
+        self.requests_accepted = 0
+        self.payload_bytes_accepted = 0
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def accept(
+        self,
+        request: Request,
+        bank_index: int,
+        on_accepted: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Queue a request on its bank.
+
+        ``on_accepted`` fires when the request actually enters the bank
+        queue - the moment the device frees the link-level tokens it was
+        holding.  When the bank queue is full the request (and its
+        tokens) wait, which is how DRAM-side congestion back-pressures
+        the link, exactly the behaviour behind the paper's 24 us 1-bank
+        latencies.
+        """
+        bank = self.banks[bank_index]
+
+        def enqueue() -> None:
+            if not bank.queue.offer(request, on_space=enqueue):
+                return
+            self.requests_accepted += 1
+            self.payload_bytes_accepted += request.payload_bytes
+            if on_accepted is not None:
+                on_accepted()
+            bank.kick()
+
+        enqueue()
+
+    # ------------------------------------------------------------------
+    # egress
+    # ------------------------------------------------------------------
+    def complete(self, request: Request, depart_ns: float) -> None:
+        self._on_response(request, depart_ns)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        return sum(len(bank.queue) for bank in self.banks)
+
+    def reset_counters(self) -> None:
+        self.requests_accepted = 0
+        self.payload_bytes_accepted = 0
+        self.tsv.reset_counters()
+        self.command.reset_counters()
+        for bank in self.banks:
+            bank.accesses = 0
+            bank.busy_time = 0.0

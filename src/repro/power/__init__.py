@@ -1,0 +1,5 @@
+"""Power models for the device and the measured system (paper §III-A, §IV-C)."""
+
+from repro.power.model import PowerBreakdown, PowerModel, OperatingPoint, solve_operating_point
+
+__all__ = ["PowerModel", "PowerBreakdown", "OperatingPoint", "solve_operating_point"]

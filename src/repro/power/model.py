@@ -1,0 +1,142 @@
+"""Device and system power (paper §III-A, §IV-C, Figs. 10-12).
+
+The paper measures wall power of the whole Pico SC-6 Mini: 100 W idle,
+with everything above idle attributed to the FPGA (constant across
+experiments) and the HMC.  Device activity power grows with bandwidth
+(about 2 W from 5 to 20 GB/s for reads), writes cost more per byte, and
+leakage couples power back to temperature - weaker cooling means more
+power at the same bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.packet import RequestType
+from repro.thermal.cooling import CFG1, CoolingConfig
+from repro.thermal.failure import FailureModel
+from repro.thermal.model import ThermalModel
+
+# Share of HMC power consumed by the SerDes circuits (paper §IV-C,
+# citing Jeddeloh & Keeth and the PIM literature).
+SERDES_POWER_FRACTION = 0.43
+
+#: Fraction of requests that are writes for each GUPS request type.
+WRITE_FRACTION = {
+    RequestType.READ: 0.0,
+    RequestType.WRITE: 1.0,
+    RequestType.READ_MODIFY_WRITE: 0.5,
+}
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Where one watt of HMC power goes."""
+
+    serdes_w: float
+    dram_and_logic_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.serdes_w + self.dram_and_logic_w
+
+
+class PowerModel:
+    """Bandwidth- and temperature-dependent power."""
+
+    def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION) -> None:
+        self.calibration = calibration
+        self._per_gbps = {
+            RequestType.READ: calibration.power_per_gbps_read,
+            RequestType.WRITE: calibration.power_per_gbps_write,
+            RequestType.READ_MODIFY_WRITE: calibration.power_per_gbps_rw,
+        }
+
+    def activity_power_w(
+        self, bandwidth_gbs: float, request_type: RequestType
+    ) -> float:
+        """HMC power above idle attributable to memory activity.
+
+        More bandwidth means more DRAM array accesses, more vault
+        controller work and more SerDes transfers (§IV-C); writes
+        dissipate more per byte than reads.
+        """
+        if bandwidth_gbs < 0:
+            raise ValueError("bandwidth cannot be negative")
+        return self._per_gbps[request_type] * bandwidth_gbs
+
+    def leakage_w(self, surface_c: float) -> float:
+        """Leakage above the best-cooled idle point (Cfg1, 43.1 degC)."""
+        return max(
+            0.0, self.calibration.leakage_w_per_c * (surface_c - CFG1.idle_surface_c)
+        )
+
+    def system_power_w(self, activity_power_w: float, surface_c: float) -> float:
+        """What the wall-power analyzer reads."""
+        cal = self.calibration
+        return (
+            cal.system_idle_w
+            + cal.fpga_active_w
+            + activity_power_w
+            + self.leakage_w(surface_c)
+        )
+
+    def breakdown(self, device_power_w: float) -> PowerBreakdown:
+        """Split device power into SerDes vs DRAM+logic (43 % SerDes)."""
+        serdes = device_power_w * SERDES_POWER_FRACTION
+        return PowerBreakdown(serdes_w=serdes, dram_and_logic_w=device_power_w - serdes)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Steady-state outcome of running one workload in one environment."""
+
+    cooling_name: str
+    request_type: RequestType
+    bandwidth_gbs: float
+    write_fraction: float
+    activity_power_w: float
+    surface_c: float
+    junction_c: float
+    system_power_w: float
+    cooling_power_w: float
+    failure_threshold_c: float
+
+    @property
+    def thermally_safe(self) -> bool:
+        return self.surface_c < self.failure_threshold_c
+
+
+def solve_operating_point(
+    cooling: CoolingConfig,
+    request_type: RequestType,
+    bandwidth_gbs: float,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    write_fraction: Optional[float] = None,
+) -> OperatingPoint:
+    """Couple the power and thermal models into one steady state.
+
+    Temperature amplifies leakage and leakage raises temperature; the
+    :class:`~repro.thermal.model.ThermalModel` already folds that loop
+    into its closed form, so the solve is direct.
+    """
+    power = PowerModel(calibration)
+    thermal = ThermalModel(cooling, calibration)
+    failures = FailureModel(calibration)
+    wf = WRITE_FRACTION[request_type] if write_fraction is None else write_fraction
+    activity = power.activity_power_w(bandwidth_gbs, request_type)
+    surface = thermal.steady_surface_c(activity)
+    return OperatingPoint(
+        cooling_name=cooling.name,
+        request_type=request_type,
+        bandwidth_gbs=bandwidth_gbs,
+        write_fraction=wf,
+        activity_power_w=activity,
+        surface_c=surface,
+        junction_c=thermal.junction_c(surface),
+        system_power_w=power.system_power_w(activity, surface),
+        cooling_power_w=cooling.cooling_power_w,
+        failure_threshold_c=failures.threshold_c(wf),
+    )

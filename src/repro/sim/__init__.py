@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel used by the HMC and FPGA models.
+
+The kernel is deliberately small: a time-ordered event loop
+(:class:`~repro.sim.engine.Simulator`), a handful of contention primitives
+(:mod:`repro.sim.resources`) and streaming statistics collectors
+(:mod:`repro.sim.stats`).  All simulated time is expressed in nanoseconds
+as floats; ties are broken by schedule order so runs are fully
+deterministic for a fixed seed.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import BoundedQueue, RateResource, TokenPool
+from repro.sim.stats import OnlineStats, RateMeter, WindowedSampler
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RateResource",
+    "TokenPool",
+    "BoundedQueue",
+    "OnlineStats",
+    "RateMeter",
+    "WindowedSampler",
+]

@@ -1,0 +1,204 @@
+"""Contention primitives for the transaction-level model.
+
+Three primitives cover everything the HMC/FPGA stack needs:
+
+``RateResource``
+    A work-conserving serializer with a fixed byte rate — used for link
+    directions, the controller TX/RX datapaths, and each vault's TSV bus.
+    Acquiring *n* bytes returns the time the transfer completes; back-to-back
+    acquisitions queue up FIFO, which is exactly the behaviour of a serial
+    link.
+
+``TokenPool``
+    A counted semaphore with a FIFO waiter list — used for read tag pools,
+    write-request FIFO credits, and the controller flow-control window.
+
+``BoundedQueue``
+    A finite FIFO whose producers receive a callback when space frees up —
+    used for the per-bank queues inside a vault controller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.sim.engine import Simulator
+
+GB_PER_S_TO_BYTES_PER_NS = 1.0  # 1 GB/s == 1 byte/ns exactly (10**9 / 10**9)
+
+
+class RateResource:
+    """A FIFO serializer with a fixed throughput.
+
+    The resource keeps a single ``next_free`` horizon.  ``acquire(nbytes)``
+    books ``nbytes / rate`` of exclusive time starting no earlier than
+    ``max(now, next_free)`` and returns the completion time.  Total busy
+    time is tracked so utilization can be reported per measurement window.
+    """
+
+    def __init__(self, sim: Simulator, rate_gbps: float, name: str = "") -> None:
+        if rate_gbps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_gbps}")
+        self.sim = sim
+        self.name = name
+        self.rate_bytes_per_ns = rate_gbps * GB_PER_S_TO_BYTES_PER_NS
+        self.next_free: float = 0.0
+        self.busy_time: float = 0.0
+        self.bytes_served: int = 0
+
+    def acquire(self, nbytes: float) -> float:
+        """Book ``nbytes`` of service; returns the completion time (ns)."""
+        start = max(self.sim.now, self.next_free)
+        duration = nbytes / self.rate_bytes_per_ns
+        self.next_free = start + duration
+        self.busy_time += duration
+        self.bytes_served += int(nbytes)
+        return self.next_free
+
+    def backlog(self) -> float:
+        """Seconds of queued work ahead of a request arriving now (ns)."""
+        return max(0.0, self.next_free - self.sim.now)
+
+    def utilization(self, window_ns: float) -> float:
+        """Fraction of ``window_ns`` spent busy (can exceed 1 only by rounding)."""
+        if window_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / window_ns)
+
+    def reset_counters(self) -> None:
+        """Zero the busy-time/byte counters (start of measurement window)."""
+        self.busy_time = 0.0
+        self.bytes_served = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RateResource {self.name!r} {self.rate_bytes_per_ns:.3f} B/ns>"
+
+
+class TokenPool:
+    """Counted tokens with FIFO waiters.
+
+    ``acquire`` either grabs a token immediately (returning ``True``) or
+    enqueues the supplied callback, which fires — with a token already
+    held — as soon as ``release`` makes one available.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.available = capacity
+        self._waiters: Deque[Callable[[], None]] = deque()
+        self.peak_in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self.available
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; ``True`` when a token was taken."""
+        if self.available > 0 and not self._waiters:
+            self.available -= 1
+            self.peak_in_use = max(self.peak_in_use, self.in_use)
+            return True
+        return False
+
+    def acquire(self, on_ready: Callable[[], None]) -> bool:
+        """Acquire a token, waiting FIFO if none is free.
+
+        Returns ``True`` when the token was granted synchronously; in that
+        case ``on_ready`` is *not* called.  Otherwise the callback runs
+        later, holding the token.
+        """
+        if self.try_acquire():
+            return True
+        self._waiters.append(on_ready)
+        return False
+
+    def release(self) -> None:
+        """Return a token, waking the oldest waiter if any."""
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            # The token passes directly to the waiter; `available` is
+            # unchanged because it was never returned to the free pool.
+            self.sim.schedule(0.0, waiter)
+            return
+        if self.available >= self.capacity:
+            raise RuntimeError(f"TokenPool {self.name!r}: release without acquire")
+        self.available += 1
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TokenPool {self.name!r} {self.available}/{self.capacity}"
+            f" waiting={len(self._waiters)}>"
+        )
+
+
+class BoundedQueue:
+    """A finite FIFO with producer back-pressure.
+
+    ``offer`` enqueues when there is room; otherwise the producer callback
+    is parked and re-fired once a slot opens.  Consumers call ``take`` and
+    may park a callback when the queue is empty.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._producers: Deque[Callable[[], None]] = deque()
+        self._consumers: Deque[Callable[[Any], None]] = deque()
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def offer(self, item: Any, on_space: Optional[Callable[[], None]] = None) -> bool:
+        """Try to enqueue ``item``.
+
+        Returns ``True`` on success.  On failure, ``on_space`` (if given)
+        fires once a slot is free; the producer must then retry.
+        """
+        if not self.full:
+            if self._consumers:
+                consumer = self._consumers.popleft()
+                self.sim.schedule(0.0, consumer, item)
+                return True
+            self._items.append(item)
+            self.peak_depth = max(self.peak_depth, len(self._items))
+            return True
+        if on_space is not None:
+            self._producers.append(on_space)
+        return False
+
+    def take(self, on_item: Optional[Callable[[Any], None]] = None) -> Any:
+        """Dequeue the oldest item, or park ``on_item`` when empty.
+
+        Returns the item, or ``None`` after parking the callback (items are
+        never ``None`` in this codebase).
+        """
+        if self._items:
+            item = self._items.popleft()
+            if self._producers:
+                producer = self._producers.popleft()
+                self.sim.schedule(0.0, producer)
+            return item
+        if on_item is not None:
+            self._consumers.append(on_item)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BoundedQueue {self.name!r} {len(self._items)}/{self.capacity}>"

@@ -1,0 +1,222 @@
+"""Streaming statistics collectors.
+
+All measurement in the reproduction flows through these collectors so
+experiments stay allocation-light even when hundreds of thousands of
+transactions complete inside a window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+
+class OnlineStats:
+    """Welford-style running mean/variance with min/max tracking."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Population variance; NaN when empty."""
+        if not self.count:
+            return math.nan
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else math.nan
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Combine two collectors (Chan's parallel-merge formula)."""
+        merged = OnlineStats()
+        if not self.count and not other.count:
+            return merged
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        if not self.count:
+            merged._mean, merged._m2 = other._mean, other._m2
+        elif not other.count:
+            merged._mean, merged._m2 = self._mean, self._m2
+        else:
+            delta = other._mean - self._mean
+            merged._mean = self._mean + delta * other.count / merged.count
+            merged._m2 = (
+                self._m2
+                + other._m2
+                + delta * delta * self.count * other.count / merged.count
+            )
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.count:
+            return "<OnlineStats empty>"
+        return (
+            f"<OnlineStats n={self.count} mean={self.mean:.3f}"
+            f" min={self.minimum:.3f} max={self.maximum:.3f}>"
+        )
+
+
+class RateMeter:
+    """Counts events/bytes inside an explicit measurement window.
+
+    The GUPS firmware measures by reading hardware counters after 20 s;
+    the simulator equivalent is ``open(t0)`` … ``close(t1)`` around a
+    steady-state window, skipping warm-up transients.
+    """
+
+    def __init__(self) -> None:
+        self.window_start: Optional[float] = None
+        self.window_end: Optional[float] = None
+        self.events = 0
+        self.bytes = 0
+
+    def open(self, now: float) -> None:
+        self.window_start = now
+        self.window_end = None
+        self.events = 0
+        self.bytes = 0
+
+    def close(self, now: float) -> None:
+        if self.window_start is None:
+            raise RuntimeError("RateMeter.close() before open()")
+        self.window_end = now
+
+    @property
+    def is_open(self) -> bool:
+        return self.window_start is not None and self.window_end is None
+
+    def record(self, nbytes: int = 0) -> None:
+        if self.is_open:
+            self.events += 1
+            self.bytes += nbytes
+
+    @property
+    def window_ns(self) -> float:
+        if self.window_start is None or self.window_end is None:
+            return 0.0
+        return self.window_end - self.window_start
+
+    @property
+    def bytes_per_ns(self) -> float:
+        """Equals GB/s numerically (1 B/ns == 1 GB/s)."""
+        window = self.window_ns
+        return self.bytes / window if window > 0 else 0.0
+
+    @property
+    def gbytes_per_s(self) -> float:
+        return self.bytes_per_ns
+
+    @property
+    def events_per_ns(self) -> float:
+        window = self.window_ns
+        return self.events / window if window > 0 else 0.0
+
+    @property
+    def mrps(self) -> float:
+        """Million requests per second, the unit of the paper's Fig. 8."""
+        return self.events_per_ns * 1e3
+
+
+class WindowedSampler:
+    """Latency sampler that only records inside the measurement window.
+
+    Wraps :class:`OnlineStats` (plus a quantile reservoir for tail
+    reporting) with the same open/close discipline as :class:`RateMeter`
+    so warm-up transactions do not pollute averages.
+    """
+
+    def __init__(self) -> None:
+        self.stats = OnlineStats()
+        self.quantiles = QuantileReservoir()
+        self._open = False
+
+    def open(self) -> None:
+        self.stats = OnlineStats()
+        self.quantiles = QuantileReservoir()
+        self._open = True
+
+    def close(self) -> None:
+        self._open = False
+
+    def record(self, value: float) -> None:
+        if self._open:
+            self.stats.add(value)
+            self.quantiles.add(value)
+
+
+class QuantileReservoir:
+    """Bounded-memory quantile estimation (Vitter's algorithm R).
+
+    Keeps a uniform sample of everything recorded; quantiles are exact
+    while fewer than ``capacity`` values have been seen and unbiased
+    estimates afterwards.  Deterministic for a fixed seed, like every
+    other stochastic component in the simulator.
+    """
+
+    def __init__(self, capacity: int = 2048, seed: int = 12345) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        import random
+
+        self.capacity = capacity
+        self.count = 0
+        self._samples: list = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) with linear interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if not self._samples:
+            return math.nan
+        ordered = sorted(self._samples)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    @property
+    def exact(self) -> bool:
+        """True while no value has been evicted."""
+        return self.count <= self.capacity

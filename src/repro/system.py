@@ -1,0 +1,122 @@
+"""The full Pico SC-6 Mini system: EX700 backplane + AC-510 modules.
+
+The paper's machine holds up to six accelerator modules behind a PCIe
+switch (§III-A).  In GUPS mode the modules run independently - each
+FPGA drives its own HMC - so system capacity is additive on the memory
+side while anything host-visible is capped by the x16 uplink.  This
+module aggregates per-module characterization, wall power (one machine,
+one idle floor, N active modules) and thermal state (each module is its
+own heat island under the shared cooling environment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.experiment import (
+    BandwidthMeasurement,
+    ExperimentSettings,
+    measure_bandwidth,
+)
+from repro.fpga.host import EX700Config
+from repro.hmc.address import AddressMask
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import RequestType
+from repro.power.model import PowerModel, WRITE_FRACTION, solve_operating_point
+from repro.thermal.cooling import CFG1, CoolingConfig
+
+
+@dataclass(frozen=True)
+class SystemMeasurement:
+    """Aggregate outcome of running one workload on every module."""
+
+    modules: Tuple[BandwidthMeasurement, ...]
+    backplane: EX700Config
+    cooling_name: str
+    aggregate_bandwidth_gbs: float
+    host_visible_bandwidth_gbs: float
+    system_power_w: float
+    hottest_module_surface_c: float
+
+    @property
+    def num_modules(self) -> int:
+        return len(self.modules)
+
+
+class SC6Mini:
+    """A machine with ``num_modules`` AC-510s on an EX700 backplane."""
+
+    def __init__(
+        self,
+        num_modules: int = 1,
+        backplane: EX700Config = EX700Config(),
+        cooling: CoolingConfig = CFG1,
+    ) -> None:
+        if not 1 <= num_modules <= backplane.max_modules:
+            raise ConfigurationError(
+                f"EX700 holds 1..{backplane.max_modules} modules, "
+                f"not {num_modules}"
+            )
+        self.num_modules = num_modules
+        self.backplane = backplane
+        self.cooling = cooling
+
+    def characterize(
+        self,
+        mask: AddressMask = AddressMask(),
+        request_type: RequestType = RequestType.READ,
+        payload_bytes: int = 128,
+        settings: ExperimentSettings = ExperimentSettings(),
+    ) -> SystemMeasurement:
+        """Run the workload on every module and aggregate.
+
+        Modules are independent boards with decorrelated address seeds;
+        the memory-side aggregate is the sum, the host-visible figure is
+        clipped by the backplane's x16 uplink.
+        """
+        modules: List[BandwidthMeasurement] = []
+        for index in range(self.num_modules):
+            modules.append(
+                measure_bandwidth(
+                    mask=mask,
+                    request_type=request_type,
+                    payload_bytes=payload_bytes,
+                    settings=settings,
+                    pattern_name=f"module{index}",
+                    seed=1 + index * 977,
+                )
+            )
+        aggregate = sum(m.bandwidth_gbs for m in modules)
+        host_visible = min(
+            aggregate, self.backplane.aggregate_module_gbs(self.num_modules)
+        )
+
+        # One machine: a single idle floor, then each module's FPGA and
+        # HMC activity plus its leakage at its own operating temperature.
+        power = PowerModel(settings.calibration)
+        hottest = self.cooling.idle_surface_c
+        total_w = settings.calibration.system_idle_w
+        for measurement in modules:
+            point = solve_operating_point(
+                self.cooling,
+                request_type,
+                measurement.bandwidth_gbs,
+                calibration=settings.calibration,
+                write_fraction=WRITE_FRACTION[request_type],
+            )
+            hottest = max(hottest, point.surface_c)
+            total_w += (
+                settings.calibration.fpga_active_w
+                + point.activity_power_w
+                + power.leakage_w(point.surface_c)
+            )
+        return SystemMeasurement(
+            modules=tuple(modules),
+            backplane=self.backplane,
+            cooling_name=self.cooling.name,
+            aggregate_bandwidth_gbs=aggregate,
+            host_visible_bandwidth_gbs=host_visible,
+            system_power_w=total_w,
+            hottest_module_surface_c=hottest,
+        )

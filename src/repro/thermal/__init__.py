@@ -1,0 +1,64 @@
+"""Thermal environment, RC thermal model, and failure behaviour.
+
+Reproduces the paper's §III-A cooling rig (Table III), the
+temperature-bandwidth relationships of §IV-C (Figs. 9, 11a, 12) and the
+thermal-failure regime in which write-heavy workloads fail ~10 degC
+below read-only ones.  Extensions: the refresh feedback loop
+(:mod:`repro.thermal.feedback`), duty-cycle planning
+(:mod:`repro.thermal.dutycycle`) and the online governor
+(:mod:`repro.thermal.governor`).
+"""
+
+from repro.thermal.cooling import (
+    CoolingConfig,
+    CFG1,
+    CFG2,
+    CFG3,
+    CFG4,
+    ALL_CONFIGS,
+    external_fan_effective_w,
+)
+from repro.thermal.failure import FailureModel, RecoveryProcedure, RecoveryStep
+from repro.thermal.model import ThermalModel, ThermalReading
+
+__all__ = [
+    "CoolingConfig",
+    "CFG1",
+    "CFG2",
+    "CFG3",
+    "CFG4",
+    "ALL_CONFIGS",
+    "external_fan_effective_w",
+    "ThermalModel",
+    "ThermalReading",
+    "FailureModel",
+    "RecoveryProcedure",
+    "RecoveryStep",
+    "DutyCycleModel",
+    "DutyCycleOutcome",
+    "FeedbackResult",
+    "solve_with_refresh",
+    "ThermalGovernor",
+    "GovernorSample",
+]
+
+# The feedback/duty-cycle/governor modules sit above the power model,
+# which itself imports thermal submodules; resolve them lazily so
+# importing either package first works (PEP 562).
+_LAZY = {
+    "DutyCycleModel": ("repro.thermal.dutycycle", "DutyCycleModel"),
+    "DutyCycleOutcome": ("repro.thermal.dutycycle", "DutyCycleOutcome"),
+    "FeedbackResult": ("repro.thermal.feedback", "FeedbackResult"),
+    "solve_with_refresh": ("repro.thermal.feedback", "solve_with_refresh"),
+    "ThermalGovernor": ("repro.thermal.governor", "ThermalGovernor"),
+    "GovernorSample": ("repro.thermal.governor", "GovernorSample"),
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attribute = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,154 @@
+"""Duty-cycled operation: running write-heavy traffic under weak cooling.
+
+The paper's failure study (§IV-C) leaves the PIM designer a question:
+if sustained writes overheat the stack, can the workload still run in
+bursts?  With the first-order RC model the answer is closed-form per
+phase: temperature relaxes exponentially toward the active steady state
+while bursting and toward idle while paused.  This module computes the
+periodic steady state of such a schedule, the peak temperature it
+reaches, and the largest duty factor that stays under the failure
+bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import RequestType
+from repro.power.model import PowerModel, WRITE_FRACTION
+from repro.thermal.cooling import CoolingConfig
+from repro.thermal.failure import FailureModel
+from repro.thermal.model import ThermalModel
+
+
+@dataclass(frozen=True)
+class DutyCycleOutcome:
+    """Periodic steady state of one burst schedule."""
+
+    duty: float
+    period_s: float
+    peak_surface_c: float
+    trough_surface_c: float
+    average_bandwidth_gbs: float
+    thermally_safe: bool
+
+    @property
+    def swing_c(self) -> float:
+        return self.peak_surface_c - self.trough_surface_c
+
+
+class DutyCycleModel:
+    """Analyzes burst schedules for one workload and cooling setup."""
+
+    def __init__(
+        self,
+        cooling: CoolingConfig,
+        request_type: RequestType,
+        burst_bandwidth_gbs: float,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.cooling = cooling
+        self.request_type = request_type
+        self.burst_bandwidth_gbs = burst_bandwidth_gbs
+        self.calibration = calibration
+        self.thermal = ThermalModel(cooling, calibration)
+        power = PowerModel(calibration)
+        self.active_steady_c = self.thermal.steady_surface_c(
+            power.activity_power_w(burst_bandwidth_gbs, request_type)
+        )
+        self.idle_steady_c = cooling.idle_surface_c
+        self.failure_threshold_c = FailureModel(calibration).threshold_c(
+            WRITE_FRACTION[request_type]
+        )
+
+    # ------------------------------------------------------------------
+    # periodic steady state
+    # ------------------------------------------------------------------
+    def _cycle(self, start_c: float, duty: float, period_s: float) -> Tuple[float, float]:
+        """One period: returns (peak during burst, temperature at end)."""
+        tau = self.calibration.thermal_time_constant_s
+        active_s = duty * period_s
+        idle_s = period_s - active_s
+        peak = self.active_steady_c + (start_c - self.active_steady_c) * math.exp(
+            -active_s / tau
+        )
+        end = self.idle_steady_c + (peak - self.idle_steady_c) * math.exp(
+            -idle_s / tau
+        )
+        return peak, end
+
+    def steady_state(
+        self, duty: float, period_s: float, max_cycles: int = 10000
+    ) -> DutyCycleOutcome:
+        """Iterate periods until the cycle-start temperature converges."""
+        if not 0.0 <= duty <= 1.0:
+            raise ConfigurationError(f"duty must be in [0, 1]: {duty}")
+        if period_s <= 0:
+            raise ConfigurationError("period must be positive")
+        start = self.idle_steady_c
+        peak = start
+        for _ in range(max_cycles):
+            peak, end = self._cycle(start, duty, period_s)
+            if abs(end - start) < 1e-9:
+                start = end
+                break
+            start = end
+        return DutyCycleOutcome(
+            duty=duty,
+            period_s=period_s,
+            peak_surface_c=peak,
+            trough_surface_c=start,
+            average_bandwidth_gbs=self.burst_bandwidth_gbs * duty,
+            thermally_safe=peak < self.failure_threshold_c,
+        )
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def max_safe_duty(
+        self, period_s: float, margin_c: float = 0.5, precision: float = 1e-3
+    ) -> float:
+        """Largest duty factor whose periodic peak stays under the bound.
+
+        Short periods approach the time-averaged power limit; long
+        periods approach the sustained limit (peak ~ active steady
+        state) because each burst fully heats up.
+        """
+        if self.active_steady_c + margin_c < self.failure_threshold_c:
+            return 1.0
+        lo, hi = 0.0, 1.0
+        while hi - lo > precision:
+            mid = (lo + hi) / 2
+            outcome = self.steady_state(mid, period_s)
+            if outcome.peak_surface_c + margin_c < self.failure_threshold_c:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def trajectory(
+        self, duty: float, period_s: float, cycles: int, samples_per_phase: int = 8
+    ) -> List[Tuple[float, float]]:
+        """(time s, surface degC) samples across the first ``cycles``."""
+        tau = self.calibration.thermal_time_constant_s
+        points: List[Tuple[float, float]] = []
+        now = 0.0
+        temperature = self.idle_steady_c
+        for _ in range(cycles):
+            for target, phase_s in (
+                (self.active_steady_c, duty * period_s),
+                (self.idle_steady_c, (1 - duty) * period_s),
+            ):
+                for i in range(1, samples_per_phase + 1):
+                    t = phase_s * i / samples_per_phase
+                    value = target + (temperature - target) * math.exp(-t / tau)
+                    points.append((now + t, value))
+                temperature = target + (temperature - target) * math.exp(
+                    -phase_s / tau
+                )
+                now += phase_s
+        return points

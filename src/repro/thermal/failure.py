@@ -1,0 +1,121 @@
+"""Thermal-failure behaviour and recovery (paper §IV-C).
+
+The paper observes that read-only workloads never failed (peaking near
+80 degC surface under the weakest cooling) while workloads with
+significant write content failed around 75 degC - about 10 degC below
+the read-intensive bound.  On failure the HMC announces the shutdown in
+response head/tail bits, DRAM contents are lost, and recovery requires
+cooling down, resetting the HMC, resetting the FPGA transceivers, and
+re-initializing both.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.device import HMCDevice
+from repro.hmc.errors import ThermalShutdownError
+
+
+class FailureModel:
+    """Reliable-temperature bounds as a function of write content."""
+
+    def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION) -> None:
+        self.calibration = calibration
+
+    def threshold_c(self, write_fraction: float) -> float:
+        """Surface temperature above which operation is unreliable.
+
+        Interpolates from the read bound (85 degC) down to the write
+        bound (75 degC) as write content grows toward
+        ``write_failure_fraction``; the paper only resolves the two
+        endpoints, so anything with significant writes sits at the
+        write bound.
+        """
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError(f"write fraction must be in [0, 1]: {write_fraction}")
+        cal = self.calibration
+        knee = cal.write_failure_fraction
+        if write_fraction >= knee:
+            return cal.write_failure_surface_c
+        span = cal.read_failure_surface_c - cal.write_failure_surface_c
+        return cal.read_failure_surface_c - span * (write_fraction / knee)
+
+    def is_safe(self, surface_c: float, write_fraction: float) -> bool:
+        return surface_c < self.threshold_c(write_fraction)
+
+    def check(self, surface_c: float, write_fraction: float) -> None:
+        """Raise :class:`ThermalShutdownError` outside the safe region."""
+        threshold = self.threshold_c(write_fraction)
+        if surface_c >= threshold:
+            raise ThermalShutdownError(surface_c, threshold, write_fraction)
+
+
+class RecoveryStep(enum.Enum):
+    """The paper's recovery sequence, in order."""
+
+    COOL_DOWN = "cool down"
+    RESET_HMC = "reset HMC"
+    RESET_FPGA_TRANSCEIVERS = "reset FPGA transceiver modules"
+    INITIALIZE = "initialize HMC and FPGA"
+    OPERATIONAL = "operational"
+
+
+# Representative wall-clock cost of each step, seconds.  Cooling down
+# dominates (it follows the RC time constant); the resets are firmware
+# sequences.
+_STEP_DURATION_S = {
+    RecoveryStep.COOL_DOWN: 120.0,
+    RecoveryStep.RESET_HMC: 2.0,
+    RecoveryStep.RESET_FPGA_TRANSCEIVERS: 1.0,
+    RecoveryStep.INITIALIZE: 5.0,
+    RecoveryStep.OPERATIONAL: 0.0,
+}
+
+
+class RecoveryProcedure:
+    """Walks a failed device back to operation, losing DRAM contents.
+
+    >>> # doctest-style sketch; see tests for full usage
+    >>> # proc = RecoveryProcedure(device); proc.run_all()
+    """
+
+    def __init__(self, device: Optional[HMCDevice] = None) -> None:
+        self.device = device
+        self._sequence = list(RecoveryStep)
+        self._position = 0
+        self.elapsed_s = 0.0
+        self.log: List[str] = []
+        self.data_lost = False
+
+    @property
+    def current_step(self) -> RecoveryStep:
+        return self._sequence[self._position]
+
+    @property
+    def complete(self) -> bool:
+        return self.current_step is RecoveryStep.OPERATIONAL
+
+    def advance(self) -> RecoveryStep:
+        """Perform the current step and move to the next."""
+        if self.complete:
+            raise RuntimeError("recovery already complete")
+        step = self.current_step
+        self.elapsed_s += _STEP_DURATION_S[step]
+        self.log.append(f"{step.value} (+{_STEP_DURATION_S[step]:.0f}s)")
+        if step is RecoveryStep.RESET_HMC:
+            # Stored data does not survive the reset; checkpoint/rollback
+            # must restore it externally.
+            self.data_lost = True
+            if self.device is not None:
+                self.device.reset()
+        self._position += 1
+        return self.current_step
+
+    def run_all(self) -> float:
+        """Run every remaining step; returns total recovery seconds."""
+        while not self.complete:
+            self.advance()
+        return self.elapsed_s

@@ -1,0 +1,108 @@
+"""The bandwidth-temperature-refresh feedback loop (paper §I, Fig. 1).
+
+Figure 1's conceptual story has a third arrow the measured figures only
+hint at: higher bandwidth raises temperature, higher temperature
+triggers faster refresh, and faster refresh both consumes power and
+steals bank time - reducing the very bandwidth that caused it.  This
+module closes that loop analytically with a fixed-point solve over the
+power, thermal, and refresh models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.packet import RequestType
+from repro.hmc.refresh import DEFAULT_REFRESH, RefreshPolicy
+from repro.power.model import PowerModel
+from repro.thermal.cooling import CoolingConfig
+from repro.thermal.failure import FailureModel
+from repro.power.model import WRITE_FRACTION
+from repro.thermal.model import ThermalModel
+
+
+@dataclass(frozen=True)
+class FeedbackResult:
+    """Converged operating point with refresh derating."""
+
+    nominal_bandwidth_gbs: float
+    bandwidth_gbs: float
+    surface_c: float
+    junction_c: float
+    refresh_multiplier: float
+    refresh_power_w: float
+    system_power_w: float
+    iterations: int
+    converged: bool
+    thermally_safe: bool
+
+    @property
+    def bandwidth_lost_gbs(self) -> float:
+        return self.nominal_bandwidth_gbs - self.bandwidth_gbs
+
+    @property
+    def derate(self) -> float:
+        if self.nominal_bandwidth_gbs == 0:
+            return 1.0
+        return self.bandwidth_gbs / self.nominal_bandwidth_gbs
+
+
+def solve_with_refresh(
+    cooling: CoolingConfig,
+    request_type: RequestType,
+    nominal_bandwidth_gbs: float,
+    refresh: RefreshPolicy = DEFAULT_REFRESH,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    max_iterations: int = 100,
+    tolerance_gbs: float = 1e-4,
+) -> FeedbackResult:
+    """Fixed-point solve of bandwidth <-> temperature <-> refresh.
+
+    ``nominal_bandwidth_gbs`` is what the workload would sustain with
+    refresh at the base rate; the converged ``bandwidth_gbs`` accounts
+    for the bank time stolen at the operating temperature.  The ramped
+    refresh policy makes the map continuous and contractive, so plain
+    iteration converges.
+    """
+    power = PowerModel(calibration)
+    thermal = ThermalModel(cooling, calibration)
+    failures = FailureModel(calibration)
+    write_fraction = WRITE_FRACTION[request_type]
+
+    bandwidth = nominal_bandwidth_gbs
+    surface = cooling.idle_surface_c
+    multiplier = 1.0
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iterations + 1):
+        activity = power.activity_power_w(bandwidth, request_type)
+        refresh_extra = refresh.power_w(thermal.junction_c(surface)) - refresh.refresh_power_w
+        surface = thermal.steady_surface_c(activity + refresh_extra)
+        junction = thermal.junction_c(surface)
+        multiplier = refresh.rate_multiplier(junction)
+        new_bandwidth = nominal_bandwidth_gbs * refresh.bandwidth_derate(junction)
+        if abs(new_bandwidth - bandwidth) < tolerance_gbs:
+            bandwidth = new_bandwidth
+            converged = True
+            break
+        bandwidth = new_bandwidth
+
+    junction = thermal.junction_c(surface)
+    return FeedbackResult(
+        nominal_bandwidth_gbs=nominal_bandwidth_gbs,
+        bandwidth_gbs=bandwidth,
+        surface_c=surface,
+        junction_c=junction,
+        refresh_multiplier=multiplier,
+        refresh_power_w=refresh.power_w(junction),
+        system_power_w=power.system_power_w(
+            power.activity_power_w(bandwidth, request_type)
+            + refresh.power_w(junction)
+            - refresh.refresh_power_w,
+            surface,
+        ),
+        iterations=iterations,
+        converged=converged,
+        thermally_safe=failures.is_safe(surface, write_fraction),
+    )

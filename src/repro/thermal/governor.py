@@ -1,0 +1,143 @@
+"""Online thermal tracking and shutdown during a simulation.
+
+The hardware signals an impending thermal shutdown through response
+head/tail bits (§IV-C); this governor is the simulated equivalent of
+that protection loop: it periodically samples the controller's
+delivered bandwidth and write mix, advances a first-order temperature
+state toward the corresponding steady state, and fires a shutdown when
+the surface temperature crosses the write-content-dependent failure
+bound.
+
+Real thermal time constants are tens of seconds while simulations cover
+microseconds, so the governor takes a ``time_scale`` factor: each
+simulated nanosecond counts as ``time_scale`` nanoseconds of thermal
+time.  Tests and demonstrations use large factors; 1.0 gives the
+physical behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+from typing import Callable, List, Optional
+
+from repro.fpga.controller import HmcController
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.errors import ThermalShutdownError
+from repro.hmc.packet import RequestType
+from repro.power.model import PowerModel
+from repro.sim.engine import Simulator
+from repro.thermal.cooling import CoolingConfig
+from repro.thermal.failure import FailureModel
+from repro.thermal.model import ThermalModel
+
+
+@dataclass(frozen=True)
+class GovernorSample:
+    """One protection-loop observation."""
+
+    time_ns: float
+    bandwidth_gbs: float
+    write_fraction: float
+    surface_c: float
+
+
+class ThermalGovernor:
+    """Protection loop over a running controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: HmcController,
+        cooling: CoolingConfig,
+        request_type: RequestType = RequestType.READ,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        sample_interval_us: float = 5.0,
+        time_scale: float = 1.0,
+        on_shutdown: Optional[Callable[[ThermalShutdownError], None]] = None,
+    ) -> None:
+        if sample_interval_us <= 0:
+            raise ValueError("sample interval must be positive")
+        if time_scale <= 0:
+            raise ValueError("time scale must be positive")
+        self.sim = sim
+        self.controller = controller
+        self.cooling = cooling
+        self.request_type = request_type
+        self.calibration = calibration
+        self.sample_interval_ns = sample_interval_us * 1e3
+        self.time_scale = time_scale
+        self.on_shutdown = on_shutdown
+
+        self.thermal = ThermalModel(cooling, calibration)
+        self.power = PowerModel(calibration)
+        self.failures = FailureModel(calibration)
+        self.surface_c = cooling.idle_surface_c
+        self.samples: List[GovernorSample] = []
+        self.shutdown: Optional[ThermalShutdownError] = None
+        self._running = False
+        self._last_bytes = 0
+        self._last_reads = 0
+        self._last_writes = 0
+        self._last_time = 0.0
+
+    # ------------------------------------------------------------------
+    # loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._running = True
+        self._last_bytes = self.controller.raw_bytes_total
+        self._last_reads = self.controller.reads_total
+        self._last_writes = self.controller.writes_total
+        self._last_time = self.sim.now
+        self.sim.schedule(self.sample_interval_ns, self._sample)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        window_ns = now - self._last_time
+        delta_bytes = self.controller.raw_bytes_total - self._last_bytes
+        delta_reads = self.controller.reads_total - self._last_reads
+        delta_writes = self.controller.writes_total - self._last_writes
+        self._last_bytes = self.controller.raw_bytes_total
+        self._last_reads = self.controller.reads_total
+        self._last_writes = self.controller.writes_total
+        self._last_time = now
+
+        bandwidth = delta_bytes / window_ns if window_ns > 0 else 0.0
+        total = delta_reads + delta_writes
+        write_fraction = delta_writes / total if total else 0.0
+
+        # Advance the first-order state toward this sample's steady state.
+        steady = self.thermal.steady_surface_c(
+            self.power.activity_power_w(bandwidth, self.request_type)
+        )
+        tau_ns = self.calibration.thermal_time_constant_s * 1e9 / self.time_scale
+        alpha = 1.0 - math.exp(-window_ns / tau_ns)
+        self.surface_c += (steady - self.surface_c) * alpha
+
+        self.samples.append(
+            GovernorSample(
+                time_ns=now,
+                bandwidth_gbs=bandwidth,
+                write_fraction=write_fraction,
+                surface_c=self.surface_c,
+            )
+        )
+        try:
+            self.failures.check(self.surface_c, write_fraction)
+        except ThermalShutdownError as error:
+            self.shutdown = error
+            self._running = False
+            if self.on_shutdown is not None:
+                self.on_shutdown(error)
+            return
+        self.sim.schedule(self.sample_interval_ns, self._sample)
+
+    @property
+    def tripped(self) -> bool:
+        return self.shutdown is not None

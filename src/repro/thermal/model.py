@@ -1,0 +1,111 @@
+"""Lumped RC thermal model of the HMC heat island (paper §III-A, §IV-C).
+
+Steady state
+------------
+The HMC's activity power raises the heatsink surface temperature above
+the configuration's idle temperature through a lumped thermal
+resistance.  Leakage power grows with temperature, which feeds back into
+temperature; with a linear leakage coefficient the closed form is
+
+    T = T_idle + R * P_activity / (1 - R * k_leak)
+
+the positive-feedback amplification staying finite while R*k_leak < 1.
+
+Transient
+---------
+First-order RC response with a ~35 s time constant; the paper runs each
+thermal experiment for 200 s, after which temperature is stable
+(~5.7 tau), and reads the FLIR camera at 0.1 degC resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.errors import ConfigurationError
+from repro.thermal.cooling import CoolingConfig
+
+
+@dataclass(frozen=True)
+class ThermalReading:
+    """One thermal-camera observation."""
+
+    time_s: float
+    surface_c: float
+    junction_c: float
+
+
+class ThermalModel:
+    """Steady-state and transient temperature of one cooling setup."""
+
+    def __init__(
+        self,
+        cooling: CoolingConfig,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        loop_gain = cooling.thermal_resistance_c_per_w * calibration.leakage_w_per_c
+        if loop_gain >= 1.0:
+            raise ConfigurationError(
+                f"{cooling.name}: thermal runaway (R*k_leak = {loop_gain:.2f} >= 1)"
+            )
+        self.cooling = cooling
+        self.calibration = calibration
+        self._amplification = 1.0 / (1.0 - loop_gain)
+
+    # ------------------------------------------------------------------
+    # steady state
+    # ------------------------------------------------------------------
+    def steady_surface_c(self, activity_power_w: float) -> float:
+        """Heatsink surface temperature for a given HMC activity power."""
+        if activity_power_w < 0:
+            raise ValueError("activity power cannot be negative")
+        rise = (
+            self.cooling.thermal_resistance_c_per_w
+            * activity_power_w
+            * self._amplification
+        )
+        return self.cooling.idle_surface_c + rise
+
+    def leakage_power_w(self, surface_c: float) -> float:
+        """Temperature-dependent leakage above this config's idle point."""
+        delta = surface_c - self.cooling.idle_surface_c
+        return max(0.0, self.calibration.leakage_w_per_c * delta)
+
+    def junction_c(self, surface_c: float) -> float:
+        """In-package junction estimate (surface + 5-10 degC, §III-A)."""
+        return surface_c + self.calibration.surface_to_junction_offset_c
+
+    # ------------------------------------------------------------------
+    # transient
+    # ------------------------------------------------------------------
+    def surface_at(
+        self, time_s: float, activity_power_w: float, start_surface_c: float = None
+    ) -> float:
+        """First-order approach from ``start`` toward steady state."""
+        if time_s < 0:
+            raise ValueError("time cannot be negative")
+        steady = self.steady_surface_c(activity_power_w)
+        start = self.cooling.idle_surface_c if start_surface_c is None else start_surface_c
+        tau = self.calibration.thermal_time_constant_s
+        return steady + (start - steady) * math.exp(-time_s / tau)
+
+    def camera_reading(
+        self, time_s: float, activity_power_w: float, start_surface_c: float = None
+    ) -> ThermalReading:
+        """A quantized observation, like the FLIR One's +-0.1 degC."""
+        surface = self.surface_at(time_s, activity_power_w, start_surface_c)
+        step = self.calibration.camera_resolution_c
+        quantized = round(surface / step) * step
+        return ThermalReading(
+            time_s=time_s,
+            surface_c=quantized,
+            junction_c=self.junction_c(quantized),
+        )
+
+    def settle_time_s(self, fraction: float = 0.99) -> float:
+        """Time to close ``fraction`` of the gap to steady state."""
+        if not 0 < fraction < 1:
+            raise ValueError("fraction must be in (0, 1)")
+        return -self.calibration.thermal_time_constant_s * math.log(1 - fraction)

@@ -1,0 +1,38 @@
+"""Application-kernel workloads over the simulated HMC.
+
+The paper's synthetic GUPS patterns are "building blocks of real
+applications" (§I).  This package supplies the other half of that
+story: address-trace generators for representative kernels (streaming,
+stencil, pointer chasing, hash updates, power-law graph traversal), a
+dependency-aware trace replayer that drives the same controller the
+GUPS ports do, and a characterizer that maps a kernel onto the paper's
+pattern taxonomy and measures it.
+"""
+
+from repro.workloads.characterize import KernelReport, characterize
+from repro.workloads.kernels import (
+    graph_traversal,
+    hash_table_updates,
+    pointer_chase,
+    stencil_2d,
+    streaming,
+    strided,
+)
+from repro.workloads.replay import ReplayResult, TraceReplayer
+from repro.workloads.trace import Trace, TraceEntry, TraceStats
+
+__all__ = [
+    "Trace",
+    "TraceEntry",
+    "TraceStats",
+    "streaming",
+    "strided",
+    "stencil_2d",
+    "pointer_chase",
+    "hash_table_updates",
+    "graph_traversal",
+    "TraceReplayer",
+    "ReplayResult",
+    "characterize",
+    "KernelReport",
+]

@@ -1,0 +1,82 @@
+"""Trace serialization: a small line-oriented interchange format.
+
+Lets users capture kernels from real applications (e.g. via a Pin/Valgrind
+tool) and replay them on the simulated HMC, or export the bundled
+kernels for other simulators.  Format::
+
+    # repro-trace v1
+    name: <trace name>
+    payload_bytes: <16..128>
+    <address-hex> <r|w> [dep=<index>]
+    ...
+
+Addresses are hex; ``dep`` marks a data dependency on an earlier line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.hmc.errors import ConfigurationError
+from repro.workloads.trace import Trace, TraceEntry
+
+MAGIC = "# repro-trace v1"
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` in the interchange format."""
+    lines: List[str] = [MAGIC, f"name: {trace.name}", f"payload_bytes: {trace.payload_bytes}"]
+    for entry in trace.entries:
+        kind = "w" if entry.is_write else "r"
+        suffix = f" dep={entry.depends_on}" if entry.depends_on is not None else ""
+        lines.append(f"{entry.address:#x} {kind}{suffix}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace` (or by hand)."""
+    text = Path(path).read_text().splitlines()
+    if not text or text[0].strip() != MAGIC:
+        raise ConfigurationError(f"{path}: not a repro-trace v1 file")
+    name = None
+    payload = None
+    entries: List[TraceEntry] = []
+    for line_number, raw in enumerate(text[1:], start=2):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("name:"):
+            name = line.split(":", 1)[1].strip()
+            continue
+        if line.startswith("payload_bytes:"):
+            payload = int(line.split(":", 1)[1].strip())
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise ConfigurationError(f"{path}:{line_number}: malformed entry {line!r}")
+        try:
+            address = int(parts[0], 16)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"{path}:{line_number}: bad address {parts[0]!r}"
+            ) from error
+        if parts[1] not in ("r", "w"):
+            raise ConfigurationError(
+                f"{path}:{line_number}: access kind must be r or w"
+            )
+        depends_on = None
+        if len(parts) == 3:
+            if not parts[2].startswith("dep="):
+                raise ConfigurationError(
+                    f"{path}:{line_number}: expected dep=<index>, got {parts[2]!r}"
+                )
+            depends_on = int(parts[2][4:])
+        entries.append(
+            TraceEntry(
+                address=address, is_write=parts[1] == "w", depends_on=depends_on
+            )
+        )
+    if name is None or payload is None:
+        raise ConfigurationError(f"{path}: missing name/payload_bytes header")
+    return Trace(name=name, payload_bytes=payload, entries=tuple(entries))

@@ -1,0 +1,186 @@
+"""Address-trace generators for representative application kernels.
+
+Each generator returns a :class:`~repro.workloads.trace.Trace`.  The
+kernels cover the pattern classes the paper's synthetic workloads stand
+in for: dense streaming, strided array walks, 2D stencils, dependent
+pointer chasing, random hash-table updates, and power-law graph
+traversals with hot vertices.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.hmc.errors import ConfigurationError
+from repro.workloads.trace import Trace, TraceEntry
+
+DEFAULT_CAPACITY = 4 << 30
+
+
+def _aligned(address: int, payload_bytes: int, capacity: int) -> int:
+    container = 1 << (payload_bytes - 1).bit_length()
+    return (address % capacity) // container * container
+
+
+def streaming(
+    count: int,
+    payload_bytes: int = 128,
+    start: int = 0,
+    capacity_bytes: int = DEFAULT_CAPACITY,
+) -> Trace:
+    """A dense sequential read stream (e.g. array reduction, memcpy source).
+
+    Under low-order interleaving this spreads over all vaults - the
+    paper's best case.
+    """
+    container = 1 << (payload_bytes - 1).bit_length()
+    entries = tuple(
+        TraceEntry(address=_aligned(start + i * container, payload_bytes, capacity_bytes))
+        for i in range(count)
+    )
+    return Trace(name="streaming", payload_bytes=payload_bytes, entries=entries)
+
+
+def strided(
+    count: int,
+    stride_bytes: int,
+    payload_bytes: int = 128,
+    start: int = 0,
+    capacity_bytes: int = DEFAULT_CAPACITY,
+) -> Trace:
+    """A constant-stride walk (column-major matrix access, AoS fields).
+
+    Power-of-two strides can alias onto a subset of vaults/banks, which
+    is exactly the data-layout hazard §II-C warns about.
+    """
+    if stride_bytes <= 0:
+        raise ConfigurationError("stride must be positive")
+    entries = tuple(
+        TraceEntry(address=_aligned(start + i * stride_bytes, payload_bytes, capacity_bytes))
+        for i in range(count)
+    )
+    return Trace(name=f"strided/{stride_bytes}", payload_bytes=payload_bytes, entries=entries)
+
+
+def stencil_2d(
+    rows: int,
+    cols: int,
+    element_bytes: int = 8,
+    payload_bytes: int = 64,
+    sweep_rows: Optional[int] = None,
+    capacity_bytes: int = DEFAULT_CAPACITY,
+) -> Trace:
+    """A 5-point Jacobi sweep: read N/S/E/W/center, write center.
+
+    Reads of the north/south neighbours reach one grid row away, so the
+    stream mixes unit-stride with row-stride references; writes are one
+    per point (write fraction ~1/6).
+    """
+    if rows < 3 or cols < 3:
+        raise ConfigurationError("stencil grid must be at least 3x3")
+    row_bytes = cols * element_bytes
+    entries = []
+    for r in range(1, (sweep_rows or rows) - 1):
+        for c in range(1, cols - 1, max(1, payload_bytes // element_bytes)):
+            center = r * row_bytes + c * element_bytes
+            for neighbour in (
+                center - row_bytes,  # north
+                center - element_bytes,  # west
+                center,
+                center + element_bytes,  # east
+                center + row_bytes,  # south
+            ):
+                entries.append(
+                    TraceEntry(address=_aligned(neighbour, payload_bytes, capacity_bytes))
+                )
+            entries.append(
+                TraceEntry(
+                    address=_aligned(center, payload_bytes, capacity_bytes),
+                    is_write=True,
+                )
+            )
+    return Trace(name="stencil-2d", payload_bytes=payload_bytes, entries=tuple(entries))
+
+
+def pointer_chase(
+    count: int,
+    payload_bytes: int = 16,
+    working_set_bytes: int = 256 << 20,
+    seed: int = 1,
+    capacity_bytes: int = DEFAULT_CAPACITY,
+) -> Trace:
+    """A dependent linked-list walk: each load's address comes from the
+    previous load's data, so only one reference is ever in flight.
+
+    The worst case for HMC: bandwidth collapses to one request per
+    round-trip time regardless of internal parallelism (§IV-E).
+    """
+    if working_set_bytes > capacity_bytes:
+        raise ConfigurationError("working set exceeds device capacity")
+    rng = random.Random(seed)
+    container = 1 << (payload_bytes - 1).bit_length()
+    slots = working_set_bytes // container
+    entries = []
+    for i in range(count):
+        address = rng.randrange(slots) * container
+        entries.append(
+            TraceEntry(address=address, depends_on=i - 1 if i else None)
+        )
+    return Trace(name="pointer-chase", payload_bytes=payload_bytes, entries=tuple(entries))
+
+
+def hash_table_updates(
+    count: int,
+    payload_bytes: int = 16,
+    table_bytes: int = 1 << 30,
+    seed: int = 2,
+    capacity_bytes: int = DEFAULT_CAPACITY,
+) -> Trace:
+    """Random read-modify-write updates of a large hash table - the
+    workload GUPS itself models.  Each update is a read followed by a
+    dependent write of the same slot."""
+    rng = random.Random(seed)
+    container = 1 << (payload_bytes - 1).bit_length()
+    slots = min(table_bytes, capacity_bytes) // container
+    entries = []
+    for i in range(count):
+        address = rng.randrange(slots) * container
+        read_index = len(entries)
+        entries.append(TraceEntry(address=address))
+        entries.append(
+            TraceEntry(address=address, is_write=True, depends_on=read_index)
+        )
+    return Trace(name="hash-updates", payload_bytes=payload_bytes, entries=tuple(entries))
+
+
+def graph_traversal(
+    count: int,
+    payload_bytes: int = 32,
+    num_vertices: int = 1 << 20,
+    skew: float = 1.0,
+    seed: int = 3,
+    capacity_bytes: int = DEFAULT_CAPACITY,
+    vertex_bytes: int = 64,
+) -> Trace:
+    """Irregular vertex accesses with a Zipf-like degree distribution.
+
+    High-degree vertices are touched far more often; with a power-of-two
+    vertex size those hot vertices pin traffic onto a few banks, the
+    "skewed" class the paper's targeted patterns approximate.
+    """
+    if skew <= 0:
+        raise ConfigurationError("skew must be positive")
+    rng = random.Random(seed)
+    entries = []
+    for _ in range(count):
+        # Inverse-CDF sample of a bounded Pareto over vertex ids.
+        u = rng.random()
+        vertex = int(num_vertices * (u ** (1.0 + skew)))
+        address = _aligned(vertex * vertex_bytes, payload_bytes, capacity_bytes)
+        entries.append(TraceEntry(address=address))
+    return Trace(
+        name=f"graph-traversal/skew={skew:g}",
+        payload_bytes=payload_bytes,
+        entries=tuple(entries),
+    )

@@ -1,0 +1,130 @@
+"""Address traces and their structural statistics.
+
+A :class:`Trace` is an ordered list of memory references, optionally
+carrying data dependencies (entry *i* may only issue after entry
+``depends_on`` completed - the pointer-chase case).  ``TraceStats``
+projects a trace onto the HMC's structural hierarchy, which is what
+predicts its bandwidth class under the paper's taxonomy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.hmc.address import AddressMapping
+from repro.hmc.config import HMC_1_1_4GB
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import VALID_PAYLOAD_BYTES
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One memory reference of a kernel."""
+
+    address: int
+    is_write: bool = False
+    depends_on: Optional[int] = None  # index of the producing reference
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered reference stream with one payload size."""
+
+    name: str
+    payload_bytes: int
+    entries: Tuple[TraceEntry, ...]
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes not in VALID_PAYLOAD_BYTES:
+            raise ConfigurationError(
+                f"payload must be one of {VALID_PAYLOAD_BYTES}"
+            )
+        for i, entry in enumerate(self.entries):
+            if entry.depends_on is not None and not 0 <= entry.depends_on < i:
+                raise ConfigurationError(
+                    f"entry {i} depends on {entry.depends_on}, which is not "
+                    "an earlier entry"
+                )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(e.is_write for e in self.entries) / len(self.entries)
+
+    @property
+    def has_dependencies(self) -> bool:
+        return any(e.depends_on is not None for e in self.entries)
+
+    def stats(self, mapping: Optional[AddressMapping] = None) -> "TraceStats":
+        return TraceStats.from_trace(self, mapping or AddressMapping(HMC_1_1_4GB))
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Structural footprint of a trace on the device."""
+
+    references: int
+    vaults_touched: int
+    banks_touched: int
+    rows_touched: int
+    write_fraction: float
+    dependent_fraction: float
+    vault_imbalance: float
+    """Max over mean of the per-vault reference counts: 1.0 is a
+    perfectly balanced stream, large values mean hot vaults."""
+    row_reuse: float
+    """Fraction of references that hit the immediately preceding row of
+    their bank - the locality a closed-page device cannot monetize."""
+
+    @classmethod
+    def from_trace(cls, trace: Trace, mapping: AddressMapping) -> "TraceStats":
+        vaults: Counter = Counter()
+        banks = set()
+        rows = set()
+        last_row = {}
+        row_repeats = 0
+        for entry in trace.entries:
+            decoded = mapping.decode(entry.address)
+            vaults[decoded.vault] += 1
+            banks.add((decoded.vault, decoded.bank))
+            rows.add((decoded.vault, decoded.bank, decoded.row))
+            key = (decoded.vault, decoded.bank)
+            if last_row.get(key) == decoded.row:
+                row_repeats += 1
+            last_row[key] = decoded.row
+        count = len(trace.entries)
+        mean_per_vault = count / mapping.config.num_vaults
+        imbalance = (
+            max(vaults.values()) / mean_per_vault if count and mean_per_vault else 0.0
+        )
+        dependent = sum(e.depends_on is not None for e in trace.entries)
+        return cls(
+            references=count,
+            vaults_touched=len(vaults),
+            banks_touched=len(banks),
+            rows_touched=len(rows),
+            write_fraction=trace.write_fraction,
+            dependent_fraction=dependent / count if count else 0.0,
+            vault_imbalance=imbalance,
+            row_reuse=row_repeats / count if count else 0.0,
+        )
+
+    def pattern_class(self, num_vaults: int = 16) -> str:
+        """The paper-taxonomy bucket this footprint behaves like."""
+        if self.dependent_fraction > 0.5:
+            return "latency-bound (dependent chain)"
+        if self.vaults_touched <= 1:
+            if self.banks_touched <= 2:
+                return "targeted: 1-2 banks"
+            return "targeted: single vault"
+        if self.vault_imbalance > 2.5:
+            return "skewed: hot vaults"
+        if self.vaults_touched >= num_vaults:
+            return "distributed: all vaults"
+        return f"distributed: {self.vaults_touched} vaults"

@@ -1,0 +1,19 @@
+"""Shared fixtures: small simulation windows so the suite stays fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def fast_settings() -> ExperimentSettings:
+    """Short steady-state window; enough traffic for shape assertions."""
+    return ExperimentSettings(warmup_us=10.0, window_us=40.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_settings() -> ExperimentSettings:
+    """Minimal window for tests that only need the machinery to run."""
+    return ExperimentSettings(warmup_us=5.0, window_us=15.0)

@@ -1,0 +1,128 @@
+"""Tests for the MVA queueing model and the bottleneck predictor."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.bottleneck import BottleneckModel
+from repro.analysis.queueing import (
+    knee_population,
+    mva,
+    mva_sweep,
+    saturation_throughput_per_ns,
+)
+from repro.core.patterns import pattern_by_name
+from repro.hmc.packet import RequestType
+
+MODEL = BottleneckModel()
+
+services = st.floats(min_value=0.5, max_value=500.0, allow_nan=False)
+thinks = st.floats(min_value=0.0, max_value=5000.0, allow_nan=False)
+populations = st.integers(min_value=1, max_value=300)
+
+
+# ----------------------------------------------------------------------
+# MVA math
+# ----------------------------------------------------------------------
+def test_single_customer_sees_no_queueing():
+    result = mva(service_ns=10.0, think_ns=90.0, population=1)
+    assert result.response_ns == pytest.approx(10.0)
+    assert result.round_trip_ns == pytest.approx(100.0)
+    assert result.throughput_per_ns == pytest.approx(0.01)
+
+
+def test_large_population_saturates_bottleneck():
+    result = mva(service_ns=10.0, think_ns=90.0, population=500)
+    assert result.throughput_per_ns == pytest.approx(0.1, rel=1e-3)
+    # All excess population queues at the bottleneck: R ~ N*s - Z.
+    assert result.response_ns == pytest.approx(500 * 10.0 - 90.0, rel=0.01)
+
+
+@given(services, thinks, populations)
+def test_mva_invariants(service, think, population):
+    result = mva(service, think, population)
+    # Throughput below both asymptotes.
+    assert result.throughput_per_ns <= saturation_throughput_per_ns(service) + 1e-12
+    assert result.throughput_per_ns <= population / (think + service) + 1e-12
+    # Little's law holds for the whole network.
+    resident = result.throughput_per_ns * result.round_trip_ns
+    assert resident == pytest.approx(population, rel=1e-6)
+
+
+@given(services, thinks)
+def test_mva_monotone_in_population(service, think):
+    previous = None
+    for n in (1, 4, 16, 64):
+        result = mva(service, think, n)
+        if previous is not None:
+            assert result.throughput_per_ns >= previous.throughput_per_ns - 1e-12
+            assert result.response_ns >= previous.response_ns - 1e-9
+        previous = result
+
+
+def test_mva_sweep_matches_individual_runs():
+    sweep = mva_sweep(10.0, 90.0, [1, 5, 20])
+    for prediction in sweep:
+        alone = mva(10.0, 90.0, prediction.population)
+        assert prediction.throughput_per_ns == pytest.approx(alone.throughput_per_ns)
+
+
+def test_knee_population():
+    assert knee_population(10.0, 90.0) == pytest.approx(10.0)
+
+
+def test_mva_validation():
+    with pytest.raises(ValueError):
+        mva(0.0, 1.0, 1)
+    with pytest.raises(ValueError):
+        mva(1.0, -1.0, 1)
+    with pytest.raises(ValueError):
+        mva(1.0, 1.0, 0)
+
+
+# ----------------------------------------------------------------------
+# bottleneck identification
+# ----------------------------------------------------------------------
+def test_targeted_patterns_are_bank_bound():
+    for name in ("1 bank", "2 banks", "4 banks"):
+        prediction = MODEL.predict(pattern_by_name(name))
+        assert prediction.bottleneck.name == "banks"
+
+
+def test_one_vault_is_vault_bound():
+    prediction = MODEL.predict(pattern_by_name("1 vault"), payload_bytes=128)
+    assert prediction.bottleneck.name == "vault data bus"
+
+
+def test_distributed_reads_are_rx_bound():
+    prediction = MODEL.predict(pattern_by_name("16 vaults"), payload_bytes=128)
+    assert prediction.bottleneck.name == "link RX"
+
+
+def test_distributed_writes_are_token_bound():
+    prediction = MODEL.predict(
+        pattern_by_name("16 vaults"),
+        request_type=RequestType.WRITE,
+        payload_bytes=128,
+    )
+    assert prediction.bottleneck.name == "link tokens"
+
+
+def test_bank_doubling_halves_bank_service():
+    one = MODEL.predict(pattern_by_name("1 bank"))
+    two = MODEL.predict(pattern_by_name("2 banks"))
+    assert two.bottleneck.service_ns == pytest.approx(one.bottleneck.service_ns / 2)
+
+
+def test_no_load_round_trip_matches_stream_measurement():
+    """The delay-station estimate must land near the simulated no-load
+    RTT (Fig. 15's minimums), modulo the stream-drain path."""
+    analytic = MODEL.no_load_round_trip_ns(RequestType.READ, 128)
+    assert analytic == pytest.approx(711.0, abs=60.0)
+    small = MODEL.no_load_round_trip_ns(RequestType.READ, 16)
+    assert small == pytest.approx(655.0, abs=60.0)
+    assert analytic > small
+
+
+def test_prediction_bandwidth_accounts_overhead():
+    prediction = MODEL.predict(pattern_by_name("16 vaults"), payload_bytes=128)
+    assert prediction.raw_bytes_per_request == 160

@@ -1,0 +1,81 @@
+"""Tests for the open-page DDR baseline."""
+
+import pytest
+
+from repro.baseline.ddr import DdrConfig, DdrDimm
+from repro.hmc.errors import ConfigurationError
+
+
+def test_linear_stream_mostly_row_hits():
+    dimm = DdrDimm()
+    addresses = dimm.linear_stream(512, 64)
+    result = dimm.replay(addresses, 64)
+    assert result.hit_rate > 0.9
+
+
+def test_random_stream_mostly_misses():
+    dimm = DdrDimm()
+    addresses = dimm.random_stream(512, 64, seed=1)
+    result = dimm.replay(addresses, 64)
+    assert result.hit_rate < 0.1
+
+
+def test_open_page_rewards_locality():
+    """The counterfactual to HMC's Fig. 13: on an open-page DIMM the
+    linear stream is clearly faster than the random one."""
+    dimm = DdrDimm()
+    linear = dimm.replay(dimm.linear_stream(1024, 64), 64)
+    random_ = dimm.replay(dimm.random_stream(1024, 64, seed=2), 64)
+    assert linear.bandwidth_gbs(64) > 1.3 * random_.bandwidth_gbs(64)
+
+
+def test_hit_miss_empty_accounting():
+    dimm = DdrDimm()
+    result = dimm.replay(dimm.linear_stream(100, 64), 64)
+    assert result.row_hits + result.row_misses + result.row_empties == 100
+    assert result.accesses == 100
+
+
+def test_first_touch_of_each_bank_is_row_empty():
+    dimm = DdrDimm(DdrConfig(num_banks=4))
+    # One access per bank: rows are empty, no hits or conflicts.
+    addresses = [i * dimm.config.row_bytes for i in range(4)]
+    result = dimm.replay(addresses, 64)
+    assert result.row_empties == 4
+    assert result.row_hits == 0
+    assert result.row_misses == 0
+
+
+def test_row_conflict_detected():
+    dimm = DdrDimm(DdrConfig(num_banks=4))
+    row = dimm.config.row_bytes
+    bank_stride = row * dimm.config.num_banks
+    addresses = [0, bank_stride, 0]  # same bank, different rows, back
+    result = dimm.replay(addresses, 64)
+    assert result.row_misses == 2
+    assert result.row_empties == 1
+
+
+def test_bandwidth_zero_for_empty_stream():
+    dimm = DdrDimm()
+    result = dimm.replay([], 64)
+    assert result.bandwidth_gbs(64) == 0.0
+    assert result.avg_access_ns == 0.0
+
+
+def test_addresses_wrap_at_capacity():
+    dimm = DdrDimm()
+    result = dimm.replay([dimm.config.capacity_bytes + 64], 64)
+    assert result.accesses == 1
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        DdrConfig(row_bytes=1000)
+    with pytest.raises(ConfigurationError):
+        DdrConfig(num_banks=3)
+
+
+def test_random_stream_deterministic():
+    dimm = DdrDimm()
+    assert dimm.random_stream(10, 64, seed=5) == dimm.random_stream(10, 64, seed=5)

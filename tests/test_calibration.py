@@ -1,0 +1,63 @@
+"""Tests for the calibration constants and their paper-pinned values."""
+
+import pytest
+
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+def test_fpga_cycle_time():
+    assert DEFAULT_CALIBRATION.fpga_cycle_ns == pytest.approx(1e3 / 187.5)
+
+
+def test_tx_pipeline_is_54_cycles_for_128b():
+    """Fig. 14: up to 54 cycles / ~287 ns for a 128 B (9-flit) request."""
+    cal = DEFAULT_CALIBRATION
+    ns = cal.tx_pipeline_ns(9)
+    assert ns == pytest.approx(54 * cal.fpga_cycle_ns)
+    assert abs(ns - 287.0) < 2.0
+
+
+def test_tx_pipeline_scales_with_flits():
+    cal = DEFAULT_CALIBRATION
+    assert cal.tx_pipeline_ns(1) < cal.tx_pipeline_ns(9)
+
+
+def test_rx_pipeline_260ns_for_small_response():
+    """SIV-E1: ~260 ns on the RX path for a (small) packet."""
+    assert DEFAULT_CALIBRATION.rx_pipeline_ns(2) == pytest.approx(260.0)
+
+
+def test_infrastructure_latency_547ns():
+    """TX (287) + RX (260) = 547 ns of infrastructure latency."""
+    cal = DEFAULT_CALIBRATION
+    assert cal.tx_pipeline_ns(9) + cal.rx_pipeline_ns(2) == pytest.approx(547.0, abs=2.0)
+
+
+def test_max_outstanding_reads():
+    assert DEFAULT_CALIBRATION.max_outstanding_reads == 9 * 64
+
+
+def test_paper_pinned_values():
+    cal = DEFAULT_CALIBRATION
+    assert cal.gups_ports == 9
+    assert cal.read_tag_pool_depth == 64
+    assert cal.vault_bandwidth_gbps == 10.0
+    assert cal.read_failure_surface_c == 85.0
+    assert cal.write_failure_surface_c == 75.0
+    assert cal.system_idle_w == 100.0
+    assert cal.camera_resolution_c == 0.1
+
+
+def test_calibration_is_frozen_and_hashable():
+    cal = Calibration()
+    with pytest.raises(AttributeError):
+        cal.gups_ports = 10  # type: ignore[misc]
+    assert hash(cal) == hash(Calibration())
+
+
+def test_calibration_override():
+    from dataclasses import replace
+
+    cal = replace(Calibration(), vault_bandwidth_gbps=20.0)
+    assert cal.vault_bandwidth_gbps == 20.0
+    assert cal != DEFAULT_CALIBRATION

@@ -1,0 +1,101 @@
+"""Tests for the campaign driver and the CLI."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.campaign import run_campaign, run_experiment
+from repro.core.experiment import ExperimentSettings
+
+STATIC_IDS = ("table1", "table2", "table3", "fig3")
+
+
+# ----------------------------------------------------------------------
+# campaign driver
+# ----------------------------------------------------------------------
+def test_run_experiment_static():
+    outcome = run_experiment("table2")
+    assert outcome.passed
+    assert "Table II" in outcome.report
+    assert outcome.seconds >= 0
+
+
+def test_run_experiment_simulated(tiny_settings):
+    outcome = run_experiment("fig14", tiny_settings)
+    assert outcome.passed
+    assert "287" in outcome.report or "288" in outcome.report
+
+
+def test_campaign_subset():
+    result = run_campaign(experiment_ids=STATIC_IDS)
+    assert result.passed
+    assert set(result.outcomes) == set(STATIC_IDS)
+    summary = result.summary()
+    assert "all claims reproduced" in summary
+    full = result.full_report()
+    for experiment_id in STATIC_IDS:
+        assert f"[{experiment_id}]" in full
+
+
+def test_campaign_unknown_id_rejected():
+    with pytest.raises(KeyError):
+        run_campaign(experiment_ids=("fig99",))
+
+
+def test_campaign_shares_measurement_cache(tiny_settings):
+    """fig16 reuses fig7/fig8-style measurements; the second run of the
+    same id must be much faster thanks to the memoized measurements."""
+    first = run_experiment("fig16", tiny_settings)
+    second = run_experiment("fig16", tiny_settings)
+    assert second.seconds < first.seconds / 2 + 0.2
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_list(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "failures" in out
+
+
+def test_cli_run_static(capsys):
+    assert cli_main(["run", "table1"]) == 0
+    assert "Table I" in capsys.readouterr().out
+
+
+def test_cli_run_rejects_unknown():
+    with pytest.raises(SystemExit):
+        cli_main(["run", "fig99"])
+
+
+def test_cli_campaign_subset_writes_output(tmp_path, capsys):
+    output = tmp_path / "report.txt"
+    code = cli_main(["campaign", "--only", "table1", "table2", "--output", str(output)])
+    assert code == 0
+    assert output.exists()
+    text = output.read_text()
+    assert "[table1]" in text and "[table2]" in text
+    assert "Campaign summary" in capsys.readouterr().out
+
+
+def test_cli_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        cli_main([])
+
+
+def test_cli_sweep_to_stdout(capsys):
+    code = cli_main(["sweep", "--patterns", "2 banks", "--sizes", "32", "--fast"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("pattern,")
+    assert "2 banks" in out
+
+
+def test_cli_sweep_to_file(tmp_path, capsys):
+    path = tmp_path / "out.csv"
+    code = cli_main(
+        ["sweep", "--patterns", "16 vaults", "--types", "ro", "--csv", str(path), "--fast"]
+    )
+    assert code == 0
+    assert path.exists()
+    assert "wrote" in capsys.readouterr().out

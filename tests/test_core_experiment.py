@@ -1,0 +1,123 @@
+"""Tests for the experiment runners (simulation-backed)."""
+
+import math
+
+import pytest
+
+from repro.core.experiment import (
+    ExperimentSettings,
+    measure_bandwidth,
+    measure_bandwidth_cached,
+    measure_pattern,
+    run_latency_sweep,
+    run_stream_latency,
+    run_thermal_experiment,
+)
+from repro.core.patterns import pattern_by_name
+from repro.fpga.address_gen import AddressingMode
+from repro.hmc.packet import RequestType
+from repro.thermal.cooling import CFG1, CFG4
+
+
+def test_measurement_fields_populated(tiny_settings):
+    m = measure_bandwidth(settings=tiny_settings)
+    assert m.bandwidth_gbs > 0
+    assert m.mrps > 0
+    assert m.reads_completed > 0
+    assert m.writes_completed == 0
+    assert m.write_fraction == 0.0
+    assert m.read_latency_min_ns <= m.read_latency_avg_ns <= m.read_latency_max_ns
+    assert m.window_ns == pytest.approx(tiny_settings.window_us * 1e3)
+    assert math.isnan(m.write_latency_avg_ns)
+
+
+def test_bandwidth_counts_raw_bytes(tiny_settings):
+    """BW(GB/s) must equal completions x raw bytes / window."""
+    m = measure_bandwidth(settings=tiny_settings, payload_bytes=128)
+    expected = m.total_completed * 160.0 / m.window_ns
+    assert m.bandwidth_gbs == pytest.approx(expected, rel=1e-6)
+
+
+def test_write_only_measurement(tiny_settings):
+    m = measure_bandwidth(request_type=RequestType.WRITE, settings=tiny_settings)
+    assert m.writes_completed > 0 and m.reads_completed == 0
+    assert m.write_fraction == 1.0
+    assert m.write_latency_avg_ns > 0
+
+
+def test_rw_measurement_balanced(tiny_settings):
+    m = measure_bandwidth(
+        request_type=RequestType.READ_MODIFY_WRITE, settings=tiny_settings
+    )
+    assert m.reads_completed > 0 and m.writes_completed > 0
+    assert abs(m.write_fraction - 0.5) < 0.1
+
+
+def test_measure_pattern_carries_name(tiny_settings):
+    pattern = pattern_by_name("2 banks")
+    m = measure_pattern(pattern, settings=tiny_settings)
+    assert m.pattern_name == "2 banks"
+
+
+def test_determinism(tiny_settings):
+    a = measure_bandwidth(settings=tiny_settings, seed=3)
+    b = measure_bandwidth(settings=tiny_settings, seed=3)
+    assert a == b
+
+
+def test_linear_mode_runs(tiny_settings):
+    m = measure_bandwidth(mode=AddressingMode.LINEAR, settings=tiny_settings)
+    assert m.bandwidth_gbs > 0
+
+
+def test_cache_returns_identical_object(tiny_settings):
+    pattern = pattern_by_name("4 banks")
+    a = measure_bandwidth_cached(pattern, settings=tiny_settings)
+    b = measure_bandwidth_cached(pattern, settings=tiny_settings)
+    assert a is b
+
+
+def test_settings_scaled():
+    s = ExperimentSettings(warmup_us=30.0, window_us=120.0).scaled(0.5)
+    assert s.warmup_us == 15.0
+    assert s.window_us == 60.0
+
+
+def test_latency_sweep_monotone_bandwidth(tiny_settings):
+    pattern = pattern_by_name("16 vaults")
+    points = run_latency_sweep(
+        pattern, 128, settings=tiny_settings, port_counts=(1, 4, 9)
+    )
+    assert [p.active_ports for p in points] == [1, 4, 9]
+    bws = [p.bandwidth_gbs for p in points]
+    assert bws[0] <= bws[1] * 1.05 and bws[1] <= bws[2] * 1.05
+
+
+def test_stream_latency_aggregates_trials(tiny_settings):
+    result = run_stream_latency(4, 32, settings=tiny_settings, trials=3)
+    assert result.num_requests == 4
+    assert result.min_ns <= result.avg_ns <= result.max_ns
+
+
+def test_thermal_experiment_safe_and_failing(tiny_settings):
+    pattern = pattern_by_name("16 vaults")
+    safe = run_thermal_experiment(
+        pattern, RequestType.READ, CFG1, settings=tiny_settings
+    )
+    assert not safe.failed
+    assert safe.operating_point.surface_c > CFG1.idle_surface_c
+    hot = run_thermal_experiment(
+        pattern, RequestType.WRITE, CFG4, settings=tiny_settings
+    )
+    assert hot.failed
+
+
+def test_thermal_readings_transient(tiny_settings):
+    pattern = pattern_by_name("16 vaults")
+    result = run_thermal_experiment(
+        pattern, RequestType.READ, CFG1, settings=tiny_settings, duration_s=200.0
+    )
+    temps = [r.surface_c for r in result.readings]
+    assert temps[0] == pytest.approx(CFG1.idle_surface_c, abs=0.2)
+    assert all(b >= a - 0.11 for a, b in zip(temps, temps[1:]))
+    assert temps[-1] == pytest.approx(result.operating_point.surface_c, abs=0.3)

@@ -1,0 +1,76 @@
+"""Tests for the Little's-law analysis helpers."""
+
+import pytest
+
+from repro.core.experiment import LatencySweepPoint
+from repro.core.littles_law import (
+    LittlesLawAnalysis,
+    is_saturated,
+    occupancy_bytes,
+    occupancy_requests,
+    saturation_point,
+)
+
+
+def point(ports, bw, lat_ns, mrps=None):
+    # Default MRPS consistent with 128 B reads: bw / 160 B per request.
+    rate = mrps if mrps is not None else bw / 160.0 * 1e3
+    return LatencySweepPoint(
+        active_ports=ports, bandwidth_gbs=bw, mrps=rate, read_latency_avg_ns=lat_ns
+    )
+
+
+def test_occupancy_is_lambda_times_w():
+    p = point(1, 16.0, 1000.0)  # 100 M req/s for 1 us
+    assert occupancy_requests(p) == pytest.approx(100.0)
+    assert occupancy_bytes(p, 144) == pytest.approx(14400.0)
+
+
+def test_saturation_point_picks_knee_not_top():
+    sweep = [
+        point(1, 5.0, 1000.0),
+        point(2, 9.8, 2000.0),  # within 5% of max: the knee
+        point(3, 10.0, 3000.0),
+        point(4, 10.0, 4000.0),
+    ]
+    knee = saturation_point(sweep)
+    assert knee.active_ports == 2
+
+
+def test_saturation_point_tolerance():
+    sweep = [point(1, 9.0, 1.0), point(2, 10.0, 2.0)]
+    assert saturation_point(sweep, tolerance=0.15).active_ports == 1
+    assert saturation_point(sweep, tolerance=0.01).active_ports == 2
+
+
+def test_saturation_point_empty_rejected():
+    with pytest.raises(ValueError):
+        saturation_point([])
+
+
+def test_is_saturated_flat_tail():
+    sweep = [point(1, 5.0, 1.0), point(2, 10.0, 2.0), point(3, 10.1, 3.0)]
+    assert is_saturated(sweep)
+
+
+def test_is_not_saturated_when_still_scaling():
+    sweep = [point(1, 5.0, 1.0), point(2, 10.0, 2.0), point(3, 15.0, 3.0)]
+    assert not is_saturated(sweep)
+
+
+def test_is_saturated_needs_two_points():
+    assert not is_saturated([point(1, 5.0, 1.0)])
+
+
+def test_analysis_from_sweep():
+    sweep = [
+        point(1, 5.0, 1000.0),
+        point(2, 10.0, 2000.0),
+        point(3, 10.0, 3000.0),
+    ]
+    analysis = LittlesLawAnalysis.from_sweep("4 banks", 128, sweep)
+    assert analysis.pattern_name == "4 banks"
+    assert analysis.saturated
+    assert analysis.saturation_bandwidth_gbs == pytest.approx(10.0)
+    assert analysis.saturation_latency_ns == pytest.approx(2000.0)
+    assert analysis.occupancy_requests == pytest.approx(10.0 / 160.0 * 2000.0)

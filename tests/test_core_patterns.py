@@ -1,0 +1,118 @@
+"""Tests for the access-pattern factory (SIV-A), incl. properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.patterns import (
+    FIG6_MASK_POSITIONS,
+    PATTERN_NAMES,
+    eight_bit_mask,
+    make_pattern,
+    pattern_by_name,
+    pattern_footprint,
+    standard_patterns,
+)
+from repro.hmc.address import AddressMapping
+from repro.hmc.config import HMC_1_0, HMC_1_1_4GB
+from repro.hmc.errors import ConfigurationError
+
+MAPPING = AddressMapping(HMC_1_1_4GB)
+
+
+def test_standard_patterns_cover_paper_x_axis():
+    patterns = standard_patterns()
+    assert set(PATTERN_NAMES) == set(patterns)
+
+
+@pytest.mark.parametrize(
+    "name,vaults,banks",
+    [
+        ("1 bank", 1, 1),
+        ("2 banks", 1, 2),
+        ("8 banks", 1, 8),
+        ("1 vault", 1, 16),
+        ("4 vaults", 4, 64),
+        ("16 vaults", 16, 256),
+    ],
+)
+def test_pattern_footprints_enumerated(name, vaults, banks):
+    pattern = pattern_by_name(name)
+    footprint_vaults, footprint_banks = pattern_footprint(pattern.mask, MAPPING)
+    assert footprint_vaults == vaults
+    assert footprint_banks == banks
+    assert pattern.total_banks == banks
+
+
+def test_one_bank_mask_is_papers_7_14():
+    pattern = pattern_by_name("1 bank")
+    assert pattern.mask.clear == eight_bit_mask(7).clear
+
+
+def test_16_vaults_is_identity_mask():
+    assert pattern_by_name("16 vaults").mask.is_identity
+
+
+def test_unknown_pattern_rejected():
+    with pytest.raises(ConfigurationError):
+        pattern_by_name("3 banks")
+
+
+def test_bank_patterns_confined_to_one_vault():
+    with pytest.raises(ConfigurationError):
+        make_pattern(MAPPING, 2, 4)  # 4 banks across 2 vaults is not a paper pattern
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(ConfigurationError):
+        make_pattern(MAPPING, 3, 16)
+
+
+def test_gen1_patterns_respect_smaller_geometry():
+    patterns = standard_patterns(HMC_1_0)
+    # Gen1 tops out at 8 banks/vault, so "8 banks" IS "1 vault" there.
+    assert "8 banks" not in patterns
+    assert "4 banks" in patterns
+    assert "1 vault" in patterns
+    mapping = AddressMapping(HMC_1_0)
+    vaults, banks = pattern_footprint(patterns["1 vault"].mask, mapping)
+    assert (vaults, banks) == (1, 8)
+
+
+def test_fig6_mask_positions_match_paper():
+    assert FIG6_MASK_POSITIONS[0] == ("24-31", 24)
+    assert ("7-14", 7) in FIG6_MASK_POSITIONS
+    assert FIG6_MASK_POSITIONS[-1] == ("0-7", 0)
+
+
+def test_fig6_mask_7_14_hits_one_bank():
+    vaults, banks = pattern_footprint(eight_bit_mask(7), MAPPING)
+    assert (vaults, banks) == (1, 1)
+
+
+def test_fig6_mask_3_10_hits_one_vault_all_banks():
+    vaults, banks = pattern_footprint(eight_bit_mask(3), MAPPING)
+    assert (vaults, banks) == (1, 16)
+
+
+def test_fig6_mask_2_9_hits_two_vaults():
+    vaults, _ = pattern_footprint(eight_bit_mask(2), MAPPING)
+    assert vaults == 2
+
+
+def test_fig6_high_mask_keeps_all_vaults():
+    vaults, banks = pattern_footprint(eight_bit_mask(24), MAPPING)
+    assert (vaults, banks) == (16, 256)
+
+
+valid_footprints = st.sampled_from(
+    [(1, b) for b in (1, 2, 4, 8, 16)] + [(v, 16) for v in (1, 2, 4, 8, 16)]
+)
+
+
+@given(valid_footprints)
+def test_pattern_masks_enumerate_exactly_their_slice(footprint):
+    vaults, banks = footprint
+    pattern = make_pattern(MAPPING, vaults, banks)
+    got_vaults, got_banks = pattern_footprint(pattern.mask, MAPPING)
+    assert got_vaults == vaults
+    assert got_banks == vaults * banks

@@ -1,0 +1,84 @@
+"""Tests for the per-station utilization profiler."""
+
+import math
+
+import pytest
+
+from repro.analysis.bottleneck import BottleneckModel
+from repro.core.experiment import ExperimentSettings
+from repro.core.patterns import pattern_by_name
+from repro.core.profile import profile_workload
+from repro.hmc.packet import RequestType
+
+SETTINGS = ExperimentSettings(warmup_us=10.0, window_us=40.0)
+
+
+def profile(pattern_name, **kwargs):
+    return profile_workload(
+        mask=pattern_by_name(pattern_name).mask, settings=SETTINGS, **kwargs
+    )
+
+
+def test_one_bank_is_bank_bound():
+    result = profile("1 bank")
+    assert "bank" in result.bottleneck.name
+    assert result.bottleneck.utilization > 0.75
+
+
+def test_one_vault_is_vault_bound():
+    result = profile("1 vault")
+    assert "TSV" in result.bottleneck.name
+    assert result.bottleneck.utilization > 0.85
+
+
+def test_distributed_reads_are_rx_bound():
+    result = profile("16 vaults")
+    assert "RX" in result.bottleneck.name
+    assert result.bottleneck.utilization > 0.9
+
+
+def test_measured_and_analytic_bottlenecks_agree():
+    """The DES profiler and the MVA station model must name the same
+    bottleneck class for each pattern."""
+    model = BottleneckModel()
+    expectations = {
+        "2 banks": "banks",
+        "1 vault": "vault data bus",
+        "16 vaults": "link RX",
+    }
+    for pattern_name, analytic_name in expectations.items():
+        analytic = model.predict(pattern_by_name(pattern_name))
+        assert analytic.bottleneck.name == analytic_name
+        measured = profile(pattern_name)
+        keyword = {"banks": "bank", "vault data bus": "TSV", "link RX": "RX"}[
+            analytic_name
+        ]
+        assert keyword in measured.bottleneck.name
+
+
+def test_utilizations_bounded_and_detailed():
+    result = profile("4 banks")
+    for station in result.stations:
+        assert 0.0 <= station.utilization <= 1.0
+    assert any(s.detail for s in result.stations)
+    rows = result.table_rows()
+    utils = [float(r[1].rstrip("%")) for r in rows]
+    assert utils == sorted(utils, reverse=True)
+
+
+def test_profile_carries_measurement():
+    result = profile("16 vaults")
+    assert result.bandwidth_gbs > 15.0
+    assert result.mrps > 80.0
+    assert not math.isnan(result.read_latency_avg_ns)
+
+
+def test_write_profile_shows_tx_pressure():
+    result = profile("16 vaults", request_type=RequestType.WRITE)
+    by_name = {s.name: s for s in result.stations}
+    # Writes push nine flits up the TX path: far busier than for reads.
+    read_result = profile("16 vaults")
+    assert (
+        by_name["link0 TX"].utilization
+        > {s.name: s for s in read_result.stations}["link0 TX"].utilization * 2
+    )

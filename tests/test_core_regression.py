@@ -1,0 +1,69 @@
+"""Tests for the linear-fit helper, incl. properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.regression import LinearFit
+
+coeffs = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+def test_perfect_line_recovered():
+    fit = LinearFit.fit([0, 1, 2, 3], [1, 3, 5, 7])
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.n == 4
+
+
+def test_predict_and_solve_are_inverses():
+    fit = LinearFit.fit([0, 10], [5, 25])
+    assert fit.predict(5.0) == pytest.approx(15.0)
+    assert fit.solve_x(15.0) == pytest.approx(5.0)
+
+
+def test_rise_over():
+    fit = LinearFit.fit([0, 1], [0, 0.2])
+    assert fit.rise_over(5.0, 20.0) == pytest.approx(3.0)
+
+
+def test_noisy_fit_r_squared_below_one():
+    fit = LinearFit.fit([0, 1, 2, 3], [0.0, 1.2, 1.8, 3.1])
+    assert 0.9 < fit.r_squared < 1.0
+
+
+def test_flat_fit_cannot_invert():
+    fit = LinearFit.fit([0, 1, 2], [5, 5, 5])
+    with pytest.raises(ZeroDivisionError):
+        fit.solve_x(7.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LinearFit.fit([1], [2])
+    with pytest.raises(ValueError):
+        LinearFit.fit([1, 2], [1])
+    with pytest.raises(ValueError):
+        LinearFit.fit([2, 2, 2], [1, 2, 3])
+
+
+def test_constant_y_has_perfect_r_squared():
+    fit = LinearFit.fit([0, 1, 2], [4, 4, 4])
+    assert fit.slope == pytest.approx(0.0, abs=1e-12)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+@given(coeffs, coeffs)
+def test_exact_lines_always_recovered(slope, intercept):
+    xs = [0.0, 1.0, 2.5, 7.0]
+    ys = [slope * x + intercept for x in xs]
+    fit = LinearFit.fit(xs, ys)
+    assert fit.slope == pytest.approx(slope, abs=1e-6)
+    assert fit.intercept == pytest.approx(intercept, abs=1e-6)
+
+
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=3, max_size=20))
+def test_r_squared_bounded(ys):
+    xs = list(range(len(ys)))
+    fit = LinearFit.fit(xs, ys)
+    assert fit.r_squared <= 1.0 + 1e-9

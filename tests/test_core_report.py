@@ -1,0 +1,42 @@
+"""Tests for the text-report rendering."""
+
+import pytest
+
+from repro.core.report import paper_vs_measured, render_series, render_table
+
+
+def test_table_alignment_and_title():
+    text = render_table(("a", "bbb"), [[1, 2], [33, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bbb" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert len(lines) == 5
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows same width
+
+
+def test_table_float_formatting():
+    text = render_table(("x",), [[1.5], [2.0], [float("nan")], [12345.6]])
+    assert "1.5" in text
+    assert "2" in text
+    assert "-" in text  # NaN cell
+    assert "12,346" in text
+
+
+def test_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(("a", "b"), [[1]])
+
+
+def test_series_layout():
+    text = render_series("x", [1, 2], [("s1", [10, 20]), ("s2", [30, 40])])
+    lines = text.splitlines()
+    assert "s1" in lines[0] and "s2" in lines[0]
+    assert "10" in lines[2] and "30" in lines[2]
+
+
+def test_paper_vs_measured_line():
+    line = paper_vs_measured("BW", "22", "20.6", note="raw")
+    assert line == "BW: paper=22  measured=20.6  (raw)"
+    assert paper_vs_measured("BW", "22", "20.6") == "BW: paper=22  measured=20.6"

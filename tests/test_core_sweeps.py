@@ -1,0 +1,73 @@
+"""Tests for the sweep runner and CSV export."""
+
+import math
+
+import pytest
+
+from repro.core.sweeps import FIELDS, SweepGrid, load_csv, run_sweep, to_csv
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import RequestType
+
+
+def small_grid():
+    return SweepGrid(
+        patterns=("2 banks", "16 vaults"),
+        request_types=(RequestType.READ, RequestType.WRITE),
+        payload_bytes=(32, 128),
+        active_ports=(None,),
+    )
+
+
+def test_grid_size_and_points():
+    grid = small_grid()
+    assert grid.size == 8
+    assert len(list(grid.points())) == 8
+
+
+def test_grid_validation():
+    with pytest.raises(ConfigurationError):
+        SweepGrid(patterns=())
+
+
+def test_run_sweep_produces_one_record_per_point(tiny_settings):
+    records = run_sweep(small_grid(), settings=tiny_settings)
+    assert len(records) == 8
+    for record in records:
+        assert set(FIELDS) <= set(record)
+        assert record["bandwidth_gbs"] > 0
+
+
+def test_sweep_records_consistent_with_workload(tiny_settings):
+    records = run_sweep(small_grid(), settings=tiny_settings)
+    by_key = {
+        (r["pattern"], r["request_type"], r["payload_bytes"]): r for r in records
+    }
+    assert by_key[("16 vaults", "ro", 128)]["bandwidth_gbs"] > by_key[
+        ("2 banks", "ro", 128)
+    ]["bandwidth_gbs"]
+    assert by_key[("16 vaults", "wo", 128)]["write_fraction"] == 1.0
+    assert math.isnan(by_key[("16 vaults", "wo", 128)]["read_latency_avg_ns"])
+
+
+def test_csv_roundtrip(tiny_settings, tmp_path):
+    records = run_sweep(
+        SweepGrid(patterns=("16 vaults",), payload_bytes=(128,)),
+        settings=tiny_settings,
+    )
+    path = tmp_path / "sweep.csv"
+    text = to_csv(records, path)
+    assert text.splitlines()[0] == ",".join(FIELDS)
+    loaded = load_csv(path)
+    assert len(loaded) == 1
+    assert loaded[0]["pattern"] == "16 vaults"
+    assert float(loaded[0]["bandwidth_gbs"]) == pytest.approx(
+        records[0]["bandwidth_gbs"]
+    )
+
+
+def test_csv_without_file(tiny_settings):
+    records = run_sweep(
+        SweepGrid(patterns=("2 banks",)), settings=tiny_settings
+    )
+    text = to_csv(records)
+    assert "2 banks" in text

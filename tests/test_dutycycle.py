@@ -1,0 +1,97 @@
+"""Tests for the duty-cycle thermal-management model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import RequestType
+from repro.thermal.cooling import CFG1, CFG4
+from repro.thermal.dutycycle import DutyCycleModel
+
+# wo at full bandwidth under the weakest cooling: unsafe when sustained.
+HOT = DutyCycleModel(CFG4, RequestType.WRITE, 14.5)
+SAFE = DutyCycleModel(CFG1, RequestType.READ, 20.6)
+
+duties = st.floats(min_value=0.05, max_value=0.95)
+periods = st.floats(min_value=1.0, max_value=600.0)
+
+
+def test_sustained_operation_matches_thermal_model():
+    outcome = HOT.steady_state(duty=1.0, period_s=60.0)
+    assert outcome.peak_surface_c == pytest.approx(HOT.active_steady_c, abs=0.5)
+    assert not outcome.thermally_safe
+
+
+def test_idle_operation_stays_at_idle():
+    outcome = HOT.steady_state(duty=0.0, period_s=60.0)
+    assert outcome.peak_surface_c == pytest.approx(CFG4.idle_surface_c, abs=0.2)
+    assert outcome.average_bandwidth_gbs == 0.0
+
+
+def test_duty_cycling_tames_an_unsafe_workload():
+    """Cfg4 idles at 71.6 degC against a 75 degC write bound, so only a
+    small duty factor fits - but it exists, where sustained writes fail."""
+    sustained = HOT.steady_state(1.0, 60.0)
+    bursty = HOT.steady_state(0.1, 10.0)
+    assert not sustained.thermally_safe
+    assert bursty.thermally_safe
+    assert bursty.peak_surface_c < sustained.peak_surface_c
+    assert bursty.average_bandwidth_gbs == pytest.approx(14.5 * 0.1)
+
+
+@given(duties, periods)
+def test_peak_bounded_by_extremes(duty, period):
+    outcome = HOT.steady_state(duty, period)
+    assert CFG4.idle_surface_c - 0.01 <= outcome.peak_surface_c
+    assert outcome.peak_surface_c <= HOT.active_steady_c + 0.01
+    assert outcome.trough_surface_c <= outcome.peak_surface_c + 1e-9
+
+
+@given(periods)
+def test_peak_monotone_in_duty(period):
+    peaks = [HOT.steady_state(d, period).peak_surface_c for d in (0.2, 0.5, 0.8)]
+    assert peaks[0] <= peaks[1] + 1e-6 <= peaks[2] + 2e-6
+
+
+def test_short_periods_average_the_power():
+    """Fast switching smooths the swing; slow switching rides to peaks."""
+    fast = HOT.steady_state(0.5, 0.5)
+    slow = HOT.steady_state(0.5, 300.0)
+    assert fast.swing_c < slow.swing_c
+    assert fast.peak_surface_c < slow.peak_surface_c
+
+
+def test_max_safe_duty_for_safe_workload_is_one():
+    assert SAFE.max_safe_duty(period_s=10.0) == 1.0
+
+
+def test_max_safe_duty_binds_for_hot_workload():
+    duty = HOT.max_safe_duty(period_s=10.0)
+    assert 0.0 < duty < 1.0
+    outcome = HOT.steady_state(duty, 10.0)
+    assert outcome.thermally_safe
+    hotter = HOT.steady_state(min(1.0, duty + 0.1), 10.0)
+    assert hotter.peak_surface_c > outcome.peak_surface_c
+
+
+def test_longer_periods_allow_less_duty():
+    short = HOT.max_safe_duty(period_s=2.0)
+    long = HOT.max_safe_duty(period_s=200.0)
+    assert long < short
+
+
+def test_trajectory_shape():
+    points = HOT.trajectory(duty=0.5, period_s=20.0, cycles=3)
+    assert len(points) == 3 * 2 * 8
+    times = [t for t, _ in points]
+    assert times == sorted(times)
+    temps = [c for _, c in points]
+    assert max(temps) <= HOT.active_steady_c + 1e-6
+    assert min(temps) >= CFG4.idle_surface_c - 1e-6
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        HOT.steady_state(1.5, 10.0)
+    with pytest.raises(ConfigurationError):
+        HOT.steady_state(0.5, 0.0)

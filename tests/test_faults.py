@@ -1,0 +1,114 @@
+"""Tests for link fault injection and the retry path."""
+
+import pytest
+
+from repro.faults import LinkFaultModel
+from repro.fpga.board import AC510Board
+from repro.fpga.gups import PortConfig
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import Request
+
+
+def run_with_faults(error_rate, duration_ns=40000.0, seed=5):
+    board = AC510Board()
+    if error_rate is not None:
+        board.controller.fault_model = LinkFaultModel(
+            flit_error_rate=error_rate, seed=seed
+        )
+    gups = board.load_gups(PortConfig(payload_bytes=128))
+    gups.start()
+    board.sim.run(until=duration_ns / 4)
+    board.controller.begin_measurement()
+    board.sim.run(until=duration_ns)
+    board.controller.end_measurement()
+    gups.stop()
+    board.sim.run()
+    return board
+
+
+# ----------------------------------------------------------------------
+# model math
+# ----------------------------------------------------------------------
+def test_packet_error_probability_compounds_per_flit():
+    model = LinkFaultModel(flit_error_rate=0.01)
+    single = model.packet_error_probability(1)
+    assert single == pytest.approx(0.01)
+    assert model.packet_error_probability(10) == pytest.approx(
+        1 - 0.99**10
+    )
+    assert model.packet_error_probability(10) > single
+
+
+def test_zero_rate_never_fails():
+    model = LinkFaultModel(flit_error_rate=0.0)
+    request = Request(address=0, payload_bytes=128, is_write=False, port=0)
+    assert not any(model.transaction_fails(request) for _ in range(100))
+    assert model.retries == 0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        LinkFaultModel(flit_error_rate=1.0)
+    with pytest.raises(ConfigurationError):
+        LinkFaultModel(flit_error_rate=-0.1)
+    with pytest.raises(ConfigurationError):
+        LinkFaultModel(retry_latency_ns=-1.0)
+    with pytest.raises(ConfigurationError):
+        LinkFaultModel(max_retries=0)
+
+
+def test_retry_counting_per_transaction():
+    model = LinkFaultModel(flit_error_rate=0.9999, seed=1, max_retries=3)
+    request = Request(address=0, payload_bytes=128, is_write=False, port=0)
+    assert model.transaction_fails(request)
+    assert model.transactions_affected == 1
+    assert model.transaction_fails(request)
+    assert model.transactions_affected == 1  # same transaction
+    assert model.retries == 2
+    model.transaction_fails(request)
+    with pytest.raises(RuntimeError):
+        model.transaction_fails(request)  # exceeds max_retries
+
+
+# ----------------------------------------------------------------------
+# closed-loop behaviour
+# ----------------------------------------------------------------------
+def test_no_faults_baseline_unchanged():
+    clean = run_with_faults(None)
+    zero = run_with_faults(0.0)
+    assert clean.controller.bandwidth_gbs == pytest.approx(
+        zero.controller.bandwidth_gbs
+    )
+
+
+def test_faults_conserve_requests():
+    board = run_with_faults(0.002)
+    controller = board.controller
+    assert controller.submitted == controller.completed
+    assert controller.outstanding == 0
+    assert board.controller.fault_model.retries > 0
+
+
+def test_faults_stretch_latency_tail():
+    clean = run_with_faults(None)
+    faulty = run_with_faults(0.002)
+    clean_max = clean.controller.read_latency.stats.maximum
+    faulty_max = faulty.controller.read_latency.stats.maximum
+    assert faulty_max > clean_max
+    assert (
+        faulty.controller.read_latency.stats.mean
+        > clean.controller.read_latency.stats.mean
+    )
+
+
+def test_faults_cost_bandwidth():
+    clean = run_with_faults(None)
+    very_faulty = run_with_faults(0.01)
+    assert very_faulty.controller.bandwidth_gbs < clean.controller.bandwidth_gbs
+
+
+def test_fault_injection_deterministic():
+    a = run_with_faults(0.003, seed=9)
+    b = run_with_faults(0.003, seed=9)
+    assert a.controller.bandwidth_gbs == pytest.approx(b.controller.bandwidth_gbs)
+    assert a.controller.fault_model.retries == b.controller.fault_model.retries

@@ -1,0 +1,91 @@
+"""Tests for the GUPS address generators, incl. hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fpga.address_gen import AddressGenerator, AddressingMode
+from repro.hmc.address import AddressMask
+from repro.hmc.errors import ConfigurationError
+
+CAPACITY = 4 << 30
+payload_sizes = st.sampled_from((16, 32, 48, 64, 80, 96, 112, 128))
+
+
+def test_linear_walks_by_container_stride():
+    gen = AddressGenerator(CAPACITY, 128, AddressingMode.LINEAR)
+    assert [gen.next() for _ in range(3)] == [0, 128, 256]
+
+
+def test_linear_nonpow2_request_uses_container():
+    gen = AddressGenerator(CAPACITY, 112, AddressingMode.LINEAR)
+    assert gen.stride == 128
+    assert [gen.next() for _ in range(3)] == [0, 128, 256]
+
+
+def test_linear_wraps_at_capacity():
+    gen = AddressGenerator(
+        CAPACITY, 128, AddressingMode.LINEAR, start=CAPACITY - 128
+    )
+    assert gen.next() == CAPACITY - 128
+    assert gen.next() == 0
+
+
+def test_random_is_deterministic_per_seed():
+    a = AddressGenerator(CAPACITY, 128, AddressingMode.RANDOM, seed=3)
+    b = AddressGenerator(CAPACITY, 128, AddressingMode.RANDOM, seed=3)
+    c = AddressGenerator(CAPACITY, 128, AddressingMode.RANDOM, seed=4)
+    sa = [a.next() for _ in range(50)]
+    assert sa == [b.next() for _ in range(50)]
+    assert sa != [c.next() for _ in range(50)]
+
+
+@given(payload_sizes, st.integers(min_value=0, max_value=2**31))
+def test_random_addresses_aligned_and_in_range(payload, seed):
+    gen = AddressGenerator(CAPACITY, payload, AddressingMode.RANDOM, seed=seed)
+    for _ in range(20):
+        address = gen.next()
+        assert 0 <= address < CAPACITY
+        assert address % gen.stride == 0
+
+
+@given(payload_sizes)
+def test_mask_applied_to_generated_addresses(payload):
+    mask = AddressMask.clearing_bits(7, 14)
+    gen = AddressGenerator(CAPACITY, payload, AddressingMode.RANDOM, mask=mask, seed=1)
+    for _ in range(20):
+        assert gen.next() & 0x7F80 == 0
+
+
+def test_anti_mask_sets_bits():
+    mask = AddressMask(set=1 << 7)
+    gen = AddressGenerator(CAPACITY, 128, AddressingMode.RANDOM, mask=mask, seed=1)
+    for _ in range(10):
+        assert gen.next() & (1 << 7)
+
+
+def test_peek_many_restores_state():
+    gen = AddressGenerator(CAPACITY, 128, AddressingMode.RANDOM, seed=9)
+    preview = gen.peek_many(5)
+    assert [gen.next() for _ in range(5)] == preview
+    lin = AddressGenerator(CAPACITY, 128, AddressingMode.LINEAR)
+    assert lin.peek_many(3) == [0, 128, 256]
+    assert lin.next() == 0
+
+
+def test_misaligned_start_snaps_down():
+    gen = AddressGenerator(CAPACITY, 128, AddressingMode.LINEAR, start=200)
+    assert gen.next() == 128
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        AddressGenerator(1000, 128)  # capacity not a power of two
+    with pytest.raises(ConfigurationError):
+        AddressGenerator(CAPACITY, 0)
+
+
+def test_mode_labels():
+    assert AddressingMode.from_label("linear") is AddressingMode.LINEAR
+    assert AddressingMode.from_label("random") is AddressingMode.RANDOM
+    with pytest.raises(ValueError):
+        AddressingMode.from_label("stride")

@@ -1,0 +1,110 @@
+"""Tests for the FPGA-side HMC controller (TX/RX, flow control)."""
+
+import pytest
+
+from repro.fpga.board import AC510Board
+from repro.hmc.packet import Request
+
+
+def submit_and_run(board, request):
+    board.controller.submit(request)
+    board.sim.run()
+    return request
+
+
+def test_latency_clock_starts_at_submit():
+    board = AC510Board()
+    request = Request(address=0, payload_bytes=128, is_write=False, port=0)
+    board.sim.schedule(100.0, board.controller.submit, request)
+    board.sim.run()
+    assert request.submit_ns == pytest.approx(100.0)
+    assert request.complete_ns > request.submit_ns
+
+
+def test_no_load_roundtrip_near_paper_values():
+    """SIV-E2: minimum RTT ~655 ns at 16 B, ~711 ns at 128 B (the GUPS
+    path, without the stream interface, runs slightly below those)."""
+    board = AC510Board()
+    small = submit_and_run(
+        board, Request(address=0, payload_bytes=16, is_write=False, port=0)
+    )
+    large = submit_and_run(
+        AC510Board(), Request(address=0, payload_bytes=128, is_write=False, port=0)
+    )
+    assert 560 <= small.latency_ns <= 700
+    assert 620 <= large.latency_ns <= 770
+    assert large.latency_ns - small.latency_ns == pytest.approx(56, abs=35)
+
+
+def test_ports_split_across_links_in_groups_of_five():
+    board = AC510Board()
+    controller = board.controller
+    assert [controller.link_for_port(p) for p in range(9)] == [0] * 5 + [1] * 4
+
+
+def test_outstanding_counting():
+    board = AC510Board()
+    request = Request(address=0, payload_bytes=16, is_write=False, port=0)
+    board.controller.submit(request)
+    assert board.controller.outstanding == 1
+    board.sim.run()
+    assert board.controller.outstanding == 0
+    assert board.controller.submitted == 1
+    assert board.controller.completed == 1
+
+
+def test_flow_control_stop_and_resume():
+    board = AC510Board()
+    controller = board.controller
+    threshold = board.calibration.flow_control_threshold
+    controller.outstanding = threshold  # simulate a saturated controller
+    assert not controller.can_generate
+    woken = []
+    controller.park_until_resume(lambda: woken.append(1))
+    controller._maybe_resume_one()
+    board.sim.run()
+    assert not woken  # still at threshold
+    controller.outstanding = threshold - 1
+    controller._maybe_resume_one()
+    board.sim.run()
+    assert woken == [1]
+
+
+def test_measurement_window_captures_only_window_traffic():
+    board = AC510Board()
+    # One completion before the window, one inside it.
+    submit_and_run(board, Request(address=0, payload_bytes=16, is_write=False, port=0))
+    board.controller.begin_measurement()
+    submit_and_run(board, Request(address=64, payload_bytes=16, is_write=False, port=0))
+    board.controller.end_measurement()
+    assert board.controller.reads_completed_in_window == 1
+    assert board.controller.traffic.events == 1
+    assert board.controller.traffic.bytes == 48  # 16 B payload + 2 flits
+
+
+def test_write_latency_sampled_separately():
+    board = AC510Board()
+    board.controller.begin_measurement()
+    submit_and_run(board, Request(address=0, payload_bytes=16, is_write=True, port=0))
+    board.controller.end_measurement()
+    assert board.controller.writes_completed_in_window == 1
+    assert board.controller.write_latency.stats.count == 1
+    assert board.controller.read_latency.stats.count == 0
+
+
+def test_completion_routed_to_registered_port_handler():
+    board = AC510Board()
+    got = []
+    board.controller.register_port(4, got.append)
+    request = Request(address=0, payload_bytes=16, is_write=False, port=4)
+    submit_and_run(board, request)
+    assert got == [request]
+
+
+def test_bandwidth_property_uses_raw_bytes():
+    board = AC510Board()
+    board.controller.begin_measurement()
+    submit_and_run(board, Request(address=0, payload_bytes=128, is_write=False, port=0))
+    board.controller.end_measurement()
+    window = board.controller.traffic.window_ns
+    assert board.controller.bandwidth_gbs == pytest.approx(160.0 / window)

@@ -1,0 +1,105 @@
+"""Tests for the GUPS traffic generators."""
+
+import pytest
+
+from repro.fpga.address_gen import AddressingMode
+from repro.fpga.board import AC510Board
+from repro.fpga.gups import PortConfig
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import RequestType
+
+
+def run_gups(config, active_ports=None, duration_ns=20000.0):
+    board = AC510Board()
+    gups = board.load_gups(config, active_ports=active_ports)
+    gups.start()
+    board.sim.run(until=duration_ns)
+    gups.stop()
+    return board, gups
+
+
+def test_read_only_issues_only_reads():
+    board, gups = run_gups(PortConfig(request_type=RequestType.READ))
+    assert gups.reads_issued > 0
+    assert gups.writes_issued == 0
+
+
+def test_write_only_issues_only_writes():
+    board, gups = run_gups(PortConfig(request_type=RequestType.WRITE))
+    assert gups.writes_issued > 0
+    assert gups.reads_issued == 0
+
+
+def test_rw_pairs_reads_with_writebacks():
+    board, gups = run_gups(PortConfig(request_type=RequestType.READ_MODIFY_WRITE))
+    assert gups.reads_issued > 0
+    assert gups.writes_issued > 0
+    # Writes trail reads but stay within the in-flight window.
+    assert gups.writes_issued <= gups.reads_issued
+    assert gups.reads_issued - gups.writes_issued < 700
+
+
+def test_small_scale_activates_subset():
+    board, gups = run_gups(PortConfig(), active_ports=2, duration_ns=5000.0)
+    active = [p for p in gups.ports if p.reads_issued or p.writes_issued]
+    assert {p.index for p in active} == {0, 1}
+
+
+def test_active_ports_bounds():
+    board = AC510Board()
+    with pytest.raises(ConfigurationError):
+        board.load_gups(PortConfig(), active_ports=0)
+    with pytest.raises(ConfigurationError):
+        board.load_gups(PortConfig(), active_ports=10)
+
+
+def test_tag_pool_bounds_outstanding_reads():
+    board, gups = run_gups(PortConfig(), active_ports=1, duration_ns=50000.0)
+    port = gups.ports[0]
+    assert port.read_tags.peak_in_use <= board.calibration.read_tag_pool_depth
+
+
+def test_flow_control_bounds_total_outstanding():
+    board, gups = run_gups(PortConfig(payload_bytes=128), duration_ns=100000.0)
+    # Outstanding can exceed the stop threshold only by the in-flight
+    # margin of nine ports reacting one cycle late.
+    assert board.controller.outstanding <= board.calibration.flow_control_threshold + 9
+
+
+def test_linear_ports_partition_address_space():
+    board = AC510Board()
+    gups = board.load_gups(PortConfig(mode=AddressingMode.LINEAR))
+    starts = {port.generator.peek_many(1)[0] for port in gups.ports}
+    assert len(starts) == len(gups.ports)
+
+
+def test_random_ports_have_distinct_seeds():
+    board = AC510Board()
+    gups = board.load_gups(PortConfig(mode=AddressingMode.RANDOM, seed=5))
+    first = [port.generator.peek_many(4) for port in gups.ports]
+    assert len({tuple(f) for f in first}) == len(gups.ports)
+
+
+def test_stopped_port_stops_issuing():
+    board = AC510Board()
+    gups = board.load_gups(PortConfig(), active_ports=1)
+    gups.start()
+    board.sim.run(until=2000.0)
+    issued = gups.reads_issued
+    gups.stop()
+    board.sim.run()
+    # In-flight work drains but no new requests are generated.
+    assert gups.reads_issued <= issued + 1
+    assert board.controller.outstanding == 0
+
+
+def test_determinism_same_seed_same_traffic():
+    def run_once():
+        board, gups = run_gups(PortConfig(seed=11), duration_ns=30000.0)
+        return (
+            gups.reads_issued,
+            board.controller.completed,
+            board.sim.events_processed,
+        )
+
+    assert run_once() == run_once()

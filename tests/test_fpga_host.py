@@ -1,0 +1,51 @@
+"""Tests for the host-side (Pico API / EX700) models."""
+
+import pytest
+
+from repro.core.experiment import measure_bandwidth
+from repro.fpga.host import EX700Config, PicoApiConfig, PicoHost
+from repro.hmc.errors import ConfigurationError
+
+
+def test_ex700_aggregate_capped_by_host_link():
+    backplane = EX700Config()
+    assert backplane.aggregate_module_gbs(1) == pytest.approx(7.88)
+    assert backplane.aggregate_module_gbs(4) == pytest.approx(31.52)
+    assert backplane.aggregate_module_gbs(6) == pytest.approx(32.0)  # x16 cap
+
+
+def test_ex700_module_count_validated():
+    with pytest.raises(ConfigurationError):
+        EX700Config().aggregate_module_gbs(0)
+    with pytest.raises(ConfigurationError):
+        EX700Config().aggregate_module_gbs(7)
+
+
+def test_software_reads_complete_and_account():
+    host = PicoHost()
+    result = host.software_read_sweep(20, payload_bytes=128)
+    assert result.operations == 20
+    assert result.hmc_rtt_avg_ns > 600  # the HMC round trip is in there
+    assert result.per_operation_us > 2.0  # dominated by driver overhead
+
+
+def test_software_path_lacks_sufficient_speed(tiny_settings):
+    """The paper's §III-B claim: software cannot measure HMC bandwidth."""
+    software = PicoHost().software_read_sweep(20, payload_bytes=128)
+    gups = measure_bandwidth(payload_bytes=128, settings=tiny_settings)
+    assert software.bandwidth_gbs < 0.1
+    assert gups.bandwidth_gbs / software.bandwidth_gbs > 100
+
+
+def test_driver_overhead_dominates_elapsed():
+    api = PicoApiConfig(driver_overhead_us=10.0)
+    result = PicoHost(api=api).software_read_sweep(5, payload_bytes=16)
+    assert result.per_operation_us == pytest.approx(10.0, rel=0.2)
+
+
+def test_software_read_validation():
+    host = PicoHost()
+    with pytest.raises(ConfigurationError):
+        host.software_read_sweep(0)
+    with pytest.raises(ConfigurationError):
+        host.software_read_sweep(5, payload_bytes=100)

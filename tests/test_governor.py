@@ -1,0 +1,104 @@
+"""Tests for the online thermal governor (in-simulation shutdown)."""
+
+import pytest
+
+from repro.fpga.board import AC510Board
+from repro.fpga.gups import PortConfig
+from repro.hmc.packet import RequestType
+from repro.thermal.cooling import CFG1, CFG4
+from repro.thermal.governor import ThermalGovernor
+from repro.thermal.failure import RecoveryProcedure
+
+
+SENTINEL_ADDRESS = 0x3FFFFFF0
+
+
+def run_governed(cooling, request_type, time_scale, duration_ns=120000.0):
+    board = AC510Board()
+    board.device.enable_data_store()
+    board.device.store[SENTINEL_ADDRESS] = b"precious checkpointed data"
+    gups = board.load_gups(PortConfig(request_type=request_type, payload_bytes=128))
+    events = []
+
+    def on_shutdown(error):
+        # The runtime reaction the paper describes: stop traffic, reset.
+        gups.stop()
+        board.device.reset()
+        events.append(error)
+
+    governor = ThermalGovernor(
+        board.sim,
+        board.controller,
+        cooling,
+        request_type=request_type,
+        time_scale=time_scale,
+        on_shutdown=on_shutdown,
+    )
+    gups.start()
+    governor.start()
+    board.sim.run(until=duration_ns)
+    gups.stop()
+    governor.stop()
+    board.sim.run()
+    return board, governor, events
+
+
+def test_reads_under_good_cooling_never_trip():
+    board, governor, events = run_governed(CFG1, RequestType.READ, time_scale=1e6)
+    assert not governor.tripped
+    assert events == []
+    assert board.device.store[SENTINEL_ADDRESS] == b"precious checkpointed data"
+    assert len(governor.samples) > 5
+    # Temperature converged near the analytic steady state.
+    final = governor.samples[-1].surface_c
+    assert CFG1.idle_surface_c < final < 50.0
+
+
+def test_writes_under_weak_cooling_trip_the_governor():
+    board, governor, events = run_governed(CFG4, RequestType.WRITE, time_scale=1e6)
+    assert governor.tripped
+    assert len(events) == 1
+    error = events[0]
+    assert error.surface_temp_c >= error.threshold_c
+    assert error.threshold_c == pytest.approx(75.0)
+    # The shutdown reaction drained the traffic and lost DRAM contents.
+    assert board.controller.outstanding == 0
+    assert SENTINEL_ADDRESS not in board.device.store
+
+
+def test_temperature_rises_monotonically_toward_steady_state():
+    board, governor, _ = run_governed(CFG1, RequestType.READ, time_scale=2e5)
+    temps = [s.surface_c for s in governor.samples]
+    assert all(b >= a - 1e-9 for a, b in zip(temps, temps[1:]))
+
+
+def test_write_fraction_observed():
+    board, governor, _ = run_governed(
+        CFG1, RequestType.READ_MODIFY_WRITE, time_scale=1e5
+    )
+    fractions = [s.write_fraction for s in governor.samples if s.bandwidth_gbs > 0]
+    assert fractions
+    assert 0.35 <= fractions[-1] <= 0.65
+
+
+def test_physical_time_scale_barely_heats_in_microseconds():
+    board, governor, _ = run_governed(CFG4, RequestType.WRITE, time_scale=1.0)
+    assert not governor.tripped
+    assert governor.surface_c == pytest.approx(CFG4.idle_surface_c, abs=0.1)
+
+
+def test_governor_then_recovery_roundtrip():
+    board, governor, events = run_governed(CFG4, RequestType.WRITE, time_scale=1e6)
+    assert governor.tripped
+    procedure = RecoveryProcedure(board.device)
+    seconds = procedure.run_all()
+    assert procedure.complete
+    assert seconds > 60
+
+
+def test_governor_validation():
+    board = AC510Board()
+    with pytest.raises(ValueError):
+        ThermalGovernor(board.sim, board.controller, CFG1, sample_interval_us=0.0)
+    with pytest.raises(ValueError):
+        ThermalGovernor(board.sim, board.controller, CFG1, time_scale=0.0)

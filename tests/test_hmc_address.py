@@ -1,0 +1,218 @@
+"""Tests for the address mapping (Figure 3, SII-C), incl. properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hmc.address import (
+    ADDRESS_FIELD_BITS,
+    AddressMapping,
+    AddressMask,
+    OS_PAGE_BYTES,
+)
+from repro.hmc.config import HMC_1_0, HMC_1_1_4GB
+from repro.hmc.errors import AddressRangeError, ConfigurationError
+
+MAPPING = AddressMapping(HMC_1_1_4GB)  # default 128 B max block
+
+
+# ----------------------------------------------------------------------
+# field layout (Figure 3)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "max_block,vault_low,bank_low,bank_end",
+    [(128, 7, 11, 15), (64, 6, 10, 14), (32, 5, 9, 13), (16, 4, 8, 12)],
+)
+def test_field_positions_match_figure_3(max_block, vault_low, bank_low, bank_end):
+    mapping = AddressMapping(HMC_1_1_4GB, max_block_bytes=max_block)
+    layout = mapping.field_layout()
+    assert layout["vault_in_quadrant"][0] == vault_low
+    assert layout["bank"] == (bank_low, bank_end)
+    assert layout["ignored"] == (0, 4)
+
+
+def test_invalid_max_block_rejected():
+    with pytest.raises(ConfigurationError):
+        AddressMapping(HMC_1_1_4GB, max_block_bytes=256)
+
+
+# ----------------------------------------------------------------------
+# decode behaviour
+# ----------------------------------------------------------------------
+def test_low_order_interleaving_walks_vaults_first():
+    """Sequential 128 B blocks spread across the 16 vaults, then banks."""
+    vaults = [MAPPING.decode(i * 128).vault for i in range(16)]
+    assert vaults == list(range(16))
+    assert MAPPING.decode(16 * 128).vault == 0
+    assert MAPPING.decode(16 * 128).bank == 1
+
+
+def test_quadrant_is_high_bits_of_vault_field():
+    decoded = MAPPING.decode(5 * 128)
+    assert decoded.vault == 5
+    assert decoded.quadrant == 1  # vaults 4-7 are quadrant 1
+    assert decoded.vault_in_quadrant == 1
+
+
+def test_high_order_bits_ignored():
+    """Bits above device capacity are ignored (34-bit field, 4 GB part)."""
+    base = MAPPING.decode(0x1234560)
+    aliased = MAPPING.decode(0x1234560 | (3 << 32))
+    assert (base.vault, base.bank, base.row) == (aliased.vault, aliased.bank, aliased.row)
+
+
+def test_address_beyond_field_rejected():
+    with pytest.raises(AddressRangeError):
+        MAPPING.decode(1 << ADDRESS_FIELD_BITS)
+    with pytest.raises(AddressRangeError):
+        MAPPING.decode(-1)
+
+
+addresses = st.integers(min_value=0, max_value=HMC_1_1_4GB.capacity_bytes - 1)
+
+
+@given(addresses)
+def test_decode_fields_in_range(address):
+    decoded = MAPPING.decode(address)
+    assert 0 <= decoded.vault < 16
+    assert 0 <= decoded.quadrant < 4
+    assert 0 <= decoded.bank < 16
+    assert 0 <= decoded.block_offset < 128
+    assert 0 <= decoded.row < HMC_1_1_4GB.rows_per_bank
+
+
+@given(addresses)
+def test_decode_encode_roundtrip(address):
+    decoded = MAPPING.decode(address)
+    rebuilt = MAPPING.encode(
+        decoded.vault,
+        decoded.bank,
+        upper=address >> MAPPING.row_low,
+        block_offset=decoded.block_offset,
+    )
+    assert rebuilt == address
+
+
+@given(addresses)
+def test_same_max_block_same_bank_and_row(address):
+    """All bytes of one max block live in the same vault/bank/row."""
+    base = address & ~127
+    first = MAPPING.decode(base)
+    last = MAPPING.decode(base + 127)
+    assert (first.vault, first.bank, first.row) == (last.vault, last.bank, last.row)
+
+
+def test_encode_rejects_out_of_range():
+    with pytest.raises(AddressRangeError):
+        MAPPING.encode(16, 0)
+    with pytest.raises(AddressRangeError):
+        MAPPING.encode(0, 16)
+    with pytest.raises(AddressRangeError):
+        MAPPING.encode(0, 0, block_offset=128)
+
+
+# ----------------------------------------------------------------------
+# page-level abstractions (SII-C)
+# ----------------------------------------------------------------------
+def test_os_page_spans_two_banks_in_every_vault():
+    vaults, banks = MAPPING.page_footprint(0)
+    assert len(vaults) == 16
+    assert len(banks) == 32  # two banks per vault
+
+
+def test_pages_for_full_blp_is_128():
+    assert MAPPING.pages_for_full_blp() == 128
+
+
+def test_smaller_max_block_raises_page_blp():
+    """Reducing max block size spreads a page over more banks (SII-C)."""
+    mapping64 = AddressMapping(HMC_1_1_4GB, max_block_bytes=64)
+    _, banks = mapping64.page_footprint(0)
+    assert len(banks) == 64
+
+
+def test_gen1_mapping_has_three_bank_bits():
+    mapping = AddressMapping(HMC_1_0)
+    layout = mapping.field_layout()
+    assert layout["bank"][1] - layout["bank"][0] == 3
+
+
+# ----------------------------------------------------------------------
+# masks
+# ----------------------------------------------------------------------
+def test_mask_clearing_bits():
+    mask = AddressMask.clearing_bits(7, 14)
+    assert mask.apply(0xFFFF) == 0xFFFF & ~0x7F80
+
+
+def test_paper_mask_7_14_forces_bank0_vault0():
+    mask = AddressMask.clearing_bits(7, 14)
+    for address in (0x12345678, 0xFEDCBA0, 0x7FFFFF0):
+        decoded = MAPPING.decode(mask.apply(address))
+        assert decoded.vault == 0
+        assert decoded.quadrant == 0
+        assert decoded.bank == 0
+
+
+def test_anti_mask_sets_bits():
+    mask = AddressMask(set=1 << 7)
+    assert MAPPING.decode(mask.apply(0)).vault == 1
+
+
+def test_mask_overlap_rejected():
+    with pytest.raises(ConfigurationError):
+        AddressMask(clear=0b1100, set=0b0100)
+
+
+def test_mask_identity():
+    assert AddressMask().is_identity
+    assert not AddressMask(clear=1).is_identity
+
+
+@given(addresses, st.integers(min_value=0, max_value=25))
+def test_clear_mask_is_idempotent(address, low):
+    mask = AddressMask.clearing_bits(low, low + 7)
+    once = mask.apply(address)
+    assert mask.apply(once) == once
+
+
+# ----------------------------------------------------------------------
+# interleave fine-tuning (SII-C "the user may fine-tune the mapping")
+# ----------------------------------------------------------------------
+def test_bank_first_interleave_swaps_fields():
+    mapping = AddressMapping(HMC_1_1_4GB, interleave="bank-first")
+    layout = mapping.field_layout()
+    assert layout["bank"] == (7, 11)
+    assert layout["vault_in_quadrant"][0] == 11
+
+
+def test_bank_first_page_confined_to_two_vaults():
+    mapping = AddressMapping(HMC_1_1_4GB, interleave="bank-first")
+    vaults, banks = mapping.page_footprint(0)
+    assert len(vaults) == 2
+    assert len(banks) == 32
+
+
+def test_bank_first_sequential_blocks_walk_banks_first():
+    mapping = AddressMapping(HMC_1_1_4GB, interleave="bank-first")
+    first = [mapping.decode(i * 128) for i in range(16)]
+    assert [d.bank for d in first] == list(range(16))
+    assert all(d.vault == 0 for d in first)
+    assert mapping.decode(16 * 128).vault == 1
+
+
+@given(addresses)
+def test_bank_first_roundtrip(address):
+    mapping = AddressMapping(HMC_1_1_4GB, interleave="bank-first")
+    decoded = mapping.decode(address)
+    rebuilt = mapping.encode(
+        decoded.vault,
+        decoded.bank,
+        upper=address >> mapping.row_low,
+        block_offset=decoded.block_offset,
+    )
+    assert rebuilt == address
+
+
+def test_invalid_interleave_rejected():
+    with pytest.raises(ConfigurationError):
+        AddressMapping(HMC_1_1_4GB, interleave="row-first")

@@ -1,0 +1,112 @@
+"""Tests for the HMC structural configurations (Table I, Eq. 1-2)."""
+
+import pytest
+
+from repro.hmc.config import (
+    ALL_PRESETS,
+    HMC_1_0,
+    HMC_1_1_2GB,
+    HMC_1_1_4GB,
+    HMC_2_0_4GB,
+    HMC_2_0_8GB,
+    HMCConfig,
+    LinkConfig,
+    GBYTE,
+    MBYTE,
+)
+from repro.hmc.errors import ConfigurationError
+
+
+def test_equation_1_bank_count():
+    """#Banks = 8 layers x 16 partitions x 2 banks = 256 (paper Eq. 1)."""
+    assert HMC_1_1_4GB.num_banks == 256
+
+
+def test_equation_2_peak_bandwidth():
+    """Two half-width 15 Gbps links = 60 GB/s bi-directional (Eq. 2)."""
+    assert HMC_1_1_4GB.links.peak_bandwidth_gbs == pytest.approx(60.0)
+
+
+def test_gen1_structure():
+    assert HMC_1_0.capacity_bytes == 512 * MBYTE
+    assert HMC_1_0.num_banks == 128
+    assert HMC_1_0.bank_bytes == 4 * MBYTE
+    assert HMC_1_0.partition_bytes == 8 * MBYTE
+    assert HMC_1_0.banks_per_vault == 8
+
+
+def test_gen2_4gb_structure():
+    cfg = HMC_1_1_4GB
+    assert cfg.capacity_bytes == 4 * GBYTE
+    assert cfg.bank_bytes == 16 * MBYTE
+    assert cfg.partition_bytes == 32 * MBYTE
+    assert cfg.banks_per_vault == 16
+    assert cfg.vaults_per_quadrant == 4
+    assert cfg.rows_per_bank == 16 * MBYTE // 256
+
+
+def test_gen2_2gb_structure():
+    assert HMC_1_1_2GB.capacity_bytes == 2 * GBYTE
+    assert HMC_1_1_2GB.num_banks == 128
+
+
+def test_hmc20_structure():
+    assert HMC_2_0_4GB.num_vaults == 32
+    assert HMC_2_0_4GB.vaults_per_quadrant == 8
+    assert HMC_2_0_4GB.num_banks == 256
+    assert HMC_2_0_8GB.num_banks == 512
+    assert HMC_2_0_8GB.bank_bytes == 16 * MBYTE
+    assert HMC_2_0_8GB.partition_bytes == 32 * MBYTE
+
+
+def test_page_size_smaller_than_ddr4():
+    """HMC rows are 256 B; DDR4 rows are 512-2048 B (paper SII-C)."""
+    for preset in ALL_PRESETS:
+        assert preset.page_bytes == 256
+
+
+def test_all_presets_validate():
+    for preset in ALL_PRESETS:
+        preset.validate()
+        row = preset.table_row()
+        assert row["# Vaults"] == preset.num_vaults
+
+
+def test_inconsistent_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        HMCConfig(
+            name="bad",
+            generation="x",
+            capacity_bytes=4 * GBYTE,
+            num_dram_layers=4,
+            dram_layer_bits=4 * (1 << 30),  # 4 layers x 4Gb = 2 GB != 4 GB
+        )
+
+
+def test_vaults_must_divide_into_quadrants():
+    with pytest.raises(ConfigurationError):
+        HMCConfig(
+            name="bad",
+            generation="x",
+            capacity_bytes=512 * MBYTE,
+            num_dram_layers=4,
+            dram_layer_bits=1 << 30,
+            num_vaults=18,
+        )
+
+
+def test_link_config_validation():
+    with pytest.raises(ConfigurationError):
+        LinkConfig(num_links=3)
+    with pytest.raises(ConfigurationError):
+        LinkConfig(lanes_per_link=4)
+    with pytest.raises(ConfigurationError):
+        LinkConfig(gbps_per_lane=20.0)
+
+
+def test_link_speeds():
+    full = LinkConfig(num_links=4, lanes_per_link=16, gbps_per_lane=15.0)
+    assert full.link_gbs_per_direction == pytest.approx(30.0)
+    assert full.peak_bandwidth_gbs == pytest.approx(240.0)
+    slow = LinkConfig(num_links=2, lanes_per_link=8, gbps_per_lane=10.0)
+    assert slow.peak_bandwidth_gbs == pytest.approx(40.0)

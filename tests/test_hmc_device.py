@@ -1,0 +1,160 @@
+"""Tests for the assembled HMC device."""
+
+import pytest
+
+from repro.hmc.calibration import Calibration
+from repro.hmc.config import HMC_1_1_4GB, HMC_2_0_4GB
+from repro.hmc.device import HMCDevice
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import Request
+from repro.sim.engine import Simulator
+
+CAL = Calibration()
+
+
+def make_device(sim, config=HMC_1_1_4GB):
+    device = HMCDevice(sim, config=config)
+    done = []
+    device.on_response = lambda req, t: done.append((req, t))
+    return device, done
+
+
+def submit(device, request, arrival_ns=0.0):
+    """Acquire the link tokens the controller normally holds, then submit."""
+    device.links[request.link].tokens.acquire(request.request_flits, lambda: None)
+    device.submit_from_link(request, arrival_ns)
+
+
+def test_structure_matches_config():
+    sim = Simulator()
+    device, _ = make_device(sim)
+    assert len(device.vaults) == 16
+    assert len(device.links) == 2
+    assert len(device.vaults[0].banks) == 16
+    hmc2, _ = make_device(Simulator(), HMC_2_0_4GB)
+    assert len(hmc2.vaults) == 32
+    assert len(hmc2.links) == 4
+
+
+def test_link_quadrant_attachment():
+    sim = Simulator()
+    device, _ = make_device(sim)
+    assert device.link_quadrant(0) == 0
+    assert device.link_quadrant(1) == 1
+
+
+def test_remote_quadrant_costs_more():
+    sim = Simulator()
+    device, _ = make_device(sim)
+    local = device.route_delay_ns(0, 0)
+    remote = device.route_delay_ns(0, 2)
+    assert remote == pytest.approx(local + CAL.quadrant_route_remote_ns)
+
+
+def test_request_roundtrip_through_device():
+    sim = Simulator()
+    device, done = make_device(sim)
+    request = Request(address=0, payload_bytes=128, is_write=False, port=0)
+    submit(device, request)
+    sim.run()
+    assert len(done) == 1
+    req, rx_done = done[0]
+    assert req is request
+    assert request.vault_arrival_ns > 0
+    assert request.bank_start_ns >= request.vault_arrival_ns
+    assert rx_done > request.bank_start_ns
+
+
+def test_local_vault_faster_than_remote():
+    def roundtrip(vault):
+        sim = Simulator()
+        device, done = make_device(sim)
+        address = device.mapping.encode(vault, 0)
+        request = Request(address=address, payload_bytes=16, is_write=False, port=0)
+        submit(device, request)
+        sim.run()
+        return done[0][1]
+
+    assert roundtrip(0) < roundtrip(15)  # vault 15 is quadrant 3: remote to link 0
+
+
+def test_tokens_returned_after_accept():
+    sim = Simulator()
+    device, _ = make_device(sim)
+    link = device.links[0]
+    flits = 9
+    assert link.tokens.acquire(flits, lambda: None)
+    before = link.tokens.available
+    request = Request(address=0, payload_bytes=128, is_write=True, port=0)
+    device.submit_from_link(request, arrival_ns=0.0)
+    sim.run()
+    assert link.tokens.available == before + flits
+
+
+def test_missing_response_handler_raises():
+    sim = Simulator()
+    device = HMCDevice(sim)
+    request = Request(address=0, payload_bytes=16, is_write=False, port=0)
+    device.submit_from_link(request, arrival_ns=0.0)
+    with pytest.raises(ConfigurationError):
+        sim.run()
+
+
+def test_data_store_roundtrip_and_reset():
+    sim = Simulator()
+    device, done = make_device(sim)
+    device.enable_data_store()
+    payload = b"\xab" * 16
+    write = Request(address=256, payload_bytes=16, is_write=True, port=0, data=payload)
+    submit(device, write)
+    sim.run()
+    read = Request(address=256, payload_bytes=16, is_write=False, port=0)
+    submit(device, read, arrival_ns=sim.now)
+    sim.run()
+    assert read.data == payload
+    device.reset()  # thermal shutdown loses DRAM contents
+    read2 = Request(address=256, payload_bytes=16, is_write=False, port=0)
+    submit(device, read2, arrival_ns=sim.now)
+    sim.run()
+    assert read2.data is None
+
+
+def test_total_queued_and_reset_counters():
+    sim = Simulator()
+    device, _ = make_device(sim)
+    for i in range(8):
+        request = Request(address=i * 2048, payload_bytes=128, is_write=False, port=0)
+        submit(device, request)
+    sim.run()
+    assert device.total_queued == 0
+    assert sum(v.requests_accepted for v in device.vaults) == 8
+    device.reset_counters()
+    assert sum(v.requests_accepted for v in device.vaults) == 0
+
+
+def test_wire_scale_speeds_up_channels():
+    """Link geometry scales the effective channel rates (Eq. 2 ablation)."""
+    from repro.hmc.config import LinkConfig
+    from dataclasses import replace as dc_replace
+
+    slow_cfg = dc_replace(
+        HMC_1_1_4GB, links=LinkConfig(num_links=2, lanes_per_link=8, gbps_per_lane=10.0)
+    )
+    fast = HMCDevice(Simulator())
+    slow = HMCDevice(Simulator(), config=slow_cfg)
+    ratio = slow.links[0].rx.bytes_per_ns / fast.links[0].rx.bytes_per_ns
+    assert ratio == pytest.approx(10.0 / 15.0)
+
+
+def test_quadrant_reachability_with_two_links():
+    """Quadrants 2 and 3 are remote to both links on the AC-510."""
+    sim = Simulator()
+    device, _ = make_device(sim)
+    for link in (0, 1):
+        local = device.route_delay_ns(link, device.link_quadrant(link))
+        for quadrant in range(4):
+            delay = device.route_delay_ns(link, quadrant)
+            if quadrant == device.link_quadrant(link):
+                assert delay == local
+            else:
+                assert delay > local

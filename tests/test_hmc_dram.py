@@ -1,0 +1,85 @@
+"""Tests for DRAM timing (closed page + open-page baseline)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hmc.dram import DramTimings, OpenPageTimings
+from repro.hmc.errors import ConfigurationError
+
+TIMINGS = DramTimings()
+payloads = st.integers(min_value=1, max_value=128)
+
+
+def test_bus_beats_quantize_to_32_bytes():
+    assert TIMINGS.bus_beats(16) == 1
+    assert TIMINGS.bus_beats(32) == 1
+    assert TIMINGS.bus_beats(33) == 2
+    assert TIMINGS.bus_beats(128) == 4
+    assert TIMINGS.bus_bytes_moved(16) == 32  # 16 B boundary inefficiency
+
+
+def test_bus_beats_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        TIMINGS.bus_beats(0)
+
+
+def test_transfer_time_at_10_gbs():
+    assert TIMINGS.transfer_ns(128) == pytest.approx(12.8)
+    assert TIMINGS.transfer_ns(32) == pytest.approx(3.2)
+
+
+def test_closed_page_read_composition():
+    expected = 16.0 + 16.0 + 12.8 + 16.0
+    assert TIMINGS.read_occupancy_ns(128) == pytest.approx(expected)
+
+
+def test_write_occupancy_includes_recovery():
+    assert TIMINGS.write_occupancy_ns(128) > TIMINGS.read_occupancy_ns(128)
+
+
+def test_eight_banks_saturate_one_vault():
+    """The calibration target of SIV-B: the vault's 10 GB/s TSV cap binds
+    between four and eight banks, so adding banks past eight is free."""
+    per_bank = TIMINGS.peak_bank_gbs(128)
+    assert 4 * per_bank < TIMINGS.bus_gbps
+    assert 8 * per_bank > TIMINGS.bus_gbps
+
+
+@given(payloads)
+def test_occupancy_monotone_in_direction(payload):
+    assert TIMINGS.write_occupancy_ns(payload) >= TIMINGS.read_occupancy_ns(payload)
+
+
+@given(st.integers(min_value=1, max_value=127))
+def test_occupancy_monotone_in_size(payload):
+    assert TIMINGS.read_occupancy_ns(payload + 1) >= TIMINGS.read_occupancy_ns(payload)
+
+
+def test_invalid_timings_rejected():
+    with pytest.raises(ConfigurationError):
+        DramTimings(t_rcd_ns=0.0)
+    with pytest.raises(ConfigurationError):
+        DramTimings(bus_bytes=33)
+    with pytest.raises(ConfigurationError):
+        DramTimings(bus_gbps=-1.0)
+
+
+# ----------------------------------------------------------------------
+# open-page baseline
+# ----------------------------------------------------------------------
+def test_open_page_hit_cheaper_than_miss():
+    open_page = OpenPageTimings()
+    hit = open_page.row_hit_occupancy_ns(False, 64)
+    empty = open_page.row_empty_occupancy_ns(False, 64)
+    miss = open_page.row_miss_occupancy_ns(False, 64)
+    assert hit < empty < miss
+
+
+def test_open_page_hit_skips_activate_and_precharge():
+    open_page = OpenPageTimings()
+    assert open_page.row_hit_occupancy_ns(False, 32) == pytest.approx(
+        open_page.t_cl_ns + open_page.transfer_ns(32)
+    )
+    assert open_page.row_miss_occupancy_ns(False, 32) == pytest.approx(
+        open_page.t_rp_ns + open_page.t_rcd_ns + open_page.row_hit_occupancy_ns(False, 32)
+    )

@@ -1,0 +1,123 @@
+"""Tests for the link channels and the token flow control."""
+
+import pytest
+
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.link import Channel, Link, LinkTokenPool
+from repro.sim.engine import Simulator
+
+
+# ----------------------------------------------------------------------
+# Channel
+# ----------------------------------------------------------------------
+def test_channel_service_time():
+    sim = Simulator()
+    chan = Channel(sim, bytes_per_ns=10.0, packet_overhead_ns=5.0)
+    assert chan.service_ns(100) == pytest.approx(15.0)
+    assert chan.acquire(100) == pytest.approx(15.0)
+
+
+def test_channel_fifo_queueing():
+    sim = Simulator()
+    chan = Channel(sim, bytes_per_ns=1.0, packet_overhead_ns=0.0)
+    assert chan.acquire(10) == pytest.approx(10.0)
+    assert chan.acquire(10) == pytest.approx(20.0)
+
+
+def test_channel_earliest_release():
+    sim = Simulator()
+    chan = Channel(sim, bytes_per_ns=1.0, packet_overhead_ns=0.0)
+    done = chan.acquire(10, earliest=50.0)
+    assert done == pytest.approx(60.0)
+
+
+def test_channel_counters_and_reset():
+    sim = Simulator()
+    chan = Channel(sim, bytes_per_ns=1.0, packet_overhead_ns=1.0)
+    chan.acquire(9)
+    assert chan.packets == 1
+    assert chan.bytes == 9
+    assert chan.busy_time == pytest.approx(10.0)
+    chan.reset_counters()
+    assert chan.packets == 0 and chan.bytes == 0 and chan.busy_time == 0.0
+
+
+def test_channel_validation():
+    with pytest.raises(ConfigurationError):
+        Channel(Simulator(), bytes_per_ns=0.0, packet_overhead_ns=0.0)
+    with pytest.raises(ConfigurationError):
+        Channel(Simulator(), bytes_per_ns=1.0, packet_overhead_ns=-1.0)
+
+
+# ----------------------------------------------------------------------
+# LinkTokenPool
+# ----------------------------------------------------------------------
+def test_token_batches_grant_and_wait():
+    sim = Simulator()
+    pool = LinkTokenPool(sim, 10)
+    granted = []
+    assert pool.acquire(9, lambda: granted.append("big"))
+    assert pool.available == 1
+    assert not pool.acquire(2, lambda: granted.append("blocked"))
+    pool.release(9)
+    sim.run()
+    assert granted == ["blocked"]
+    assert pool.available == 8
+
+
+def test_token_fifo_no_overtaking():
+    """A 1-flit read must not starve a queued 9-flit write forever."""
+    sim = Simulator()
+    pool = LinkTokenPool(sim, 10)
+    order = []
+    pool.acquire(10, lambda: order.append("hog"))  # takes everything
+    pool.acquire(9, lambda: order.append("write"))
+    pool.acquire(1, lambda: order.append("read"))
+    pool.release(10)
+    sim.run()
+    assert order == ["write", "read"]
+
+
+def test_token_release_wakes_multiple_waiters():
+    sim = Simulator()
+    pool = LinkTokenPool(sim, 4)
+    woken = []
+    pool.acquire(4, lambda: None)
+    pool.acquire(2, lambda: woken.append(1))
+    pool.acquire(2, lambda: woken.append(2))
+    pool.release(4)
+    sim.run()
+    assert woken == [1, 2]
+
+
+def test_token_overflow_raises():
+    sim = Simulator()
+    pool = LinkTokenPool(sim, 4)
+    with pytest.raises(RuntimeError):
+        pool.release(1)
+
+
+def test_oversized_packet_rejected():
+    sim = Simulator()
+    pool = LinkTokenPool(sim, 4)
+    with pytest.raises(ConfigurationError):
+        pool.acquire(5, lambda: None)
+
+
+def test_link_assembles_channels_and_tokens():
+    sim = Simulator()
+    link = Link(
+        sim,
+        index=0,
+        tx_bytes_per_ns=10.0,
+        tx_overhead_ns=3.0,
+        rx_bytes_per_ns=13.7,
+        rx_overhead_ns=5.0,
+        tokens_flits=108,
+        propagation_ns=3.2,
+    )
+    assert link.tx.name == "link0.tx"
+    assert link.tokens.capacity == 108
+    link.tx.acquire(16)
+    link.reset_counters()
+    assert link.tx.packets == 0

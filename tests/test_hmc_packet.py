@@ -1,0 +1,102 @@
+"""Tests for the packet/flit model (Table II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hmc.packet import (
+    FLIT_BYTES,
+    Request,
+    RequestType,
+    VALID_PAYLOAD_BYTES,
+    effective_bandwidth_fraction,
+    flits_for_payload,
+    packet_bytes,
+    request_flits,
+    response_flits,
+    table_ii,
+    transaction_raw_bytes,
+)
+
+
+def test_flits_for_payload_boundaries():
+    assert flits_for_payload(16) == 1
+    assert flits_for_payload(17) == 2
+    assert flits_for_payload(128) == 8
+    assert flits_for_payload(0) == 0
+
+
+def test_flits_for_payload_rejects_oversize():
+    with pytest.raises(ValueError):
+        flits_for_payload(129)
+    with pytest.raises(ValueError):
+        flits_for_payload(-1)
+
+
+def test_table_ii_matches_paper():
+    assert table_ii() == {
+        "Read": {"Request": (1, 1), "Response": (2, 9)},
+        "Write": {"Request": (2, 9), "Response": (1, 1)},
+    }
+
+
+@given(st.sampled_from(VALID_PAYLOAD_BYTES))
+def test_read_and_write_transactions_are_duals(payload):
+    """A read moves the same wire bytes as a write of the same payload."""
+    assert transaction_raw_bytes(False, payload) == transaction_raw_bytes(True, payload)
+    assert request_flits(False, payload) == response_flits(True, payload)
+    assert response_flits(False, payload) == request_flits(True, payload)
+
+
+@given(st.sampled_from(VALID_PAYLOAD_BYTES))
+def test_overhead_is_exactly_two_flits_per_transaction(payload):
+    raw = transaction_raw_bytes(False, payload)
+    assert raw == payload + 2 * FLIT_BYTES
+
+
+def test_effective_bandwidth_fractions():
+    """Paper SIV-D: 89% at 128 B, 50% at 16 B."""
+    assert effective_bandwidth_fraction(128) == pytest.approx(128 / 144)
+    assert effective_bandwidth_fraction(16) == pytest.approx(0.5)
+
+
+def test_request_type_labels():
+    assert RequestType.from_label("ro") is RequestType.READ
+    assert RequestType.from_label("wo") is RequestType.WRITE
+    assert RequestType.from_label("rw") is RequestType.READ_MODIFY_WRITE
+    with pytest.raises(ValueError):
+        RequestType.from_label("xx")
+
+
+def test_request_type_read_write_flags():
+    assert RequestType.READ.reads and not RequestType.READ.writes
+    assert RequestType.WRITE.writes and not RequestType.WRITE.reads
+    assert RequestType.READ_MODIFY_WRITE.reads and RequestType.READ_MODIFY_WRITE.writes
+
+
+def test_request_object_flit_accounting():
+    read = Request(address=0, payload_bytes=128, is_write=False, port=0)
+    assert read.request_flits == 1
+    assert read.response_flits == 9
+    assert read.raw_bytes == 160
+    write = Request(address=0, payload_bytes=64, is_write=True, port=0)
+    assert write.request_flits == 5
+    assert write.response_flits == 1
+    assert write.raw_bytes == 96
+
+
+def test_request_rejects_invalid_payload():
+    with pytest.raises(ValueError):
+        Request(address=0, payload_bytes=100, is_write=False, port=0)
+
+
+def test_request_latency_requires_completion():
+    request = Request(address=0, payload_bytes=16, is_write=False, port=0)
+    with pytest.raises(ValueError):
+        _ = request.latency_ns
+    request.submit_ns = 10.0
+    request.complete_ns = 25.0
+    assert request.latency_ns == pytest.approx(15.0)
+
+
+def test_packet_bytes():
+    assert packet_bytes(9) == 144

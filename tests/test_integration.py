@@ -1,0 +1,119 @@
+"""Integration tests: the paper's headline behaviours end-to-end.
+
+These run the full stack (GUPS ports -> controller -> links -> quadrants
+-> vaults -> banks -> back) at reduced windows and assert the *shape*
+results the reproduction is calibrated to.
+"""
+
+import pytest
+
+from repro.core.experiment import (
+    measure_bandwidth,
+    measure_bandwidth_cached,
+    run_stream_latency,
+)
+from repro.core.patterns import pattern_by_name
+from repro.fpga.address_gen import AddressingMode
+from repro.hmc.packet import RequestType
+
+
+def test_request_type_ordering_rw_ro_wo(fast_settings):
+    """Fig. 7: rw > ro > wo for distributed 128 B accesses."""
+    bw = {
+        rt: measure_bandwidth(
+            request_type=rt, payload_bytes=128, settings=fast_settings
+        ).bandwidth_gbs
+        for rt in RequestType
+    }
+    assert bw[RequestType.READ_MODIFY_WRITE] > bw[RequestType.READ]
+    assert bw[RequestType.READ] > bw[RequestType.WRITE]
+    ratio = bw[RequestType.READ_MODIFY_WRITE] / bw[RequestType.WRITE]
+    assert 1.4 <= ratio <= 2.6  # "roughly double"
+
+
+def test_vault_bandwidth_cap(fast_settings):
+    """SIV-A/B: one vault is limited to ~10 GB/s internally; the raw
+    number includes packet overhead (x160/128 for reads)."""
+    one_vault = measure_bandwidth_cached(
+        pattern_by_name("1 vault"), settings=fast_settings
+    )
+    assert one_vault.bandwidth_gbs == pytest.approx(12.5, abs=1.0)
+    eight_banks = measure_bandwidth_cached(
+        pattern_by_name("8 banks"), settings=fast_settings
+    )
+    assert eight_banks.bandwidth_gbs == pytest.approx(
+        one_vault.bandwidth_gbs, rel=0.05
+    )
+
+
+def test_bank_scaling_doubles(fast_settings):
+    bws = [
+        measure_bandwidth_cached(
+            pattern_by_name(name), settings=fast_settings
+        ).bandwidth_gbs
+        for name in ("1 bank", "2 banks", "4 banks")
+    ]
+    assert bws[1] / bws[0] == pytest.approx(2.0, rel=0.15)
+    assert bws[2] / bws[1] == pytest.approx(2.0, rel=0.15)
+
+
+def test_distributed_reads_near_paper_bandwidth(fast_settings):
+    m = measure_bandwidth(payload_bytes=128, settings=fast_settings)
+    assert 17.0 <= m.bandwidth_gbs <= 25.0  # paper ~22 GB/s
+
+
+def test_high_load_latency_extremes(fast_settings):
+    """Fig. 16: ~24 us for 1-bank 128 B, ~2 us for 16-vault 32 B."""
+    worst = measure_bandwidth_cached(
+        pattern_by_name("1 bank"), payload_bytes=128, settings=fast_settings
+    )
+    best = measure_bandwidth_cached(
+        pattern_by_name("16 vaults"), payload_bytes=32, settings=fast_settings
+    )
+    assert 15000 <= worst.read_latency_avg_ns <= 35000
+    assert 1200 <= best.read_latency_avg_ns <= 3000
+    assert worst.read_latency_avg_ns / best.read_latency_avg_ns > 8
+
+
+def test_low_load_vs_high_load_latency_gap(fast_settings):
+    """SIV-E3: high-load latency ~12x the low-load latency."""
+    low = run_stream_latency(4, 128, settings=fast_settings, trials=3)
+    high = measure_bandwidth(payload_bytes=128, settings=fast_settings)
+    assert high.read_latency_avg_ns / low.avg_ns > 2.5
+
+
+def test_closed_page_linear_equals_random(fast_settings):
+    linear = measure_bandwidth(mode=AddressingMode.LINEAR, settings=fast_settings)
+    random_ = measure_bandwidth(mode=AddressingMode.RANDOM, settings=fast_settings)
+    assert linear.bandwidth_gbs == pytest.approx(random_.bandwidth_gbs, rel=0.1)
+
+
+def test_small_requests_double_request_rate(fast_settings):
+    small = measure_bandwidth(payload_bytes=32, settings=fast_settings)
+    large = measure_bandwidth(payload_bytes=128, settings=fast_settings)
+    assert small.mrps / large.mrps > 1.4
+    assert small.bandwidth_gbs < large.bandwidth_gbs
+
+
+def test_no_load_latency_against_paper(fast_settings):
+    small = run_stream_latency(2, 16, settings=fast_settings, trials=4)
+    large = run_stream_latency(2, 128, settings=fast_settings, trials=4)
+    assert small.min_ns == pytest.approx(655.0, abs=40.0)
+    assert large.min_ns == pytest.approx(711.0, abs=50.0)
+
+
+def test_conservation_no_lost_requests(fast_settings):
+    """Closed-loop sanity: nothing is dropped or double-counted."""
+    from repro.fpga.board import AC510Board
+    from repro.fpga.gups import PortConfig
+
+    board = AC510Board()
+    gups = board.load_gups(PortConfig(request_type=RequestType.READ_MODIFY_WRITE))
+    gups.start()
+    board.sim.run(until=30000.0)
+    gups.stop()
+    board.sim.run()  # drain
+    controller = board.controller
+    assert controller.submitted == controller.completed
+    assert controller.outstanding == 0
+    assert gups.reads_issued + gups.writes_issued == controller.submitted

@@ -1,0 +1,113 @@
+"""Tests for the power model and the coupled operating-point solve."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hmc.packet import RequestType
+from repro.power.model import (
+    PowerModel,
+    SERDES_POWER_FRACTION,
+    WRITE_FRACTION,
+    solve_operating_point,
+)
+from repro.thermal.cooling import CFG1, CFG2, CFG4
+
+MODEL = PowerModel()
+bandwidths = st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+
+
+def test_activity_power_slope_matches_paper():
+    """Fig. 11b: ~2 W from 5 to 20 GB/s for reads."""
+    rise = MODEL.activity_power_w(20.0, RequestType.READ) - MODEL.activity_power_w(
+        5.0, RequestType.READ
+    )
+    assert rise == pytest.approx(2.0, abs=0.2)
+
+
+def test_writes_cost_more_per_byte():
+    assert MODEL.activity_power_w(10.0, RequestType.WRITE) > MODEL.activity_power_w(
+        10.0, RequestType.READ
+    )
+
+
+def test_negative_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        MODEL.activity_power_w(-1.0, RequestType.READ)
+
+
+def test_leakage_referenced_to_best_cooled_idle():
+    assert MODEL.leakage_w(CFG1.idle_surface_c) == 0.0
+    assert MODEL.leakage_w(CFG1.idle_surface_c + 10) == pytest.approx(1.0)
+
+
+def test_system_power_composition():
+    watts = MODEL.system_power_w(3.0, CFG1.idle_surface_c)
+    assert watts == pytest.approx(100.0 + 4.0 + 3.0)
+
+
+def test_serdes_breakdown_is_43_percent():
+    breakdown = MODEL.breakdown(10.0)
+    assert breakdown.serdes_w == pytest.approx(4.3)
+    assert breakdown.total_w == pytest.approx(10.0)
+    assert SERDES_POWER_FRACTION == 0.43
+
+
+def test_write_fractions():
+    assert WRITE_FRACTION[RequestType.READ] == 0.0
+    assert WRITE_FRACTION[RequestType.WRITE] == 1.0
+    assert WRITE_FRACTION[RequestType.READ_MODIFY_WRITE] == 0.5
+
+
+# ----------------------------------------------------------------------
+# operating point
+# ----------------------------------------------------------------------
+def test_operating_point_idle():
+    point = solve_operating_point(CFG2, RequestType.READ, 0.0)
+    assert point.surface_c == pytest.approx(CFG2.idle_surface_c)
+    assert point.thermally_safe
+
+
+def test_operating_point_ro_survives_cfg4_at_full_bandwidth():
+    point = solve_operating_point(CFG4, RequestType.READ, 20.6)
+    assert 75.0 <= point.surface_c <= 84.0  # "reaches 80 degC"
+    assert point.thermally_safe
+
+
+def test_operating_point_wo_fails_cfg4():
+    point = solve_operating_point(CFG4, RequestType.WRITE, 14.5)
+    assert not point.thermally_safe
+    assert point.failure_threshold_c == pytest.approx(75.0)
+
+
+def test_operating_point_junction_above_surface():
+    point = solve_operating_point(CFG2, RequestType.READ, 15.0)
+    assert point.junction_c == pytest.approx(point.surface_c + 8.0)
+
+
+@given(bandwidths)
+def test_system_power_monotone_in_bandwidth(bw):
+    lo = solve_operating_point(CFG2, RequestType.READ, bw)
+    hi = solve_operating_point(CFG2, RequestType.READ, bw + 1.0)
+    assert hi.system_power_w > lo.system_power_w
+    assert hi.surface_c > lo.surface_c
+
+
+@given(bandwidths)
+def test_weaker_cooling_costs_power_at_same_bandwidth(bw):
+    """Fig. 10's line separation: the power-temperature coupling."""
+    strong = solve_operating_point(CFG1, RequestType.READ, bw)
+    weak = solve_operating_point(CFG4, RequestType.READ, bw)
+    assert weak.system_power_w > strong.system_power_w
+
+
+def test_cooling_power_carried_through():
+    point = solve_operating_point(CFG1, RequestType.READ, 5.0)
+    assert point.cooling_power_w == pytest.approx(CFG1.cooling_power_w)
+
+
+def test_explicit_write_fraction_override():
+    point = solve_operating_point(
+        CFG2, RequestType.READ, 10.0, write_fraction=0.5
+    )
+    assert point.write_fraction == 0.5
+    assert point.failure_threshold_c == pytest.approx(75.0)

@@ -1,0 +1,120 @@
+"""Property-based tests of the end-to-end device invariants.
+
+Hypothesis drives random request batches and model perturbations
+through the full stack; whatever the mix, nothing may be lost,
+reordered across a dependency, or accounted twice.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings as hsettings, strategies as st
+
+from repro.fpga.board import AC510Board
+from repro.hmc.packet import Request, VALID_PAYLOAD_BYTES
+
+payloads = st.sampled_from(VALID_PAYLOAD_BYTES)
+request_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(4 << 30) - 1),  # address
+        payloads,
+        st.booleans(),  # is_write
+        st.integers(min_value=0, max_value=8),  # port
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+SLOW = hsettings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def submit_batch(specs):
+    board = AC510Board()
+    completed = []
+    for port in range(9):
+        board.controller.register_port(port, completed.append)
+    requests = []
+    for i, (address, payload, is_write, port) in enumerate(specs):
+        aligned = address // payload * payload
+        request = Request(
+            address=aligned, payload_bytes=payload, is_write=is_write, port=port
+        )
+        requests.append(request)
+        board.sim.schedule(i * 2.0, board.controller.submit, request)
+    board.sim.run()
+    return board, requests, completed
+
+
+@SLOW
+@given(request_specs)
+def test_every_request_completes_exactly_once(specs):
+    board, requests, completed = submit_batch(specs)
+    assert len(completed) == len(requests)
+    assert {id(r) for r in completed} == {id(r) for r in requests}
+    assert board.controller.outstanding == 0
+    assert board.controller.submitted == board.controller.completed == len(specs)
+
+
+@SLOW
+@given(request_specs)
+def test_latency_always_at_least_the_pipeline_floor(specs):
+    board, requests, _ = submit_batch(specs)
+    floor = board.calibration.tx_pipeline_ns(1) + board.calibration.rx_pipeline_ns(1)
+    for request in requests:
+        assert request.latency_ns > floor
+        assert request.bank_start_ns >= request.vault_arrival_ns
+        assert request.complete_ns > request.bank_start_ns
+
+
+@SLOW
+@given(request_specs)
+def test_vault_accounting_conserves_requests(specs):
+    board, requests, _ = submit_batch(specs)
+    accepted = sum(v.requests_accepted for v in board.device.vaults)
+    assert accepted == len(requests)
+    accesses = sum(
+        bank.accesses for vault in board.device.vaults for bank in vault.banks
+    )
+    assert accesses == len(requests)
+
+
+@SLOW
+@given(request_specs)
+def test_raw_byte_accounting_matches_packet_model(specs):
+    board, requests, _ = submit_batch(specs)
+    expected = sum(r.raw_bytes for r in requests)
+    assert board.controller.raw_bytes_total == expected
+
+
+@SLOW
+@given(request_specs, st.integers(min_value=0, max_value=2**31))
+def test_fault_injection_never_loses_requests(specs, seed):
+    from repro.faults import LinkFaultModel
+
+    board = AC510Board()
+    board.controller.fault_model = LinkFaultModel(
+        flit_error_rate=0.05, seed=seed, max_retries=10000
+    )
+    completed = []
+    for port in range(9):
+        board.controller.register_port(port, completed.append)
+    for i, (address, payload, is_write, port) in enumerate(specs):
+        request = Request(
+            address=address // payload * payload,
+            payload_bytes=payload,
+            is_write=is_write,
+            port=port,
+        )
+        board.sim.schedule(i * 2.0, board.controller.submit, request)
+    board.sim.run()
+    assert len(completed) == len(specs)
+    assert board.controller.outstanding == 0
+
+
+@SLOW
+@given(request_specs)
+def test_tokens_fully_returned_after_drain(specs):
+    board, _, _ = submit_batch(specs)
+    for link in board.device.links:
+        assert link.tokens.available == link.tokens.capacity
+        assert link.tokens.waiting == 0

@@ -1,0 +1,130 @@
+"""Tests for temperature-derated refresh and the feedback loop."""
+
+import pytest
+
+from repro.core.patterns import pattern_by_name
+from repro.fpga.board import AC510Board
+from repro.fpga.gups import PortConfig
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import RequestType
+from repro.hmc.refresh import DEFAULT_REFRESH, RefreshPolicy
+from repro.thermal.cooling import CFG1, CFG4
+from repro.thermal.feedback import solve_with_refresh
+
+POLICY = RefreshPolicy()
+
+
+# ----------------------------------------------------------------------
+# policy math
+# ----------------------------------------------------------------------
+def test_base_rate_below_threshold():
+    assert POLICY.rate_multiplier(60.0) == 1.0
+    assert POLICY.interval_ns(60.0) == pytest.approx(7800.0)
+
+
+def test_derated_rate_above_threshold():
+    assert POLICY.rate_multiplier(95.0) == 2.0
+    assert POLICY.interval_ns(95.0) == pytest.approx(3900.0)
+
+
+def test_ramp_is_continuous_and_monotone():
+    temps = [79.0, 81.0, 83.0, 85.0, 87.0, 89.0, 91.0]
+    values = [POLICY.rate_multiplier(t) for t in temps]
+    assert values[0] == 1.0
+    assert values[-1] == 2.0
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    assert 1.0 < POLICY.rate_multiplier(85.0) < 2.0
+
+
+def test_bank_time_stolen_doubles_when_hot():
+    cool = POLICY.bank_time_stolen(60.0)
+    hot = POLICY.bank_time_stolen(95.0)
+    assert cool == pytest.approx(160.0 / 7800.0)
+    assert hot == pytest.approx(2 * cool)
+    assert POLICY.bandwidth_derate(60.0) == pytest.approx(1 - cool)
+
+
+def test_refresh_power_scales_with_rate():
+    assert POLICY.power_w(95.0) == pytest.approx(2 * POLICY.refresh_power_w)
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        RefreshPolicy(t_refi_ns=0.0)
+    with pytest.raises(ConfigurationError):
+        RefreshPolicy(t_rfc_ns=8000.0)
+    with pytest.raises(ConfigurationError):
+        RefreshPolicy(derate_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        RefreshPolicy(ramp_c=0.0)
+
+
+# ----------------------------------------------------------------------
+# DES integration
+# ----------------------------------------------------------------------
+def _bank_limited_bw(refresh, junction_c):
+    board = AC510Board(refresh=refresh, junction_c=junction_c)
+    gups = board.load_gups(
+        PortConfig(payload_bytes=128, mask=pattern_by_name("2 banks").mask)
+    )
+    gups.start()
+    board.sim.run(until=15000.0)
+    board.controller.begin_measurement()
+    board.sim.run(until=60000.0)
+    board.controller.end_measurement()
+    return board
+
+
+def test_des_refresh_steals_bank_bandwidth():
+    off = _bank_limited_bw(None, 60.0)
+    cool = _bank_limited_bw(RefreshPolicy(), 60.0)
+    hot = _bank_limited_bw(RefreshPolicy(), 95.0)
+    bw_off = off.controller.bandwidth_gbs
+    bw_cool = cool.controller.bandwidth_gbs
+    bw_hot = hot.controller.bandwidth_gbs
+    assert bw_cool < bw_off
+    assert bw_hot < bw_cool
+    # The loss tracks the tRFC/tREFI fraction (~2% cool, ~4% hot).
+    assert bw_cool / bw_off == pytest.approx(POLICY.bandwidth_derate(60.0), abs=0.01)
+
+
+def test_des_refresh_counts_follow_interval():
+    cool = _bank_limited_bw(RefreshPolicy(), 60.0)
+    hot = _bank_limited_bw(RefreshPolicy(), 95.0)
+    count = lambda board: sum(
+        bank.refreshes for vault in board.device.vaults for bank in vault.banks
+    )
+    assert count(hot) == pytest.approx(2 * count(cool), rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# feedback loop
+# ----------------------------------------------------------------------
+def test_feedback_cool_config_only_base_derate():
+    result = solve_with_refresh(CFG1, RequestType.READ, 20.6)
+    assert result.converged
+    assert result.refresh_multiplier == 1.0
+    assert result.derate == pytest.approx(POLICY.bandwidth_derate(50.0), abs=0.001)
+    assert result.thermally_safe
+
+
+def test_feedback_hot_config_derates_more():
+    cool = solve_with_refresh(CFG1, RequestType.READ, 20.6)
+    hot = solve_with_refresh(CFG4, RequestType.READ, 20.6)
+    assert hot.converged
+    assert hot.refresh_multiplier > 1.5
+    assert hot.bandwidth_gbs < cool.bandwidth_gbs
+    assert hot.refresh_power_w > cool.refresh_power_w
+    assert hot.bandwidth_lost_gbs > cool.bandwidth_lost_gbs
+
+
+def test_feedback_zero_bandwidth():
+    result = solve_with_refresh(CFG1, RequestType.READ, 0.0)
+    assert result.bandwidth_gbs == 0.0
+    assert result.derate == 1.0
+    assert result.surface_c == pytest.approx(CFG1.idle_surface_c, abs=0.5)
+
+
+def test_feedback_write_safety_carried():
+    result = solve_with_refresh(CFG4, RequestType.WRITE, 14.5)
+    assert not result.thermally_safe

@@ -1,0 +1,161 @@
+"""Unit tests for RateResource, TokenPool and BoundedQueue."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import BoundedQueue, RateResource, TokenPool
+
+
+# ----------------------------------------------------------------------
+# RateResource
+# ----------------------------------------------------------------------
+def test_rate_resource_service_time():
+    sim = Simulator()
+    res = RateResource(sim, rate_gbps=10.0)  # 10 bytes/ns
+    assert res.acquire(100) == pytest.approx(10.0)
+
+
+def test_rate_resource_fifo_backlog():
+    sim = Simulator()
+    res = RateResource(sim, rate_gbps=1.0)
+    first = res.acquire(5)
+    second = res.acquire(5)
+    assert first == pytest.approx(5.0)
+    assert second == pytest.approx(10.0)
+    assert res.backlog() == pytest.approx(10.0)
+
+
+def test_rate_resource_idle_gap_not_counted_busy():
+    sim = Simulator()
+    res = RateResource(sim, rate_gbps=1.0)
+    res.acquire(5)
+    sim.schedule(20.0, lambda: None)
+    sim.run()
+    res.acquire(5)
+    assert res.busy_time == pytest.approx(10.0)
+    assert res.utilization(30.0) == pytest.approx(10.0 / 30.0)
+
+
+def test_rate_resource_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        RateResource(Simulator(), rate_gbps=0.0)
+
+
+def test_rate_resource_reset_counters():
+    sim = Simulator()
+    res = RateResource(sim, rate_gbps=1.0)
+    res.acquire(5)
+    res.reset_counters()
+    assert res.busy_time == 0.0
+    assert res.bytes_served == 0
+
+
+# ----------------------------------------------------------------------
+# TokenPool
+# ----------------------------------------------------------------------
+def test_token_pool_try_acquire_and_release():
+    sim = Simulator()
+    pool = TokenPool(sim, 2)
+    assert pool.try_acquire()
+    assert pool.try_acquire()
+    assert not pool.try_acquire()
+    pool.release()
+    assert pool.try_acquire()
+
+
+def test_token_pool_waiter_fifo_order():
+    sim = Simulator()
+    pool = TokenPool(sim, 1)
+    assert pool.acquire(lambda: None)  # takes the only token
+    woken = []
+    assert not pool.acquire(lambda: woken.append("first"))
+    assert not pool.acquire(lambda: woken.append("second"))
+    pool.release()
+    sim.run()
+    assert woken == ["first"]
+    pool.release()
+    sim.run()
+    assert woken == ["first", "second"]
+
+
+def test_token_pool_waiter_holds_token():
+    sim = Simulator()
+    pool = TokenPool(sim, 1)
+    pool.try_acquire()
+    pool.acquire(lambda: None)
+    pool.release()
+    sim.run()
+    # The woken waiter holds the token: nothing available.
+    assert pool.available == 0
+    assert pool.in_use == 1
+
+
+def test_token_pool_over_release_raises():
+    sim = Simulator()
+    pool = TokenPool(sim, 1)
+    with pytest.raises(RuntimeError):
+        pool.release()
+
+
+def test_token_pool_peak_tracking():
+    sim = Simulator()
+    pool = TokenPool(sim, 3)
+    pool.try_acquire()
+    pool.try_acquire()
+    pool.release()
+    assert pool.peak_in_use == 2
+
+
+def test_token_pool_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        TokenPool(Simulator(), -1)
+
+
+# ----------------------------------------------------------------------
+# BoundedQueue
+# ----------------------------------------------------------------------
+def test_bounded_queue_offer_take_fifo():
+    sim = Simulator()
+    q = BoundedQueue(sim, 2)
+    assert q.offer("a")
+    assert q.offer("b")
+    assert not q.offer("c")
+    assert q.take() == "a"
+    assert q.take() == "b"
+    assert q.take() is None
+
+
+def test_bounded_queue_producer_backpressure():
+    sim = Simulator()
+    q = BoundedQueue(sim, 1)
+    q.offer("a")
+    retried = []
+    assert not q.offer("b", on_space=lambda: retried.append(True))
+    q.take()
+    sim.run()
+    assert retried == [True]
+
+
+def test_bounded_queue_consumer_callback():
+    sim = Simulator()
+    q = BoundedQueue(sim, 1)
+    got = []
+    q.take(on_item=got.append)
+    q.offer("x")
+    sim.run()
+    assert got == ["x"]
+    assert len(q) == 0
+
+
+def test_bounded_queue_peak_depth():
+    sim = Simulator()
+    q = BoundedQueue(sim, 4)
+    for item in range(3):
+        q.offer(item)
+    q.take()
+    assert q.peak_depth == 3
+
+
+def test_bounded_queue_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        BoundedQueue(Simulator(), 0)

@@ -1,0 +1,191 @@
+"""Unit + property tests for the statistics collectors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import OnlineStats, RateMeter, WindowedSampler
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# OnlineStats
+# ----------------------------------------------------------------------
+def test_online_stats_empty():
+    stats = OnlineStats()
+    assert stats.count == 0
+    assert math.isnan(stats.mean)
+    assert math.isnan(stats.variance)
+
+
+def test_online_stats_basic():
+    stats = OnlineStats()
+    stats.extend([1.0, 2.0, 3.0, 4.0])
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.minimum == 1.0
+    assert stats.maximum == 4.0
+    assert stats.total == pytest.approx(10.0)
+    assert stats.variance == pytest.approx(1.25)
+    assert stats.stddev == pytest.approx(math.sqrt(1.25))
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+def test_online_stats_matches_direct_computation(values):
+    stats = OnlineStats()
+    stats.extend(values)
+    mean = sum(values) / len(values)
+    assert stats.count == len(values)
+    assert stats.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+    assert stats.minimum == min(values)
+    assert stats.maximum == max(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    assert stats.variance == pytest.approx(variance, rel=1e-6, abs=1e-3)
+
+
+@given(
+    st.lists(finite_floats, min_size=0, max_size=50),
+    st.lists(finite_floats, min_size=0, max_size=50),
+)
+def test_online_stats_merge_equals_sequential(a, b):
+    left, right, combined = OnlineStats(), OnlineStats(), OnlineStats()
+    left.extend(a)
+    right.extend(b)
+    combined.extend(a + b)
+    merged = left.merge(right)
+    assert merged.count == combined.count
+    if combined.count:
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+        assert merged.variance == pytest.approx(
+            combined.variance, rel=1e-6, abs=1e-3
+        )
+
+
+# ----------------------------------------------------------------------
+# RateMeter
+# ----------------------------------------------------------------------
+def test_rate_meter_window_discipline():
+    meter = RateMeter()
+    meter.record(100)  # before open: ignored
+    meter.open(10.0)
+    meter.record(100)
+    meter.record(50)
+    meter.close(110.0)
+    meter.record(100)  # after close: ignored
+    assert meter.events == 2
+    assert meter.bytes == 150
+    assert meter.window_ns == pytest.approx(100.0)
+    assert meter.gbytes_per_s == pytest.approx(1.5)
+    assert meter.mrps == pytest.approx(20.0)
+
+
+def test_rate_meter_close_before_open_raises():
+    with pytest.raises(RuntimeError):
+        RateMeter().close(1.0)
+
+
+def test_rate_meter_reopen_resets():
+    meter = RateMeter()
+    meter.open(0.0)
+    meter.record(10)
+    meter.close(1.0)
+    meter.open(5.0)
+    assert meter.events == 0
+    assert meter.bytes == 0
+    assert meter.is_open
+
+
+def test_rate_meter_zero_window():
+    meter = RateMeter()
+    meter.open(1.0)
+    meter.close(1.0)
+    assert meter.gbytes_per_s == 0.0
+
+
+# ----------------------------------------------------------------------
+# WindowedSampler
+# ----------------------------------------------------------------------
+def test_windowed_sampler_only_records_when_open():
+    sampler = WindowedSampler()
+    sampler.record(1.0)
+    sampler.open()
+    sampler.record(2.0)
+    sampler.record(4.0)
+    sampler.close()
+    sampler.record(8.0)
+    assert sampler.stats.count == 2
+    assert sampler.stats.mean == pytest.approx(3.0)
+
+
+def test_windowed_sampler_reopen_clears():
+    sampler = WindowedSampler()
+    sampler.open()
+    sampler.record(1.0)
+    sampler.close()
+    sampler.open()
+    assert sampler.stats.count == 0
+
+
+# ----------------------------------------------------------------------
+# QuantileReservoir
+# ----------------------------------------------------------------------
+def test_quantile_reservoir_exact_under_capacity():
+    from repro.sim.stats import QuantileReservoir
+
+    reservoir = QuantileReservoir(capacity=128)
+    for value in range(101):
+        reservoir.add(float(value))
+    assert reservoir.exact
+    assert reservoir.quantile(0.0) == 0.0
+    assert reservoir.quantile(1.0) == 100.0
+    assert reservoir.quantile(0.5) == pytest.approx(50.0)
+    assert reservoir.quantile(0.99) == pytest.approx(99.0)
+
+
+def test_quantile_reservoir_estimates_after_eviction():
+    from repro.sim.stats import QuantileReservoir
+
+    reservoir = QuantileReservoir(capacity=256, seed=7)
+    for value in range(10000):
+        reservoir.add(float(value))
+    assert not reservoir.exact
+    assert reservoir.quantile(0.5) == pytest.approx(5000.0, rel=0.15)
+    assert reservoir.quantile(0.9) == pytest.approx(9000.0, rel=0.15)
+
+
+def test_quantile_reservoir_validation():
+    from repro.sim.stats import QuantileReservoir
+
+    with pytest.raises(ValueError):
+        QuantileReservoir(capacity=0)
+    reservoir = QuantileReservoir()
+    with pytest.raises(ValueError):
+        reservoir.quantile(1.5)
+    assert math.isnan(reservoir.quantile(0.5))
+
+
+def test_quantile_reservoir_deterministic():
+    from repro.sim.stats import QuantileReservoir
+
+    def fill(seed):
+        r = QuantileReservoir(capacity=64, seed=seed)
+        for v in range(1000):
+            r.add(float(v % 37))
+        return r.quantile(0.75)
+
+    assert fill(3) == fill(3)
+
+
+def test_windowed_sampler_quantiles():
+    sampler = WindowedSampler()
+    sampler.open()
+    for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+        sampler.record(value)
+    sampler.close()
+    assert sampler.quantiles.quantile(0.5) == pytest.approx(3.0)
+    assert sampler.quantiles.quantile(1.0) == pytest.approx(100.0)

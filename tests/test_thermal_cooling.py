@@ -1,0 +1,66 @@
+"""Tests for the cooling configurations (Table III)."""
+
+import pytest
+
+from repro.hmc.errors import ConfigurationError
+from repro.thermal.cooling import (
+    ALL_CONFIGS,
+    CFG1,
+    CFG2,
+    CFG3,
+    CFG4,
+    CoolingConfig,
+    external_fan_effective_w,
+)
+
+
+def test_table_iii_values():
+    assert CFG1.fan_voltage_v == 12.0 and CFG1.fan_current_a == 0.36
+    assert CFG2.idle_surface_c == 51.7
+    assert CFG3.fan_distance_cm == 90.0
+    assert CFG4.idle_surface_c == 71.6
+
+
+def test_idle_temperature_orders_with_cooling_strength():
+    temps = [cfg.idle_surface_c for cfg in ALL_CONFIGS]
+    assert temps == sorted(temps)
+
+
+def test_cooling_power_matches_paper_derivation():
+    """SIV-C: 19.32, 15.9, 13.9 and 10.78 W for Cfg1-4."""
+    assert CFG1.cooling_power_w == pytest.approx(19.32, abs=0.01)
+    assert CFG2.cooling_power_w == pytest.approx(15.90, abs=0.01)
+    assert CFG3.cooling_power_w == pytest.approx(13.90, abs=0.02)
+    assert CFG4.cooling_power_w == pytest.approx(10.78, abs=0.01)
+
+
+def test_backplane_fan_power_is_v_times_i():
+    assert CFG1.backplane_fan_w == pytest.approx(4.32)
+    assert CFG4.backplane_fan_w == pytest.approx(0.78)
+
+
+def test_external_fan_decays_with_distance():
+    assert external_fan_effective_w(45) == pytest.approx(15.0)
+    assert external_fan_effective_w(90) == pytest.approx(13.0)
+    assert external_fan_effective_w(135) == pytest.approx(10.0)
+    # Interpolated + clamped behaviour.
+    assert 13.0 < external_fan_effective_w(60) < 15.0
+    assert external_fan_effective_w(30) == pytest.approx(15.0)
+    assert external_fan_effective_w(200) == pytest.approx(10.0)
+
+
+def test_external_fan_rejects_nonpositive_distance():
+    with pytest.raises(ConfigurationError):
+        external_fan_effective_w(0)
+
+
+def test_thermal_resistance_rises_as_cooling_weakens():
+    resistances = [cfg.thermal_resistance_c_per_w for cfg in ALL_CONFIGS]
+    assert resistances == sorted(resistances)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        CoolingConfig("bad", 12.0, 0.3, 45.0, -1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        CoolingConfig("bad", 12.0, 0.3, 45.0, 40.0, 0.0)

@@ -1,0 +1,97 @@
+"""Tests for the failure model and recovery procedure."""
+
+import pytest
+
+from repro.hmc.device import HMCDevice
+from repro.hmc.errors import ThermalShutdownError
+from repro.sim.engine import Simulator
+from repro.thermal.failure import FailureModel, RecoveryProcedure, RecoveryStep
+
+MODEL = FailureModel()
+
+
+def test_read_bound_is_85():
+    assert MODEL.threshold_c(0.0) == pytest.approx(85.0)
+
+
+def test_write_bound_is_75():
+    assert MODEL.threshold_c(1.0) == pytest.approx(75.0)
+    assert MODEL.threshold_c(0.5) == pytest.approx(75.0)
+    assert MODEL.threshold_c(0.25) == pytest.approx(75.0)
+
+
+def test_threshold_interpolates_below_knee():
+    mid = MODEL.threshold_c(0.125)
+    assert 75.0 < mid < 85.0
+
+
+def test_threshold_monotone_nonincreasing():
+    values = [MODEL.threshold_c(f / 20) for f in range(21)]
+    assert all(b <= a for a, b in zip(values, values[1:]))
+
+
+def test_write_fraction_range_validated():
+    with pytest.raises(ValueError):
+        MODEL.threshold_c(1.5)
+
+
+def test_paper_failure_scenarios():
+    """ro at 80 degC survives; wo/rw at ~80 degC fail (SIV-C)."""
+    assert MODEL.is_safe(80.0, 0.0)
+    assert not MODEL.is_safe(80.0, 1.0)
+    assert not MODEL.is_safe(80.0, 0.5)
+
+
+def test_check_raises_with_context():
+    with pytest.raises(ThermalShutdownError) as excinfo:
+        MODEL.check(86.0, 0.0)
+    error = excinfo.value
+    assert error.surface_temp_c == 86.0
+    assert error.threshold_c == pytest.approx(85.0)
+    assert "data lost" in str(error)
+
+
+def test_check_passes_below_threshold():
+    MODEL.check(70.0, 1.0)  # no raise
+
+
+# ----------------------------------------------------------------------
+# recovery procedure
+# ----------------------------------------------------------------------
+def test_recovery_sequence_order():
+    proc = RecoveryProcedure()
+    seen = [proc.current_step]
+    while not proc.complete:
+        seen.append(proc.advance())
+    assert seen == [
+        RecoveryStep.COOL_DOWN,
+        RecoveryStep.RESET_HMC,
+        RecoveryStep.RESET_FPGA_TRANSCEIVERS,
+        RecoveryStep.INITIALIZE,
+        RecoveryStep.OPERATIONAL,
+    ]
+
+
+def test_recovery_loses_dram_contents():
+    sim = Simulator()
+    device = HMCDevice(sim)
+    device.enable_data_store()
+    device.store[0] = b"payload"
+    proc = RecoveryProcedure(device)
+    proc.run_all()
+    assert proc.data_lost
+    assert device.store == {}
+
+
+def test_recovery_takes_meaningful_time():
+    proc = RecoveryProcedure()
+    total = proc.run_all()
+    assert total > 60.0  # dominated by the cool-down
+    assert len(proc.log) == 4
+
+
+def test_advance_past_complete_raises():
+    proc = RecoveryProcedure()
+    proc.run_all()
+    with pytest.raises(RuntimeError):
+        proc.advance()

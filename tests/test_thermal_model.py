@@ -1,0 +1,105 @@
+"""Tests for the RC thermal model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from dataclasses import replace
+
+from repro.hmc.calibration import Calibration
+from repro.hmc.errors import ConfigurationError
+from repro.thermal.cooling import CFG1, CFG2, CFG4, CoolingConfig
+from repro.thermal.model import ThermalModel
+
+powers = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+
+
+def test_zero_power_is_idle_temperature():
+    model = ThermalModel(CFG2)
+    assert model.steady_surface_c(0.0) == pytest.approx(CFG2.idle_surface_c)
+
+
+def test_steady_state_monotone_in_power():
+    model = ThermalModel(CFG2)
+    assert model.steady_surface_c(5.0) > model.steady_surface_c(2.0)
+
+
+def test_leakage_amplifies_rise():
+    """The leakage feedback makes the rise exceed R*P."""
+    model = ThermalModel(CFG2)
+    raw_rise = CFG2.thermal_resistance_c_per_w * 4.0
+    assert model.steady_surface_c(4.0) - CFG2.idle_surface_c > raw_rise
+
+
+@given(powers)
+def test_weaker_cooling_always_hotter(power):
+    hot = ThermalModel(CFG4).steady_surface_c(power)
+    cold = ThermalModel(CFG1).steady_surface_c(power)
+    assert hot > cold
+
+
+def test_thermal_runaway_rejected():
+    runaway = CoolingConfig("melt", 1.0, 0.1, 45.0, 40.0, 11.0)
+    with pytest.raises(ConfigurationError):
+        ThermalModel(runaway)  # R*k_leak >= 1
+
+
+def test_negative_power_rejected():
+    with pytest.raises(ValueError):
+        ThermalModel(CFG1).steady_surface_c(-1.0)
+
+
+def test_transient_starts_at_idle_and_converges():
+    model = ThermalModel(CFG2)
+    steady = model.steady_surface_c(5.0)
+    assert model.surface_at(0.0, 5.0) == pytest.approx(CFG2.idle_surface_c)
+    assert model.surface_at(200.0, 5.0) == pytest.approx(steady, abs=0.2)
+    mid = model.surface_at(35.0, 5.0)  # one time constant
+    expected = steady + (CFG2.idle_surface_c - steady) * math.exp(-1.0)
+    assert mid == pytest.approx(expected)
+
+
+def test_transient_is_monotone_heating():
+    model = ThermalModel(CFG2)
+    samples = [model.surface_at(t, 6.0) for t in range(0, 200, 20)]
+    assert all(b >= a for a, b in zip(samples, samples[1:]))
+
+
+def test_200s_settles_the_paper_way():
+    """The paper waits 200 s; that is >5 time constants here."""
+    model = ThermalModel(CFG2)
+    assert model.settle_time_s(0.99) < 200.0
+
+
+def test_cooldown_from_hot_start():
+    model = ThermalModel(CFG2)
+    hot = model.steady_surface_c(8.0)
+    cooled = model.surface_at(500.0, 0.0, start_surface_c=hot)
+    assert cooled == pytest.approx(CFG2.idle_surface_c, abs=0.1)
+
+
+def test_camera_quantizes_to_tenth_degree():
+    model = ThermalModel(CFG2)
+    reading = model.camera_reading(200.0, 3.333)
+    assert round(reading.surface_c * 10) == pytest.approx(reading.surface_c * 10)
+    assert reading.junction_c == pytest.approx(reading.surface_c + 8.0)
+
+
+def test_junction_offset_from_calibration():
+    cal = replace(Calibration(), surface_to_junction_offset_c=5.0)
+    model = ThermalModel(CFG1, cal)
+    assert model.junction_c(50.0) == pytest.approx(55.0)
+
+
+def test_leakage_power_positive_only_above_idle():
+    model = ThermalModel(CFG2)
+    assert model.leakage_power_w(CFG2.idle_surface_c - 5.0) == 0.0
+    assert model.leakage_power_w(CFG2.idle_surface_c + 10.0) == pytest.approx(1.0)
+
+
+def test_settle_time_validation():
+    with pytest.raises(ValueError):
+        ThermalModel(CFG1).settle_time_s(1.5)
+    with pytest.raises(ValueError):
+        ThermalModel(CFG1).surface_at(-1.0, 0.0)

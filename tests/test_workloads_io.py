@@ -1,0 +1,79 @@
+"""Tests for trace serialization."""
+
+import pytest
+
+from repro.hmc.errors import ConfigurationError
+from repro.workloads.io import load_trace, save_trace
+from repro.workloads.kernels import hash_table_updates, pointer_chase, streaming
+
+
+@pytest.mark.parametrize(
+    "trace_factory",
+    [
+        lambda: streaming(50),
+        lambda: pointer_chase(20),
+        lambda: hash_table_updates(15),
+    ],
+)
+def test_roundtrip(tmp_path, trace_factory):
+    trace = trace_factory()
+    path = tmp_path / "trace.txt"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == trace.name
+    assert loaded.payload_bytes == trace.payload_bytes
+    assert loaded.entries == trace.entries
+
+
+def test_format_is_human_readable(tmp_path):
+    path = tmp_path / "trace.txt"
+    save_trace(hash_table_updates(2), path)
+    text = path.read_text()
+    assert text.startswith("# repro-trace v1\n")
+    assert "payload_bytes: 16" in text
+    assert " w dep=" in text  # writes depend on their reads
+
+
+def test_hand_written_trace_loads(tmp_path):
+    path = tmp_path / "hand.txt"
+    path.write_text(
+        "# repro-trace v1\n"
+        "name: custom\n"
+        "payload_bytes: 64\n"
+        "# comment and blank lines are fine\n"
+        "\n"
+        "0x1000 r\n"
+        "0x2000 w dep=0\n"
+    )
+    trace = load_trace(path)
+    assert len(trace) == 2
+    assert trace.entries[1].depends_on == 0
+    assert trace.entries[1].is_write
+
+
+def test_bad_files_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("not a trace\n")
+    with pytest.raises(ConfigurationError):
+        load_trace(path)
+    path.write_text("# repro-trace v1\nname: x\npayload_bytes: 16\n0x10 q\n")
+    with pytest.raises(ConfigurationError):
+        load_trace(path)
+    path.write_text("# repro-trace v1\nname: x\npayload_bytes: 16\nzzz r\n")
+    with pytest.raises(ConfigurationError):
+        load_trace(path)
+    path.write_text("# repro-trace v1\n0x10 r\n")
+    with pytest.raises(ConfigurationError):
+        load_trace(path)
+    path.write_text("# repro-trace v1\nname: x\npayload_bytes: 16\n0x10 r foo=1\n")
+    with pytest.raises(ConfigurationError):
+        load_trace(path)
+
+
+def test_loaded_trace_replays(tmp_path):
+    from repro.workloads.replay import replay_trace
+
+    path = tmp_path / "trace.txt"
+    save_trace(streaming(30), path)
+    result = replay_trace(load_trace(path))
+    assert result.references == 30

@@ -1,0 +1,112 @@
+"""Tests for the trace replayer and kernel characterization."""
+
+import pytest
+
+from repro.workloads.characterize import characterize
+from repro.workloads.kernels import (
+    hash_table_updates,
+    pointer_chase,
+    streaming,
+    strided,
+)
+from repro.workloads.replay import TraceReplayer, replay_trace
+from repro.workloads.trace import Trace, TraceEntry
+
+
+def test_replay_completes_and_counts():
+    trace = streaming(200)
+    result = replay_trace(trace)
+    assert result.references == 200
+    assert result.raw_bytes == 200 * 160
+    assert result.elapsed_ns > 0
+    assert result.bandwidth_gbs > 0
+    assert result.latency_min_ns <= result.latency_avg_ns <= result.latency_max_ns
+
+
+def test_pointer_chase_is_one_request_per_rtt():
+    result = replay_trace(pointer_chase(50))
+    # Serialized: elapsed ~ references x round-trip time.
+    per_reference = result.elapsed_ns / result.references
+    assert per_reference == pytest.approx(result.latency_avg_ns, rel=0.1)
+    assert result.bandwidth_gbs < 0.2
+
+
+def test_independent_stream_much_faster_than_chase():
+    chase = replay_trace(pointer_chase(50, payload_bytes=16))
+    independent = replay_trace(streaming(50, payload_bytes=16))
+    assert independent.elapsed_ns < chase.elapsed_ns / 5
+
+
+def test_hash_updates_pipeline_despite_pairwise_dependencies():
+    """Independent read/write pairs must overtake each other."""
+    result = replay_trace(hash_table_updates(100))
+    serialized_estimate = 200 * result.latency_avg_ns
+    assert result.elapsed_ns < serialized_estimate / 5
+
+
+def test_window_one_serializes_everything():
+    fast = replay_trace(streaming(40), window=64)
+    slow = replay_trace(streaming(40), window=1)
+    assert slow.elapsed_ns > 3 * fast.elapsed_ns
+
+
+def test_dependency_order_respected():
+    board_done = []
+
+    class Probe(TraceReplayer):
+        def _on_complete(self, request):
+            board_done.append(request.trace_index)
+            super()._on_complete(request)
+
+    trace = pointer_chase(10)
+    Probe().replay(trace)
+    assert board_done == sorted(board_done)
+
+
+def test_replayer_reusable_sequentially():
+    replayer = TraceReplayer()
+    first = replayer.replay(streaming(50))
+    second = replayer.replay(strided(50, 4096))
+    assert first.references == second.references == 50
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        replay_trace(Trace(name="x", payload_bytes=16, entries=()))
+
+
+def test_bad_window_rejected():
+    with pytest.raises(ValueError):
+        TraceReplayer(window=0)
+
+
+def test_replay_spreads_over_both_links():
+    trace = streaming(300)
+    replayer = TraceReplayer()
+    replayer.replay(trace)
+    links = replayer.board.device.links
+    assert links[0].tx.packets > 0
+    assert links[1].tx.packets > 0
+
+
+# ----------------------------------------------------------------------
+# characterize
+# ----------------------------------------------------------------------
+def test_characterize_streaming():
+    report = characterize(streaming(500))
+    assert report.pattern_class == "distributed: all vaults"
+    assert not report.latency_bound
+    assert "128 B" in report.advice() or "row reuse" in report.advice()
+
+
+def test_characterize_pointer_chase():
+    report = characterize(pointer_chase(60))
+    assert report.latency_bound
+    assert "chain" in report.advice()
+    assert report.result.bandwidth_gbs < 0.2
+
+
+def test_characterize_single_vault_advice():
+    report = characterize(strided(300, 2048))
+    assert report.pattern_class == "targeted: single vault"
+    assert "stripe" in report.advice()
