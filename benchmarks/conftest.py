@@ -18,6 +18,20 @@ import pytest
 from repro.core.experiment import ExperimentSettings
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Benchmarks must time real simulations, not disk-cache hits."""
+    import os
+
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if saved is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = saved
+
+
 @pytest.fixture(scope="session")
 def bench_settings() -> ExperimentSettings:
     return ExperimentSettings(warmup_us=15.0, window_us=50.0)

@@ -5,9 +5,11 @@ Usage::
     python -m repro list
     python -m repro run fig7
     python -m repro run fig16 --fast
-    python -m repro campaign --fast --output report.txt
+    python -m repro campaign --fast --jobs 8 --output report.txt
     python -m repro kernels
     python -m repro sweep --patterns "2 banks" "16 vaults" --csv out.csv
+    python -m repro cache stats
+    python -m repro bench --jobs 4
 """
 
 from __future__ import annotations
@@ -16,11 +18,16 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core import parallel
 from repro.core.campaign import run_campaign, run_experiment
 from repro.core.experiment import ExperimentSettings
 from repro.experiments import REGISTRY
 
 FAST_SETTINGS = ExperimentSettings(warmup_us=10.0, window_us=40.0)
+
+#: The fixed campaign `repro bench` times - the hottest figures with
+#: bounded runtime, so benchmark numbers are comparable across commits.
+BENCH_EXPERIMENTS = ("fig7", "fig8", "fig13", "fig16")
 
 _DESCRIPTIONS = {
     "table1": "structural properties of HMC versions",
@@ -49,6 +56,11 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
     return FAST_SETTINGS if args.fast else ExperimentSettings()
 
 
+def _jobs(args: argparse.Namespace) -> int:
+    """Worker count: ``--jobs`` when given, else every available core."""
+    return args.jobs if args.jobs else parallel.default_jobs()
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     width = max(len(i) for i in REGISTRY)
     for experiment_id in REGISTRY:
@@ -58,7 +70,8 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    outcome = run_experiment(args.experiment, _settings(args))
+    with parallel.configured(jobs=_jobs(args), use_cache=not args.no_cache):
+        outcome = run_experiment(args.experiment, _settings(args))
     print(outcome.report)
     if not outcome.passed:
         print("Shape deviations:", "; ".join(outcome.problems), file=sys.stderr)
@@ -67,7 +80,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    result = run_campaign(_settings(args), experiment_ids=args.only or None)
+    result = run_campaign(
+        _settings(args),
+        experiment_ids=args.only or None,
+        jobs=_jobs(args),
+        use_cache=not args.no_cache,
+    )
     report = result.full_report()
     if args.output:
         with open(args.output, "w") as handle:
@@ -117,12 +135,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         request_types=tuple(RequestType.from_label(t) for t in args.types),
         payload_bytes=tuple(args.sizes),
     )
-    records = run_sweep(grid, _settings(args))
+    records = run_sweep(
+        grid, _settings(args), jobs=_jobs(args), use_cache=not args.no_cache
+    )
     text = to_csv(records, args.csv)
     if args.csv:
         print(f"wrote {args.csv} ({len(records)} records)")
     else:
         print(text, end="")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.core.cache import ResultCache
+
+    cache = ResultCache()
+    if args.action == "stats":
+        print(cache.stats().render())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time the fixed fast campaign: cold serial, cold parallel, warm.
+
+    Each cold run gets its own empty cache directory; the warm run
+    reuses the parallel run's cache with the in-process memo dropped, so
+    it exercises the disk path end to end.  Emits ``BENCH_campaign.json``
+    for the perf trajectory across commits.
+    """
+    import json
+    import os
+    import tempfile
+    import time
+
+    ids = list(args.only) if args.only else list(BENCH_EXPERIMENTS)
+    jobs = _jobs(args)
+    saved = os.environ.get("REPRO_CACHE_DIR")
+
+    def timed(run_jobs: int) -> dict:
+        parallel.reset()
+        start = time.perf_counter()
+        run_campaign(FAST_SETTINGS, experiment_ids=ids, jobs=run_jobs)
+        elapsed = time.perf_counter() - start
+        counters = parallel.stats().snapshot()
+        return {
+            "seconds": round(elapsed, 3),
+            "simulations": counters.simulations,
+            "events_simulated": counters.events_simulated,
+        }
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        try:
+            os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "serial")
+            cold_serial = timed(1)
+            os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "parallel")
+            cold_parallel = timed(jobs)
+            warm = timed(jobs)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = saved
+            parallel.reset()
+
+    speedup = (
+        cold_serial["seconds"] / cold_parallel["seconds"]
+        if cold_parallel["seconds"]
+        else 0.0
+    )
+    events_per_sec = (
+        cold_parallel["events_simulated"] / cold_parallel["seconds"]
+        if cold_parallel["seconds"]
+        else 0.0
+    )
+    payload = {
+        "experiments": ids,
+        "jobs": jobs,
+        "settings": "fast",
+        "cold_serial_s": cold_serial["seconds"],
+        "cold_parallel_s": cold_parallel["seconds"],
+        "warm_s": warm["seconds"],
+        "speedup_cold": round(speedup, 2),
+        "cold_simulations": cold_parallel["simulations"],
+        "warm_simulations": warm["simulations"],
+        "events_simulated": cold_parallel["events_simulated"],
+        "events_per_sec": round(events_per_sec),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"cold serial {payload['cold_serial_s']:.1f}s, "
+        f"cold x{jobs} {payload['cold_parallel_s']:.1f}s "
+        f"({payload['speedup_cold']:.2f}x), "
+        f"warm {payload['warm_s']:.1f}s "
+        f"({payload['warm_simulations']} simulations)"
+    )
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -138,11 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
+    def add_executor_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            metavar="N",
+            help="worker processes for simulations (default: all cores; 1 = no pool)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="skip the on-disk result cache (always re-simulate)",
+        )
+
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=sorted(REGISTRY))
     run_parser.add_argument(
         "--fast", action="store_true", help="reduced simulation windows"
     )
+    add_executor_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     campaign_parser = sub.add_parser("campaign", help="run every experiment")
@@ -151,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--only", nargs="*", metavar="ID", help="restrict to these experiment ids"
     )
+    add_executor_flags(campaign_parser)
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     kernels_parser = sub.add_parser(
@@ -173,7 +300,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--csv", help="write records to this file")
     sweep_parser.add_argument("--fast", action="store_true")
+    add_executor_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    cache_parser = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_parser.add_argument("action", choices=("stats", "clear"))
+    cache_parser.set_defaults(func=_cmd_cache)
+
+    bench_parser = sub.add_parser(
+        "bench", help="time the fixed fast campaign (cold/warm) for perf tracking"
+    )
+    bench_parser.add_argument(
+        "--only", nargs="*", metavar="ID", help="bench these experiment ids instead"
+    )
+    bench_parser.add_argument(
+        "--output", default="BENCH_campaign.json", help="benchmark JSON path"
+    )
+    bench_parser.add_argument("--jobs", type=int, metavar="N")
+    bench_parser.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -1,0 +1,228 @@
+"""Persistent, content-addressed cache of bandwidth measurements.
+
+Every :class:`~repro.core.experiment.MeasurementPoint` hashes to a
+stable key derived from *all* simulation inputs: the structural
+:class:`HMCConfig` (including link geometry), the full
+:class:`Calibration`, the address mask, request type, payload size,
+addressing mode, port count, simulation windows, the RNG seed, the
+pattern label, and :data:`MODEL_VERSION`.  Equal key implies equal
+:class:`BandwidthMeasurement`, so results can be reused across
+processes and across campaign runs without ever re-simulating a point.
+
+Writes are concurrency-safe for many writers (the parallel executor's
+worker pool, several campaigns at once): each entry is written to a
+temporary file in the cache directory and published with an atomic
+:func:`os.replace`.  Readers therefore only ever observe complete
+entries.
+
+The cache lives under ``$REPRO_CACHE_DIR`` when set, otherwise
+``~/.cache/repro-hmc`` (respecting ``$XDG_CACHE_HOME``).  Bump
+:data:`MODEL_VERSION` whenever a simulator or model change alters
+measurement results - old entries then simply stop matching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.experiment import BandwidthMeasurement, MeasurementPoint
+from repro.fpga.address_gen import AddressingMode
+from repro.hmc.packet import RequestType
+
+#: Version of the simulation model the cached results were produced by.
+#: Any change to the simulator, device model, or measurement protocol
+#: that can alter a BandwidthMeasurement must bump this value; doing so
+#: invalidates every existing cache entry at the key level.
+MODEL_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment.
+
+    Order: ``$REPRO_CACHE_DIR``, then ``$XDG_CACHE_HOME/repro-hmc``,
+    then ``~/.cache/repro-hmc``.  Re-read on every call so tests (and
+    shells) can retarget the cache without re-importing.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-hmc"
+
+
+def cache_key(point: MeasurementPoint) -> str:
+    """Stable content hash of one measurement point's full input set.
+
+    Built from the ``repr`` of the frozen configuration dataclasses -
+    deterministic across processes and interpreter runs (no dict/set
+    ordering, no pointer identity) - and hashed with SHA-256.
+    """
+    settings = point.settings
+    canonical = repr(
+        (
+            MODEL_VERSION,
+            settings.config,
+            settings.calibration,
+            settings.warmup_us,
+            settings.window_us,
+            settings.max_block_bytes,
+            point.mask.clear,
+            point.mask.set,
+            point.request_type.value,
+            point.payload_bytes,
+            point.mode.value,
+            point.active_ports,
+            point.pattern_name,
+            point.seed,
+        )
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def measurement_to_dict(measurement: BandwidthMeasurement) -> dict:
+    """JSON-ready dict for one measurement (enums become their labels)."""
+    return {
+        "pattern_name": measurement.pattern_name,
+        "request_type": measurement.request_type.value,
+        "payload_bytes": measurement.payload_bytes,
+        "mode": measurement.mode.value,
+        "active_ports": measurement.active_ports,
+        "bandwidth_gbs": measurement.bandwidth_gbs,
+        "mrps": measurement.mrps,
+        "reads_completed": measurement.reads_completed,
+        "writes_completed": measurement.writes_completed,
+        "read_latency_avg_ns": measurement.read_latency_avg_ns,
+        "read_latency_min_ns": measurement.read_latency_min_ns,
+        "read_latency_max_ns": measurement.read_latency_max_ns,
+        "write_latency_avg_ns": measurement.write_latency_avg_ns,
+        "window_ns": measurement.window_ns,
+    }
+
+
+def measurement_from_dict(payload: dict) -> BandwidthMeasurement:
+    """Inverse of :func:`measurement_to_dict` (bit-exact round trip).
+
+    Floats survive exactly because ``json`` serializes them with the
+    shortest round-tripping repr, and NaN (empty latency windows) is
+    handled by the default ``allow_nan`` mode.
+    """
+    return BandwidthMeasurement(
+        pattern_name=payload["pattern_name"],
+        request_type=RequestType(payload["request_type"]),
+        payload_bytes=payload["payload_bytes"],
+        mode=AddressingMode(payload["mode"]),
+        active_ports=payload["active_ports"],
+        bandwidth_gbs=payload["bandwidth_gbs"],
+        mrps=payload["mrps"],
+        reads_completed=payload["reads_completed"],
+        writes_completed=payload["writes_completed"],
+        read_latency_avg_ns=payload["read_latency_avg_ns"],
+        read_latency_min_ns=payload["read_latency_min_ns"],
+        read_latency_max_ns=payload["read_latency_max_ns"],
+        write_latency_avg_ns=payload["write_latency_avg_ns"],
+        window_ns=payload["window_ns"],
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of the on-disk cache contents."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def render(self) -> str:
+        """One-line human summary for the ``repro cache stats`` CLI."""
+        kib = self.total_bytes / 1024.0
+        return f"{self.entries} entries, {kib:.1f} KiB in {self.root}"
+
+
+class ResultCache:
+    """One directory of content-addressed measurement results.
+
+    Entries are sharded into 256 two-hex-digit subdirectories so even
+    very large caches keep directory listings fast.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[BandwidthMeasurement]:
+        """Return the cached measurement for ``key``, or ``None``.
+
+        Unreadable or truncated entries (e.g. from an interrupted manual
+        copy) are treated as misses, never as errors.
+        """
+        try:
+            with open(self._path(key)) as handle:
+                payload = json.load(handle)
+            return measurement_from_dict(payload)
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def store(self, key: str, measurement: BandwidthMeasurement) -> None:
+        """Persist one measurement atomically (write-temp + rename).
+
+        Safe under concurrent writers: the worst case is two workers
+        computing the same point and the last rename winning - both
+        wrote identical content.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(measurement_to_dict(measurement), handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _entries(self):
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                if not entry.name.startswith("."):
+                    yield entry
+
+    def stats(self) -> CacheStats:
+        """Count entries and bytes currently on disk."""
+        entries = 0
+        total = 0
+        for path in self._entries():
+            entries += 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return CacheStats(root=str(self.root), entries=entries, total_bytes=total)
+
+    def clear(self) -> int:
+        """Remove every cache entry; returns how many were deleted."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed

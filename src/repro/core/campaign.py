@@ -4,6 +4,20 @@
 its regenerated table/figure text, runs its ``check_shape`` claims
 verification when present, and assembles a single report - the
 programmatic equivalent of re-running the paper's whole evaluation.
+
+With ``jobs > 1`` the campaign parallelizes at two levels:
+
+* **point level** - every experiment module exposing
+  ``measurement_points(settings)`` contributes its simulation grid to
+  one deduplicated prefetch batch that the measurement executor fans
+  out across worker processes before any experiment runs;
+* **experiment level** - the experiments themselves then run across a
+  process pool, reading the prefetched results back from the on-disk
+  cache (and, on fork platforms, the inherited in-process memo).
+
+Results are independent of ``jobs``: outcomes are keyed and ordered by
+experiment id, and each measurement is a deterministic function of its
+:class:`~repro.core.experiment.MeasurementPoint`.
 """
 
 from __future__ import annotations
@@ -11,11 +25,13 @@ from __future__ import annotations
 import inspect
 import io
 import time
+from concurrent.futures import ProcessPoolExecutor
 from contextlib import redirect_stdout
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from repro.core.experiment import ExperimentSettings
+from repro.core import parallel
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
 from repro.experiments import REGISTRY, load
 
 
@@ -105,18 +121,62 @@ def run_experiment(
     )
 
 
+def collect_measurement_points(
+    experiment_ids: Iterable[str],
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[MeasurementPoint]:
+    """Gather every prefetchable simulation point of the given experiments.
+
+    Modules without a ``measurement_points`` hook (static tables, the
+    analytic figures) simply contribute nothing.
+    """
+    points: List[MeasurementPoint] = []
+    for experiment_id in experiment_ids:
+        module = load(experiment_id)
+        hook = getattr(module, "measurement_points", None)
+        if hook is not None:
+            points.extend(_call_with_optional_settings(hook, settings))
+    return points
+
+
+def _experiment_worker_init(use_cache: bool) -> None:
+    """Pool initializer: experiment workers must not nest process pools."""
+    parallel.configure(jobs=1, use_cache=use_cache)
+
+
 def run_campaign(
     settings: ExperimentSettings = ExperimentSettings(),
     experiment_ids: Optional[Iterable[str]] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
 ) -> CampaignResult:
     """Run all (or selected) experiments and collect their outcomes.
 
-    The memoized bandwidth measurements are shared across experiments,
-    so the campaign costs far less than the sum of standalone runs.
+    The cached bandwidth measurements are shared across experiments, so
+    the campaign costs far less than the sum of standalone runs.  With
+    ``jobs > 1``, unique measurement points are prefetched across a
+    worker pool first, then the experiments themselves run in parallel
+    (experiment-level parallelism requires the disk cache, which is how
+    workers share the prefetched results).
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(REGISTRY)
     unknown = [i for i in ids if i not in REGISTRY]
     if unknown:
         raise KeyError(f"unknown experiment ids: {unknown}")
-    outcomes = {i: run_experiment(i, settings) for i in ids}
+    jobs = max(1, jobs)
+    with parallel.configured(jobs=jobs, use_cache=use_cache):
+        if jobs > 1:
+            points = collect_measurement_points(ids, settings)
+            if points:
+                parallel.get_executor().measure_points(points)
+        if jobs > 1 and use_cache and len(ids) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(ids)),
+                initializer=_experiment_worker_init,
+                initargs=(use_cache,),
+            ) as pool:
+                futures = {i: pool.submit(run_experiment, i, settings) for i in ids}
+                outcomes = {i: futures[i].result() for i in ids}
+        else:
+            outcomes = {i: run_experiment(i, settings) for i in ids}
     return CampaignResult(outcomes=outcomes)

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.core.patterns import AccessPattern
@@ -84,17 +83,55 @@ class BandwidthMeasurement:
         return self.read_latency_avg_ns / 1e3
 
 
-def measure_bandwidth(
-    mask: AddressMask = AddressMask(),
-    request_type: RequestType = RequestType.READ,
-    payload_bytes: int = 128,
-    mode: AddressingMode = AddressingMode.RANDOM,
-    active_ports: Optional[int] = None,
-    settings: ExperimentSettings = ExperimentSettings(),
-    pattern_name: str = "",
-    seed: int = 1,
-) -> BandwidthMeasurement:
-    """Run one full-/small-scale GUPS experiment and read the counters."""
+@dataclass(frozen=True)
+class MeasurementPoint:
+    """The complete input description of one bandwidth simulation.
+
+    This is the executor's and the result cache's unit of work: two
+    points with equal fields (under equal settings) are guaranteed to
+    produce identical :class:`BandwidthMeasurement` values, which is
+    what makes deduplication and content-addressed caching sound.
+    """
+
+    mask: AddressMask = AddressMask()
+    request_type: RequestType = RequestType.READ
+    payload_bytes: int = 128
+    mode: AddressingMode = AddressingMode.RANDOM
+    active_ports: Optional[int] = None
+    settings: ExperimentSettings = ExperimentSettings()
+    pattern_name: str = ""
+    seed: int = 1
+
+    @classmethod
+    def for_pattern(
+        cls,
+        pattern: AccessPattern,
+        request_type: RequestType = RequestType.READ,
+        payload_bytes: int = 128,
+        settings: ExperimentSettings = ExperimentSettings(),
+        mode: AddressingMode = AddressingMode.RANDOM,
+        active_ports: Optional[int] = None,
+    ) -> "MeasurementPoint":
+        """Build the point for a named :class:`AccessPattern` slice."""
+        return cls(
+            mask=pattern.mask,
+            request_type=request_type,
+            payload_bytes=payload_bytes,
+            mode=mode,
+            active_ports=active_ports,
+            settings=settings,
+            pattern_name=pattern.name,
+        )
+
+
+def simulate_point(point: MeasurementPoint) -> Tuple[BandwidthMeasurement, int]:
+    """Run one GUPS experiment; returns (measurement, events simulated).
+
+    This is the executor's worker function: it always simulates, never
+    consults any cache.  The event count feeds the benchmark harness's
+    events/second figure.
+    """
+    settings = point.settings
     board = AC510Board(
         config=settings.config,
         calibration=settings.calibration,
@@ -102,13 +139,13 @@ def measure_bandwidth(
     )
     gups = board.load_gups(
         PortConfig(
-            request_type=request_type,
-            payload_bytes=payload_bytes,
-            mode=mode,
-            mask=mask,
-            seed=seed,
+            request_type=point.request_type,
+            payload_bytes=point.payload_bytes,
+            mode=point.mode,
+            mask=point.mask,
+            seed=point.seed,
         ),
-        active_ports=active_ports,
+        active_ports=point.active_ports,
     )
     gups.start()
     sim = board.sim
@@ -123,11 +160,11 @@ def measure_bandwidth(
     controller = board.controller
     reads = controller.read_latency.stats
     writes = controller.write_latency.stats
-    return BandwidthMeasurement(
-        pattern_name=pattern_name,
-        request_type=request_type,
-        payload_bytes=payload_bytes,
-        mode=mode,
+    measurement = BandwidthMeasurement(
+        pattern_name=point.pattern_name,
+        request_type=point.request_type,
+        payload_bytes=point.payload_bytes,
+        mode=point.mode,
         active_ports=gups.active_ports,
         bandwidth_gbs=controller.bandwidth_gbs,
         mrps=controller.mrps,
@@ -139,6 +176,31 @@ def measure_bandwidth(
         write_latency_avg_ns=writes.mean if writes.count else math.nan,
         window_ns=controller.traffic.window_ns,
     )
+    return measurement, sim.events_processed
+
+
+def measure_bandwidth(
+    mask: AddressMask = AddressMask(),
+    request_type: RequestType = RequestType.READ,
+    payload_bytes: int = 128,
+    mode: AddressingMode = AddressingMode.RANDOM,
+    active_ports: Optional[int] = None,
+    settings: ExperimentSettings = ExperimentSettings(),
+    pattern_name: str = "",
+    seed: int = 1,
+) -> BandwidthMeasurement:
+    """Run one full-/small-scale GUPS experiment and read the counters."""
+    point = MeasurementPoint(
+        mask=mask,
+        request_type=request_type,
+        payload_bytes=payload_bytes,
+        mode=mode,
+        active_ports=active_ports,
+        settings=settings,
+        pattern_name=pattern_name,
+        seed=seed,
+    )
+    return simulate_point(point)[0]
 
 
 def measure_pattern(
@@ -161,27 +223,6 @@ def measure_pattern(
     )
 
 
-@lru_cache(maxsize=512)
-def _cached(
-    mask: AddressMask,
-    request_type: RequestType,
-    payload_bytes: int,
-    mode: AddressingMode,
-    active_ports: Optional[int],
-    settings: ExperimentSettings,
-    pattern_name: str,
-) -> BandwidthMeasurement:
-    return measure_bandwidth(
-        mask=mask,
-        request_type=request_type,
-        payload_bytes=payload_bytes,
-        mode=mode,
-        active_ports=active_ports,
-        settings=settings,
-        pattern_name=pattern_name,
-    )
-
-
 def measure_bandwidth_cached(
     pattern: AccessPattern,
     request_type: RequestType = RequestType.READ,
@@ -190,20 +231,24 @@ def measure_bandwidth_cached(
     mode: AddressingMode = AddressingMode.RANDOM,
     active_ports: Optional[int] = None,
 ) -> BandwidthMeasurement:
-    """Memoized :func:`measure_pattern`.
+    """Cached :func:`measure_pattern` via the measurement executor.
 
     The thermal/power/regression experiments (Figs. 9-12) reuse the
-    bandwidth profiles of Fig. 7; caching keeps a full campaign run from
-    re-simulating identical workloads.
+    bandwidth profiles of Fig. 7; the executor's in-process memo and
+    on-disk result cache keep a full campaign run from re-simulating
+    identical workloads - across experiments and across runs.
     """
-    return _cached(
-        pattern.mask,
-        request_type,
-        payload_bytes,
-        mode,
-        active_ports,
-        settings,
-        pattern.name,
+    from repro.core.parallel import get_executor
+
+    return get_executor().measure_point(
+        MeasurementPoint.for_pattern(
+            pattern,
+            request_type=request_type,
+            payload_bytes=payload_bytes,
+            settings=settings,
+            mode=mode,
+            active_ports=active_ports,
+        )
     )
 
 
@@ -231,26 +276,34 @@ def run_latency_sweep(
     request_type: RequestType = RequestType.READ,
     port_counts: Optional[Tuple[int, ...]] = None,
 ) -> List[LatencySweepPoint]:
-    """Tune request rate via the number of active ports (§III-B)."""
+    """Tune request rate via the number of active ports (§III-B).
+
+    The whole port sweep is submitted to the measurement executor as one
+    batch, so uncached sweep points simulate in parallel.
+    """
+    from repro.core.parallel import get_executor
+
     counts = port_counts or tuple(range(1, settings.calibration.gups_ports + 1))
-    points = []
-    for ports in counts:
-        measurement = measure_bandwidth_cached(
+    batch = [
+        MeasurementPoint.for_pattern(
             pattern,
             request_type=request_type,
             payload_bytes=payload_bytes,
             settings=settings,
             active_ports=ports,
         )
-        points.append(
-            LatencySweepPoint(
-                active_ports=ports,
-                bandwidth_gbs=measurement.bandwidth_gbs,
-                mrps=measurement.mrps,
-                read_latency_avg_ns=measurement.read_latency_avg_ns,
-            )
+        for ports in counts
+    ]
+    measurements = get_executor().measure_points(batch)
+    return [
+        LatencySweepPoint(
+            active_ports=ports,
+            bandwidth_gbs=measurement.bandwidth_gbs,
+            mrps=measurement.mrps,
+            read_latency_avg_ns=measurement.read_latency_avg_ns,
         )
-    return points
+        for ports, measurement in zip(counts, measurements)
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,215 @@
+"""Parallel measurement execution with dedup, memo, and disk cache.
+
+The paper's evaluation decomposes into hundreds of mutually independent
+``measure_bandwidth`` simulations (pattern x request type x payload x
+port count grids) - an embarrassingly parallel workload.  The
+:class:`MeasurementExecutor` accepts *batches* of
+:class:`~repro.core.experiment.MeasurementPoint` and
+
+1. deduplicates them by content-addressed cache key,
+2. serves repeats from the in-process memo, then the on-disk
+   :class:`~repro.core.cache.ResultCache`,
+3. fans the remaining unique misses out across a
+   :class:`~concurrent.futures.ProcessPoolExecutor`, and
+4. returns results in submission order,
+
+so a parallel run is bit-identical to a serial one - the simulation is
+deterministic per point, and ordering is the caller's, not the pool's.
+``jobs=1`` bypasses the pool entirely (no subprocess in the loop when
+debugging with pdb or profiling).
+
+Module-level :func:`configure` / :func:`configured` set the default
+executor policy used by :func:`~repro.core.experiment.measure_bandwidth_cached`
+and the experiment modules, so the CLI's ``--jobs`` / ``--no-cache``
+reach every measurement without threading flags through each API.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cache import ResultCache, cache_key
+from repro.core.experiment import (
+    BandwidthMeasurement,
+    MeasurementPoint,
+    simulate_point,
+)
+
+#: In-process memo shared by every executor: key -> measurement.  This
+#: is what lets Figs. 9-12 and 16 reuse Fig. 7/8 measurements within a
+#: single campaign even when the disk cache is disabled.
+_MEMO: Dict[str, BandwidthMeasurement] = {}
+
+
+@dataclass
+class ExecutorStats:
+    """Counters of what the executors actually did (process-wide)."""
+
+    simulations: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    events_simulated: int = 0
+
+    def snapshot(self) -> "ExecutorStats":
+        """An independent copy (the live instance keeps mutating)."""
+        return ExecutorStats(
+            simulations=self.simulations,
+            memo_hits=self.memo_hits,
+            disk_hits=self.disk_hits,
+            events_simulated=self.events_simulated,
+        )
+
+
+_STATS = ExecutorStats()
+
+#: Module defaults applied when an executor is built without explicit
+#: arguments; `None` jobs means "serial" for library callers - the CLI
+#: opts into cpu_count explicitly.
+_DEFAULT_JOBS: int = 1
+_DEFAULT_USE_CACHE: bool = True
+
+
+def stats() -> ExecutorStats:
+    """The live process-wide executor counters."""
+    return _STATS
+
+
+def reset(clear_memo: bool = True) -> None:
+    """Zero the counters; optionally drop the in-process memo too."""
+    global _STATS
+    _STATS.simulations = 0
+    _STATS.memo_hits = 0
+    _STATS.disk_hits = 0
+    _STATS.events_simulated = 0
+    if clear_memo:
+        _MEMO.clear()
+
+
+def configure(jobs: Optional[int] = None, use_cache: Optional[bool] = None) -> None:
+    """Set the default executor policy for this process."""
+    global _DEFAULT_JOBS, _DEFAULT_USE_CACHE
+    if jobs is not None:
+        _DEFAULT_JOBS = max(1, jobs)
+    if use_cache is not None:
+        _DEFAULT_USE_CACHE = use_cache
+
+
+@contextmanager
+def configured(jobs: Optional[int] = None, use_cache: Optional[bool] = None):
+    """Temporarily override the default executor policy."""
+    saved = (_DEFAULT_JOBS, _DEFAULT_USE_CACHE)
+    configure(jobs=jobs, use_cache=use_cache)
+    try:
+        yield
+    finally:
+        configure(jobs=saved[0], use_cache=saved[1])
+
+
+def default_jobs() -> int:
+    """The CLI default for ``--jobs``: every available core."""
+    return os.cpu_count() or 1
+
+
+def _simulate(point: MeasurementPoint) -> Tuple[BandwidthMeasurement, int]:
+    """Pool worker: run one simulation (module-level, hence picklable)."""
+    return simulate_point(point)
+
+
+class MeasurementExecutor:
+    """Batch-dedup-fan-out front end for bandwidth measurements.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cache misses.  ``1`` runs inline (no pool).
+        ``None`` uses the module default set via :func:`configure`.
+    use_cache:
+        Whether to consult/populate the on-disk result cache.  ``None``
+        uses the module default.  The in-process memo is always used -
+        it can never be stale within one process.
+    cache:
+        Cache instance override (tests); defaults to the directory
+        resolved from the environment at each batch.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        use_cache: Optional[bool] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else _DEFAULT_JOBS)
+        self.use_cache = use_cache if use_cache is not None else _DEFAULT_USE_CACHE
+        self._cache = cache
+
+    def _resolve_cache(self) -> Optional[ResultCache]:
+        if not self.use_cache:
+            return None
+        return self._cache if self._cache is not None else ResultCache()
+
+    def measure_point(self, point: MeasurementPoint) -> BandwidthMeasurement:
+        """Measure a single point (memo -> disk -> simulate)."""
+        return self.measure_points((point,))[0]
+
+    def measure_points(
+        self, points: Iterable[MeasurementPoint]
+    ) -> List[BandwidthMeasurement]:
+        """Measure a batch; results come back in submission order.
+
+        Duplicate points collapse to one simulation; cached points cost
+        no simulation at all.  Misses run across the worker pool (or
+        inline when ``jobs == 1`` or only one miss remains).
+        """
+        batch = list(points)
+        keys = [cache_key(point) for point in batch]
+        results: List[Optional[BandwidthMeasurement]] = [None] * len(batch)
+        cache = self._resolve_cache()
+
+        missing: Dict[str, List[int]] = {}
+        for index, key in enumerate(keys):
+            memoized = _MEMO.get(key)
+            if memoized is not None:
+                _STATS.memo_hits += 1
+                results[index] = memoized
+                continue
+            if cache is not None:
+                stored = cache.load(key)
+                if stored is not None:
+                    _STATS.disk_hits += 1
+                    _MEMO[key] = stored
+                    results[index] = stored
+                    continue
+            missing.setdefault(key, []).append(index)
+
+        if missing:
+            miss_keys = list(missing)
+            miss_points = [batch[missing[key][0]] for key in miss_keys]
+            for key, (measurement, events) in zip(
+                miss_keys, self._run_misses(miss_points)
+            ):
+                _STATS.simulations += 1
+                _STATS.events_simulated += events
+                _MEMO[key] = measurement
+                if cache is not None:
+                    cache.store(key, measurement)
+                for index in missing[key]:
+                    results[index] = measurement
+        return results  # type: ignore[return-value]
+
+    def _run_misses(
+        self, miss_points: Sequence[MeasurementPoint]
+    ) -> List[Tuple[BandwidthMeasurement, int]]:
+        workers = min(self.jobs, len(miss_points))
+        if workers <= 1:
+            return [_simulate(point) for point in miss_points]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_simulate, miss_points))
+
+
+def get_executor() -> MeasurementExecutor:
+    """An executor honouring the current module defaults."""
+    return MeasurementExecutor()

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.experiment import ExperimentSettings, measure_bandwidth_cached
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.parallel import MeasurementExecutor
 from repro.core.patterns import pattern_by_name
 from repro.hmc.errors import ConfigurationError
 from repro.hmc.packet import RequestType
@@ -70,18 +71,33 @@ FIELDS = (
 def run_sweep(
     grid: SweepGrid,
     settings: ExperimentSettings = ExperimentSettings(),
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> List[Dict]:
-    """Measure every grid point; returns one flat record per point."""
-    records: List[Dict] = []
-    for pattern_name, request_type, payload, ports in grid.points():
-        pattern = pattern_by_name(pattern_name, settings.config)
-        m = measure_bandwidth_cached(
-            pattern,
+    """Measure every grid point; returns one flat record per point.
+
+    The whole grid is submitted to the measurement executor as one
+    batch: duplicate and already-cached points cost nothing, and the
+    remaining misses simulate across ``jobs`` worker processes (``None``
+    inherits the configured default).
+    """
+    grid_points = list(grid.points())
+    batch = [
+        MeasurementPoint.for_pattern(
+            pattern_by_name(pattern_name, settings.config),
             request_type=request_type,
             payload_bytes=payload,
             settings=settings,
             active_ports=ports,
         )
+        for pattern_name, request_type, payload, ports in grid_points
+    ]
+    executor = MeasurementExecutor(jobs=jobs, use_cache=use_cache)
+    measurements = executor.measure_points(batch)
+    records: List[Dict] = []
+    for (pattern_name, request_type, payload, _ports), m in zip(
+        grid_points, measurements
+    ):
         records.append(
             {
                 "pattern": pattern_name,

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.experiment import ExperimentSettings, measure_bandwidth
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.parallel import get_executor
 from repro.core.patterns import FIG6_MASK_POSITIONS, eight_bit_mask
 from repro.core.report import render_series
 from repro.hmc.packet import RequestType
@@ -30,20 +31,28 @@ class MaskPoint:
     bandwidth_gbs: Dict[str, float]  # request-type label -> GB/s
 
 
+def measurement_points(
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[MeasurementPoint]:
+    """The figure's simulation grid, for batch submission/prefetch."""
+    return [
+        MeasurementPoint(
+            mask=eight_bit_mask(low),
+            request_type=request_type,
+            payload_bytes=128,
+            settings=settings,
+            pattern_name=f"mask {label}",
+        )
+        for label, low in FIG6_MASK_POSITIONS
+        for request_type in REQUEST_TYPES
+    ]
+
+
 def run(settings: ExperimentSettings = ExperimentSettings()) -> List[MaskPoint]:
+    measurements = iter(get_executor().measure_points(measurement_points(settings)))
     points = []
     for label, low in FIG6_MASK_POSITIONS:
-        mask = eight_bit_mask(low)
-        bw = {}
-        for request_type in REQUEST_TYPES:
-            measurement = measure_bandwidth(
-                mask=mask,
-                request_type=request_type,
-                payload_bytes=128,
-                settings=settings,
-                pattern_name=f"mask {label}",
-            )
-            bw[request_type.value] = measurement.bandwidth_gbs
+        bw = {rt.value: next(measurements).bandwidth_gbs for rt in REQUEST_TYPES}
         points.append(MaskPoint(label=label, low_bit=low, bandwidth_gbs=bw))
     return points
 

@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.experiment import ExperimentSettings, measure_bandwidth_cached
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.parallel import get_executor
 from repro.core.patterns import PATTERN_NAMES, standard_patterns
 from repro.core.report import render_series
 from repro.hmc.packet import RequestType
@@ -36,21 +37,32 @@ class PatternBandwidth:
     bandwidth_gbs: Dict[str, float]
 
 
+def measurement_points(
+    settings: ExperimentSettings = ExperimentSettings(), payload_bytes: int = 128
+) -> List[MeasurementPoint]:
+    """The figure's simulation grid, for batch submission/prefetch."""
+    patterns = standard_patterns(settings.config)
+    return [
+        MeasurementPoint.for_pattern(
+            patterns[name],
+            request_type=rt,
+            payload_bytes=payload_bytes,
+            settings=settings,
+        )
+        for name in PATTERN_NAMES
+        for rt in REQUEST_TYPES
+    ]
+
+
 def run(
     settings: ExperimentSettings = ExperimentSettings(), payload_bytes: int = 128
 ) -> List[PatternBandwidth]:
-    patterns = standard_patterns(settings.config)
+    measurements = iter(
+        get_executor().measure_points(measurement_points(settings, payload_bytes))
+    )
     results = []
     for name in PATTERN_NAMES:
-        bw = {
-            rt.value: measure_bandwidth_cached(
-                patterns[name],
-                request_type=rt,
-                payload_bytes=payload_bytes,
-                settings=settings,
-            ).bandwidth_gbs
-            for rt in REQUEST_TYPES
-        }
+        bw = {rt.value: next(measurements).bandwidth_gbs for rt in REQUEST_TYPES}
         results.append(PatternBandwidth(pattern=name, bandwidth_gbs=bw))
     return results
 

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.experiment import ExperimentSettings, measure_bandwidth_cached
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.parallel import get_executor
 from repro.core.patterns import PATTERN_NAMES, standard_patterns
 from repro.core.report import render_series
 from repro.hmc.packet import RequestType
@@ -30,19 +31,31 @@ class SizePoint:
     mrps: Dict[int, float]
 
 
-def run(settings: ExperimentSettings = ExperimentSettings()) -> List[SizePoint]:
+def measurement_points(
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[MeasurementPoint]:
+    """The figure's simulation grid, for batch submission/prefetch."""
     patterns = standard_patterns(settings.config)
+    return [
+        MeasurementPoint.for_pattern(
+            patterns[name],
+            request_type=RequestType.READ,
+            payload_bytes=size,
+            settings=settings,
+        )
+        for name in PATTERN_NAMES
+        for size in SIZES
+    ]
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> List[SizePoint]:
+    measurements = iter(get_executor().measure_points(measurement_points(settings)))
     points = []
     for name in PATTERN_NAMES:
         bw: Dict[int, float] = {}
         rate: Dict[int, float] = {}
         for size in SIZES:
-            m = measure_bandwidth_cached(
-                patterns[name],
-                request_type=RequestType.READ,
-                payload_bytes=size,
-                settings=settings,
-            )
+            m = next(measurements)
             bw[size] = m.bandwidth_gbs
             rate[size] = m.mrps
         points.append(SizePoint(pattern=name, bandwidth_gbs=bw, mrps=rate))

@@ -20,9 +20,11 @@ from typing import Dict, List, Tuple
 
 from repro.core.experiment import (
     ExperimentSettings,
+    MeasurementPoint,
     ThermalRunResult,
     run_thermal_experiment,
 )
+from repro.core.parallel import get_executor
 from repro.core.patterns import PATTERN_NAMES, standard_patterns
 from repro.core.report import render_series
 from repro.hmc.packet import RequestType
@@ -44,10 +46,24 @@ class ThermalPanel:
     excluded: Tuple[str, ...]  # configs that failed
 
 
+def measurement_points(
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[MeasurementPoint]:
+    """The figure's simulation grid (cooling only affects the analytic
+    thermal solve, not the bandwidth measurement)."""
+    patterns = standard_patterns(settings.config)
+    return [
+        MeasurementPoint.for_pattern(patterns[name], request_type=rt, settings=settings)
+        for rt in REQUEST_TYPES
+        for name in FIG9_PATTERNS
+    ]
+
+
 def run(
     settings: ExperimentSettings = ExperimentSettings(),
     configs: Tuple[CoolingConfig, ...] = ALL_CONFIGS,
 ) -> List[ThermalPanel]:
+    get_executor().measure_points(measurement_points(settings))
     patterns = standard_patterns(settings.config)
     panels = []
     for request_type in REQUEST_TYPES:

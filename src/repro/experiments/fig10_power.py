@@ -13,7 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.core.experiment import ExperimentSettings, run_thermal_experiment
+from repro.core.experiment import (
+    ExperimentSettings,
+    MeasurementPoint,
+    run_thermal_experiment,
+)
+from repro.core.parallel import get_executor
 from repro.core.patterns import PATTERN_NAMES, standard_patterns
 from repro.core.report import render_series
 from repro.hmc.packet import RequestType
@@ -31,10 +36,23 @@ class PowerPanel:
     excluded: Tuple[str, ...]
 
 
+def measurement_points(
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[MeasurementPoint]:
+    """The figure's simulation grid (same bandwidth runs as Fig. 9)."""
+    patterns = standard_patterns(settings.config)
+    return [
+        MeasurementPoint.for_pattern(patterns[name], request_type=rt, settings=settings)
+        for rt in REQUEST_TYPES
+        for name in FIG10_PATTERNS
+    ]
+
+
 def run(
     settings: ExperimentSettings = ExperimentSettings(),
     configs: Tuple[CoolingConfig, ...] = ALL_CONFIGS,
 ) -> List[PowerPanel]:
+    get_executor().measure_points(measurement_points(settings))
     patterns = standard_patterns(settings.config)
     panels = []
     for request_type in REQUEST_TYPES:

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.experiment import ExperimentSettings, measure_bandwidth
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.parallel import get_executor
 from repro.core.patterns import pattern_by_name
 from repro.core.report import render_series
 from repro.fpga.address_gen import AddressingMode
@@ -29,22 +30,34 @@ class ClosedPageGroup:
     bandwidth_gbs: Dict[int, float]
 
 
-def run(settings: ExperimentSettings = ExperimentSettings()) -> List[ClosedPageGroup]:
-    groups = []
+def measurement_points(
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[MeasurementPoint]:
+    """The figure's simulation grid, for batch submission/prefetch."""
+    points = []
     for footprint in FOOTPRINTS:
         pattern = pattern_by_name(footprint, settings.config)
         for mode in (AddressingMode.LINEAR, AddressingMode.RANDOM):
-            bw = {
-                size: measure_bandwidth(
-                    mask=pattern.mask,
-                    request_type=RequestType.READ,
-                    payload_bytes=size,
-                    mode=mode,
-                    settings=settings,
-                    pattern_name=f"{footprint}/{mode.value}",
-                ).bandwidth_gbs
-                for size in SIZES
-            }
+            for size in SIZES:
+                points.append(
+                    MeasurementPoint(
+                        mask=pattern.mask,
+                        request_type=RequestType.READ,
+                        payload_bytes=size,
+                        mode=mode,
+                        settings=settings,
+                        pattern_name=f"{footprint}/{mode.value}",
+                    )
+                )
+    return points
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> List[ClosedPageGroup]:
+    measurements = iter(get_executor().measure_points(measurement_points(settings)))
+    groups = []
+    for footprint in FOOTPRINTS:
+        for mode in (AddressingMode.LINEAR, AddressingMode.RANDOM):
+            bw = {size: next(measurements).bandwidth_gbs for size in SIZES}
             groups.append(
                 ClosedPageGroup(footprint=footprint, mode=mode, bandwidth_gbs=bw)
             )

@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.experiment import ExperimentSettings, measure_bandwidth_cached
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.parallel import get_executor
 from repro.core.patterns import PATTERN_NAMES, standard_patterns
 from repro.core.report import render_series
 from repro.hmc.packet import RequestType
@@ -36,19 +37,31 @@ class HighLoadPoint:
     bandwidth_gbs: Dict[int, float]
 
 
-def run(settings: ExperimentSettings = ExperimentSettings()) -> List[HighLoadPoint]:
+def measurement_points(
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[MeasurementPoint]:
+    """The figure's simulation grid (shared with Figure 8)."""
     patterns = standard_patterns(settings.config)
+    return [
+        MeasurementPoint.for_pattern(
+            patterns[name],
+            request_type=RequestType.READ,
+            payload_bytes=size,
+            settings=settings,
+        )
+        for name in PATTERN_NAMES
+        for size in SIZES
+    ]
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> List[HighLoadPoint]:
+    measurements = iter(get_executor().measure_points(measurement_points(settings)))
     points = []
     for name in PATTERN_NAMES:
         latency: Dict[int, float] = {}
         bandwidth: Dict[int, float] = {}
         for size in SIZES:
-            m = measure_bandwidth_cached(
-                patterns[name],
-                request_type=RequestType.READ,
-                payload_bytes=size,
-                settings=settings,
-            )
+            m = next(measurements)
             latency[size] = m.read_latency_avg_ns
             bandwidth[size] = m.bandwidth_gbs
         points.append(

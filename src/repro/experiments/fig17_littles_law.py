@@ -21,10 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.core.experiment import ExperimentSettings, run_latency_sweep
+from repro.core.experiment import (
+    ExperimentSettings,
+    MeasurementPoint,
+    run_latency_sweep,
+)
 from repro.core.littles_law import LittlesLawAnalysis
+from repro.core.parallel import get_executor
 from repro.core.patterns import pattern_by_name
 from repro.core.report import render_table
+from repro.hmc.packet import RequestType
 
 PAPER_OCCUPANCY_4_BANKS = 375.0
 SIZES = (16, 32, 64, 128)
@@ -45,7 +51,27 @@ class OccupancyResult:
         return four / two
 
 
+def measurement_points(
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[MeasurementPoint]:
+    """The full port-sweep grid, for batch submission/prefetch."""
+    counts = tuple(range(1, settings.calibration.gups_ports + 1))
+    return [
+        MeasurementPoint.for_pattern(
+            pattern_by_name(pattern_name, settings.config),
+            request_type=RequestType.READ,
+            payload_bytes=size,
+            settings=settings,
+            active_ports=ports,
+        )
+        for pattern_name in PATTERNS
+        for size in SIZES
+        for ports in counts
+    ]
+
+
 def run(settings: ExperimentSettings = ExperimentSettings()) -> OccupancyResult:
+    get_executor().measure_points(measurement_points(settings))
     analyses = {}
     for pattern_name in PATTERNS:
         pattern = pattern_by_name(pattern_name, settings.config)

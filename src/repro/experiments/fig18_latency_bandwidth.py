@@ -19,11 +19,14 @@ from typing import List, Tuple
 from repro.core.experiment import (
     ExperimentSettings,
     LatencySweepPoint,
+    MeasurementPoint,
     run_latency_sweep,
 )
 from repro.core.littles_law import is_saturated, saturation_point
+from repro.core.parallel import get_executor
 from repro.core.patterns import PATTERN_NAMES, standard_patterns
 from repro.core.report import render_table
+from repro.hmc.packet import RequestType
 
 SIZES = (16, 32, 64, 128)
 
@@ -38,11 +41,34 @@ class SweepSummary:
     knee_latency_ns: float
 
 
+def measurement_points(
+    settings: ExperimentSettings = ExperimentSettings(),
+    sizes: Tuple[int, ...] = SIZES,
+    pattern_names: Tuple[str, ...] = PATTERN_NAMES,
+) -> List[MeasurementPoint]:
+    """The full pattern x size x port grid, for batch submission/prefetch."""
+    patterns = standard_patterns(settings.config)
+    counts = tuple(range(1, settings.calibration.gups_ports + 1))
+    return [
+        MeasurementPoint.for_pattern(
+            patterns[name],
+            request_type=RequestType.READ,
+            payload_bytes=size,
+            settings=settings,
+            active_ports=ports,
+        )
+        for name in pattern_names
+        for size in sizes
+        for ports in counts
+    ]
+
+
 def run(
     settings: ExperimentSettings = ExperimentSettings(),
     sizes: Tuple[int, ...] = SIZES,
     pattern_names: Tuple[str, ...] = PATTERN_NAMES,
 ) -> List[SweepSummary]:
+    get_executor().measure_points(measurement_points(settings, sizes, pattern_names))
     patterns = standard_patterns(settings.config)
     summaries = []
     for name in pattern_names:

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List
 
-from repro.core.experiment import ExperimentSettings, measure_bandwidth
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.parallel import get_executor
 from repro.core.patterns import standard_patterns
 from repro.core.report import render_series
 from repro.hmc.calibration import DEFAULT_CALIBRATION
@@ -45,27 +46,42 @@ class GenerationComparison:
         return self.hmc2_gbs / self.gen2_gbs if self.gen2_gbs else 0.0
 
 
-def run(settings: ExperimentSettings = ExperimentSettings()) -> List[GenerationComparison]:
-    gen2_settings = settings
+def measurement_points(
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[MeasurementPoint]:
+    """Both generations' simulation grids, for batch submission/prefetch."""
     hmc2_settings = replace(settings, config=HMC_2_0_8GB, calibration=HOST_CALIBRATION)
     gen2_patterns = standard_patterns(HMC_1_1_4GB)
     hmc2_patterns = standard_patterns(HMC_2_0_8GB)
+    points = []
+    for name in PATTERNS:
+        points.append(
+            MeasurementPoint(
+                mask=gen2_patterns[name].mask,
+                request_type=RequestType.READ,
+                payload_bytes=128,
+                settings=settings,
+                pattern_name=name,
+            )
+        )
+        points.append(
+            MeasurementPoint(
+                mask=hmc2_patterns[name].mask,
+                request_type=RequestType.READ,
+                payload_bytes=128,
+                settings=hmc2_settings,
+                pattern_name=name,
+            )
+        )
+    return points
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> List[GenerationComparison]:
+    measurements = iter(get_executor().measure_points(measurement_points(settings)))
     rows = []
     for name in PATTERNS:
-        gen2 = measure_bandwidth(
-            mask=gen2_patterns[name].mask,
-            request_type=RequestType.READ,
-            payload_bytes=128,
-            settings=gen2_settings,
-            pattern_name=name,
-        )
-        hmc2 = measure_bandwidth(
-            mask=hmc2_patterns[name].mask,
-            request_type=RequestType.READ,
-            payload_bytes=128,
-            settings=hmc2_settings,
-            pattern_name=name,
-        )
+        gen2 = next(measurements)
+        hmc2 = next(measurements)
         rows.append(
             GenerationComparison(
                 pattern=name,

@@ -88,7 +88,7 @@ class HmcController:
 
     def _maybe_resume_one(self) -> None:
         if self._stop_waiters and self.can_generate:
-            self.sim.schedule(0.0, self._stop_waiters.popleft())
+            self.sim.schedule_fast(0.0, self._stop_waiters.popleft())
 
     # ------------------------------------------------------------------
     # TX path
@@ -102,7 +102,7 @@ class HmcController:
         pipeline_done = self.sim.now + self.calibration.tx_pipeline_ns(
             request.request_flits
         )
-        self.sim.schedule_at(pipeline_done, self._acquire_tokens, request)
+        self.sim.schedule_fast_at(pipeline_done, self._acquire_tokens, request)
 
     def _acquire_tokens(self, request: Request) -> None:
         link = self.device.links[request.link]
@@ -122,14 +122,14 @@ class HmcController:
         complete_at = rx_done_ns + self.calibration.rx_pipeline_ns(
             request.response_flits
         )
-        self.sim.schedule_at(complete_at, self._complete, request)
+        self.sim.schedule_fast_at(complete_at, self._complete, request)
 
     def _complete(self, request: Request) -> None:
         if self.fault_model is not None and self.fault_model.transaction_fails(request):
             # CRC verification failed; the sequence-number machinery
             # replays the transaction through the TX pipeline.  The
             # latency clock keeps running from the original submission.
-            self.sim.schedule(
+            self.sim.schedule_fast(
                 self.fault_model.retry_latency_ns, self._acquire_tokens, request
             )
             return

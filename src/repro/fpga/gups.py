@@ -95,7 +95,7 @@ class GupsPort:
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.active = True
-        self.sim.schedule(0.0, self._try_issue)
+        self.sim.schedule_fast(0.0, self._try_issue)
 
     def stop(self) -> None:
         self.active = False
@@ -140,7 +140,7 @@ class GupsPort:
         else:
             self.reads_issued += 1
         self.controller.submit(request)
-        self.sim.schedule(self.cycle_ns, self._try_issue)
+        self.sim.schedule_fast(self.cycle_ns, self._try_issue)
 
     # ------------------------------------------------------------------
     # completion path

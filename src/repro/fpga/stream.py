@@ -98,7 +98,7 @@ class StreamGups:
                 is_write=False,
                 port=STREAM_PORT,
             )
-            self.sim.schedule(i * cycle, self.controller.submit, request)
+            self.sim.schedule_fast(i * cycle, self.controller.submit, request)
         self.sim.run()
         if self._outstanding:
             raise RuntimeError("stream did not drain")
@@ -115,7 +115,7 @@ class StreamGups:
     def _on_complete(self, request: Request) -> None:
         """Responses additionally cross the AXI-Stream drain path."""
         done = self.stream_rx.acquire(packet_bytes(request.response_flits))
-        self.sim.schedule_at(done, self._drained, request, done)
+        self.sim.schedule_fast_at(done, self._drained, request, done)
 
     def _drained(self, request: Request, done_ns: float) -> None:
         if not request.is_write:
@@ -146,7 +146,7 @@ class StreamGups:
                 data=data,
             )
             self._outstanding += 1
-            self.sim.schedule(i * cycle, self.controller.submit, request)
+            self.sim.schedule_fast(i * cycle, self.controller.submit, request)
         self.sim.run()
 
         for i, address in enumerate(addresses):
@@ -158,6 +158,6 @@ class StreamGups:
             )
             request.expected = patterns[address]  # type: ignore[attr-defined]
             self._outstanding += 1
-            self.sim.schedule(i * cycle, self.controller.submit, request)
+            self.sim.schedule_fast(i * cycle, self.controller.submit, request)
         self.sim.run()
         return not self._verify_failures

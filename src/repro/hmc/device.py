@@ -144,7 +144,7 @@ class HMCDevice:
         """
         decoded = self.mapping.decode(request.address)
         delay = self.route_delay_ns(request.link, decoded.quadrant)
-        self.sim.schedule_at(
+        self.sim.schedule_fast_at(
             max(arrival_ns, self.sim.now) + delay,
             self._deliver_to_vault,
             request,
@@ -161,7 +161,7 @@ class HMCDevice:
             link.tokens.release(flits)
 
         def accepted() -> None:
-            self.sim.schedule(self.calibration.token_return_latency_ns, tokens_home)
+            self.sim.schedule_fast(self.calibration.token_return_latency_ns, tokens_home)
 
         self.vaults[vault].accept(request, bank, on_accepted=accepted)
 
@@ -181,7 +181,7 @@ class HMCDevice:
         rx_done = link.rx.acquire(packet_bytes(request.response_flits), earliest=ready)
         if self.on_response is None:
             raise ConfigurationError("HMCDevice.on_response handler not installed")
-        self.sim.schedule_at(rx_done, self.on_response, request, rx_done)
+        self.sim.schedule_fast_at(rx_done, self.on_response, request, rx_done)
 
     # ------------------------------------------------------------------
     # introspection

@@ -117,7 +117,7 @@ class LinkTokenPool:
             need, callback = self._waiters.popleft()
             self.available -= need
             self.peak_in_use = max(self.peak_in_use, self.in_use)
-            self.sim.schedule(0.0, callback)
+            self.sim.schedule_fast(0.0, callback)
 
     @property
     def waiting(self) -> int:

@@ -43,14 +43,14 @@ class Bank:
         """Begin periodic refresh; banks stagger their first refresh."""
         self._refresh_interval = interval_ns
         self._refresh_occupancy = occupancy_ns
-        self.sim.schedule(offset_ns, self._refresh)
+        self.sim.schedule_fast(offset_ns, self._refresh)
 
     def _refresh(self) -> None:
         self.refreshes += 1
         self.busy_until = max(self.busy_until, self.sim.now) + self._refresh_occupancy
         if len(self.queue):
             self.kick()
-        self.sim.schedule(self._refresh_interval, self._refresh)
+        self.sim.schedule_fast(self._refresh_interval, self._refresh)
 
     # ------------------------------------------------------------------
     # service loop
@@ -60,7 +60,7 @@ class Bank:
         if self._kick_scheduled:
             return
         self._kick_scheduled = True
-        self.sim.schedule_at(max(self.sim.now, self.busy_until), self._service)
+        self.sim.schedule_fast_at(max(self.sim.now, self.busy_until), self._service)
 
     def _service(self) -> None:
         self._kick_scheduled = False

@@ -1,9 +1,24 @@
 """Event loop for the transaction-level simulator.
 
-The simulator is a classic calendar queue built on :mod:`heapq`.  Events
-are ``(time, sequence, callback, args)`` tuples; the monotonically
+The simulator is a classic calendar queue built on :mod:`heapq`.  Every
+heap entry starts with ``(time, sequence, ...)``; the monotonically
 increasing sequence number makes event ordering total and therefore the
 whole simulation deterministic, including ties.
+
+Two scheduling flavours share the queue:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return a
+  cancellable :class:`Event` handle.  The heap entry is
+  ``(time, seq, event)``.
+* :meth:`Simulator.schedule_fast` / :meth:`Simulator.schedule_fast_at`
+  are the fast path for the dominant event class that is never
+  cancelled: the heap entry is the plain tuple
+  ``(time, seq, callback, args)`` and no per-event object is allocated.
+  The model's hot loops (port issue, link transfer, vault service)
+  schedule millions of these per campaign.
+
+Because ``seq`` is unique, tuple comparison never reaches the third
+element, so the two entry shapes coexist safely in one heap.
 
 Time is measured in nanoseconds (float).  Model code never reads a wall
 clock; everything derives from :attr:`Simulator.now`.
@@ -27,18 +42,32 @@ class Event:
     discarded when popped.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when its time comes."""
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            # Keep the live-event counter exact: only the first cancel of
+            # a still-queued event decrements it.
+            self._sim = None
+            sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -58,7 +87,7 @@ class Simulator:
     >>> sim = Simulator()
     >>> fired = []
     >>> _ = sim.schedule(5.0, fired.append, "a")
-    >>> _ = sim.schedule(2.0, fired.append, "b")
+    >>> sim.schedule_fast(2.0, fired.append, "b")
     >>> sim.run()
     >>> fired
     ['b', 'a']
@@ -68,8 +97,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._seq: int = 0
+        self._live: int = 0
         self._running: bool = False
         self.events_processed: int = 0
 
@@ -88,23 +118,52 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (t={time}, now={self.now})"
             )
-        event = Event(time, self._seq, callback, args)
+        event = Event(time, self._seq, callback, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        self._live += 1
+        heapq.heappush(self._heap, (time, event.seq, event))
         return event
+
+    def schedule_fast(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fast-path :meth:`schedule`: no cancellation handle, no Event."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._heap, (self.now + delay, seq, callback, args))
+
+    def schedule_fast_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fast-path :meth:`schedule_at`: no cancellation handle, no Event."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time}, now={self.now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._heap, (time, seq, callback, args))
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns ``False`` when idle."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if len(entry) == 4:
+                time, _, callback, args = entry
+            else:
+                event = entry[2]
+                if event.cancelled:
+                    continue
+                event._sim = None  # popped: a late cancel() must not decrement
+                time, callback, args = event.time, event.callback, event.args
+            self.now = time
+            self._live -= 1
             self.events_processed += 1
-            event.callback(*event.args)
+            callback(*args)
             return True
         return False
 
@@ -118,28 +177,34 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            if until is None:
-                while self.step():
-                    pass
-                return
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if head.time > until:
+            while heap:
+                if until is not None and heap[0][0] > until:
                     break
-                self.step()
-            if self.now < until:
+                entry = pop(heap)
+                if len(entry) == 4:
+                    time, _, callback, args = entry
+                else:
+                    event = entry[2]
+                    if event.cancelled:
+                        continue
+                    event._sim = None
+                    time, callback, args = event.time, event.callback, event.args
+                self.now = time
+                self._live -= 1
+                self.events_processed += 1
+                callback(*args)
+            if until is not None and self.now < until:
                 self.now = until
         finally:
             self._running = False
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self.now:.3f}ns pending={len(self._heap)}>"
+        return f"<Simulator now={self.now:.3f}ns pending={self._live}>"

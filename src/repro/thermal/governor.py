@@ -90,7 +90,7 @@ class ThermalGovernor:
         self._last_reads = self.controller.reads_total
         self._last_writes = self.controller.writes_total
         self._last_time = self.sim.now
-        self.sim.schedule(self.sample_interval_ns, self._sample)
+        self.sim.schedule_fast(self.sample_interval_ns, self._sample)
 
     def stop(self) -> None:
         self._running = False
@@ -136,7 +136,7 @@ class ThermalGovernor:
             if self.on_shutdown is not None:
                 self.on_shutdown(error)
             return
-        self.sim.schedule(self.sample_interval_ns, self._sample)
+        self.sim.schedule_fast(self.sample_interval_ns, self._sample)
 
     @property
     def tripped(self) -> bool:

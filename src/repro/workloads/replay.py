@@ -112,7 +112,7 @@ class TraceReplayer:
     def _schedule_pump(self, delay: float) -> None:
         if not self._pump_scheduled:
             self._pump_scheduled = True
-            self.board.sim.schedule(delay, self._pump)
+            self.board.sim.schedule_fast(delay, self._pump)
 
     def _on_complete(self, request: Request) -> None:
         index = request.trace_index  # type: ignore[attr-defined]

@@ -7,6 +7,21 @@ import pytest
 from repro.core.experiment import ExperimentSettings
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Keep the suite hermetic: never read or write the user's on-disk
+    measurement cache (stale entries would mask model changes)."""
+    import os
+
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if saved is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = saved
+
+
 @pytest.fixture(scope="session")
 def fast_settings() -> ExperimentSettings:
     """Short steady-state window; enough traffic for shape assertions."""

@@ -1,8 +1,11 @@
 """Tests for the campaign driver and the CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main as cli_main
+from repro.core import parallel
 from repro.core.campaign import run_campaign, run_experiment
 from repro.core.experiment import ExperimentSettings
 
@@ -47,6 +50,38 @@ def test_campaign_shares_measurement_cache(tiny_settings):
     first = run_experiment("fig16", tiny_settings)
     second = run_experiment("fig16", tiny_settings)
     assert second.seconds < first.seconds / 2 + 0.2
+
+
+def test_campaign_parallel_identical_to_serial_then_warm(
+    tmp_path, monkeypatch, tiny_settings
+):
+    """Determinism and cache acceptance: ``--jobs 4`` reports are
+    byte-identical to ``--jobs 1``, and a warm rerun simulates nothing."""
+    ids = ("fig7", "fig8")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    parallel.reset()
+    serial = run_campaign(tiny_settings, experiment_ids=ids, jobs=1)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    parallel.reset()
+    pooled = run_campaign(tiny_settings, experiment_ids=ids, jobs=4)
+    assert parallel.stats().simulations > 0
+    for experiment_id in ids:
+        assert (
+            pooled.outcomes[experiment_id].report
+            == serial.outcomes[experiment_id].report
+        )
+        assert pooled.outcomes[experiment_id].passed
+    # Warm rerun against the populated disk cache with the in-process
+    # memo dropped: zero simulations, identical reports.
+    parallel.reset()
+    warm = run_campaign(tiny_settings, experiment_ids=ids, jobs=4)
+    assert parallel.stats().simulations == 0
+    for experiment_id in ids:
+        assert (
+            warm.outcomes[experiment_id].report
+            == serial.outcomes[experiment_id].report
+        )
+    parallel.reset()
 
 
 # ----------------------------------------------------------------------
@@ -98,4 +133,54 @@ def test_cli_sweep_to_file(tmp_path, capsys):
     )
     assert code == 0
     assert path.exists()
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_cli_campaign_accepts_jobs_and_no_cache(tmp_path, capsys):
+    output = tmp_path / "report.txt"
+    code = cli_main(
+        [
+            "campaign",
+            "--only",
+            "table1",
+            "table2",
+            "--jobs",
+            "2",
+            "--no-cache",
+            "--output",
+            str(output),
+        ]
+    )
+    assert code == 0
+    text = output.read_text()
+    assert "[table1]" in text and "[table2]" in text
+    assert "Campaign summary" in capsys.readouterr().out
+
+
+def test_cli_cache_stats_and_clear(capsys):
+    assert cli_main(["cache", "stats"]) == 0
+    assert "entries" in capsys.readouterr().out
+    assert cli_main(["cache", "clear"]) == 0
+    assert "removed" in capsys.readouterr().out
+
+
+def test_cli_bench_writes_json(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = cli_main(
+        ["bench", "--only", "table1", "table2", "--jobs", "2", "--output", str(out)]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["experiments"] == ["table1", "table2"]
+    assert payload["jobs"] == 2
+    for key in (
+        "cold_serial_s",
+        "cold_parallel_s",
+        "warm_s",
+        "speedup_cold",
+        "cold_simulations",
+        "warm_simulations",
+        "events_per_sec",
+    ):
+        assert key in payload
     assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""Tests for the batch measurement executor (dedup, memo, disk, pool)."""
+
+import pytest
+
+from repro.core import parallel
+from repro.core.cache import ResultCache
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.parallel import MeasurementExecutor
+from repro.core.patterns import pattern_by_name
+from repro.hmc.packet import RequestType
+
+TINY = ExperimentSettings(warmup_us=5.0, window_us=10.0)
+
+
+def _points(sizes):
+    pattern = pattern_by_name("1 bank", TINY.config)
+    return [
+        MeasurementPoint.for_pattern(
+            pattern,
+            request_type=RequestType.READ,
+            payload_bytes=size,
+            settings=TINY,
+        )
+        for size in sizes
+    ]
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path, monkeypatch):
+    """Point the executor at an empty cache dir with zeroed counters."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    parallel.reset()
+    yield tmp_path / "cache"
+    parallel.reset()
+
+
+def test_batch_dedups_and_preserves_submission_order(fresh_cache):
+    results = MeasurementExecutor(jobs=1).measure_points(_points([32, 64, 32, 64, 32]))
+    assert parallel.stats().simulations == 2
+    assert [m.payload_bytes for m in results] == [32, 64, 32, 64, 32]
+    assert repr(results[0]) == repr(results[2]) == repr(results[4])
+    assert repr(results[1]) == repr(results[3])
+
+
+def test_repeat_batches_hit_memo_then_disk(fresh_cache):
+    executor = MeasurementExecutor(jobs=1)
+    first = executor.measure_points(_points([16, 32]))
+    assert parallel.stats().simulations == 2
+    executor.measure_points(_points([16, 32]))
+    assert parallel.stats().simulations == 2
+    assert parallel.stats().memo_hits == 2
+    # Fresh process simulation: drop the memo, keep the disk cache.
+    parallel.reset()
+    second = MeasurementExecutor(jobs=1).measure_points(_points([16, 32]))
+    counters = parallel.stats()
+    assert counters.simulations == 0
+    assert counters.disk_hits == 2
+    assert [repr(m) for m in second] == [repr(m) for m in first]
+
+
+def test_pool_results_identical_to_serial(tmp_path, monkeypatch):
+    points = _points([16, 32, 64, 128])
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    parallel.reset()
+    serial = MeasurementExecutor(jobs=1).measure_points(points)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "pool"))
+    parallel.reset()
+    pooled = MeasurementExecutor(jobs=4).measure_points(points)
+    assert parallel.stats().simulations == len(points)
+    assert [repr(m) for m in pooled] == [repr(m) for m in serial]
+    parallel.reset()
+
+
+def test_no_cache_executor_never_touches_disk(fresh_cache):
+    MeasurementExecutor(jobs=1, use_cache=False).measure_points(_points([32]))
+    assert parallel.stats().simulations == 1
+    assert ResultCache().stats().entries == 0
+
+
+def test_configured_context_overrides_and_restores(fresh_cache):
+    default = MeasurementExecutor()
+    with parallel.configured(jobs=3, use_cache=False):
+        inside = MeasurementExecutor()
+        assert inside.jobs == 3
+        assert inside.use_cache is False
+    after = MeasurementExecutor()
+    assert after.jobs == default.jobs
+    assert after.use_cache == default.use_cache

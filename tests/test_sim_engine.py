@@ -126,3 +126,70 @@ def test_run_until_with_empty_queue_advances_now():
     sim = Simulator()
     sim.run(until=42.0)
     assert sim.now == 42.0
+
+
+def test_fast_events_interleave_with_cancellable_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_fast(5.0, fired.append, "fast-late")
+    sim.schedule(1.0, fired.append, "slow-early")
+    sim.schedule_fast(3.0, fired.append, "fast-mid")
+    sim.run()
+    assert fired == ["slow-early", "fast-mid", "fast-late"]
+    assert sim.now == 5.0
+
+
+def test_fast_and_slow_ties_break_by_schedule_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "a")
+    sim.schedule_fast(2.0, fired.append, "b")
+    sim.schedule(2.0, fired.append, "c")
+    sim.schedule_fast(2.0, fired.append, "d")
+    sim.run()
+    assert fired == ["a", "b", "c", "d"]
+
+
+def test_schedule_fast_at_absolute_time_and_past_rejected():
+    sim = Simulator()
+    fired = []
+    sim.schedule_fast_at(7.5, fired.append, 1)
+    sim.run()
+    assert sim.now == 7.5
+    assert fired == [1]
+    with pytest.raises(SimulationError):
+        sim.schedule_fast(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_fast_at(0.5, lambda: None)
+
+
+def test_pending_counts_fast_events_and_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule_fast(2.0, lambda: None)
+    assert sim.pending == 2
+    event.cancel()
+    assert sim.pending == 1
+    event.cancel()  # double cancel must not decrement twice
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_cancel_after_execution_does_not_corrupt_pending():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.pending == 0
+    event.cancel()
+    assert sim.pending == 0
+
+
+def test_events_processed_counts_fast_events_not_cancelled_ones():
+    sim = Simulator()
+    for _ in range(3):
+        sim.schedule_fast(1.0, lambda: None)
+    cancelled = sim.schedule(2.0, lambda: None)
+    cancelled.cancel()
+    sim.run()
+    assert sim.events_processed == 3
