@@ -10,17 +10,105 @@ the paper's evaluation.
 
 Quick start::
 
-    from repro.core import measure_bandwidth
-    from repro.core.patterns import pattern_by_name
-    from repro.hmc import RequestType
+    import repro
 
-    pattern = pattern_by_name("4 vaults")
-    result = measure_bandwidth(
-        mask=pattern.mask, request_type=RequestType.READ, payload_bytes=128
+    pattern = repro.pattern_by_name("4 vaults")
+    result = repro.measure_bandwidth(
+        mask=pattern.mask,
+        request_type=repro.RequestType.READ,
+        payload_bytes=128,
     )
     print(result.bandwidth_gbs, "GB/s")
+
+Stable public surface
+---------------------
+The names in ``__all__`` are the supported API and are importable
+directly from ``repro`` (they load lazily, so ``import repro`` stays
+cheap).  Everything else - the simulator internals under
+:mod:`repro.sim`, the device models under :mod:`repro.hmc` and
+:mod:`repro.fpga`, the thermal/power internals, and the experiment
+modules - is implementation detail: importable, but subject to change
+without a deprecation cycle.  See ``docs/API.md`` for the full contract
+including the versioned wire schema and the daemon protocol.
 """
 
-__version__ = "1.0.0"
+from __future__ import annotations
 
-__all__ = ["core", "hmc", "fpga", "thermal", "power", "sim", "baseline", "experiments"]
+import warnings
+
+__version__ = "1.1.0"
+
+#: Public name -> defining module.  Resolved lazily on first attribute
+#: access (PEP 562) and cached in the package namespace.
+_PUBLIC = {
+    # measurement API
+    "measure_bandwidth": "repro.core.experiment",
+    "measure_pattern": "repro.core.experiment",
+    "measure_bandwidth_cached": "repro.core.experiment",
+    "simulate_point": "repro.core.experiment",
+    "MeasurementPoint": "repro.core.experiment",
+    "BandwidthMeasurement": "repro.core.experiment",
+    "ExperimentSettings": "repro.core.experiment",
+    # workload description
+    "AccessPattern": "repro.core.patterns",
+    "pattern_by_name": "repro.core.patterns",
+    "PATTERN_NAMES": "repro.core.patterns",
+    "AddressMask": "repro.hmc.address",
+    "RequestType": "repro.hmc.packet",
+    "AddressingMode": "repro.fpga.address_gen",
+    "HMCConfig": "repro.hmc.config",
+    "Calibration": "repro.hmc.calibration",
+    # wire schema
+    "SCHEMA_VERSION": "repro.core.schema",
+    "SchemaError": "repro.core.schema",
+    # execution: in-process executor and the network service
+    "MeasurementExecutor": "repro.core.parallel",
+    "ServiceClient": "repro.service.client",
+    "MeasurementService": "repro.service.server",
+    "BackgroundService": "repro.service.server",
+    "ServiceError": "repro.service.protocol",
+}
+
+#: Renamed/relocated symbols kept importable behind a DeprecationWarning:
+#: old name -> (replacement module, replacement name).
+_DEPRECATED = {
+    "measurement_to_dict": ("repro.core.schema", "measurement_to_dict"),
+    "measurement_from_dict": ("repro.core.schema", "measurement_from_dict"),
+}
+
+#: The curated stable surface plus the documented subpackages.
+__all__ = sorted(_PUBLIC) + [
+    "core",
+    "hmc",
+    "fpga",
+    "thermal",
+    "power",
+    "sim",
+    "baseline",
+    "experiments",
+    "service",
+]
+
+
+def __getattr__(name: str):
+    """Lazily resolve the curated public names (PEP 562)."""
+    import importlib
+
+    if name in _PUBLIC:
+        value = getattr(importlib.import_module(_PUBLIC[name]), name)
+        globals()[name] = value
+        return value
+    if name in _DEPRECATED:
+        module_name, new_name = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.{name} is deprecated; import {new_name} from {module_name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_name), new_name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    """Advertise the curated surface to introspection."""
+    return sorted(set(__all__) | set(globals()))

@@ -4,17 +4,27 @@ Usage::
 
     python -m repro list
     python -m repro run fig7
+    python -m repro run fig7 --json > fig7.ndjson
     python -m repro run fig16 --fast
     python -m repro campaign --fast --jobs 8 --output report.txt
     python -m repro kernels
     python -m repro sweep --patterns "2 banks" "16 vaults" --csv out.csv
+    python -m repro sweep --patterns "16 vaults" --sizes 32 128 --json
     python -m repro cache stats
     python -m repro bench --jobs 4
+    python -m repro serve --port 8642 --jobs 8
+    python -m repro query --pattern "16 vaults" --size 128 --json
+    python -m repro query --stats
+
+``--json`` output is newline-delimited JSON in the versioned wire
+schema (:mod:`repro.core.schema`) - the same format the measurement
+daemon speaks and the result cache stores.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -70,12 +80,35 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.json:
+        return _run_json(args)
     with parallel.configured(jobs=_jobs(args), use_cache=not args.no_cache):
         outcome = run_experiment(args.experiment, _settings(args))
     print(outcome.report)
     if not outcome.passed:
         print("Shape deviations:", "; ".join(outcome.problems), file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_json(args: argparse.Namespace) -> int:
+    """Emit one wire-schema ``measurement_result`` line per grid point."""
+    from repro.core import schema
+    from repro.core.campaign import collect_measurement_points
+
+    settings = _settings(args)
+    points = collect_measurement_points([args.experiment], settings)
+    if not points:
+        print(
+            f"{args.experiment} has no measurement grid (static table or "
+            "analytic figure); --json applies to simulated experiments",
+            file=sys.stderr,
+        )
+        return 2
+    with parallel.configured(jobs=_jobs(args), use_cache=not args.no_cache):
+        measurements = parallel.get_executor().measure_points(points)
+    for point, measurement in zip(points, measurements):
+        print(schema.dumps(schema.result_to_dict(point, measurement)))
     return 0
 
 
@@ -127,7 +160,7 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.core.sweeps import SweepGrid, run_sweep, to_csv
+    from repro.core.sweeps import SweepGrid, run_sweep, run_sweep_detailed, to_csv
     from repro.hmc.packet import RequestType
 
     grid = SweepGrid(
@@ -135,6 +168,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         request_types=tuple(RequestType.from_label(t) for t in args.types),
         payload_bytes=tuple(args.sizes),
     )
+    if args.json:
+        from repro.core import schema
+
+        detailed = run_sweep_detailed(
+            grid, _settings(args), jobs=_jobs(args), use_cache=not args.no_cache
+        )
+        for point, measurement in detailed:
+            print(schema.dumps(schema.result_to_dict(point, measurement)))
+        return 0
     records = run_sweep(
         grid, _settings(args), jobs=_jobs(args), use_cache=not args.no_cache
     )
@@ -143,6 +185,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {args.csv} ({len(records)} records)")
     else:
         print(text, end="")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_service
+
+    run_service(
+        host=args.host,
+        port=args.port,
+        jobs=_jobs(args),
+        use_cache=not args.no_cache,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(host=args.host, port=args.port) as client:
+        if args.ping:
+            print("pong" if client.ping() else "no answer")
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("shutdown requested; daemon is draining")
+            return 0
+        return _query_measure(args, client)
+
+
+def _query_measure(args: argparse.Namespace, client) -> int:
+    """Round-trip one measurement point through the daemon."""
+    from repro.core import schema
+    from repro.core.experiment import MeasurementPoint
+    from repro.core.patterns import pattern_by_name
+    from repro.fpga.address_gen import AddressingMode
+    from repro.hmc.packet import RequestType
+
+    settings = _settings(args)
+    point = MeasurementPoint.for_pattern(
+        pattern_by_name(args.pattern, settings.config),
+        request_type=RequestType.from_label(args.type),
+        payload_bytes=args.size,
+        settings=settings,
+        mode=AddressingMode.from_label(args.mode),
+        active_ports=args.ports,
+    )
+    measurement = client.measure(point)
+    if args.json:
+        print(schema.dumps(schema.result_to_dict(point, measurement)))
+    else:
+        print(
+            f"{point.pattern_name} {point.request_type.value} "
+            f"{point.payload_bytes}B {point.mode.value}: "
+            f"{measurement.bandwidth_gbs:.2f} GB/s, {measurement.mrps:.1f} MRPS, "
+            f"read avg {measurement.read_latency_avg_ns / 1e3:.2f} us"
+        )
     return 0
 
 
@@ -268,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--fast", action="store_true", help="reduced simulation windows"
     )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the experiment's measurement grid as wire-schema JSON lines",
+    )
     add_executor_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -299,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sizes", nargs="+", type=int, default=[128], metavar="BYTES"
     )
     sweep_parser.add_argument("--csv", help="write records to this file")
+    sweep_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit wire-schema JSON lines instead of CSV",
+    )
     sweep_parser.add_argument("--fast", action="store_true")
     add_executor_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
@@ -318,6 +433,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--jobs", type=int, metavar="N")
     bench_parser.set_defaults(func=_cmd_bench)
+
+    from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the measurement daemon (NDJSON over TCP)"
+    )
+    serve_parser.add_argument("--host", default=DEFAULT_HOST)
+    serve_parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="0 binds an ephemeral port"
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="bound of the pending-request queue (backpressure)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="most points simulated per executor batch",
+    )
+    add_executor_flags(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    query_parser = sub.add_parser(
+        "query", help="query a running measurement daemon"
+    )
+    query_parser.add_argument("--host", default=DEFAULT_HOST)
+    query_parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    action = query_parser.add_mutually_exclusive_group()
+    action.add_argument(
+        "--stats", action="store_true", help="print the daemon's counters"
+    )
+    action.add_argument("--ping", action="store_true", help="liveness probe")
+    action.add_argument(
+        "--shutdown", action="store_true", help="ask the daemon to drain and exit"
+    )
+    query_parser.add_argument(
+        "--pattern", default="16 vaults", help="access pattern to measure"
+    )
+    query_parser.add_argument(
+        "--type", default="ro", choices=["ro", "wo", "rw"], dest="type"
+    )
+    query_parser.add_argument("--size", type=int, default=128, metavar="BYTES")
+    query_parser.add_argument(
+        "--mode", default="random", choices=["linear", "random"]
+    )
+    query_parser.add_argument(
+        "--ports", type=int, default=None, metavar="N", help="active GUPS ports"
+    )
+    query_parser.add_argument("--fast", action="store_true")
+    query_parser.add_argument(
+        "--json", action="store_true", help="wire-schema JSON instead of a summary"
+    )
+    query_parser.set_defaults(func=_cmd_query)
     return parser
 
 
@@ -325,7 +498,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. ``repro run --json | head``);
+        # exit quietly like any well-behaved line-oriented tool.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -15,12 +15,15 @@ from repro.core.experiment import (
     BandwidthMeasurement,
     ExperimentSettings,
     LatencySweepPoint,
+    MeasurementPoint,
     ThermalRunResult,
     measure_bandwidth,
     measure_bandwidth_cached,
+    measure_pattern,
     run_latency_sweep,
     run_stream_latency,
     run_thermal_experiment,
+    simulate_point,
 )
 from repro.core.littles_law import LittlesLawAnalysis, occupancy_requests, saturation_point
 from repro.core.patterns import (
@@ -41,10 +44,13 @@ __all__ = [
     "eight_bit_mask",
     "ExperimentSettings",
     "BandwidthMeasurement",
+    "MeasurementPoint",
     "LatencySweepPoint",
     "ThermalRunResult",
     "measure_bandwidth",
     "measure_bandwidth_cached",
+    "measure_pattern",
+    "simulate_point",
     "run_latency_sweep",
     "run_stream_latency",
     "run_thermal_experiment",

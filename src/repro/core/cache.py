@@ -15,6 +15,12 @@ temporary file in the cache directory and published with an atomic
 :func:`os.replace`.  Readers therefore only ever observe complete
 entries.
 
+Entries are encoded with the versioned wire schema
+(:mod:`repro.core.schema`) - the same serializer the measurement daemon
+and the CLI's ``--json`` output use - so a cache entry is a valid wire
+payload and vice versa.  Entries of an older schema fail to decode and
+read as misses.
+
 The cache lives under ``$REPRO_CACHE_DIR`` when set, otherwise
 ``~/.cache/repro-hmc`` (respecting ``$XDG_CACHE_HOME``).  Bump
 :data:`MODEL_VERSION` whenever a simulator or model change alters
@@ -27,13 +33,13 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.core import schema
 from repro.core.experiment import BandwidthMeasurement, MeasurementPoint
-from repro.fpga.address_gen import AddressingMode
-from repro.hmc.packet import RequestType
 
 #: Version of the simulation model the cached results were produced by.
 #: Any change to the simulator, device model, or measurement protocol
@@ -87,48 +93,25 @@ def cache_key(point: MeasurementPoint) -> str:
 
 
 def measurement_to_dict(measurement: BandwidthMeasurement) -> dict:
-    """JSON-ready dict for one measurement (enums become their labels)."""
-    return {
-        "pattern_name": measurement.pattern_name,
-        "request_type": measurement.request_type.value,
-        "payload_bytes": measurement.payload_bytes,
-        "mode": measurement.mode.value,
-        "active_ports": measurement.active_ports,
-        "bandwidth_gbs": measurement.bandwidth_gbs,
-        "mrps": measurement.mrps,
-        "reads_completed": measurement.reads_completed,
-        "writes_completed": measurement.writes_completed,
-        "read_latency_avg_ns": measurement.read_latency_avg_ns,
-        "read_latency_min_ns": measurement.read_latency_min_ns,
-        "read_latency_max_ns": measurement.read_latency_max_ns,
-        "write_latency_avg_ns": measurement.write_latency_avg_ns,
-        "window_ns": measurement.window_ns,
-    }
+    """Deprecated: moved to :func:`repro.core.schema.measurement_to_dict`."""
+    warnings.warn(
+        "repro.core.cache.measurement_to_dict moved to "
+        "repro.core.schema.measurement_to_dict",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return schema.measurement_to_dict(measurement)
 
 
 def measurement_from_dict(payload: dict) -> BandwidthMeasurement:
-    """Inverse of :func:`measurement_to_dict` (bit-exact round trip).
-
-    Floats survive exactly because ``json`` serializes them with the
-    shortest round-tripping repr, and NaN (empty latency windows) is
-    handled by the default ``allow_nan`` mode.
-    """
-    return BandwidthMeasurement(
-        pattern_name=payload["pattern_name"],
-        request_type=RequestType(payload["request_type"]),
-        payload_bytes=payload["payload_bytes"],
-        mode=AddressingMode(payload["mode"]),
-        active_ports=payload["active_ports"],
-        bandwidth_gbs=payload["bandwidth_gbs"],
-        mrps=payload["mrps"],
-        reads_completed=payload["reads_completed"],
-        writes_completed=payload["writes_completed"],
-        read_latency_avg_ns=payload["read_latency_avg_ns"],
-        read_latency_min_ns=payload["read_latency_min_ns"],
-        read_latency_max_ns=payload["read_latency_max_ns"],
-        write_latency_avg_ns=payload["write_latency_avg_ns"],
-        window_ns=payload["window_ns"],
+    """Deprecated: moved to :func:`repro.core.schema.measurement_from_dict`."""
+    warnings.warn(
+        "repro.core.cache.measurement_from_dict moved to "
+        "repro.core.schema.measurement_from_dict",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return schema.measurement_from_dict(payload)
 
 
 @dataclass(frozen=True)
@@ -167,7 +150,7 @@ class ResultCache:
         try:
             with open(self._path(key)) as handle:
                 payload = json.load(handle)
-            return measurement_from_dict(payload)
+            return schema.measurement_from_dict(payload)
         except (OSError, ValueError, KeyError):
             return None
 
@@ -185,7 +168,7 @@ class ResultCache:
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(measurement_to_dict(measurement), handle)
+                handle.write(schema.dumps(schema.measurement_to_dict(measurement)))
             os.replace(tmp_name, path)
         except BaseException:
             try:

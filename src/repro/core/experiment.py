@@ -49,6 +49,19 @@ class ExperimentSettings:
             self, warmup_us=self.warmup_us * factor, window_us=self.window_us * factor
         )
 
+    def to_dict(self) -> dict:
+        """Wire-schema payload (see :mod:`repro.core.schema`)."""
+        from repro.core import schema
+
+        return schema.settings_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSettings":
+        """Decode a wire-schema payload produced by :meth:`to_dict`."""
+        from repro.core import schema
+
+        return schema.settings_from_dict(payload)
+
 
 @dataclass(frozen=True)
 class BandwidthMeasurement:
@@ -81,6 +94,19 @@ class BandwidthMeasurement:
     @property
     def read_latency_avg_us(self) -> float:
         return self.read_latency_avg_ns / 1e3
+
+    def to_dict(self) -> dict:
+        """Wire-schema payload (see :mod:`repro.core.schema`)."""
+        from repro.core import schema
+
+        return schema.measurement_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BandwidthMeasurement":
+        """Decode a wire-schema payload produced by :meth:`to_dict`."""
+        from repro.core import schema
+
+        return schema.measurement_from_dict(payload)
 
 
 @dataclass(frozen=True)
@@ -122,6 +148,19 @@ class MeasurementPoint:
             settings=settings,
             pattern_name=pattern.name,
         )
+
+    def to_dict(self) -> dict:
+        """Wire-schema payload (see :mod:`repro.core.schema`)."""
+        from repro.core import schema
+
+        return schema.point_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MeasurementPoint":
+        """Decode a wire-schema payload produced by :meth:`to_dict`."""
+        from repro.core import schema
+
+        return schema.point_from_dict(payload)
 
 
 def simulate_point(point: MeasurementPoint) -> Tuple[BandwidthMeasurement, int]:

@@ -30,7 +30,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cache import ResultCache, cache_key
 from repro.core.experiment import (
@@ -166,28 +166,46 @@ class MeasurementExecutor:
         """
         batch = list(points)
         keys = [cache_key(point) for point in batch]
-        results: List[Optional[BandwidthMeasurement]] = [None] * len(batch)
+        keyed: Dict[str, MeasurementPoint] = {}
+        for key, point in zip(keys, batch):
+            keyed.setdefault(key, point)
+        resolved = self.measure_keyed(keyed)
+        return [resolved[key] for key in keys]
+
+    def measure_keyed(
+        self, keyed: Mapping[str, MeasurementPoint]
+    ) -> Dict[str, BandwidthMeasurement]:
+        """Batch-submit hook for externally arriving, pre-keyed points.
+
+        The measurement daemon's coalescing batcher computes each
+        point's :func:`~repro.core.cache.cache_key` once (it is also its
+        coalescing identity) and submits ``{key: point}`` maps here, so
+        the key work is never repeated.  Each key resolves memo -> disk
+        cache -> simulation; the unique misses fan out across the worker
+        pool and the returned map covers every submitted key.
+        """
+        results: Dict[str, BandwidthMeasurement] = {}
         cache = self._resolve_cache()
 
-        missing: Dict[str, List[int]] = {}
-        for index, key in enumerate(keys):
+        missing: Dict[str, MeasurementPoint] = {}
+        for key, point in keyed.items():
             memoized = _MEMO.get(key)
             if memoized is not None:
                 _STATS.memo_hits += 1
-                results[index] = memoized
+                results[key] = memoized
                 continue
             if cache is not None:
                 stored = cache.load(key)
                 if stored is not None:
                     _STATS.disk_hits += 1
                     _MEMO[key] = stored
-                    results[index] = stored
+                    results[key] = stored
                     continue
-            missing.setdefault(key, []).append(index)
+            missing[key] = point
 
         if missing:
             miss_keys = list(missing)
-            miss_points = [batch[missing[key][0]] for key in miss_keys]
+            miss_points = [missing[key] for key in miss_keys]
             for key, (measurement, events) in zip(
                 miss_keys, self._run_misses(miss_points)
             ):
@@ -196,9 +214,8 @@ class MeasurementExecutor:
                 _MEMO[key] = measurement
                 if cache is not None:
                     cache.store(key, measurement)
-                for index in missing[key]:
-                    results[index] = measurement
-        return results  # type: ignore[return-value]
+                results[key] = measurement
+        return results
 
     def _run_misses(
         self, miss_points: Sequence[MeasurementPoint]

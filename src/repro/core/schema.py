@@ -1,0 +1,321 @@
+"""The versioned wire schema: one serializer for every boundary.
+
+Everything that crosses a process boundary - the measurement daemon's
+request/response protocol, the on-disk result cache, and the CLI's
+``--json`` output - is encoded by this module and nothing else.  Each
+top-level payload carries an explicit ``"schema": 1`` version field and
+a ``"kind"`` discriminator; decoding a payload whose version this
+process does not understand raises :class:`SchemaError` instead of
+silently misinterpreting fields, which is what lets the daemon, the
+client, and the cache evolve independently.
+
+Conventions (schema version 1):
+
+* enums are encoded **by name** (``"READ"``, ``"RANDOM"``), never by
+  ordinal or label, so renumbering an enum cannot corrupt old payloads;
+* non-finite floats are encoded as the strings ``"NaN"``,
+  ``"Infinity"`` and ``"-Infinity"`` so every payload is *strict* JSON
+  (``json.dumps(..., allow_nan=False)`` always succeeds) while NaN
+  latency fields still round-trip bit-exactly;
+* nested dataclasses (mask inside point, settings inside point) carry
+  their own envelope, so any sub-payload is independently decodable.
+
+The dataclasses themselves expose ``to_dict()`` / ``from_dict()``
+convenience methods that delegate here - see
+:class:`~repro.core.experiment.MeasurementPoint`,
+:class:`~repro.core.experiment.ExperimentSettings`,
+:class:`~repro.core.experiment.BandwidthMeasurement` and
+:class:`~repro.hmc.address.AddressMask`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.experiment import (
+    BandwidthMeasurement,
+    ExperimentSettings,
+    MeasurementPoint,
+)
+from repro.fpga.address_gen import AddressingMode
+from repro.hmc.address import AddressMask
+from repro.hmc.calibration import Calibration
+from repro.hmc.config import HMCConfig, LinkConfig
+from repro.hmc.packet import RequestType
+
+#: The wire-schema version this process reads and writes.  Bump it (and
+#: teach the decoders the migration) whenever a field changes meaning,
+#: is removed, or is added without a safe default.
+SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """A payload is malformed, of an unknown version, or the wrong kind."""
+
+
+# ----------------------------------------------------------------------
+# scalar encoding
+# ----------------------------------------------------------------------
+#: Non-finite floats as strict-JSON-safe sentinels (and back).
+_NONFINITE = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}
+
+
+def encode_float(value: float) -> Any:
+    """A float as a strict-JSON value (non-finite values as strings)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def decode_float(value: Any) -> float:
+    """Inverse of :func:`encode_float`; rejects anything non-numeric."""
+    if isinstance(value, str):
+        try:
+            return _NONFINITE[value]
+        except KeyError:
+            raise SchemaError(f"not a float sentinel: {value!r}") from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SchemaError(f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _encode_enum(member) -> str:
+    return member.name
+
+
+def _decode_enum(enum_cls, value: Any):
+    try:
+        return enum_cls[value]
+    except (KeyError, TypeError):
+        raise SchemaError(
+            f"unknown {enum_cls.__name__} name {value!r}; "
+            f"expected one of {[m.name for m in enum_cls]}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# envelope handling
+# ----------------------------------------------------------------------
+def check_envelope(payload: Any, kind: Optional[str] = None) -> Dict[str, Any]:
+    """Validate a payload's ``schema`` version (and ``kind`` if given).
+
+    Returns the payload as a plain dict.  Raises :class:`SchemaError`
+    for non-mappings, a missing or unknown version, or a kind mismatch -
+    unknown versions are *rejected*, never best-effort decoded.
+    """
+    if not isinstance(payload, Mapping):
+        raise SchemaError(f"expected a JSON object, got {type(payload).__name__}")
+    version = payload.get("schema")
+    if version is None:
+        raise SchemaError("payload has no 'schema' version field")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema version {version!r} (this build speaks "
+            f"version {SCHEMA_VERSION})"
+        )
+    if kind is not None:
+        found = payload.get("kind")
+        if found != kind:
+            raise SchemaError(f"expected kind {kind!r}, got {found!r}")
+    return dict(payload)
+
+
+def _envelope(kind: str, body: Dict[str, Any]) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"schema": SCHEMA_VERSION, "kind": kind}
+    payload.update(body)
+    return payload
+
+
+def dumps(payload: Mapping[str, Any]) -> str:
+    """One compact, strict-JSON line (no newline) for a wire payload."""
+    return json.dumps(
+        payload, allow_nan=False, sort_keys=True, separators=(",", ":")
+    )
+
+
+def loads(text: str) -> Dict[str, Any]:
+    """Parse one wire line into a dict; malformed input is a SchemaError."""
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise SchemaError(f"malformed JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise SchemaError(f"expected a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# generic scalar dataclasses (Calibration, LinkConfig, HMCConfig)
+# ----------------------------------------------------------------------
+def _scalars_to_dict(obj) -> Dict[str, Any]:
+    """Flat dataclass -> dict with wire-safe floats (no envelope)."""
+    out: Dict[str, Any] = {}
+    for spec in dataclasses.fields(obj):
+        value = getattr(obj, spec.name)
+        out[spec.name] = encode_float(value) if isinstance(value, float) else value
+    return out
+
+
+def _scalars_from_dict(cls, payload: Mapping[str, Any], **overrides):
+    """Rebuild a flat dataclass, decoding float fields by annotation."""
+    kwargs: Dict[str, Any] = dict(overrides)
+    for spec in dataclasses.fields(cls):
+        if spec.name in kwargs:
+            continue
+        try:
+            value = payload[spec.name]
+        except KeyError:
+            raise SchemaError(
+                f"{cls.__name__} payload is missing field {spec.name!r}"
+            ) from None
+        kwargs[spec.name] = decode_float(value) if "float" in str(spec.type) else value
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"invalid {cls.__name__} payload: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# AddressMask
+# ----------------------------------------------------------------------
+def mask_to_dict(mask: AddressMask) -> Dict[str, Any]:
+    """Wire payload for one mask/anti-mask register pair."""
+    return _envelope("address_mask", {"clear": mask.clear, "set": mask.set})
+
+
+def mask_from_dict(payload: Mapping[str, Any]) -> AddressMask:
+    """Decode an :class:`AddressMask`; overlap errors become SchemaError."""
+    body = check_envelope(payload, "address_mask")
+    return _scalars_from_dict(AddressMask, body)
+
+
+# ----------------------------------------------------------------------
+# ExperimentSettings (with nested HMCConfig + Calibration)
+# ----------------------------------------------------------------------
+def settings_to_dict(settings: ExperimentSettings) -> Dict[str, Any]:
+    """Wire payload for the full simulation-window + device settings."""
+    config = _scalars_to_dict(settings.config)
+    config["links"] = _scalars_to_dict(settings.config.links)
+    return _envelope(
+        "experiment_settings",
+        {
+            "config": config,
+            "calibration": _scalars_to_dict(settings.calibration),
+            "warmup_us": encode_float(settings.warmup_us),
+            "window_us": encode_float(settings.window_us),
+            "max_block_bytes": settings.max_block_bytes,
+        },
+    )
+
+
+def settings_from_dict(payload: Mapping[str, Any]) -> ExperimentSettings:
+    """Decode :class:`ExperimentSettings` (validates the device config)."""
+    body = check_envelope(payload, "experiment_settings")
+    try:
+        config_body = dict(body["config"])
+        links = _scalars_from_dict(LinkConfig, config_body.pop("links"))
+        config = _scalars_from_dict(HMCConfig, config_body, links=links)
+        calibration = _scalars_from_dict(Calibration, body["calibration"])
+        return ExperimentSettings(
+            config=config,
+            calibration=calibration,
+            warmup_us=decode_float(body["warmup_us"]),
+            window_us=decode_float(body["window_us"]),
+            max_block_bytes=body["max_block_bytes"],
+        )
+    except SchemaError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"invalid experiment_settings payload: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# MeasurementPoint
+# ----------------------------------------------------------------------
+def point_to_dict(point: MeasurementPoint) -> Dict[str, Any]:
+    """Wire payload for one complete simulation input description."""
+    return _envelope(
+        "measurement_point",
+        {
+            "mask": mask_to_dict(point.mask),
+            "request_type": _encode_enum(point.request_type),
+            "payload_bytes": point.payload_bytes,
+            "mode": _encode_enum(point.mode),
+            "active_ports": point.active_ports,
+            "settings": settings_to_dict(point.settings),
+            "pattern_name": point.pattern_name,
+            "seed": point.seed,
+        },
+    )
+
+
+def point_from_dict(payload: Mapping[str, Any]) -> MeasurementPoint:
+    """Decode a :class:`MeasurementPoint` submitted over the wire."""
+    body = check_envelope(payload, "measurement_point")
+    try:
+        return MeasurementPoint(
+            mask=mask_from_dict(body["mask"]),
+            request_type=_decode_enum(RequestType, body["request_type"]),
+            payload_bytes=body["payload_bytes"],
+            mode=_decode_enum(AddressingMode, body["mode"]),
+            active_ports=body["active_ports"],
+            settings=settings_from_dict(body["settings"]),
+            pattern_name=body["pattern_name"],
+            seed=body["seed"],
+        )
+    except SchemaError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"invalid measurement_point payload: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# BandwidthMeasurement
+# ----------------------------------------------------------------------
+def measurement_to_dict(measurement: BandwidthMeasurement) -> Dict[str, Any]:
+    """Wire payload for the counters read back from one experiment."""
+    body = _scalars_to_dict(measurement)
+    body["request_type"] = _encode_enum(measurement.request_type)
+    body["mode"] = _encode_enum(measurement.mode)
+    return _envelope("bandwidth_measurement", body)
+
+
+def measurement_from_dict(payload: Mapping[str, Any]) -> BandwidthMeasurement:
+    """Decode a :class:`BandwidthMeasurement` (NaN latencies round-trip)."""
+    body = check_envelope(payload, "bandwidth_measurement")
+    return _scalars_from_dict(
+        BandwidthMeasurement,
+        body,
+        request_type=_decode_enum(RequestType, body.get("request_type")),
+        mode=_decode_enum(AddressingMode, body.get("mode")),
+    )
+
+
+# ----------------------------------------------------------------------
+# paired (point, measurement) records - the CLI's --json line format
+# ----------------------------------------------------------------------
+def result_to_dict(
+    point: MeasurementPoint, measurement: BandwidthMeasurement
+) -> Dict[str, Any]:
+    """One self-describing record pairing an input point with its result."""
+    return _envelope(
+        "measurement_result",
+        {"point": point_to_dict(point), "result": measurement_to_dict(measurement)},
+    )
+
+
+def result_from_dict(
+    payload: Mapping[str, Any],
+) -> Tuple[MeasurementPoint, BandwidthMeasurement]:
+    """Inverse of :func:`result_to_dict`."""
+    body = check_envelope(payload, "measurement_result")
+    try:
+        return point_from_dict(body["point"]), measurement_from_dict(body["result"])
+    except KeyError as exc:
+        raise SchemaError(f"measurement_result is missing {exc}") from None

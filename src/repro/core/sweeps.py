@@ -15,7 +15,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.experiment import (
+    BandwidthMeasurement,
+    ExperimentSettings,
+    MeasurementPoint,
+)
 from repro.core.parallel import MeasurementExecutor
 from repro.core.patterns import pattern_by_name
 from repro.hmc.errors import ConfigurationError
@@ -68,20 +72,21 @@ FIELDS = (
 )
 
 
-def run_sweep(
+def run_sweep_detailed(
     grid: SweepGrid,
     settings: ExperimentSettings = ExperimentSettings(),
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
-) -> List[Dict]:
-    """Measure every grid point; returns one flat record per point.
+) -> List[Tuple[MeasurementPoint, BandwidthMeasurement]]:
+    """Measure every grid point; returns ``(point, measurement)`` pairs.
 
     The whole grid is submitted to the measurement executor as one
     batch: duplicate and already-cached points cost nothing, and the
     remaining misses simulate across ``jobs`` worker processes (``None``
-    inherits the configured default).
+    inherits the configured default).  This is the machine-readable
+    path - the CLI's ``sweep --json`` emits each pair as one wire-schema
+    ``measurement_result`` line.
     """
-    grid_points = list(grid.points())
     batch = [
         MeasurementPoint.for_pattern(
             pattern_by_name(pattern_name, settings.config),
@@ -90,19 +95,31 @@ def run_sweep(
             settings=settings,
             active_ports=ports,
         )
-        for pattern_name, request_type, payload, ports in grid_points
+        for pattern_name, request_type, payload, ports in grid.points()
     ]
     executor = MeasurementExecutor(jobs=jobs, use_cache=use_cache)
-    measurements = executor.measure_points(batch)
+    return list(zip(batch, executor.measure_points(batch)))
+
+
+def run_sweep(
+    grid: SweepGrid,
+    settings: ExperimentSettings = ExperimentSettings(),
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> List[Dict]:
+    """Measure every grid point; returns one flat record per point.
+
+    Thin tabular view over :func:`run_sweep_detailed` (rounded floats,
+    CSV-friendly column names) for human-facing exports.
+    """
+    detailed = run_sweep_detailed(grid, settings, jobs=jobs, use_cache=use_cache)
     records: List[Dict] = []
-    for (pattern_name, request_type, payload, _ports), m in zip(
-        grid_points, measurements
-    ):
+    for point, m in detailed:
         records.append(
             {
-                "pattern": pattern_name,
-                "request_type": request_type.value,
-                "payload_bytes": payload,
+                "pattern": point.pattern_name,
+                "request_type": point.request_type.value,
+                "payload_bytes": point.payload_bytes,
                 "active_ports": m.active_ports,
                 "bandwidth_gbs": round(m.bandwidth_gbs, 4),
                 "mrps": round(m.mrps, 3),

@@ -79,6 +79,19 @@ class AddressMask:
     def is_identity(self) -> bool:
         return not self.clear and not self.set
 
+    def to_dict(self) -> dict:
+        """Wire-schema payload (see :mod:`repro.core.schema`)."""
+        from repro.core import schema
+
+        return schema.mask_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AddressMask":
+        """Decode a wire-schema payload produced by :meth:`to_dict`."""
+        from repro.core import schema
+
+        return schema.mask_from_dict(payload)
+
 
 class AddressMapping:
     """Decodes physical addresses into (quadrant, vault, bank, row).

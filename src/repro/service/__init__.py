@@ -1,0 +1,28 @@
+"""The measurement service: a long-running daemon for heavy traffic.
+
+``repro serve`` turns the simulator into a queryable network service:
+front-ends submit wire-schema measurement requests over newline-
+delimited JSON and the daemon answers from (in order) the in-process
+memo, the on-disk result cache, coalescing with an identical in-flight
+request, or a fresh simulation batched through the parallel measurement
+executor.  The pieces:
+
+* :mod:`repro.service.protocol` - request/response wire format;
+* :mod:`repro.service.metrics`  - served/coalesced/latency counters;
+* :mod:`repro.service.batcher`  - request coalescing + bounded queue;
+* :mod:`repro.service.server`   - the asyncio daemon with graceful drain;
+* :mod:`repro.service.client`   - the blocking :class:`ServiceClient`.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT, ServiceError
+from repro.service.server import BackgroundService, MeasurementService
+
+__all__ = [
+    "ServiceClient",
+    "MeasurementService",
+    "BackgroundService",
+    "ServiceError",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+]

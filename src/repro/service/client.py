@@ -1,0 +1,129 @@
+"""Blocking client for the measurement daemon.
+
+:class:`ServiceClient` is the stdlib-socket counterpart of the asyncio
+server: it speaks newline-delimited wire-schema JSON, one connection
+per client.  ``measure`` round-trips a single point;
+``measure_many`` pipelines a whole batch on the one connection and
+matches the (possibly reordered) responses by their echoed ``id`` -
+which is also how concurrent clients exercise the daemon's coalescing.
+
+Being synchronous and dependency-free, it embeds anywhere: the
+``repro query`` CLI, test harnesses, notebooks, or a separate process
+feeding measurement requests into a shared warm daemon.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Iterable, List, Optional
+
+from repro.core import schema
+from repro.core.experiment import BandwidthMeasurement, MeasurementPoint
+from repro.service import protocol
+from repro.service.protocol import ServiceError
+
+
+class ServiceClient:
+    """One blocking connection to a measurement daemon.
+
+    Usable as a context manager; the connection is opened eagerly so
+    connect errors surface at construction, not first use.
+    """
+
+    def __init__(
+        self,
+        host: str = protocol.DEFAULT_HOST,
+        port: int = protocol.DEFAULT_PORT,
+        timeout: Optional[float] = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # wire helpers
+    # ------------------------------------------------------------------
+    def _send(self, payload: Dict) -> None:
+        self._file.write((schema.dumps(payload) + "\n").encode())
+
+    def _read_response(self) -> Dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("measurement service closed the connection")
+        response = protocol.parse_response(line.decode())
+        if not response.get("ok"):
+            raise ServiceError(response.get("error") or "unknown service error")
+        return response
+
+    def _roundtrip(self, payload: Dict) -> Dict:
+        self._send(payload)
+        self._file.flush()
+        return self._read_response()
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def measure(self, point: MeasurementPoint) -> BandwidthMeasurement:
+        """Measure one point through the daemon."""
+        response = self._roundtrip(protocol.measure_request(point))
+        return schema.measurement_from_dict(response["result"])
+
+    def measure_many(
+        self, points: Iterable[MeasurementPoint]
+    ) -> List[BandwidthMeasurement]:
+        """Pipeline a batch of points; results in submission order.
+
+        All requests are written before any response is read, so the
+        daemon sees them concurrently - duplicates coalesce server-side
+        into a single simulation.
+        """
+        batch = list(points)
+        ids = []
+        for point in batch:
+            request_id = self._next_id
+            self._next_id += 1
+            ids.append(request_id)
+            self._send(protocol.measure_request(point, request_id=request_id))
+        self._file.flush()
+        by_id: Dict[int, BandwidthMeasurement] = {}
+        for _ in batch:
+            response = self._read_response()
+            by_id[response["id"]] = schema.measurement_from_dict(response["result"])
+        try:
+            return [by_id[request_id] for request_id in ids]
+        except KeyError as exc:
+            raise ServiceError(f"service never answered request id {exc}") from None
+
+    def stats(self) -> Dict:
+        """The daemon's live counters (the ``stats`` verb)."""
+        return self._roundtrip(protocol.verb_request("stats"))["result"]
+
+    def ping(self) -> bool:
+        """Liveness probe; True when the daemon answers."""
+        return bool(self._roundtrip(protocol.verb_request("ping"))["result"]["pong"])
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain gracefully and exit."""
+        self._roundtrip(protocol.verb_request("shutdown"))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

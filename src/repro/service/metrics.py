@@ -1,0 +1,97 @@
+"""Service observability: what the daemon did and how fast.
+
+The daemon accounts every request into a handful of counters plus a
+sliding window of service latencies, and exposes the whole snapshot
+through the ``stats`` verb - the service equivalent of the paper's
+"read the hardware counters" step.  For each ``measure`` request
+exactly one of three things happens, and the counters partition
+accordingly: it *coalesces* onto an identical in-flight request, it is
+*cache-served* (in-process memo or on-disk cache), or it is *simulated*.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Dict, Optional
+
+
+def percentile(samples, fraction: float) -> float:
+    """Nearest-rank percentile of ``samples``; NaN when empty."""
+    ordered = sorted(samples)
+    if not ordered:
+        return math.nan
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class LatencyWindow:
+    """Sliding window of the most recent service latencies (seconds)."""
+
+    def __init__(self, size: int = 2048) -> None:
+        self._samples: deque = deque(maxlen=size)
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        """Record one request's wall-clock service time."""
+        self._samples.append(seconds)
+        self.count += 1
+
+    def snapshot_ms(self) -> Dict[str, float]:
+        """p50/p95/max over the window, in milliseconds."""
+        samples = list(self._samples)
+        return {
+            "count": self.count,
+            "p50_ms": round(percentile(samples, 0.50) * 1e3, 3),
+            "p95_ms": round(percentile(samples, 0.95) * 1e3, 3),
+            "max_ms": round(max(samples) * 1e3, 3) if samples else math.nan,
+        }
+
+
+class ServiceMetrics:
+    """Live counters of one daemon instance (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.requests = 0  # every parsed-or-not request line
+        self.measure_requests = 0
+        self.coalesced = 0  # joined an identical in-flight request
+        self.cache_served = 0  # memo or disk cache, no simulation
+        self.simulated = 0
+        self.batches = 0
+        self.errors = 0
+        self.latency = LatencyWindow()
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one measure request's end-to-end service time."""
+        self.latency.observe(seconds)
+
+    def snapshot(
+        self, queue_depth: int = 0, inflight: int = 0
+    ) -> Dict[str, object]:
+        """JSON-ready stats payload for the ``stats`` verb."""
+        latency = self.latency.snapshot_ms()
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "requests": self.requests,
+            "measure_requests": self.measure_requests,
+            "coalesced": self.coalesced,
+            "cache_served": self.cache_served,
+            "simulated": self.simulated,
+            "batches": self.batches,
+            "errors": self.errors,
+            "queue_depth": queue_depth,
+            "inflight": inflight,
+            "latency": {
+                "count": latency["count"],
+                "p50_ms": _json_float(latency["p50_ms"]),
+                "p95_ms": _json_float(latency["p95_ms"]),
+                "max_ms": _json_float(latency["max_ms"]),
+            },
+        }
+
+
+def _json_float(value: float) -> Optional[float]:
+    """Strict-JSON-safe float: NaN (empty window) becomes None."""
+    return None if isinstance(value, float) and math.isnan(value) else value

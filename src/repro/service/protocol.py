@@ -1,0 +1,118 @@
+"""Wire protocol of the measurement daemon (newline-delimited JSON).
+
+Each request is one line, one strict-JSON object in the versioned wire
+schema (:mod:`repro.core.schema`), carrying a ``verb`` and an optional
+caller-chosen ``id`` that the response echoes back - which is what lets
+clients pipeline many requests on one connection and match the
+(possibly reordered) responses.
+
+Verbs:
+
+``measure``
+    ``{"schema": 1, "verb": "measure", "id": ..., "point": {...}}`` -
+    the point payload is a wire-schema ``measurement_point``.  The
+    response's ``result`` is a wire-schema ``bandwidth_measurement``.
+``stats``
+    Service counters: requests served, coalesced, cache-served,
+    simulated, queue depth, p50/p95 service latency.
+``ping``
+    Liveness probe; the response result is ``{"pong": true}``.
+``shutdown``
+    Ask the daemon to drain gracefully and exit (same path as SIGTERM).
+
+Responses are ``{"schema": 1, "ok": true, "id": ..., "result": ...}``
+or ``{"schema": 1, "ok": false, "id": ..., "error": "..."}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from repro.core import schema
+from repro.core.experiment import MeasurementPoint
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+VERBS = ("measure", "stats", "ping", "shutdown")
+
+#: Request ids are opaque echo tokens chosen by the client.
+RequestId = Union[int, str, None]
+
+
+class ServiceError(RuntimeError):
+    """The daemon reported a failure for one request."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded client request."""
+
+    verb: str
+    id: RequestId = None
+    point: Optional[MeasurementPoint] = None
+
+
+def parse_request(line: str) -> Request:
+    """Decode one request line; anything malformed is a SchemaError."""
+    payload = schema.check_envelope(schema.loads(line))
+    verb = payload.get("verb")
+    if verb not in VERBS:
+        raise schema.SchemaError(
+            f"unknown verb {verb!r}; expected one of {list(VERBS)}"
+        )
+    request_id = payload.get("id")
+    point = None
+    if verb == "measure":
+        if "point" not in payload:
+            raise schema.SchemaError("measure request has no 'point' payload")
+        point = schema.point_from_dict(payload["point"])
+    return Request(verb=verb, id=request_id, point=point)
+
+
+def measure_request(point: MeasurementPoint, request_id: RequestId = None) -> Dict:
+    """Build a ``measure`` request payload."""
+    payload: Dict[str, Any] = {
+        "schema": schema.SCHEMA_VERSION,
+        "verb": "measure",
+        "point": schema.point_to_dict(point),
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def verb_request(verb: str, request_id: RequestId = None) -> Dict:
+    """Build a point-less request (``stats``, ``ping``, ``shutdown``)."""
+    if verb not in VERBS or verb == "measure":
+        raise ValueError(f"not a point-less verb: {verb!r}")
+    payload: Dict[str, Any] = {"schema": schema.SCHEMA_VERSION, "verb": verb}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def ok_response(request_id: RequestId, result: Any) -> Dict:
+    """Build a success response carrying ``result``."""
+    return {
+        "schema": schema.SCHEMA_VERSION,
+        "ok": True,
+        "id": request_id,
+        "result": result,
+    }
+
+
+def error_response(request_id: RequestId, message: str) -> Dict:
+    """Build a failure response carrying a human-readable message."""
+    return {
+        "schema": schema.SCHEMA_VERSION,
+        "ok": False,
+        "id": request_id,
+        "error": message,
+    }
+
+
+def parse_response(line: str) -> Dict:
+    """Decode one response line and check its schema version."""
+    return schema.check_envelope(schema.loads(line))

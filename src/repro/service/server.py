@@ -1,0 +1,329 @@
+"""The measurement daemon: asyncio NDJSON server with graceful drain.
+
+``repro serve`` binds a TCP listener and speaks the protocol of
+:mod:`repro.service.protocol`.  Every request line becomes its own task,
+so one connection can pipeline many requests and receive responses as
+each completes (matched by the echoed ``id``).  Measure requests flow
+through the :class:`~repro.service.batcher.CoalescingBatcher`; the
+``stats`` verb exposes the live :class:`ServiceMetrics` snapshot.
+
+Shutdown (SIGTERM, SIGINT, or the ``shutdown`` verb) is graceful: the
+listener closes first, every request already read finishes - the
+batcher drains its queue completely - responses are flushed, and only
+then do connections close.  Requests a client sends *after* initiating
+shutdown are answered with an error instead of being dropped silently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from typing import Optional, Set
+
+from repro.core import schema
+from repro.core.parallel import MeasurementExecutor
+from repro.service import protocol
+from repro.service.batcher import BatcherClosed, CoalescingBatcher
+from repro.service.metrics import ServiceMetrics
+
+
+class MeasurementService:
+    """One daemon instance: listener + batcher + metrics.
+
+    Parameters mirror the CLI: ``jobs``/``use_cache`` configure the
+    underlying :class:`MeasurementExecutor` (``None`` inherits the
+    process defaults), ``max_queue``/``max_batch`` the batcher.
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        host: str = protocol.DEFAULT_HOST,
+        port: int = protocol.DEFAULT_PORT,
+        jobs: Optional[int] = None,
+        use_cache: Optional[bool] = None,
+        max_queue: int = 256,
+        max_batch: int = 64,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.metrics = ServiceMetrics()
+        self._batcher = CoalescingBatcher(
+            MeasurementExecutor(jobs=jobs, use_cache=use_cache),
+            metrics=self.metrics,
+            max_queue=max_queue,
+            max_batch=max_batch,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._line_tasks: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the batcher's drain task."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        self._batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_shutdown(self) -> None:
+        """Flag the daemon to drain and exit (signal- and thread-safe)."""
+        loop, event = self._loop, self._stop_requested
+        if loop is None or event is None:
+            return
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            event.set()
+        else:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop already closed: nothing left to stop
+
+    async def serve_until_shutdown(self, install_signal_handlers: bool = True) -> None:
+        """Serve until SIGTERM/SIGINT or a ``shutdown`` verb, then drain."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        installed = []
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    # Non-main thread or platform without signal support.
+                    pass
+        try:
+            assert self._stop_requested is not None
+            await self._stop_requested.wait()
+            await self.stop()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
+    async def stop(self) -> None:
+        """Graceful drain: close listener, finish queued work, flush."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.request_shutdown()  # read loops stop pulling new lines
+        # Every line already read keeps running; the batcher completes
+        # everything those lines submitted before its drain returns.
+        if self._line_tasks:
+            await asyncio.gather(*tuple(self._line_tasks), return_exceptions=True)
+        await self._batcher.drain()
+        for writer in tuple(self._writers):
+            await _close_writer(writer)
+        self._writers.clear()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        assert self._stop_requested is not None
+        try:
+            while not self._stop_requested.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                self._line_tasks.add(task)
+                task.add_done_callback(self._line_tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if not self._stop_requested.is_set():
+                self._writers.discard(writer)
+                await _close_writer(writer)
+            # During shutdown, stop() owns flushing and closing writers.
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        self.metrics.requests += 1
+        try:
+            request = protocol.parse_request(line.decode())
+        except (schema.SchemaError, UnicodeDecodeError) as exc:
+            self.metrics.errors += 1
+            await self._send(writer, write_lock, protocol.error_response(None, str(exc)))
+            return
+        if request.verb == "ping":
+            response = protocol.ok_response(request.id, {"pong": True})
+        elif request.verb == "stats":
+            response = protocol.ok_response(
+                request.id,
+                self.metrics.snapshot(
+                    queue_depth=self._batcher.queue_depth,
+                    inflight=self._batcher.inflight,
+                ),
+            )
+        elif request.verb == "shutdown":
+            response = protocol.ok_response(request.id, {"stopping": True})
+            self.request_shutdown()
+        else:  # measure
+            response = await self._handle_measure(request)
+        await self._send(writer, write_lock, response)
+
+    async def _handle_measure(self, request: protocol.Request) -> dict:
+        self.metrics.measure_requests += 1
+        started = time.monotonic()
+        try:
+            assert request.point is not None
+            measurement = await self._batcher.submit(request.point)
+        except BatcherClosed as exc:
+            self.metrics.errors += 1
+            return protocol.error_response(request.id, str(exc))
+        except Exception as exc:  # simulation failure: report, keep serving
+            self.metrics.errors += 1
+            return protocol.error_response(
+                request.id, f"{type(exc).__name__}: {exc}"
+            )
+        self.metrics.observe_latency(time.monotonic() - started)
+        return protocol.ok_response(
+            request.id, schema.measurement_to_dict(measurement)
+        )
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, payload: dict
+    ) -> None:
+        data = (schema.dumps(payload) + "\n").encode()
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; its results stay cached anyway
+
+
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    try:
+        if writer.can_write_eof():
+            writer.write_eof()
+    except (OSError, RuntimeError):
+        pass
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+def run_service(
+    host: str = protocol.DEFAULT_HOST,
+    port: int = protocol.DEFAULT_PORT,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    max_queue: int = 256,
+    max_batch: int = 64,
+    ready_message: bool = True,
+) -> None:
+    """Run a daemon in the foreground until SIGTERM/SIGINT (the CLI path)."""
+
+    async def _main() -> None:
+        service = MeasurementService(
+            host=host,
+            port=port,
+            jobs=jobs,
+            use_cache=use_cache,
+            max_queue=max_queue,
+            max_batch=max_batch,
+        )
+        await service.start()
+        if ready_message:
+            print(f"repro serve: listening on {service.host}:{service.port}", flush=True)
+        await service.serve_until_shutdown()
+        if ready_message:
+            snapshot = service.metrics.snapshot()
+            print(
+                "repro serve: drained cleanly "
+                f"({snapshot['measure_requests']} measure requests, "
+                f"{snapshot['coalesced']} coalesced, "
+                f"{snapshot['cache_served']} cache-served, "
+                f"{snapshot['simulated']} simulated)",
+                flush=True,
+            )
+
+    asyncio.run(_main())
+
+
+class BackgroundService:
+    """A daemon on a dedicated thread (tests, notebooks, embedding).
+
+    ``start()`` blocks until the listener is bound and returns the
+    port; ``stop()`` performs the same graceful drain as SIGTERM and
+    joins the thread.  Usable as a context manager.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("port", 0)
+        self._kwargs = kwargs
+        self.service: Optional[MeasurementService] = None
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Launch the daemon thread; returns the bound port."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-measurement-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.port is not None
+        return self.port
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Request graceful drain and join the daemon thread."""
+        service = self.service
+        if service is not None:
+            service.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            self.service = MeasurementService(**self._kwargs)
+            try:
+                await self.service.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self.port = self.service.port
+            self._ready.set()
+            await self.service.serve_until_shutdown(install_signal_handlers=False)
+
+        asyncio.run(_main())
+
+    def __enter__(self) -> "BackgroundService":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -1,0 +1,186 @@
+"""Round-trip and rejection tests for the versioned wire schema."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import schema
+from repro.core.experiment import (
+    BandwidthMeasurement,
+    ExperimentSettings,
+    MeasurementPoint,
+)
+from repro.fpga.address_gen import AddressingMode
+from repro.hmc.address import AddressMask
+from repro.hmc.config import HMC_1_1_2GB
+from repro.hmc.packet import RequestType
+
+TINY = ExperimentSettings(warmup_us=5.0, window_us=10.0)
+
+MASKS = (
+    AddressMask(),
+    AddressMask(clear=0xFF0),
+    AddressMask(set=0x30),
+    AddressMask.clearing_bits(8, 15),
+    AddressMask(clear=0xF00, set=0x0F),
+)
+
+
+@pytest.mark.parametrize("request_type", list(RequestType))
+@pytest.mark.parametrize("mode", list(AddressingMode))
+@pytest.mark.parametrize("mask", MASKS)
+def test_point_round_trips_every_enum_and_mask_combination(
+    request_type, mode, mask
+):
+    point = MeasurementPoint(
+        mask=mask,
+        request_type=request_type,
+        payload_bytes=64,
+        mode=mode,
+        active_ports=5,
+        settings=TINY,
+        pattern_name="combo",
+        seed=3,
+    )
+    payload = schema.point_to_dict(point)
+    assert payload["schema"] == schema.SCHEMA_VERSION
+    assert payload["request_type"] == request_type.name
+    assert payload["mode"] == mode.name
+    line = schema.dumps(payload)  # strict JSON must always succeed
+    assert schema.point_from_dict(schema.loads(line)) == point
+
+
+def test_point_methods_and_non_default_config_round_trip():
+    settings = ExperimentSettings(config=HMC_1_1_2GB, warmup_us=1.0, window_us=2.0)
+    point = MeasurementPoint(settings=settings, payload_bytes=32)
+    assert MeasurementPoint.from_dict(point.to_dict()) == point
+    assert ExperimentSettings.from_dict(settings.to_dict()) == settings
+    mask = AddressMask(clear=0xF0)
+    assert AddressMask.from_dict(mask.to_dict()) == mask
+
+
+def _measurement(**overrides):
+    fields = dict(
+        pattern_name="16 vaults",
+        request_type=RequestType.READ,
+        payload_bytes=128,
+        mode=AddressingMode.RANDOM,
+        active_ports=9,
+        bandwidth_gbs=21.5,
+        mrps=160.25,
+        reads_completed=1000,
+        writes_completed=0,
+        read_latency_avg_ns=700.5,
+        read_latency_min_ns=650.0,
+        read_latency_max_ns=820.0,
+        write_latency_avg_ns=math.nan,
+        window_ns=40000.0,
+    )
+    fields.update(overrides)
+    return BandwidthMeasurement(**fields)
+
+
+def test_measurement_round_trips_nan_latency_fields():
+    measurement = _measurement(
+        read_latency_avg_ns=math.nan,
+        read_latency_min_ns=math.nan,
+        read_latency_max_ns=math.nan,
+        write_latency_avg_ns=math.nan,
+    )
+    payload = measurement.to_dict()
+    # Strict JSON: NaN is encoded as a sentinel string, never a bare NaN.
+    text = json.dumps(payload, allow_nan=False)
+    restored = BandwidthMeasurement.from_dict(json.loads(text))
+    assert repr(restored) == repr(measurement)
+    assert math.isnan(restored.write_latency_avg_ns)
+
+
+def test_measurement_round_trips_finite_floats_bit_exactly():
+    measurement = _measurement(bandwidth_gbs=1.0 / 3.0, mrps=0.1 + 0.2)
+    restored = BandwidthMeasurement.from_dict(
+        json.loads(json.dumps(measurement.to_dict()))
+    )
+    assert restored == measurement
+
+
+def test_nonfinite_float_encoding_round_trips():
+    assert schema.encode_float(math.nan) == "NaN"
+    assert schema.encode_float(math.inf) == "Infinity"
+    assert schema.encode_float(-math.inf) == "-Infinity"
+    assert math.isnan(schema.decode_float("NaN"))
+    assert schema.decode_float("Infinity") == math.inf
+    assert schema.decode_float("-Infinity") == -math.inf
+    with pytest.raises(schema.SchemaError):
+        schema.decode_float("fast")
+    with pytest.raises(schema.SchemaError):
+        schema.decode_float(None)
+
+
+@pytest.mark.parametrize("version", [0, 2, "1", None, 99])
+def test_unknown_schema_version_is_rejected(version):
+    payload = schema.point_to_dict(MeasurementPoint(settings=TINY))
+    payload["schema"] = version
+    with pytest.raises(schema.SchemaError):
+        schema.point_from_dict(payload)
+
+
+def test_missing_version_and_wrong_kind_are_rejected():
+    payload = schema.measurement_to_dict(_measurement())
+    stripped = {k: v for k, v in payload.items() if k != "schema"}
+    with pytest.raises(schema.SchemaError):
+        schema.measurement_from_dict(stripped)
+    with pytest.raises(schema.SchemaError):
+        schema.point_from_dict(payload)  # kind mismatch
+    with pytest.raises(schema.SchemaError):
+        schema.loads("{not json")
+    with pytest.raises(schema.SchemaError):
+        schema.loads("[1, 2]")
+
+
+def test_unknown_enum_name_is_rejected():
+    payload = schema.point_to_dict(MeasurementPoint(settings=TINY))
+    payload["request_type"] = "ro"  # the old by-value encoding
+    with pytest.raises(schema.SchemaError):
+        schema.point_from_dict(payload)
+
+
+def test_overlapping_mask_payload_is_a_schema_error():
+    payload = schema.mask_to_dict(AddressMask())
+    payload["clear"] = 0xF0
+    payload["set"] = 0x10
+    with pytest.raises(schema.SchemaError):
+        schema.mask_from_dict(payload)
+
+
+def test_result_pair_round_trips():
+    point = MeasurementPoint(settings=TINY, payload_bytes=48)
+    measurement = _measurement(payload_bytes=48)
+    payload = schema.loads(schema.dumps(schema.result_to_dict(point, measurement)))
+    restored_point, restored_measurement = schema.result_from_dict(payload)
+    assert restored_point == point
+    assert repr(restored_measurement) == repr(measurement)
+
+
+def test_deprecated_cache_serializer_aliases_still_work():
+    from repro.core import cache as cache_mod
+
+    measurement = _measurement()
+    with pytest.deprecated_call():
+        payload = cache_mod.measurement_to_dict(measurement)
+    with pytest.deprecated_call():
+        restored = cache_mod.measurement_from_dict(payload)
+    assert repr(restored) == repr(measurement)
+
+
+def test_curated_top_level_surface():
+    import repro
+
+    assert "MeasurementPoint" in repro.__all__
+    assert repro.MeasurementPoint is MeasurementPoint
+    assert repro.SCHEMA_VERSION == schema.SCHEMA_VERSION
+    assert repro.RequestType is RequestType
+    with pytest.deprecated_call():
+        assert repro.measurement_to_dict is schema.measurement_to_dict
+    with pytest.raises(AttributeError):
+        repro.definitely_not_public

@@ -1,0 +1,192 @@
+"""Integration tests for the measurement daemon and its client.
+
+The daemon runs in-process (:class:`BackgroundService` on its own event
+loop thread) with ephemeral ports, so the suite needs no network setup
+and can run many instances concurrently.  Each test uses a unique
+simulation window so its points are guaranteed cold in the memo/cache.
+"""
+
+import asyncio
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import parallel
+from repro.core.experiment import (
+    ExperimentSettings,
+    MeasurementPoint,
+    simulate_point,
+)
+from repro.core.parallel import MeasurementExecutor
+from repro.core.patterns import pattern_by_name
+from repro.hmc.packet import RequestType
+from repro.service.batcher import BatcherClosed, CoalescingBatcher
+from repro.service.client import ServiceClient
+from repro.service.protocol import ServiceError
+from repro.service.server import BackgroundService
+
+
+def _tiny(window_us: float) -> ExperimentSettings:
+    """Unique-window settings: cold in every cache, cheap to simulate."""
+    return ExperimentSettings(warmup_us=5.0, window_us=window_us)
+
+
+def _point(settings: ExperimentSettings, payload_bytes: int = 32, seed: int = 1):
+    pattern = pattern_by_name("1 bank", settings.config)
+    return MeasurementPoint.for_pattern(
+        pattern,
+        request_type=RequestType.READ,
+        payload_bytes=payload_bytes,
+        settings=settings,
+    ) if seed == 1 else MeasurementPoint(
+        mask=pattern.mask,
+        request_type=RequestType.READ,
+        payload_bytes=payload_bytes,
+        settings=settings,
+        pattern_name=pattern.name,
+        seed=seed,
+    )
+
+
+def test_hundred_identical_requests_cost_one_simulation():
+    """The coalescing guarantee: N identical in-flight points, 1 run."""
+    settings = _tiny(window_us=10.25)
+    point = _point(settings)
+    expected = simulate_point(point)[0]
+    parallel.reset()
+    with BackgroundService(jobs=1) as service:
+        def worker(_index: int):
+            with ServiceClient(port=service.port) as client:
+                return client.measure_many([point] * 25)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            batches = list(pool.map(worker, range(4)))
+        with ServiceClient(port=service.port) as client:
+            stats = client.stats()
+
+    results = [m for batch in batches for m in batch]
+    assert len(results) == 100
+    assert parallel.stats().simulations == 1
+    assert stats["measure_requests"] == 100
+    assert stats["simulated"] == 1
+    assert stats["coalesced"] + stats["cache_served"] == 99
+    # Daemon-served results are bit-identical to the in-process run.
+    assert all(repr(m) == repr(expected) for m in results)
+
+
+def test_mixed_load_mostly_coalesces_and_matches_direct_runs():
+    """100 concurrent requests over 10 distinct points: >=90 free."""
+    settings = _tiny(window_us=10.5)
+    points = [_point(settings, seed=seed) for seed in range(1, 11)]
+    expected = {point.seed: simulate_point(point)[0] for point in points}
+    parallel.reset()
+    with BackgroundService(jobs=1) as service:
+        def worker(_index: int):
+            with ServiceClient(port=service.port) as client:
+                return client.measure_many(points)
+
+        with ThreadPoolExecutor(max_workers=10) as pool:
+            batches = list(pool.map(worker, range(10)))
+        with ServiceClient(port=service.port) as client:
+            stats = client.stats()
+
+    assert parallel.stats().simulations == len(points)
+    assert stats["measure_requests"] == 100
+    assert stats["simulated"] == len(points)
+    assert stats["coalesced"] + stats["cache_served"] >= 90
+    for batch in batches:
+        for point, measurement in zip(points, batch):
+            assert repr(measurement) == repr(expected[point.seed])
+    latency = stats["latency"]
+    assert latency["count"] == 100
+    assert latency["p95_ms"] >= latency["p50_ms"] > 0
+
+
+def test_stats_ping_and_error_responses():
+    with BackgroundService(jobs=1) as service:
+        with ServiceClient(port=service.port) as client:
+            assert client.ping() is True
+            stats = client.stats()
+            for key in (
+                "uptime_s",
+                "requests",
+                "measure_requests",
+                "coalesced",
+                "cache_served",
+                "simulated",
+                "queue_depth",
+                "inflight",
+                "latency",
+            ):
+                assert key in stats
+        # Malformed lines get an error response, not a dropped connection.
+        with socket.create_connection(("127.0.0.1", service.port)) as raw:
+            handle = raw.makefile("rwb")
+            handle.write(b"this is not json\n")
+            handle.write(b'{"schema": 1, "verb": "frobnicate"}\n')
+            handle.write(b'{"schema": 7, "verb": "ping"}\n')
+            handle.flush()
+            import json
+
+            for _ in range(3):
+                response = json.loads(handle.readline())
+                assert response["ok"] is False
+                assert response["error"]
+        with ServiceClient(port=service.port) as client:
+            with pytest.raises(ServiceError):
+                client._roundtrip({"schema": 1, "verb": "measure"})
+
+
+def test_shutdown_verb_drains_and_stops_accepting():
+    settings = _tiny(window_us=10.75)
+    with BackgroundService(jobs=1) as service:
+        port = service.port
+        with ServiceClient(port=port) as client:
+            results = client.measure_many([_point(settings)] * 5)
+            assert len(results) == 5
+            client.shutdown()
+        service._thread.join(timeout=30)
+        assert not service._thread.is_alive()
+    with pytest.raises(OSError):
+        socket.create_connection(("127.0.0.1", port), timeout=0.5).close()
+
+
+def test_batcher_drain_completes_inflight_work():
+    """Graceful drain: everything submitted before drain still resolves."""
+
+    async def scenario():
+        settings = _tiny(window_us=11.25)
+        batcher = CoalescingBatcher(MeasurementExecutor(jobs=1), max_batch=2)
+        batcher.start()
+        points = [_point(settings, payload_bytes=size) for size in (16, 32, 48)]
+        tasks = [asyncio.ensure_future(batcher.submit(p)) for p in points]
+        await asyncio.sleep(0)  # let every submit enqueue its point
+        await batcher.drain()
+        results = await asyncio.gather(*tasks)
+        assert [m.payload_bytes for m in results] == [16, 32, 48]
+        with pytest.raises(BatcherClosed):
+            await batcher.submit(points[0])
+
+    asyncio.run(scenario())
+
+
+def test_backpressure_queue_bounds_pending_points():
+    """A full queue delays submitters instead of growing without bound."""
+
+    async def scenario():
+        settings = _tiny(window_us=11.5)
+        batcher = CoalescingBatcher(
+            MeasurementExecutor(jobs=1), max_queue=2, max_batch=1
+        )
+        points = [
+            _point(settings, payload_bytes=16 * (1 + i % 8), seed=1 + i // 8)
+            for i in range(6)
+        ]
+        batcher.start()
+        tasks = [asyncio.ensure_future(batcher.submit(p)) for p in points]
+        results = await asyncio.gather(*tasks)
+        assert len(results) == 6
+        await batcher.drain()
+
+    asyncio.run(scenario())
