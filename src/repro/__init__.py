@@ -67,6 +67,10 @@ _PUBLIC = {
     "MeasurementService": "repro.service.server",
     "BackgroundService": "repro.service.server",
     "ServiceError": "repro.service.protocol",
+    # multi-cube networks
+    "TopologySpec": "repro.topology.spec",
+    "CubeNetwork": "repro.topology.network",
+    "CubeMapping": "repro.hmc.address",
 }
 
 #: Renamed/relocated symbols kept importable behind a DeprecationWarning:
@@ -87,6 +91,7 @@ __all__ = sorted(_PUBLIC) + [
     "baseline",
     "experiments",
     "service",
+    "topology",
 ]
 
 

@@ -10,6 +10,9 @@ Usage::
     python -m repro kernels
     python -m repro sweep --patterns "2 banks" "16 vaults" --csv out.csv
     python -m repro sweep --patterns "16 vaults" --sizes 32 128 --json
+    python -m repro sweep --patterns "16 vaults" --topology chain --cubes 4
+    python -m repro topo --kind chain --cubes 4
+    python -m repro topo --kind star --cubes 8 --size 32 --json
     python -m repro cache stats
     python -m repro bench --jobs 4
     python -m repro serve --port 8642 --jobs 8
@@ -59,11 +62,31 @@ _DESCRIPTIONS = {
     "fig18": "latency-bandwidth for all patterns and sizes",
     "failures": "thermal failure limits + recovery",
     "hmc2": "projection onto HMC 2.0 (extension)",
+    "nethops": "chained-cube hop latency (extension)",
+    "netbw": "remote-cube bandwidth on a chain (extension)",
 }
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
     return FAST_SETTINGS if args.fast else ExperimentSettings()
+
+
+def _with_topology(
+    settings: ExperimentSettings, args: argparse.Namespace
+) -> ExperimentSettings:
+    """Apply the ``--topology``/``--cubes`` flags to the settings."""
+    kind = getattr(args, "topology", None)
+    cubes = getattr(args, "cubes", None)
+    if kind is None and cubes is None:
+        return settings
+    from dataclasses import replace
+
+    from repro.topology.spec import TopologySpec
+
+    spec = TopologySpec(
+        kind or "chain", cubes or 1, getattr(args, "cube_map", "contiguous")
+    )
+    return replace(settings, topology=spec)
 
 
 def _jobs(args: argparse.Namespace) -> int:
@@ -168,17 +191,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         request_types=tuple(RequestType.from_label(t) for t in args.types),
         payload_bytes=tuple(args.sizes),
     )
+    settings = _with_topology(_settings(args), args)
     if args.json:
         from repro.core import schema
 
         detailed = run_sweep_detailed(
-            grid, _settings(args), jobs=_jobs(args), use_cache=not args.no_cache
+            grid, settings, jobs=_jobs(args), use_cache=not args.no_cache
         )
         for point, measurement in detailed:
             print(schema.dumps(schema.result_to_dict(point, measurement)))
         return 0
     records = run_sweep(
-        grid, _settings(args), jobs=_jobs(args), use_cache=not args.no_cache
+        grid, settings, jobs=_jobs(args), use_cache=not args.no_cache
     )
     text = to_csv(records, args.csv)
     if args.csv:
@@ -229,7 +253,7 @@ def _query_measure(args: argparse.Namespace, client) -> int:
     from repro.fpga.address_gen import AddressingMode
     from repro.hmc.packet import RequestType
 
-    settings = _settings(args)
+    settings = _with_topology(_settings(args), args)
     point = MeasurementPoint.for_pattern(
         pattern_by_name(args.pattern, settings.config),
         request_type=RequestType.from_label(args.type),
@@ -247,6 +271,68 @@ def _query_measure(args: argparse.Namespace, client) -> int:
             f"{point.payload_bytes}B {point.mode.value}: "
             f"{measurement.bandwidth_gbs:.2f} GB/s, {measurement.mrps:.1f} MRPS, "
             f"read avg {measurement.read_latency_avg_ns / 1e3:.2f} us"
+        )
+    return 0
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    """Describe a cube network and measure per-cube read placement."""
+    from dataclasses import replace
+
+    from repro.core.experiment import MeasurementPoint
+    from repro.hmc.address import AddressMask, CubeMapping
+    from repro.hmc.packet import RequestType
+    from repro.topology.spec import TopologySpec
+
+    spec = TopologySpec(args.kind, args.cubes, args.map)
+    settings = replace(_settings(args), topology=spec)
+    if spec.cube_map == "contiguous" and not spec.is_trivial:
+        mapping = CubeMapping(
+            spec.num_cubes, settings.config.capacity_bytes, mode=spec.cube_map
+        )
+        points = [
+            MeasurementPoint(
+                mask=mapping.cube_mask(cube),
+                request_type=RequestType.READ,
+                payload_bytes=args.size,
+                active_ports=args.ports,
+                settings=settings,
+                pattern_name=f"{spec.label()} cube {cube}",
+            )
+            for cube in range(spec.num_cubes)
+        ]
+    else:
+        # Interleaved (or single-cube) networks cannot pin a mask onto
+        # one cube; measure the whole-network placement instead.
+        points = [
+            MeasurementPoint(
+                mask=AddressMask(),
+                request_type=RequestType.READ,
+                payload_bytes=args.size,
+                active_ports=args.ports,
+                settings=settings,
+                pattern_name=f"{spec.label()} spread",
+            )
+        ]
+    with parallel.configured(jobs=_jobs(args), use_cache=not args.no_cache):
+        measurements = parallel.get_executor().measure_points(points)
+    if args.json:
+        from repro.core import schema
+
+        for point, measurement in zip(points, measurements):
+            print(schema.dumps(schema.result_to_dict(point, measurement)))
+        return 0
+    print(f"{spec.label()}: {spec.num_cubes} cubes, {spec.num_hop_links} links")
+    for cube in range(spec.num_cubes):
+        route = " -> ".join(
+            f"link{link}{'' if down else '~'}" for link, down in spec.routes()[cube]
+        ) or "(host)"
+        print(f"  cube {cube}: {spec.hop_count(cube)} hops via {route}")
+    for point, measurement in zip(points, measurements):
+        latency = measurement.read_latency_avg_ns / 1e3
+        print(
+            f"{point.pattern_name}: {measurement.bandwidth_gbs:.2f} GB/s, "
+            f"read avg {latency:.2f} us"
         )
     return 0
 
@@ -368,6 +454,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="skip the on-disk result cache (always re-simulate)",
         )
 
+    def add_topology_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--topology",
+            choices=("chain", "ring", "star"),
+            help="measure against a cube network of this shape",
+        )
+        p.add_argument(
+            "--cubes", type=int, metavar="N", help="cubes in the network"
+        )
+        p.add_argument(
+            "--cube-map",
+            default="contiguous",
+            choices=("contiguous", "interleave"),
+            dest="cube_map",
+            help="cube-level address mapping",
+        )
+
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=sorted(REGISTRY))
     run_parser.add_argument(
@@ -416,7 +519,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--fast", action="store_true")
     add_executor_flags(sweep_parser)
+    add_topology_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    topo_parser = sub.add_parser(
+        "topo", help="describe and measure a chained-cube network"
+    )
+    topo_parser.add_argument(
+        "--kind", default="chain", choices=("chain", "ring", "star")
+    )
+    topo_parser.add_argument(
+        "--cubes", type=int, default=4, metavar="N", help="cubes in the network"
+    )
+    topo_parser.add_argument(
+        "--map",
+        default="contiguous",
+        choices=("contiguous", "interleave"),
+        help="cube-level address mapping",
+    )
+    topo_parser.add_argument("--size", type=int, default=128, metavar="BYTES")
+    topo_parser.add_argument(
+        "--ports", type=int, default=None, metavar="N", help="active GUPS ports"
+    )
+    topo_parser.add_argument("--fast", action="store_true")
+    topo_parser.add_argument(
+        "--json", action="store_true", help="wire-schema JSON lines instead of text"
+    )
+    add_executor_flags(topo_parser)
+    topo_parser.set_defaults(func=_cmd_topo)
 
     cache_parser = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_parser.add_argument("action", choices=("stats", "clear"))
@@ -490,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--json", action="store_true", help="wire-schema JSON instead of a summary"
     )
+    add_topology_flags(query_parser)
     query_parser.set_defaults(func=_cmd_query)
     return parser
 

@@ -5,7 +5,8 @@ stable key derived from *all* simulation inputs: the structural
 :class:`HMCConfig` (including link geometry), the full
 :class:`Calibration`, the address mask, request type, payload size,
 addressing mode, port count, simulation windows, the RNG seed, the
-pattern label, and :data:`MODEL_VERSION`.  Equal key implies equal
+pattern label, the cube-network topology (when one is configured), and
+:data:`MODEL_VERSION`.  Equal key implies equal
 :class:`BandwidthMeasurement`, so results can be reused across
 processes and across campaign runs without ever re-simulating a point.
 
@@ -71,24 +72,27 @@ def cache_key(point: MeasurementPoint) -> str:
     ordering, no pointer identity) - and hashed with SHA-256.
     """
     settings = point.settings
-    canonical = repr(
-        (
-            MODEL_VERSION,
-            settings.config,
-            settings.calibration,
-            settings.warmup_us,
-            settings.window_us,
-            settings.max_block_bytes,
-            point.mask.clear,
-            point.mask.set,
-            point.request_type.value,
-            point.payload_bytes,
-            point.mode.value,
-            point.active_ports,
-            point.pattern_name,
-            point.seed,
-        )
-    )
+    inputs = [
+        MODEL_VERSION,
+        settings.config,
+        settings.calibration,
+        settings.warmup_us,
+        settings.window_us,
+        settings.max_block_bytes,
+        point.mask.clear,
+        point.mask.set,
+        point.request_type.value,
+        point.payload_bytes,
+        point.mode.value,
+        point.active_ports,
+        point.pattern_name,
+        point.seed,
+    ]
+    # Appended only when configured so every single-cube key is exactly
+    # what pre-topology builds computed for the same point.
+    if settings.topology is not None:
+        inputs.append(settings.topology)
+    canonical = repr(tuple(inputs))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 

@@ -31,17 +31,24 @@ from repro.power.model import (
 )
 from repro.thermal.cooling import CoolingConfig
 from repro.thermal.model import ThermalModel, ThermalReading
+from repro.topology.spec import TopologySpec
 
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Simulation-window and device settings shared by experiments."""
+    """Simulation-window and device settings shared by experiments.
+
+    ``topology`` selects a multi-cube network (``None`` means the plain
+    single-device board); it rides through the cache key and the wire
+    schema so topology-keyed results coexist with single-cube ones.
+    """
 
     config: HMCConfig = HMC_1_1_4GB
     calibration: Calibration = DEFAULT_CALIBRATION
     warmup_us: float = 30.0
     window_us: float = 120.0
     max_block_bytes: int = 128
+    topology: Optional[TopologySpec] = None
 
     def scaled(self, factor: float) -> "ExperimentSettings":
         """Shrink/grow both windows (tests use small factors)."""
@@ -175,6 +182,7 @@ def simulate_point(point: MeasurementPoint) -> Tuple[BandwidthMeasurement, int]:
         config=settings.config,
         calibration=settings.calibration,
         max_block_bytes=settings.max_block_bytes,
+        topology=settings.topology,
     )
     gups = board.load_gups(
         PortConfig(

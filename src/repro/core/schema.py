@@ -45,6 +45,7 @@ from repro.hmc.address import AddressMask
 from repro.hmc.calibration import Calibration
 from repro.hmc.config import HMCConfig, LinkConfig
 from repro.hmc.packet import RequestType
+from repro.topology.spec import TopologySpec
 
 #: The wire-schema version this process reads and writes.  Bump it (and
 #: teach the decoders the migration) whenever a field changes meaning,
@@ -196,38 +197,85 @@ def mask_from_dict(payload: Mapping[str, Any]) -> AddressMask:
 
 
 # ----------------------------------------------------------------------
-# ExperimentSettings (with nested HMCConfig + Calibration)
+# TopologySpec
 # ----------------------------------------------------------------------
-def settings_to_dict(settings: ExperimentSettings) -> Dict[str, Any]:
-    """Wire payload for the full simulation-window + device settings."""
-    config = _scalars_to_dict(settings.config)
-    config["links"] = _scalars_to_dict(settings.config.links)
+def topology_to_dict(spec: TopologySpec) -> Dict[str, Any]:
+    """Wire payload for one cube-network description.
+
+    The spec's ``kind`` field travels as ``shape`` because ``kind`` is
+    the envelope's payload discriminator.
+    """
     return _envelope(
-        "experiment_settings",
+        "topology",
         {
-            "config": config,
-            "calibration": _scalars_to_dict(settings.calibration),
-            "warmup_us": encode_float(settings.warmup_us),
-            "window_us": encode_float(settings.window_us),
-            "max_block_bytes": settings.max_block_bytes,
+            "shape": spec.kind,
+            "num_cubes": spec.num_cubes,
+            "cube_map": spec.cube_map,
         },
     )
 
 
+def topology_from_dict(payload: Mapping[str, Any]) -> TopologySpec:
+    """Decode a :class:`TopologySpec`; validation errors are SchemaError."""
+    body = check_envelope(payload, "topology")
+    try:
+        return TopologySpec(
+            kind=body["shape"],
+            num_cubes=body["num_cubes"],
+            cube_map=body["cube_map"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"invalid topology payload: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# ExperimentSettings (with nested HMCConfig + Calibration)
+# ----------------------------------------------------------------------
+def settings_to_dict(settings: ExperimentSettings) -> Dict[str, Any]:
+    """Wire payload for the full simulation-window + device settings.
+
+    The ``topology`` key is present only when a topology is configured -
+    single-cube payloads are byte-identical to what pre-topology builds
+    emitted, and those builds' decoders (which ignore unknown keys)
+    still read topology-bearing payloads as their single-cube fields.
+    """
+    config = _scalars_to_dict(settings.config)
+    config["links"] = _scalars_to_dict(settings.config.links)
+    body = {
+        "config": config,
+        "calibration": _scalars_to_dict(settings.calibration),
+        "warmup_us": encode_float(settings.warmup_us),
+        "window_us": encode_float(settings.window_us),
+        "max_block_bytes": settings.max_block_bytes,
+    }
+    if settings.topology is not None:
+        body["topology"] = topology_to_dict(settings.topology)
+    return _envelope("experiment_settings", body)
+
+
 def settings_from_dict(payload: Mapping[str, Any]) -> ExperimentSettings:
-    """Decode :class:`ExperimentSettings` (validates the device config)."""
+    """Decode :class:`ExperimentSettings` (validates the device config).
+
+    A missing ``topology`` key decodes as ``None`` so payloads from
+    pre-topology writers remain readable under schema version 1.
+    """
     body = check_envelope(payload, "experiment_settings")
     try:
         config_body = dict(body["config"])
         links = _scalars_from_dict(LinkConfig, config_body.pop("links"))
         config = _scalars_from_dict(HMCConfig, config_body, links=links)
         calibration = _scalars_from_dict(Calibration, body["calibration"])
+        topology_body = body.get("topology")
+        topology = (
+            topology_from_dict(topology_body) if topology_body is not None else None
+        )
         return ExperimentSettings(
             config=config,
             calibration=calibration,
             warmup_us=decode_float(body["warmup_us"]),
             window_us=decode_float(body["window_us"]),
             max_block_bytes=body["max_block_bytes"],
+            topology=topology,
         )
     except SchemaError:
         raise

@@ -32,6 +32,8 @@ REGISTRY: Dict[str, str] = {
     "fig18": "fig18_latency_bandwidth",
     "failures": "failure_limits",
     "hmc2": "hmc2_projection",
+    "nethops": "net_hop_latency",
+    "netbw": "net_remote_bandwidth",
 }
 
 

@@ -19,10 +19,18 @@ from repro.hmc.device import HMCDevice
 from repro.hmc.dram import DramTimings
 from repro.hmc.refresh import RefreshPolicy
 from repro.sim.engine import Simulator
+from repro.topology.network import CubeNetwork
+from repro.topology.spec import TopologySpec
 
 
 class AC510Board:
-    """A simulator, an HMC device and its FPGA-side controller."""
+    """A simulator, an HMC device and its FPGA-side controller.
+
+    With a :class:`~repro.topology.spec.TopologySpec` the board fronts a
+    :class:`~repro.topology.network.CubeNetwork` of chained cubes instead
+    of a single device; the controller and GUPS firmware are unchanged
+    either way because the network duck-types the device interface.
+    """
 
     def __init__(
         self,
@@ -33,19 +41,38 @@ class AC510Board:
         interleave: str = "vault-first",
         refresh: Optional[RefreshPolicy] = None,
         junction_c: float = 60.0,
+        topology: Optional[TopologySpec] = None,
     ) -> None:
         self.sim = Simulator()
         self.calibration = calibration
-        self.device = HMCDevice(
-            self.sim,
-            config=config,
-            calibration=calibration,
-            timings=timings,
-            max_block_bytes=max_block_bytes,
-            interleave=interleave,
-            refresh=refresh,
-            junction_c=junction_c,
-        )
+        self.topology = topology
+        if topology is not None and not topology.is_trivial:
+            self.network: Optional[CubeNetwork] = CubeNetwork(
+                self.sim,
+                topology,
+                config=config,
+                calibration=calibration,
+                timings=timings,
+                max_block_bytes=max_block_bytes,
+                interleave=interleave,
+                refresh=refresh,
+                junction_c=junction_c,
+            )
+            self.device = self.network
+        else:
+            # A trivial (or absent) topology short-circuits to the plain
+            # device so single-cube results stay bit-identical.
+            self.network = None
+            self.device = HMCDevice(
+                self.sim,
+                config=config,
+                calibration=calibration,
+                timings=timings,
+                max_block_bytes=max_block_bytes,
+                interleave=interleave,
+                refresh=refresh,
+                junction_c=junction_c,
+            )
         self.controller = HmcController(self.sim, self.device, calibration)
 
     # ------------------------------------------------------------------

@@ -167,10 +167,8 @@ class HmcController:
         self.write_latency.open()
         self.reads_completed_in_window = 0
         self.writes_completed_in_window = 0
-        for link in self.device.links:
-            link.reset_counters()
-        for vault in self.device.vaults:
-            vault.reset_counters()
+        # Delegated so a CubeNetwork can also zero its pass-through hops.
+        self.device.reset_counters()
 
     def end_measurement(self) -> None:
         self.traffic.close(self.sim.now)

@@ -93,6 +93,112 @@ class AddressMask:
         return schema.mask_from_dict(payload)
 
 
+class CubeMapping:
+    """Splits a flat global address into (cube id, local address).
+
+    A chained-HMC network (paper §II-B; arXiv:1707.05399) presents the
+    host with one flat address space covering every cube; the CUB field
+    of each request selects the target cube.  Two mapping modes:
+
+    ``contiguous``
+        The cube id occupies the bits *above* one cube's capacity -
+        each cube owns one contiguous slab.  This is what the hardware's
+        "ignored high-order bits" behaviour degenerates to, and is the
+        mode that lets address masks pin traffic onto one cube.
+    ``interleave``
+        Consecutive ``stripe_bytes`` blocks round-robin across cubes
+        (low-order cube bits just above the stripe offset), spreading
+        any sequential footprint over every cube - the cube-level
+        analogue of the device's vault-first low-order interleaving.
+
+    ``num_cubes`` must be a power of two so the cube id occupies whole
+    address bits, mirroring the 3-bit CUB field (up to 8 cubes).  Note
+    the real CUB field rides *next to* the 34-bit address field; this
+    flat model concatenates them, so a global address may exceed 34 bits
+    even though every local address stays within the device field.
+    """
+
+    VALID_MODES = ("contiguous", "interleave")
+
+    def __init__(
+        self,
+        num_cubes: int,
+        cube_capacity_bytes: int,
+        mode: str = "contiguous",
+        stripe_bytes: int = 128,
+    ) -> None:
+        if num_cubes < 1 or num_cubes & (num_cubes - 1) or num_cubes > 8:
+            raise ConfigurationError(
+                f"num_cubes must be 1, 2, 4 or 8 (3-bit CUB field), got {num_cubes}"
+            )
+        if mode not in self.VALID_MODES:
+            raise ConfigurationError(
+                f"cube mapping mode must be one of {self.VALID_MODES}, got {mode!r}"
+            )
+        self.num_cubes = num_cubes
+        self.cube_capacity_bytes = cube_capacity_bytes
+        self.mode = mode
+        self.stripe_bytes = stripe_bytes
+        self.capacity_bits = _bits(cube_capacity_bytes)
+        self.cube_bits = _bits(num_cubes)
+        self.stripe_bits = _bits(stripe_bytes)
+        if self.stripe_bits >= self.capacity_bits:
+            raise ConfigurationError("stripe must be smaller than one cube")
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """The flat global address space covering every cube."""
+        return self.cube_capacity_bytes * self.num_cubes
+
+    def split(self, address: int) -> Tuple[int, int]:
+        """Global address -> (cube id, local address within that cube)."""
+        if self.num_cubes == 1:
+            return 0, address
+        address %= self.total_capacity_bytes
+        if self.mode == "contiguous":
+            return address >> self.capacity_bits, address & (
+                self.cube_capacity_bytes - 1
+            )
+        stripe = address >> self.stripe_bits
+        offset = address & (self.stripe_bytes - 1)
+        cube = stripe & (self.num_cubes - 1)
+        local = ((stripe >> self.cube_bits) << self.stripe_bits) | offset
+        return cube, local
+
+    def merge(self, cube: int, local: int) -> int:
+        """Inverse of :meth:`split`: rebuild the flat global address."""
+        if not 0 <= cube < self.num_cubes:
+            raise AddressRangeError(f"cube {cube} out of range")
+        if not 0 <= local < self.cube_capacity_bytes:
+            raise AddressRangeError(f"local address {local:#x} exceeds one cube")
+        if self.num_cubes == 1:
+            return local
+        if self.mode == "contiguous":
+            return (cube << self.capacity_bits) | local
+        stripe = local >> self.stripe_bits
+        offset = local & (self.stripe_bytes - 1)
+        return (((stripe << self.cube_bits) | cube) << self.stripe_bits) | offset
+
+    def cube_mask(self, cube: int) -> "AddressMask":
+        """Mask/anti-mask registers pinning generated traffic to one cube.
+
+        Only meaningful for the ``contiguous`` mode, where the cube id
+        occupies a fixed high-order bit range - the multi-cube analogue
+        of the paper's quadrant/vault/bank-targeting masks (§IV-A).
+        """
+        if self.mode != "contiguous":
+            raise ConfigurationError(
+                "cube-pinning masks require the 'contiguous' cube mapping"
+            )
+        if not 0 <= cube < self.num_cubes:
+            raise AddressRangeError(f"cube {cube} out of range")
+        if self.num_cubes == 1:
+            return AddressMask()
+        field = (self.num_cubes - 1) << self.capacity_bits
+        forced = cube << self.capacity_bits
+        return AddressMask(clear=field & ~forced, set=forced)
+
+
 class AddressMapping:
     """Decodes physical addresses into (quadrant, vault, bank, row).
 

@@ -146,6 +146,34 @@ class Calibration:
     """[fit] Response packetization in the vault controller."""
 
     # ------------------------------------------------------------------
+    # Multi-cube chaining (paper §II-B "links can be used to chain
+    # multiple HMCs"; companion NoC study arXiv:1707.05399)
+    # ------------------------------------------------------------------
+    cube_passthrough_ns: float = 52.0
+    """[fit to arXiv:1707.05399] Store-and-forward cost of one cube hop:
+    link deserialization, CUB-field route lookup in the pass-through
+    switch, and re-serialization toward the next link.  The companion
+    study measures remote-cube accesses paying a near-constant latency
+    adder per traversed cube; this constant is that adder's switch
+    component (the wire/serialization components are accounted
+    separately below)."""
+
+    cube_link_bytes_per_ns: float = 10.0
+    """[fit] Effective serialization rate of one inter-cube link
+    direction (GB/s).  Cube-to-cube links are the same half-width
+    15 Gbps SerDes as the host link, so the effective rate matches
+    `tx_bytes_per_ns`; this is what caps remote-cube bandwidth at the
+    bottleneck pass-through link."""
+
+    cube_link_overhead_ns: float = 3.0
+    """[fit] Fixed per-packet processing of a pass-through link
+    direction, mirroring `tx_packet_overhead_ns` on the host side."""
+
+    cube_link_propagation_ns: float = 3.2
+    """[fit] Cube-to-cube trace flight time, one way; same board-scale
+    traces as `link_propagation_ns`."""
+
+    # ------------------------------------------------------------------
     # Thermal model (paper §III-A, §IV-C, Table III, Figs. 9/11/12)
     # ------------------------------------------------------------------
     surface_to_junction_offset_c: float = 8.0
@@ -218,6 +246,18 @@ class Calibration:
     def rx_pipeline_ns(self, flits: int) -> float:
         """RX-path latency for a response of ``flits`` flits."""
         return self.rx_pipeline_base_ns + self.rx_pipeline_per_flit_ns * flits
+
+    def cube_hop_service_ns(self, nbytes: int) -> float:
+        """Serialization time of one packet on one inter-cube link direction."""
+        return self.cube_link_overhead_ns + nbytes / self.cube_link_bytes_per_ns
+
+    def cube_hop_latency_ns(self, nbytes: int) -> float:
+        """Uncontended latency of one cube hop: serialize, fly, switch."""
+        return (
+            self.cube_hop_service_ns(nbytes)
+            + self.cube_link_propagation_ns
+            + self.cube_passthrough_ns
+        )
 
     @property
     def max_outstanding_reads(self) -> int:

@@ -58,6 +58,10 @@ class HMCDevice:
             config, max_block_bytes=max_block_bytes, interleave=interleave
         )
         self.on_response: Optional[ResponseHandler] = None
+        # Multi-cube hook: when set, finished responses are handed to the
+        # owning CubeNetwork at the instant they are ready to leave the
+        # cube, instead of crossing this device's own RX channel.
+        self.egress: Optional[ResponseHandler] = None
         # Optional functional backing store (stream GUPS data-integrity
         # checks); None keeps the hot path free of per-request dict work.
         self.store: Optional[dict] = None
@@ -120,6 +124,18 @@ class HMCDevice:
         """
         return link_index % self.config.num_quadrants
 
+    def remote_quadrant_surcharge_ns(self, link_index: int, quadrant: int) -> float:
+        """Extra crossbar hop cost when a vault sits outside the link's
+        own quadrant (paper §II-B) - zero for the local quadrant.
+
+        Both directions of the request path pay this same surcharge, and
+        topology code reuses it for pass-through routing, so it lives in
+        exactly one place.
+        """
+        if quadrant != self.link_quadrant(link_index):
+            return self.calibration.quadrant_route_remote_ns
+        return 0.0
+
     def route_delay_ns(self, link_index: int, quadrant: int) -> float:
         """Link ingress to vault-controller command issue.
 
@@ -128,8 +144,7 @@ class HMCDevice:
         """
         cal = self.calibration
         delay = cal.quadrant_route_local_ns + cal.vault_processing_ns
-        if quadrant != self.link_quadrant(link_index):
-            delay += cal.quadrant_route_remote_ns
+        delay += self.remote_quadrant_surcharge_ns(link_index, quadrant)
         return delay
 
     # ------------------------------------------------------------------
@@ -173,12 +188,18 @@ class HMCDevice:
             else:
                 request.data = self.store.get(request.address)
         decoded_quadrant = self.mapping.decode(request.address).quadrant
-        link = self.links[request.link]
         delay = self.calibration.response_processing_ns + self.calibration.response_route_ns
-        if decoded_quadrant != self.link_quadrant(request.link):
-            delay += self.calibration.quadrant_route_remote_ns
-        ready = depart_ns + delay + link.propagation_ns
-        rx_done = link.rx.acquire(packet_bytes(request.response_flits), earliest=ready)
+        delay += self.remote_quadrant_surcharge_ns(request.link, decoded_quadrant)
+        ready = depart_ns + delay
+        if self.egress is not None:
+            # A CubeNetwork owns the rest of the return path: pass-through
+            # hops back toward the host cube, then the host link's RX.
+            self.egress(request, ready)
+            return
+        link = self.links[request.link]
+        rx_done = link.rx.acquire(
+            packet_bytes(request.response_flits), earliest=ready + link.propagation_ns
+        )
         if self.on_response is None:
             raise ConfigurationError("HMCDevice.on_response handler not installed")
         self.sim.schedule_fast_at(rx_done, self.on_response, request, rx_done)

@@ -120,6 +120,14 @@ class Request:
     ``latency_ns`` is defined exactly as the paper measures it - from
     submission to the HMC controller until the response returns to the
     port (round-trip time, §IV-E).
+
+    ``cube`` models the request header's CUB field (paper §II-B: links
+    "can be used to chain multiple HMCs").  In the real protocol the
+    3-bit CUB rides next to the 34-bit address; a
+    :class:`~repro.topology.network.CubeNetwork` fills it in when it
+    splits a flat global address into (cube, local address), stashing
+    the original in ``global_address`` so completion handlers see the
+    address the workload generated.
     """
 
     address: int
@@ -127,6 +135,8 @@ class Request:
     is_write: bool
     port: int
     link: int = 0
+    cube: int = 0  # CUB field: target cube id in a chained-HMC network
+    global_address: int = -1  # pre-split network address; -1 = not rewritten
     parent: Optional["Request"] = None  # the read of a read-modify-write pair
     data: Optional[bytes] = None  # payload contents when the data store is on
     submit_ns: float = field(default=-1.0)

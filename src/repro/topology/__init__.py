@@ -1,0 +1,23 @@
+"""Multi-cube HMC networks (paper §II-B; arXiv:1707.05399).
+
+The paper notes that HMC links "can be used to chain multiple HMCs"
+into a memory network; the authors' companion study (*Performance
+Implications of NoCs on 3D-Stacked Memories*, arXiv:1707.05399)
+characterizes exactly those cube networks.  This package models them at
+the transaction level:
+
+* :class:`~repro.topology.spec.TopologySpec` - the serializable
+  description of a network (chain / ring / star, cube count, cube-level
+  address mapping) that flows through measurement points, the cache key,
+  the wire schema, and the service daemon;
+* :class:`~repro.topology.network.CubeNetwork` - N
+  :class:`~repro.hmc.device.HMCDevice` instances joined by pass-through
+  links with CUB-field routing, presenting the same submit/response
+  interface as a single device so the FPGA controller can target a
+  network unchanged.
+"""
+
+from repro.topology.network import CubeHop, CubeNetwork
+from repro.topology.spec import TopologySpec
+
+__all__ = ["CubeHop", "CubeNetwork", "TopologySpec"]

@@ -1,0 +1,296 @@
+"""Transaction-level model of a chained-HMC cube network.
+
+:class:`CubeNetwork` instantiates one :class:`~repro.hmc.device.HMCDevice`
+per cube and joins them with :class:`CubeHop` pass-through links.  It
+presents the same interface the FPGA-side controller already speaks to a
+single device - ``links``, ``submit_from_link``, ``on_response``,
+``vaults``, counter resets - so the whole measurement stack (GUPS,
+controller, experiments, executor, service) targets a network without
+knowing it.
+
+Request path: the controller books the host link's TX channel exactly as
+before and calls :meth:`CubeNetwork.submit_from_link`.  The network
+splits the flat global address through its
+:class:`~repro.hmc.address.CubeMapping` into the packet's CUB field plus
+a cube-local address, looks the CUB up in the route table, books each
+pass-through hop's forward channel (serialization + flight +
+store-and-forward switch cost per hop), and delivers the request to the
+target cube's ingress.  Responses traverse the same hops reversed via
+the device's ``egress`` hook, then cross the host link's RX channel.
+
+Two modelling choices worth knowing:
+
+* **one token domain** - link-level flow-control tokens are acquired and
+  returned against the host link (remote cubes share the host cube's
+  link objects), rather than per-hop token relays; the pass-through
+  channels still bound throughput per hop.
+* **cut-through booking** - each hop channel is booked at submit time
+  with an ``earliest`` bound, the same technique the single-device RX
+  path uses, so a hop adds latency and occupancy without extra simulator
+  events.
+
+A single-cube network takes none of these paths: requests and responses
+flow through the host cube's unmodified machinery, so N=1 results are
+bit-identical to the direct-device path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.hmc.address import CubeMapping
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.config import HMCConfig, HMC_1_1_4GB
+from repro.hmc.device import HMCDevice
+from repro.hmc.dram import DramTimings
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.link import Channel
+from repro.hmc.packet import Request, packet_bytes
+from repro.hmc.refresh import RefreshPolicy
+from repro.sim.engine import Simulator
+from repro.topology.spec import TopologySpec
+
+ResponseHandler = Callable[[Request, float], None]
+
+
+class CubeHop:
+    """One inter-cube link: a pair of directional pass-through channels.
+
+    ``down`` carries traffic away from the host (requests, on forward
+    routes), ``up`` carries traffic toward it; a ring route travelling
+    "backward" uses the directions swapped.  Channel counters double as
+    the per-hop occupancy accounting the topology experiments read.
+    """
+
+    def __init__(self, sim: Simulator, index: int, calibration: Calibration) -> None:
+        self.index = index
+        self.down = Channel(
+            sim,
+            calibration.cube_link_bytes_per_ns,
+            calibration.cube_link_overhead_ns,
+            name=f"hop{index}.down",
+        )
+        self.up = Channel(
+            sim,
+            calibration.cube_link_bytes_per_ns,
+            calibration.cube_link_overhead_ns,
+            name=f"hop{index}.up",
+        )
+
+    def channel(self, downstream: bool) -> Channel:
+        """The directional channel for one routing step."""
+        return self.down if downstream else self.up
+
+    def reset_counters(self) -> None:
+        """Zero both directions' occupancy counters."""
+        self.down.reset_counters()
+        self.up.reset_counters()
+
+
+class _NetworkConfig:
+    """The per-cube :class:`HMCConfig` with network-wide capacity.
+
+    GUPS address generators size themselves from
+    ``device.config.capacity_bytes``; a network's address space spans
+    every cube, so this proxy scales only that field and delegates the
+    rest (link geometry, vault structure) to the cube config.
+    """
+
+    def __init__(self, base: HMCConfig, num_cubes: int) -> None:
+        self._base = base
+        self.capacity_bytes = base.capacity_bytes * num_cubes
+
+    def __getattr__(self, name: str):
+        return getattr(self._base, name)
+
+
+class CubeNetwork:
+    """N HMC cubes behind one host connection, routed by CUB field."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: TopologySpec,
+        config: HMCConfig = HMC_1_1_4GB,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        timings: Optional[DramTimings] = None,
+        max_block_bytes: int = 128,
+        interleave: str = "vault-first",
+        refresh: Optional[RefreshPolicy] = None,
+        junction_c: float = 60.0,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.calibration = calibration
+        self.cube_config = config
+        self.cubes: List[HMCDevice] = [
+            HMCDevice(
+                sim,
+                config=config,
+                calibration=calibration,
+                timings=timings,
+                max_block_bytes=max_block_bytes,
+                interleave=interleave,
+                refresh=refresh,
+                junction_c=junction_c,
+            )
+            for _ in range(spec.num_cubes)
+        ]
+        self.home = self.cubes[0]
+        #: Host-facing links; the controller's TX/token/RX machinery and
+        #: the measurement counters all key off these.
+        self.links = self.home.links
+        self.config = (
+            config if spec.is_trivial else _NetworkConfig(config, spec.num_cubes)
+        )
+        self.mapping = CubeMapping(
+            spec.num_cubes,
+            config.capacity_bytes,
+            mode=spec.cube_map,
+            stripe_bytes=max_block_bytes,
+        )
+        #: CUB-keyed route table, computed once from the spec.
+        self.routes: Dict[int, Tuple[Tuple[int, bool], ...]] = spec.routes()
+        self.hops: List[CubeHop] = [
+            CubeHop(sim, i, calibration) for i in range(spec.num_hop_links)
+        ]
+        self._handler: Optional[ResponseHandler] = None
+        for index, cube in enumerate(self.cubes):
+            if index == 0:
+                continue
+            # Remote cubes share the host link objects: token returns land
+            # in the domain the controller acquired from, and every
+            # response ultimately crosses the host link's RX anyway.
+            cube.links = self.home.links
+            cube.egress = self._egress_handler(index)
+
+    # ------------------------------------------------------------------
+    # controller-facing interface (duck-typed HMCDevice)
+    # ------------------------------------------------------------------
+    @property
+    def on_response(self) -> Optional[ResponseHandler]:
+        """The controller's completion handler (see :class:`HMCDevice`)."""
+        return self._handler
+
+    @on_response.setter
+    def on_response(self, handler: Optional[ResponseHandler]) -> None:
+        self._handler = handler
+        if self.spec.is_trivial:
+            self.home.on_response = handler
+        else:
+            self.home.on_response = self._home_response
+
+    @property
+    def vaults(self):
+        """Every cube's vault controllers (counter resets, queue depth)."""
+        return [vault for cube in self.cubes for vault in cube.vaults]
+
+    def submit_from_link(self, request: Request, arrival_ns: float) -> None:
+        """Route one request packet by its CUB field.
+
+        The flat global address the workload generated is split into the
+        CUB field plus a cube-local address; remote requests then book
+        every pass-through hop along the route before reaching the
+        target cube's ingress.
+        """
+        cube, local = self.mapping.split(request.address)
+        request.cube = cube
+        if local != request.address:
+            request.global_address = request.address
+            request.address = local
+        route = self.routes[cube]
+        if not route:
+            self.home.submit_from_link(request, arrival_ns)
+            return
+        when = arrival_ns
+        nbytes = packet_bytes(request.request_flits)
+        cal = self.calibration
+        for hop_id, downstream in route:
+            when = self.hops[hop_id].channel(downstream).acquire(
+                nbytes, earliest=when
+            )
+            when += cal.cube_link_propagation_ns + cal.cube_passthrough_ns
+        self.cubes[cube].submit_from_link(request, when)
+
+    # ------------------------------------------------------------------
+    # response path
+    # ------------------------------------------------------------------
+    def _egress_handler(self, cube_index: int) -> ResponseHandler:
+        route = self.routes[cube_index]
+
+        def egress(request: Request, ready_ns: float) -> None:
+            when = ready_ns
+            nbytes = packet_bytes(request.response_flits)
+            cal = self.calibration
+            for hop_id, downstream in reversed(route):
+                when = self.hops[hop_id].channel(not downstream).acquire(
+                    nbytes, earliest=when
+                )
+                when += cal.cube_link_propagation_ns + cal.cube_passthrough_ns
+            link = self.links[request.link]
+            rx_done = link.rx.acquire(
+                nbytes, earliest=when + link.propagation_ns
+            )
+            self.sim.schedule_fast_at(rx_done, self._deliver, request, rx_done)
+
+        return egress
+
+    def _home_response(self, request: Request, rx_done_ns: float) -> None:
+        """Cube-0 completions under N>1: restore the global address."""
+        self._deliver(request, rx_done_ns)
+
+    def _deliver(self, request: Request, rx_done_ns: float) -> None:
+        if request.global_address >= 0:
+            request.address = request.global_address
+        if self._handler is None:
+            raise ConfigurationError("CubeNetwork.on_response handler not installed")
+        self._handler(request, rx_done_ns)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle (device-compatible)
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> Optional[dict]:
+        """The host cube's backing store (per-cube stores stay internal)."""
+        return self.home.store
+
+    def enable_data_store(self) -> None:
+        """Turn on every cube's functional backing store."""
+        for cube in self.cubes:
+            cube.enable_data_store()
+
+    def reset(self) -> None:
+        """Power-cycle every cube (thermal-shutdown recovery)."""
+        for cube in self.cubes:
+            if cube.store is not None:
+                cube.store.clear()
+        self.reset_counters()
+
+    @property
+    def total_queued(self) -> int:
+        return sum(cube.total_queued for cube in self.cubes)
+
+    def reset_counters(self) -> None:
+        """Zero every vault, host link, and pass-through hop counter."""
+        for cube in self.cubes:
+            for vault in cube.vaults:
+                vault.reset_counters()
+        for link in self.links:
+            link.reset_counters()
+        for hop in self.hops:
+            hop.reset_counters()
+
+    def hop_stats(self) -> List[dict]:
+        """Per-hop occupancy: packets, bytes and busy time per direction."""
+        return [
+            {
+                "hop": hop.index,
+                "down_packets": hop.down.packets,
+                "down_bytes": hop.down.bytes,
+                "down_busy_ns": hop.down.busy_time,
+                "up_packets": hop.up.packets,
+                "up_bytes": hop.up.bytes,
+                "up_busy_ns": hop.up.busy_time,
+            }
+            for hop in self.hops
+        ]

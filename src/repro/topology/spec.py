@@ -1,0 +1,152 @@
+"""Serializable description of a multi-cube HMC network.
+
+A :class:`TopologySpec` is pure configuration - no simulator state - so
+it can ride inside :class:`~repro.core.experiment.ExperimentSettings`,
+the content-addressed cache key, and the versioned wire schema.  The
+route table it computes is keyed on the packet's CUB field: for every
+target cube it lists the pass-through links a request crosses from the
+host-attached cube (always cube 0), each with the direction travelled.
+
+Built-in topologies (arXiv:1707.05399 studies the same three):
+
+``chain``
+    Cubes in a daisy line, the host on cube 0; cube *k* is *k* hops out
+    and every remote transaction funnels through link 0 - the classic
+    bottleneck-under-chaining shape.
+``ring``
+    The chain closed back to the host; traffic takes the shorter way
+    around, halving the worst-case hop count.
+``star``
+    Cube 0 as hub with every other cube one hop away; the hub's switch
+    sees all remote traffic but no link carries more than one cube's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.hmc.errors import ConfigurationError
+
+VALID_KINDS = ("chain", "ring", "star")
+
+#: One routing step: (pass-through link id, request travels the link's
+#: "down" direction).  Responses travel the same links reversed, in the
+#: opposite direction.
+Hop = Tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Shape of one cube network: kind, size, cube-level address map.
+
+    ``num_cubes`` must be a power of two up to 8 (the CUB field is three
+    bits and the cube id must occupy whole address bits); a ring needs
+    at least four cubes to differ from a chain.  ``cube_map`` selects
+    how the flat global address space spreads over cubes - see
+    :class:`~repro.hmc.address.CubeMapping`.
+    """
+
+    kind: str = "chain"
+    num_cubes: int = 1
+    cube_map: str = "contiguous"
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_KINDS:
+            raise ConfigurationError(
+                f"topology kind must be one of {VALID_KINDS}, got {self.kind!r}"
+            )
+        if (
+            self.num_cubes < 1
+            or self.num_cubes & (self.num_cubes - 1)
+            or self.num_cubes > 8
+        ):
+            raise ConfigurationError(
+                f"num_cubes must be 1, 2, 4 or 8 (3-bit CUB field), "
+                f"got {self.num_cubes}"
+            )
+        if self.kind == "ring" and self.num_cubes < 4:
+            raise ConfigurationError(
+                "a ring needs at least 4 cubes (smaller rings are chains)"
+            )
+        # Validates the mode string without importing the mapping here.
+        from repro.hmc.address import CubeMapping
+
+        if self.cube_map not in CubeMapping.VALID_MODES:
+            raise ConfigurationError(
+                f"cube_map must be one of {CubeMapping.VALID_MODES}, "
+                f"got {self.cube_map!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        """A single cube - no pass-through links, no address rewriting."""
+        return self.num_cubes == 1
+
+    @property
+    def num_hop_links(self) -> int:
+        """How many inter-cube links the topology instantiates."""
+        if self.is_trivial:
+            return 0
+        if self.kind == "ring":
+            return self.num_cubes
+        return self.num_cubes - 1
+
+    def routes(self) -> Dict[int, Tuple[Hop, ...]]:
+        """CUB-keyed route table: cube id -> hops from the host cube.
+
+        Chain and star number link *i* between its natural endpoints
+        (chain: cube *i* to *i+1*; star: hub to cube *i+1*); a ring's
+        link *i* runs cube *i* to ``(i+1) % N`` and routes take the
+        shorter direction (ties go forward).
+        """
+        table: Dict[int, Tuple[Hop, ...]] = {0: ()}
+        for cube in range(1, self.num_cubes):
+            if self.kind == "chain":
+                table[cube] = tuple((link, True) for link in range(cube))
+            elif self.kind == "star":
+                table[cube] = ((cube - 1, True),)
+            else:  # ring
+                forward = cube
+                backward = self.num_cubes - cube
+                if forward <= backward:
+                    table[cube] = tuple((link, True) for link in range(cube))
+                else:
+                    table[cube] = tuple(
+                        (link, False)
+                        for link in range(self.num_cubes - 1, cube - 1, -1)
+                    )
+        return table
+
+    def hop_count(self, cube: int) -> int:
+        """Pass-through hops between the host and ``cube``."""
+        return len(self.routes()[cube])
+
+    @property
+    def max_hops(self) -> int:
+        """The farthest cube's hop count."""
+        return max(len(route) for route in self.routes().values())
+
+    def label(self) -> str:
+        """Short human-readable form, e.g. ``chain-4``."""
+        suffix = "" if self.cube_map == "contiguous" else f"/{self.cube_map}"
+        return f"{self.kind}-{self.num_cubes}{suffix}"
+
+    # ------------------------------------------------------------------
+    # wire schema
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Wire-schema payload (see :mod:`repro.core.schema`)."""
+        from repro.core import schema
+
+        return schema.topology_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TopologySpec":
+        """Decode a wire-schema payload produced by :meth:`to_dict`."""
+        from repro.core import schema
+
+        return schema.topology_from_dict(payload)

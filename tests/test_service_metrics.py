@@ -1,0 +1,105 @@
+"""Edge cases of the daemon's latency percentiles and stats snapshot."""
+
+from __future__ import annotations
+
+import math
+
+from repro.service.metrics import (
+    LatencyWindow,
+    ServiceMetrics,
+    _json_float,
+    percentile,
+)
+
+
+# ----------------------------------------------------------------------
+# percentile (nearest-rank)
+# ----------------------------------------------------------------------
+def test_percentile_of_empty_window_is_nan():
+    assert math.isnan(percentile([], 0.50))
+    assert math.isnan(percentile([], 0.95))
+
+
+def test_percentile_of_single_sample_is_that_sample():
+    assert percentile([7.5], 0.50) == 7.5
+    assert percentile([7.5], 0.95) == 7.5
+    assert percentile([7.5], 1.0) == 7.5
+
+
+def test_p95_with_fewer_than_twenty_samples_is_the_maximum():
+    """Nearest-rank: below 20 samples the 95th percentile is the max."""
+    for n in range(1, 20):
+        samples = list(range(1, n + 1))
+        assert percentile(samples, 0.95) == n
+
+
+def test_p95_with_twenty_samples_drops_the_top_one():
+    samples = list(range(1, 21))
+    assert percentile(samples, 0.95) == 19
+
+
+def test_percentile_sorts_its_input():
+    assert percentile([3.0, 1.0, 2.0], 0.50) == 2.0
+
+
+def test_percentile_rank_is_clamped():
+    assert percentile([1.0, 2.0], 0.0) == 1.0
+    assert percentile([1.0, 2.0], 1.0) == 2.0
+
+
+# ----------------------------------------------------------------------
+# LatencyWindow
+# ----------------------------------------------------------------------
+def test_empty_window_snapshot_is_all_nan():
+    snapshot = LatencyWindow().snapshot_ms()
+    assert snapshot["count"] == 0
+    assert math.isnan(snapshot["p50_ms"])
+    assert math.isnan(snapshot["p95_ms"])
+    assert math.isnan(snapshot["max_ms"])
+
+
+def test_single_sample_snapshot_collapses_to_it():
+    window = LatencyWindow()
+    window.observe(0.002)
+    snapshot = window.snapshot_ms()
+    assert snapshot["count"] == 1
+    assert snapshot["p50_ms"] == 2.0
+    assert snapshot["p95_ms"] == 2.0
+    assert snapshot["max_ms"] == 2.0
+
+
+def test_window_evicts_but_count_is_lifetime():
+    window = LatencyWindow(size=4)
+    for i in range(10):
+        window.observe(float(i))
+    snapshot = window.snapshot_ms()
+    assert snapshot["count"] == 10
+    # only the newest four samples (6..9 s) remain in the window
+    assert snapshot["p50_ms"] == 7000.0
+    assert snapshot["max_ms"] == 9000.0
+
+
+# ----------------------------------------------------------------------
+# ServiceMetrics.snapshot and _json_float
+# ----------------------------------------------------------------------
+def test_snapshot_with_no_latency_samples_is_strict_json():
+    snapshot = ServiceMetrics().snapshot(queue_depth=3, inflight=1)
+    assert snapshot["queue_depth"] == 3
+    assert snapshot["inflight"] == 1
+    assert snapshot["latency"]["count"] == 0
+    assert snapshot["latency"]["p50_ms"] is None
+    assert snapshot["latency"]["p95_ms"] is None
+    assert snapshot["latency"]["max_ms"] is None
+
+
+def test_snapshot_reports_observed_latency():
+    metrics = ServiceMetrics()
+    metrics.observe_latency(0.010)
+    latency = metrics.snapshot()["latency"]
+    assert latency == {"count": 1, "p50_ms": 10.0, "p95_ms": 10.0, "max_ms": 10.0}
+
+
+def test_json_float_maps_only_nan_to_none():
+    assert _json_float(math.nan) is None
+    assert _json_float(1.5) == 1.5
+    assert _json_float(0.0) == 0.0

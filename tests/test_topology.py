@@ -1,0 +1,306 @@
+"""Multi-cube topology subsystem: routing, mapping, physics, plumbing.
+
+Covers the acceptance criteria of the topology subsystem: route tables
+for the built-in shapes, cube-level address mapping round-trips, the
+N=1 bit-identity guarantee, the chain's linear hop-latency ladder, the
+pass-through bandwidth cap, and the topology field's trip through the
+cache key, the wire schema, and the service daemon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core import cache, schema
+from repro.core.experiment import (
+    ExperimentSettings,
+    MeasurementPoint,
+    simulate_point,
+)
+from repro.fpga.board import AC510Board
+from repro.fpga.controller import HmcController
+from repro.fpga.gups import Gups, PortConfig
+from repro.hmc.address import CubeMapping
+from repro.hmc.calibration import DEFAULT_CALIBRATION
+from repro.hmc.device import HMCDevice
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import RequestType
+from repro.sim.engine import Simulator
+from repro.topology import CubeNetwork, TopologySpec
+
+
+# ----------------------------------------------------------------------
+# TopologySpec: validation and route tables
+# ----------------------------------------------------------------------
+def test_spec_rejects_bad_shapes():
+    with pytest.raises(ConfigurationError):
+        TopologySpec("mesh", 4)
+    with pytest.raises(ConfigurationError):
+        TopologySpec("chain", 3)
+    with pytest.raises(ConfigurationError):
+        TopologySpec("chain", 16)
+    with pytest.raises(ConfigurationError):
+        TopologySpec("ring", 2)
+    with pytest.raises(ConfigurationError):
+        TopologySpec("chain", 4, "diagonal")
+
+
+def test_chain_routes_walk_every_link():
+    spec = TopologySpec("chain", 4)
+    assert spec.num_hop_links == 3
+    assert spec.routes() == {
+        0: (),
+        1: ((0, True),),
+        2: ((0, True), (1, True)),
+        3: ((0, True), (1, True), (2, True)),
+    }
+    assert spec.max_hops == 3
+
+
+def test_star_routes_are_single_hop():
+    spec = TopologySpec("star", 8)
+    assert spec.num_hop_links == 7
+    routes = spec.routes()
+    assert all(len(routes[cube]) == 1 for cube in range(1, 8))
+
+
+def test_ring_routes_take_the_short_way():
+    spec = TopologySpec("ring", 8)
+    assert spec.num_hop_links == 8
+    routes = spec.routes()
+    # forward up to half-way (ties forward), backward past it
+    assert routes[4] == ((0, True), (1, True), (2, True), (3, True))
+    assert routes[5] == ((7, False), (6, False), (5, False))
+    assert routes[7] == ((7, False),)
+    assert spec.max_hops == 4
+
+
+def test_trivial_spec_has_no_links():
+    spec = TopologySpec("chain", 1)
+    assert spec.is_trivial
+    assert spec.num_hop_links == 0
+    assert spec.routes() == {0: ()}
+
+
+# ----------------------------------------------------------------------
+# CubeMapping: split/merge round-trips and cube-pinning masks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["contiguous", "interleave"])
+@pytest.mark.parametrize("num_cubes", [1, 2, 4, 8])
+def test_cube_mapping_round_trips(mode, num_cubes):
+    mapping = CubeMapping(num_cubes, 1 << 32, mode=mode)
+    rng = random.Random(5)
+    for _ in range(200):
+        address = rng.randrange(mapping.total_capacity_bytes)
+        cube, local = mapping.split(address)
+        assert 0 <= cube < num_cubes
+        assert 0 <= local < mapping.cube_capacity_bytes
+        assert mapping.merge(cube, local) == address
+
+
+def test_interleave_stripes_round_robin():
+    mapping = CubeMapping(4, 1 << 32, mode="interleave", stripe_bytes=128)
+    cubes = [mapping.split(stripe * 128)[0] for stripe in range(8)]
+    assert cubes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_cube_mask_pins_addresses_onto_one_cube():
+    mapping = CubeMapping(4, 1 << 32)
+    rng = random.Random(9)
+    for cube in range(4):
+        mask = mapping.cube_mask(cube)
+        for _ in range(50):
+            address = mask.apply(rng.randrange(mapping.total_capacity_bytes))
+            assert mapping.split(address)[0] == cube
+
+
+def test_cube_mask_requires_contiguous_mapping():
+    mapping = CubeMapping(4, 1 << 32, mode="interleave")
+    with pytest.raises(ConfigurationError):
+        mapping.cube_mask(1)
+
+
+# ----------------------------------------------------------------------
+# N=1 bit-identity
+# ----------------------------------------------------------------------
+def _gups_counters(device_factory):
+    """Run one fixed GUPS workload; return the controller's counters."""
+    sim = Simulator()
+    device = device_factory(sim)
+    controller = HmcController(sim, device, DEFAULT_CALIBRATION)
+    gups = Gups(
+        sim,
+        device,
+        controller,
+        config=PortConfig(request_type=RequestType.READ, payload_bytes=32),
+        active_ports=2,
+        calibration=DEFAULT_CALIBRATION,
+    )
+    gups.start()
+    sim.run(until=5_000.0)
+    controller.begin_measurement()
+    sim.run(until=20_000.0)
+    controller.end_measurement()
+    return (
+        controller.bandwidth_gbs,
+        controller.mrps,
+        controller.completed,
+        controller.read_latency.stats.mean,
+        controller.read_latency.stats.maximum,
+    )
+
+
+def test_single_cube_network_is_bit_identical_to_device():
+    """The trivial CubeNetwork path must not perturb a single float."""
+    direct = _gups_counters(lambda sim: HMCDevice(sim))
+    networked = _gups_counters(
+        lambda sim: CubeNetwork(sim, TopologySpec("chain", 1))
+    )
+    assert direct == networked
+
+
+def test_trivial_topology_point_matches_plain_point(tiny_settings):
+    """Board level: chain-1 settings reproduce the no-topology result."""
+    plain = MeasurementPoint(payload_bytes=32, settings=tiny_settings)
+    trivial = MeasurementPoint(
+        payload_bytes=32,
+        settings=dataclasses.replace(
+            tiny_settings, topology=TopologySpec("chain", 1)
+        ),
+    )
+    m_plain, _ = simulate_point(plain)
+    m_trivial, _ = simulate_point(trivial)
+    # dataclass equality would fail on NaN write latency; the wire dict
+    # encodes NaN as a comparable sentinel.
+    assert schema.measurement_to_dict(m_plain) == schema.measurement_to_dict(
+        m_trivial
+    )
+
+
+# ----------------------------------------------------------------------
+# chain physics: hop-latency ladder and the pass-through cap
+# ----------------------------------------------------------------------
+def test_chain_hop_latency_is_monotone_and_linear(fast_settings):
+    from repro.experiments import net_hop_latency
+
+    result = net_hop_latency.run(fast_settings)
+    assert net_hop_latency.check_shape(result) == []
+    latencies = [p.read_latency_avg_ns for p in result.points]
+    assert latencies == sorted(latencies)
+
+
+def test_remote_bandwidth_saturates_the_hop_cap(fast_settings):
+    from repro.experiments import net_remote_bandwidth
+
+    result = net_remote_bandwidth.run(fast_settings)
+    assert net_remote_bandwidth.check_shape(result) == []
+    assert result.remote_gbs <= result.hop_cap_gbs * 1.05
+
+
+def test_network_resets_hop_counters_at_measurement_start(tiny_settings):
+    """begin_measurement must zero pass-through hop occupancy too."""
+    board = AC510Board(topology=TopologySpec("chain", 2))
+    network = board.network
+    assert network is not None
+    network.hops[0].down.packets = 99
+    board.controller.begin_measurement()
+    assert network.hops[0].down.packets == 0
+
+
+# ----------------------------------------------------------------------
+# cache key, wire schema, service daemon
+# ----------------------------------------------------------------------
+def test_cache_key_sees_the_topology(tiny_settings):
+    plain = MeasurementPoint(settings=tiny_settings)
+    chained = MeasurementPoint(
+        settings=dataclasses.replace(
+            tiny_settings, topology=TopologySpec("chain", 4)
+        )
+    )
+    starred = MeasurementPoint(
+        settings=dataclasses.replace(
+            tiny_settings, topology=TopologySpec("star", 4)
+        )
+    )
+    keys = {cache.cache_key(p) for p in (plain, chained, starred)}
+    assert len(keys) == 3
+
+
+def test_cache_round_trips_topology_keyed_results(tmp_path, tiny_settings):
+    point = MeasurementPoint(
+        payload_bytes=32,
+        settings=dataclasses.replace(
+            tiny_settings, topology=TopologySpec("chain", 2)
+        ),
+    )
+    measurement, _ = simulate_point(point)
+    store = cache.ResultCache(tmp_path)
+    key = cache.cache_key(point)
+    store.store(key, measurement)
+    loaded = store.load(key)
+    assert schema.measurement_to_dict(loaded) == schema.measurement_to_dict(
+        measurement
+    )
+
+
+def test_topology_payload_round_trips():
+    spec = TopologySpec("ring", 8, "interleave")
+    payload = spec.to_dict()
+    assert payload["schema"] == schema.SCHEMA_VERSION
+    assert payload["kind"] == "topology"
+    assert TopologySpec.from_dict(payload) == spec
+
+
+def test_settings_payload_round_trips_topology(tiny_settings):
+    settings = dataclasses.replace(
+        tiny_settings, topology=TopologySpec("star", 4)
+    )
+    assert ExperimentSettings.from_dict(settings.to_dict()) == settings
+
+
+def test_settings_payload_omits_topology_when_unset(tiny_settings):
+    """Single-cube payloads stay byte-identical to pre-topology ones."""
+    payload = tiny_settings.to_dict()
+    assert "topology" not in payload
+    assert ExperimentSettings.from_dict(payload).topology is None
+
+
+def test_schema_one_readers_tolerate_unknown_fields(tiny_settings):
+    """A v1 reader must ignore additive fields, not reject them."""
+    payload = tiny_settings.to_dict()
+    payload["future_extension"] = {"anything": 1}
+    decoded = ExperimentSettings.from_dict(payload)
+    assert decoded == tiny_settings
+
+    point = MeasurementPoint(settings=tiny_settings)
+    measurement, _ = simulate_point(
+        dataclasses.replace(point, payload_bytes=32)
+    )
+    wire = schema.measurement_to_dict(measurement)
+    wire["future_field"] = "ignored"
+    assert schema.measurement_from_dict(wire) == measurement
+
+
+def test_service_round_trips_topology_points():
+    """The daemon simulates and returns a topology-keyed point."""
+    from repro.core import parallel
+    from repro.service.client import ServiceClient
+    from repro.service.server import BackgroundService
+
+    settings = ExperimentSettings(
+        warmup_us=5.0, window_us=15.5, topology=TopologySpec("chain", 2)
+    )
+    point = MeasurementPoint(
+        payload_bytes=32, active_ports=1, settings=settings
+    )
+    expected, _ = simulate_point(point)
+    parallel.reset()
+    with BackgroundService(jobs=1) as service:
+        with ServiceClient(port=service.port) as client:
+            measurement = client.measure(point)
+    assert schema.measurement_to_dict(measurement) == schema.measurement_to_dict(
+        expected
+    )
