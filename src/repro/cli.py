@@ -38,6 +38,10 @@ from repro.experiments import REGISTRY
 
 FAST_SETTINGS = ExperimentSettings(warmup_us=10.0, window_us=40.0)
 
+#: `repro bench --tiny`: small enough for a CI smoke job to finish in
+#: seconds while still exercising the full cold/warm protocol.
+TINY_SETTINGS = ExperimentSettings(warmup_us=2.0, window_us=10.0)
+
 #: The fixed campaign `repro bench` times - the hottest figures with
 #: bounded runtime, so benchmark numbers are comparable across commits.
 BENCH_EXPERIMENTS = ("fig7", "fig8", "fig13", "fig16")
@@ -349,27 +353,27 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    """Time the fixed fast campaign: cold serial, cold parallel, warm.
+def run_bench(
+    ids: List[str], jobs: int, settings: ExperimentSettings, settings_label: str
+) -> dict:
+    """Run the cold-serial / cold-parallel / warm benchmark protocol.
 
-    Each cold run gets its own empty cache directory; the warm run
-    reuses the parallel run's cache with the in-process memo dropped, so
-    it exercises the disk path end to end.  Emits ``BENCH_campaign.json``
-    for the perf trajectory across commits.
+    Each cold leg gets its own empty cache directory and starts with the
+    worker pool torn down, so the parallel number honestly includes pool
+    start-up; the warm leg reuses the parallel leg's cache with the
+    in-process memo dropped, exercising the disk path end to end.
     """
-    import json
     import os
     import tempfile
     import time
 
-    ids = list(args.only) if args.only else list(BENCH_EXPERIMENTS)
-    jobs = _jobs(args)
     saved = os.environ.get("REPRO_CACHE_DIR")
 
     def timed(run_jobs: int) -> dict:
+        parallel.shutdown_pool()
         parallel.reset()
         start = time.perf_counter()
-        run_campaign(FAST_SETTINGS, experiment_ids=ids, jobs=run_jobs)
+        run_campaign(settings, experiment_ids=ids, jobs=run_jobs)
         elapsed = time.perf_counter() - start
         counters = parallel.stats().snapshot()
         return {
@@ -390,6 +394,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 os.environ.pop("REPRO_CACHE_DIR", None)
             else:
                 os.environ["REPRO_CACHE_DIR"] = saved
+            parallel.shutdown_pool()
             parallel.reset()
 
     speedup = (
@@ -402,10 +407,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if cold_parallel["seconds"]
         else 0.0
     )
-    payload = {
+    return {
         "experiments": ids,
         "jobs": jobs,
-        "settings": "fast",
+        "settings": settings_label,
+        "cpu_count": os.cpu_count() or 1,
         "cold_serial_s": cold_serial["seconds"],
         "cold_parallel_s": cold_parallel["seconds"],
         "warm_s": warm["seconds"],
@@ -415,6 +421,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "events_simulated": cold_parallel["events_simulated"],
         "events_per_sec": round(events_per_sec),
     }
+
+
+def check_bench(payload: dict, baseline: dict, tolerance: float) -> List[str]:
+    """Regression verdicts for a fresh bench run vs a committed baseline.
+
+    ``events_per_sec`` may not drop more than ``tolerance`` below the
+    baseline.  ``speedup_cold`` is only compared when both runs had more
+    than one core available - on a one-core box every parallel protocol
+    degenerates to serial-plus-overhead, and a speedup ratio from such a
+    run says nothing about the code.
+    """
+    problems: List[str] = []
+    base_eps = baseline.get("events_per_sec", 0)
+    if base_eps:
+        floor = base_eps * (1.0 - tolerance)
+        if payload["events_per_sec"] < floor:
+            problems.append(
+                f"events_per_sec regressed: {payload['events_per_sec']} < "
+                f"{floor:.0f} (baseline {base_eps} - {tolerance:.0%})"
+            )
+    base_speedup = baseline.get("speedup_cold", 0.0)
+    multicore = payload.get("cpu_count", 1) > 1 and baseline.get("cpu_count", 1) > 1
+    if base_speedup and multicore:
+        floor = base_speedup * (1.0 - tolerance)
+        if payload["speedup_cold"] < floor:
+            problems.append(
+                f"speedup_cold regressed: {payload['speedup_cold']} < "
+                f"{floor:.2f} (baseline {base_speedup} - {tolerance:.0%})"
+            )
+    return problems
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time the fixed fast campaign and optionally gate on regressions."""
+    import json
+
+    ids = list(args.only) if args.only else list(BENCH_EXPERIMENTS)
+    jobs = _jobs(args)
+    settings, label = (
+        (TINY_SETTINGS, "tiny") if args.tiny else (FAST_SETTINGS, "fast")
+    )
+
+    baseline: Optional[dict] = None
+    if args.check:
+        # Read the baseline before running: --output may point at the
+        # same file (the default), and writing first would make the
+        # check compare the run against itself.
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"bench --check: cannot read baseline {args.baseline}: {exc}")
+            return 2
+
+    payload = run_bench(ids, jobs, settings, label)
+
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -423,9 +485,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"cold x{jobs} {payload['cold_parallel_s']:.1f}s "
         f"({payload['speedup_cold']:.2f}x), "
         f"warm {payload['warm_s']:.1f}s "
-        f"({payload['warm_simulations']} simulations)"
+        f"({payload['warm_simulations']} simulations), "
+        f"{payload['events_per_sec']:,} events/s on {payload['cpu_count']} cpu(s)"
     )
     print(f"wrote {args.output}")
+
+    failures: List[str] = []
+    if args.min_events_per_sec is not None:
+        if payload["events_per_sec"] < args.min_events_per_sec:
+            failures.append(
+                f"events_per_sec floor: {payload['events_per_sec']} < "
+                f"{args.min_events_per_sec}"
+            )
+    if args.min_speedup is not None:
+        if payload["speedup_cold"] < args.min_speedup:
+            failures.append(
+                f"speedup_cold floor: {payload['speedup_cold']} < {args.min_speedup}"
+            )
+    if baseline is not None:
+        if baseline.get("settings") != payload["settings"]:
+            print(
+                f"bench --check: baseline settings {baseline.get('settings')!r} "
+                f"differ from this run's {payload['settings']!r}; "
+                "not comparable, skipping"
+            )
+        else:
+            failures.extend(check_bench(payload, baseline, args.tolerance))
+
+    if failures:
+        for failure in failures:
+            print(f"bench: FAIL {failure}")
+        return 1
     return 0
 
 
@@ -562,6 +652,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_campaign.json", help="benchmark JSON path"
     )
     bench_parser.add_argument("--jobs", type=int, metavar="N")
+    bench_parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="use the tiny simulation windows (CI smoke runs)",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against --baseline and exit nonzero on regression",
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        default="BENCH_campaign.json",
+        metavar="PATH",
+        help="committed baseline JSON for --check (default: BENCH_campaign.json)",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed fractional drop below baseline before --check fails",
+    )
+    bench_parser.add_argument(
+        "--min-events-per-sec",
+        type=float,
+        default=None,
+        metavar="N",
+        help="absolute floor on events_per_sec (CI smoke threshold)",
+    )
+    bench_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="absolute floor on speedup_cold (CI smoke threshold)",
+    )
     bench_parser.set_defaults(func=_cmd_bench)
 
     from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT

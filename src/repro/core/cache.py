@@ -37,7 +37,7 @@ import tempfile
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterable, Optional, Tuple, Union
 
 from repro.core import schema
 from repro.core.experiment import BandwidthMeasurement, MeasurementPoint
@@ -141,9 +141,18 @@ class ResultCache:
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        # Shard directories already ensured by this instance; saves one
+        # mkdir round-trip per store when batches land in few shards.
+        self._made_dirs: set = set()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _ensure_dir(self, parent: Path) -> None:
+        if parent in self._made_dirs:
+            return
+        parent.mkdir(parents=True, exist_ok=True)
+        self._made_dirs.add(parent)
 
     def load(self, key: str) -> Optional[BandwidthMeasurement]:
         """Return the cached measurement for ``key``, or ``None``.
@@ -166,7 +175,7 @@ class ResultCache:
         wrote identical content.
         """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        self._ensure_dir(path.parent)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
@@ -180,6 +189,20 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def store_many(
+        self, entries: Iterable[Tuple[str, BandwidthMeasurement]]
+    ) -> None:
+        """Persist a batch of measurements, one atomic publish each.
+
+        Amortizes the per-entry directory bookkeeping across a batch -
+        the parallel executor calls this once per miss batch instead of
+        :meth:`store` once per point.  Each entry is still written
+        temp-then-rename, so readers never observe partial entries even
+        mid-batch.
+        """
+        for key, measurement in entries:
+            self.store(key, measurement)
 
     def _entries(self):
         if not self.root.is_dir():

@@ -11,9 +11,10 @@ With ``jobs > 1`` the campaign parallelizes at two levels:
   ``measurement_points(settings)`` contributes its simulation grid to
   one deduplicated prefetch batch that the measurement executor fans
   out across worker processes before any experiment runs;
-* **experiment level** - the experiments themselves then run across a
-  process pool, reading the prefetched results back from the on-disk
-  cache (and, on fork platforms, the inherited in-process memo).
+* **experiment level** - the experiments themselves then run across the
+  same persistent process-wide pool (already warm from the prefetch),
+  reading the prefetched results back from the on-disk cache (and, on
+  fork platforms, the inherited in-process memo).
 
 Results are independent of ``jobs``: outcomes are keyed and ordered by
 experiment id, and each measurement is a deterministic function of its
@@ -25,7 +26,6 @@ from __future__ import annotations
 import inspect
 import io
 import time
-from concurrent.futures import ProcessPoolExecutor
 from contextlib import redirect_stdout
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
@@ -139,9 +139,20 @@ def collect_measurement_points(
     return points
 
 
-def _experiment_worker_init(use_cache: bool) -> None:
-    """Pool initializer: experiment workers must not nest process pools."""
+def _run_experiment_in_worker(
+    experiment_id: str, settings: ExperimentSettings, use_cache: bool
+) -> ExperimentOutcome:
+    """Run one experiment inside a shared-pool worker.
+
+    The campaign reuses the process-wide measurement pool for its
+    experiment-level fan-out, so there is no per-campaign initializer
+    hook; instead each task pins the worker to ``jobs=1`` (workers must
+    not nest process pools) before running the experiment.  Configuring
+    per task is idempotent and keeps the worker usable for ordinary
+    measurement batches afterwards.
+    """
     parallel.configure(jobs=1, use_cache=use_cache)
+    return run_experiment(experiment_id, settings)
 
 
 def run_campaign(
@@ -170,13 +181,14 @@ def run_campaign(
             if points:
                 parallel.get_executor().measure_points(points)
         if jobs > 1 and use_cache and len(ids) > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(ids)),
-                initializer=_experiment_worker_init,
-                initargs=(use_cache,),
-            ) as pool:
-                futures = {i: pool.submit(run_experiment, i, settings) for i in ids}
-                outcomes = {i: futures[i].result() for i in ids}
+            # Reuse the process-wide measurement pool: its workers are
+            # already warm from the prefetch above.
+            pool = parallel.get_pool(jobs)
+            futures = {
+                i: pool.submit(_run_experiment_in_worker, i, settings, use_cache)
+                for i in ids
+            }
+            outcomes = {i: futures[i].result() for i in ids}
         else:
             outcomes = {i: run_experiment(i, settings) for i in ids}
     return CampaignResult(outcomes=outcomes)

@@ -9,8 +9,8 @@ port count grids) - an embarrassingly parallel workload.  The
 1. deduplicates them by content-addressed cache key,
 2. serves repeats from the in-process memo, then the on-disk
    :class:`~repro.core.cache.ResultCache`,
-3. fans the remaining unique misses out across a
-   :class:`~concurrent.futures.ProcessPoolExecutor`, and
+3. fans the remaining unique misses out across a persistent, process-wide
+   worker pool (see below), and
 4. returns results in submission order,
 
 so a parallel run is bit-identical to a serial one - the simulation is
@@ -18,18 +18,43 @@ deterministic per point, and ordering is the caller's, not the pool's.
 ``jobs=1`` bypasses the pool entirely (no subprocess in the loop when
 debugging with pdb or profiling).
 
+Pool lifecycle
+--------------
+Worker processes are expensive to start (interpreter boot or fork, module
+imports), so the pool is created lazily on the first parallel batch and
+then *reused for the life of the process* - across batches, experiments,
+campaigns, and daemon requests.  It is torn down by an ``atexit`` hook or
+an explicit :func:`shutdown_pool` (which benchmarks use between timed
+legs so cold numbers honestly include pool start-up).  On platforms with
+``fork`` (Linux, macOS with caveats) the workers are forked, so they
+inherit the parent's already-imported modules; where only ``spawn``
+exists (Windows) each worker re-imports on first start - slower to warm
+up, identical results.
+
+Cost-aware submission: within a batch, misses are submitted
+longest-expected-first so a stray expensive point cannot serialize the
+tail of the batch, then results are restored to submission order.
+
 Module-level :func:`configure` / :func:`configured` set the default
 executor policy used by :func:`~repro.core.experiment.measure_bandwidth_cached`
 and the experiment modules, so the CLI's ``--jobs`` / ``--no-cache``
 reach every measurement without threading flags through each API.
+
+The process-wide :class:`ExecutorStats` counters are updated under a
+lock: the measurement daemon runs batches on executor threads while its
+event loop snapshots the counters concurrently.
 """
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cache import ResultCache, cache_key
@@ -47,21 +72,53 @@ _MEMO: Dict[str, BandwidthMeasurement] = {}
 
 @dataclass
 class ExecutorStats:
-    """Counters of what the executors actually did (process-wide)."""
+    """Counters of what the executors actually did (process-wide).
+
+    Mutations go through :meth:`add` / :meth:`clear`, which hold the
+    instance lock - the daemon submits batches from executor threads
+    while its event loop reads snapshots.  Plain attribute *reads* are
+    fine for single-threaded callers (tests, CLI summaries).
+    """
 
     simulations: int = 0
     memo_hits: int = 0
     disk_hits: int = 0
     events_simulated: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(
+        self,
+        simulations: int = 0,
+        memo_hits: int = 0,
+        disk_hits: int = 0,
+        events_simulated: int = 0,
+    ) -> None:
+        """Atomically bump any subset of the counters."""
+        with self._lock:
+            self.simulations += simulations
+            self.memo_hits += memo_hits
+            self.disk_hits += disk_hits
+            self.events_simulated += events_simulated
+
+    def clear(self) -> None:
+        """Atomically zero every counter."""
+        with self._lock:
+            self.simulations = 0
+            self.memo_hits = 0
+            self.disk_hits = 0
+            self.events_simulated = 0
 
     def snapshot(self) -> "ExecutorStats":
-        """An independent copy (the live instance keeps mutating)."""
-        return ExecutorStats(
-            simulations=self.simulations,
-            memo_hits=self.memo_hits,
-            disk_hits=self.disk_hits,
-            events_simulated=self.events_simulated,
-        )
+        """An independent, internally consistent copy."""
+        with self._lock:
+            return ExecutorStats(
+                simulations=self.simulations,
+                memo_hits=self.memo_hits,
+                disk_hits=self.disk_hits,
+                events_simulated=self.events_simulated,
+            )
 
 
 _STATS = ExecutorStats()
@@ -79,12 +136,12 @@ def stats() -> ExecutorStats:
 
 
 def reset(clear_memo: bool = True) -> None:
-    """Zero the counters; optionally drop the in-process memo too."""
-    global _STATS
-    _STATS.simulations = 0
-    _STATS.memo_hits = 0
-    _STATS.disk_hits = 0
-    _STATS.events_simulated = 0
+    """Zero the counters; optionally drop the in-process memo too.
+
+    Does *not* tear down the worker pool - warm workers survive a
+    counter reset.  Call :func:`shutdown_pool` for that.
+    """
+    _STATS.clear()
     if clear_memo:
         _MEMO.clear()
 
@@ -114,9 +171,92 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+# ----------------------------------------------------------------------
+# the persistent, process-wide worker pool
+# ----------------------------------------------------------------------
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS: int = 0
+_POOL_LOCK = threading.Lock()
+
+
+def _mp_context():
+    """The multiprocessing start method for the worker pool.
+
+    ``fork`` where the platform offers it: forked workers inherit the
+    parent's imported modules (and its in-process memo, harmlessly), so
+    the pool is warm from the first task.  Elsewhere (Windows) this
+    falls back to ``spawn``: workers re-import ``repro`` on start-up,
+    which only costs extra wall-clock the first time each worker runs -
+    results are identical either way.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared worker pool, created lazily and grown on demand.
+
+    A pool already at least ``workers`` wide is returned as-is (warm
+    workers are the whole point); a narrower one is drained and replaced
+    by a wider one.  Shrinking never happens implicitly - idle workers
+    cost almost nothing.
+    """
+    global _POOL, _POOL_WORKERS
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL_WORKERS >= workers:
+            return _POOL
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
+        _POOL_WORKERS = workers
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Drain and discard the shared pool (idempotent).
+
+    Registered with :mod:`atexit`; also called explicitly by the bench
+    harness between timed legs and by the daemon on graceful shutdown.
+    """
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+            _POOL = None
+            _POOL_WORKERS = 0
+
+
+def pool_workers() -> int:
+    """Current width of the shared pool (0 when no pool is live)."""
+    return _POOL_WORKERS
+
+
+atexit.register(shutdown_pool)
+
+
 def _simulate(point: MeasurementPoint) -> Tuple[BandwidthMeasurement, int]:
     """Pool worker: run one simulation (module-level, hence picklable)."""
     return simulate_point(point)
+
+
+def _expected_cost(point: MeasurementPoint) -> float:
+    """Relative expected event count of one simulation.
+
+    Event volume scales with the simulated duration, the number of
+    generating ports, and (for multi-cube topologies) the pass-through
+    hops of extra cubes; small payloads squeeze more requests into the
+    same window.  Only the *ordering* of these estimates matters - they
+    schedule expensive misses first so one long simulation cannot start
+    last and serialize the tail of a batch.
+    """
+    settings = point.settings
+    duration = settings.warmup_us + settings.window_us
+    ports = point.active_ports if point.active_ports is not None else 9
+    cubes = settings.topology.num_cubes if settings.topology is not None else 1
+    payload_factor = 1.0 + (128 - point.payload_bytes) / 256.0
+    return duration * ports * cubes * payload_factor
 
 
 class MeasurementExecutor:
@@ -182,39 +322,48 @@ class MeasurementExecutor:
         coalescing identity) and submits ``{key: point}`` maps here, so
         the key work is never repeated.  Each key resolves memo -> disk
         cache -> simulation; the unique misses fan out across the worker
-        pool and the returned map covers every submitted key.
+        pool, new results are persisted with one batched
+        :meth:`~repro.core.cache.ResultCache.store_many` call, and the
+        returned map covers every submitted key.
         """
         results: Dict[str, BandwidthMeasurement] = {}
         cache = self._resolve_cache()
 
+        memo_hits = 0
+        disk_hits = 0
         missing: Dict[str, MeasurementPoint] = {}
         for key, point in keyed.items():
             memoized = _MEMO.get(key)
             if memoized is not None:
-                _STATS.memo_hits += 1
+                memo_hits += 1
                 results[key] = memoized
                 continue
             if cache is not None:
                 stored = cache.load(key)
                 if stored is not None:
-                    _STATS.disk_hits += 1
+                    disk_hits += 1
                     _MEMO[key] = stored
                     results[key] = stored
                     continue
             missing[key] = point
+        if memo_hits or disk_hits:
+            _STATS.add(memo_hits=memo_hits, disk_hits=disk_hits)
 
         if missing:
             miss_keys = list(missing)
             miss_points = [missing[key] for key in miss_keys]
+            events_total = 0
+            fresh: List[Tuple[str, BandwidthMeasurement]] = []
             for key, (measurement, events) in zip(
                 miss_keys, self._run_misses(miss_points)
             ):
-                _STATS.simulations += 1
-                _STATS.events_simulated += events
+                events_total += events
                 _MEMO[key] = measurement
-                if cache is not None:
-                    cache.store(key, measurement)
+                fresh.append((key, measurement))
                 results[key] = measurement
+            if cache is not None:
+                cache.store_many(fresh)
+            _STATS.add(simulations=len(fresh), events_simulated=events_total)
         return results
 
     def _run_misses(
@@ -223,8 +372,29 @@ class MeasurementExecutor:
         workers = min(self.jobs, len(miss_points))
         if workers <= 1:
             return [_simulate(point) for point in miss_points]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_simulate, miss_points))
+        # Submit expensive points first (cost-aware scheduling), then
+        # restore submission order for the caller.
+        n = len(miss_points)
+        order = sorted(
+            range(n), key=lambda i: (-_expected_cost(miss_points[i]), i)
+        )
+        ordered = [miss_points[i] for i in order]
+        chunksize = max(1, n // (workers * 4))
+        try:
+            mapped = list(
+                get_pool(self.jobs).map(_simulate, ordered, chunksize=chunksize)
+            )
+        except BrokenProcessPool:
+            # A worker died (OOM kill, signal).  Replace the pool and
+            # retry the batch once; a second failure propagates.
+            shutdown_pool()
+            mapped = list(
+                get_pool(self.jobs).map(_simulate, ordered, chunksize=chunksize)
+            )
+        results: List[Optional[Tuple[BandwidthMeasurement, int]]] = [None] * n
+        for slot, outcome in zip(order, mapped):
+            results[slot] = outcome
+        return results  # type: ignore[return-value]
 
 
 def get_executor() -> MeasurementExecutor:

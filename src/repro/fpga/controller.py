@@ -53,6 +53,21 @@ class HmcController:
         self.writes_total = 0
         self._stop_waiters: Deque[Callable[[], None]] = deque()
         self._handlers: Dict[int, CompletionHandler] = {}
+        # Port -> link assignment never changes after construction.
+        num_links = len(device.links)
+        self._port_links = tuple(
+            min(p // PORTS_PER_LINK_GROUP, num_links - 1) for p in range(64)
+        )
+        # Pipeline latencies and the flow-control threshold are pure
+        # functions of the calibration; packets span 1..9 flits, so both
+        # pipelines are tabled per flit count (index 0 is a placeholder).
+        self._tx_pipeline_ns = tuple(
+            calibration.tx_pipeline_ns(flits) for flits in range(10)
+        )
+        self._rx_pipeline_ns = tuple(
+            calibration.rx_pipeline_ns(flits) for flits in range(10)
+        )
+        self._flow_threshold = calibration.flow_control_threshold
         # Optional link fault injection (see repro.faults): corrupted
         # transactions re-enter the TX path instead of completing.
         self.fault_model = None
@@ -72,6 +87,9 @@ class HmcController:
         self._handlers[port_index] = handler
 
     def link_for_port(self, port_index: int) -> int:
+        cached = self._port_links
+        if port_index < len(cached):
+            return cached[port_index]
         num_links = len(self.device.links)
         return min(port_index // PORTS_PER_LINK_GROUP, num_links - 1)
 
@@ -80,7 +98,7 @@ class HmcController:
     # ------------------------------------------------------------------
     @property
     def can_generate(self) -> bool:
-        return self.outstanding < self.calibration.flow_control_threshold
+        return self.outstanding < self._flow_threshold
 
     def park_until_resume(self, callback: Callable[[], None]) -> None:
         """Hold a generation attempt until the stop signal deasserts."""
@@ -88,7 +106,7 @@ class HmcController:
 
     def _maybe_resume_one(self) -> None:
         if self._stop_waiters and self.can_generate:
-            self.sim.schedule_fast(0.0, self._stop_waiters.popleft())
+            self.sim.post(self._stop_waiters.popleft())
 
     # ------------------------------------------------------------------
     # TX path
@@ -96,12 +114,10 @@ class HmcController:
     def submit(self, request: Request) -> None:
         """A port submits a request; the paper's latency clock starts."""
         request.submit_ns = self.sim.now
-        request.link = self.link_for_port(request.port)
+        request.link = self._port_links[request.port]
         self.outstanding += 1
         self.submitted += 1
-        pipeline_done = self.sim.now + self.calibration.tx_pipeline_ns(
-            request.request_flits
-        )
+        pipeline_done = self.sim.now + self._tx_pipeline_ns[request.request_flits]
         self.sim.schedule_fast_at(pipeline_done, self._acquire_tokens, request)
 
     def _acquire_tokens(self, request: Request) -> None:
@@ -119,9 +135,7 @@ class HmcController:
     # RX path
     # ------------------------------------------------------------------
     def _on_device_response(self, request: Request, rx_done_ns: float) -> None:
-        complete_at = rx_done_ns + self.calibration.rx_pipeline_ns(
-            request.response_flits
-        )
+        complete_at = rx_done_ns + self._rx_pipeline_ns[request.response_flits]
         self.sim.schedule_fast_at(complete_at, self._complete, request)
 
     def _complete(self, request: Request) -> None:

@@ -88,6 +88,17 @@ class GupsPort:
         self.active = False
         self.reads_issued = 0
         self.writes_issued = 0
+        # Pre-bound issue continuations: the arbitration loop runs once
+        # per FPGA cycle per port, so allocating a fresh closure for each
+        # acquire attempt is measurable.  Likewise the request-type
+        # branches and payload size are fixed per port for a whole run.
+        self._issue_read = lambda: self._issue(False)
+        self._issue_write = lambda: self._issue(True)
+        self._always_write = config.request_type is RequestType.WRITE
+        self._read_modify_write = (
+            config.request_type is RequestType.READ_MODIFY_WRITE
+        )
+        self._payload_bytes = config.payload_bytes
         controller.register_port(index, self._on_complete)
 
     # ------------------------------------------------------------------
@@ -95,15 +106,15 @@ class GupsPort:
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.active = True
-        self.sim.schedule_fast(0.0, self._try_issue)
+        self.sim.post(self._try_issue)
 
     def stop(self) -> None:
         self.active = False
 
     def _next_is_write(self) -> bool:
-        if self.config.request_type is RequestType.WRITE:
+        if self._always_write:
             return True
-        if self.config.request_type is RequestType.READ_MODIFY_WRITE:
+        if self._read_modify_write:
             return bool(self._pending_writebacks)
         return False
 
@@ -112,9 +123,11 @@ class GupsPort:
         if not self.active:
             return
         is_write = self._next_is_write()
-        pool = self.write_credits if is_write else self.read_tags
-        if pool.acquire(lambda: self._issue(is_write)):
-            self._issue(is_write)
+        if is_write:
+            if self.write_credits.acquire(self._issue_write):
+                self._issue(True)
+        elif self.read_tags.acquire(self._issue_read):
+            self._issue(False)
 
     def _issue(self, is_write: bool) -> None:
         """Issue holding the tag/credit; honours the stop signal."""
@@ -131,7 +144,7 @@ class GupsPort:
             address = self.generator.next()
         request = Request(
             address=address,
-            payload_bytes=self.config.payload_bytes,
+            payload_bytes=self._payload_bytes,
             is_write=is_write,
             port=self.index,
         )
@@ -150,7 +163,7 @@ class GupsPort:
             self.write_credits.release()
             return
         self.read_tags.release()
-        if self.config.request_type is RequestType.READ_MODIFY_WRITE:
+        if self._read_modify_write:
             # Read-modify-write: the returned data is modified and
             # written back to the same location.
             self._pending_writebacks.append(request.address)

@@ -254,6 +254,11 @@ class AddressMapping:
             self.vault_low = self.bank_low + self.bank_bits
             self.row_low = self.vault_low + self.vault_bits
         self.capacity_bits = _bits(config.capacity_bytes)
+        # Field masks used by the routing fast path (decode_route).
+        self._capacity_mask = (1 << self.capacity_bits) - 1
+        self._vault_mask = (1 << self.vault_bits) - 1
+        self._bank_mask = (1 << self.bank_bits) - 1
+        self._vq_shift = self.vault_bits - self.quadrant_bits
 
     # ------------------------------------------------------------------
     # field extents, for rendering Figure 3
@@ -303,6 +308,26 @@ class AddressMapping:
             row=row,
             block_offset=block_offset,
             address=address,
+        )
+
+    def decode_route(self, address: int) -> "tuple[int, int, int]":
+        """Routing-only decode: ``(quadrant, vault, bank)``.
+
+        The device's ingress path only needs the crossbar coordinates,
+        not the DRAM row or block offset, so this skips the row division
+        and the :class:`DecodedAddress` allocation.  Must stay
+        bit-for-bit consistent with :meth:`decode`.
+        """
+        if address < 0 or address >= (1 << ADDRESS_FIELD_BITS):
+            raise AddressRangeError(
+                f"address {address:#x} outside the 34-bit request field"
+            )
+        address &= self._capacity_mask
+        vault_field = (address >> self.vault_low) & self._vault_mask
+        return (
+            vault_field >> self._vq_shift,
+            vault_field,
+            (address >> self.bank_low) & self._bank_mask,
         )
 
     def encode(self, vault: int, bank: int, upper: int = 0, block_offset: int = 0) -> int:

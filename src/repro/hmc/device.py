@@ -95,6 +95,27 @@ class HMCDevice:
             for v in range(config.num_vaults)
         ]
 
+        # Routing delays are pure functions of (link, quadrant), both
+        # bounded and fixed after construction - table them once so the
+        # per-request path is two list indexes.  Built by calling the
+        # canonical methods so the cached floats are identical.
+        num_links = config.links.num_links
+        num_quadrants = config.num_quadrants
+        self._route_delay = [
+            [self.route_delay_ns(link, q) for q in range(num_quadrants)]
+            for link in range(num_links)
+        ]
+        response_base = (
+            calibration.response_processing_ns + calibration.response_route_ns
+        )
+        self._response_delay = [
+            [
+                response_base + self.remote_quadrant_surcharge_ns(link, q)
+                for q in range(num_quadrants)
+            ]
+            for link in range(num_links)
+        ]
+
         # Optional temperature-derated refresh: every bank periodically
         # blocks for tRFC, staggered so refreshes do not align.
         self.refresh = refresh
@@ -157,14 +178,14 @@ class HMCDevice:
         packet; the device returns them ``token_return_latency_ns`` after
         the vault accepts the request into a bank queue.
         """
-        decoded = self.mapping.decode(request.address)
-        delay = self.route_delay_ns(request.link, decoded.quadrant)
+        quadrant, vault, bank = self.mapping.decode_route(request.address)
+        request.quadrant = quadrant
+        delay = self._route_delay[request.link][quadrant]
+        now = self.sim.now
+        if arrival_ns < now:
+            arrival_ns = now
         self.sim.schedule_fast_at(
-            max(arrival_ns, self.sim.now) + delay,
-            self._deliver_to_vault,
-            request,
-            decoded.vault,
-            decoded.bank,
+            arrival_ns + delay, self._deliver_to_vault, request, vault, bank
         )
 
     def _deliver_to_vault(self, request: Request, vault: int, bank: int) -> None:
@@ -187,10 +208,10 @@ class HMCDevice:
                 self.store[request.address] = request.data
             else:
                 request.data = self.store.get(request.address)
-        decoded_quadrant = self.mapping.decode(request.address).quadrant
-        delay = self.calibration.response_processing_ns + self.calibration.response_route_ns
-        delay += self.remote_quadrant_surcharge_ns(request.link, decoded_quadrant)
-        ready = depart_ns + delay
+        quadrant = request.quadrant
+        if quadrant < 0:
+            quadrant = self.mapping.decode(request.address).quadrant
+        ready = depart_ns + self._response_delay[request.link][quadrant]
         if self.egress is not None:
             # A CubeNetwork owns the rest of the return path: pass-through
             # hops back toward the host cube, then the host link's RX.

@@ -137,30 +137,29 @@ class Request:
     link: int = 0
     cube: int = 0  # CUB field: target cube id in a chained-HMC network
     global_address: int = -1  # pre-split network address; -1 = not rewritten
+    quadrant: int = -1  # decoded on ingress so egress never re-decodes
     parent: Optional["Request"] = None  # the read of a read-modify-write pair
     data: Optional[bytes] = None  # payload contents when the data store is on
     submit_ns: float = field(default=-1.0)
     vault_arrival_ns: float = field(default=-1.0)
     bank_start_ns: float = field(default=-1.0)
     complete_ns: float = field(default=-1.0)
+    # Fixed per-transaction packet geometry, precomputed once at
+    # construction: the TX/RX/bandwidth paths read these several times
+    # per event, which makes property recomputation measurable.
+    request_flits: int = field(init=False, repr=False, compare=False)
+    response_flits: int = field(init=False, repr=False, compare=False)
+    raw_bytes: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_bytes not in VALID_PAYLOAD_BYTES:
             raise ValueError(
                 f"payload must be one of {VALID_PAYLOAD_BYTES}, got {self.payload_bytes}"
             )
-
-    @property
-    def request_flits(self) -> int:
-        return request_flits(self.is_write, self.payload_bytes)
-
-    @property
-    def response_flits(self) -> int:
-        return response_flits(self.is_write, self.payload_bytes)
-
-    @property
-    def raw_bytes(self) -> int:
-        return transaction_raw_bytes(self.is_write, self.payload_bytes)
+        data = flits_for_payload(self.payload_bytes)
+        self.request_flits = (data if self.is_write else 0) + OVERHEAD_FLITS
+        self.response_flits = (0 if self.is_write else data) + OVERHEAD_FLITS
+        self.raw_bytes = (self.request_flits + self.response_flits) * FLIT_BYTES
 
     @property
     def latency_ns(self) -> float:

@@ -13,7 +13,7 @@ from typing import Callable, List, Optional
 from repro.hmc.calibration import Calibration
 from repro.hmc.dram import DramTimings
 from repro.hmc.link import Channel
-from repro.hmc.packet import Request
+from repro.hmc.packet import Request, VALID_PAYLOAD_BYTES
 from repro.sim.engine import Simulator
 from repro.sim.resources import BoundedQueue
 
@@ -60,7 +60,12 @@ class Bank:
         if self._kick_scheduled:
             return
         self._kick_scheduled = True
-        self.sim.schedule_fast_at(max(self.sim.now, self.busy_until), self._service)
+        busy_until = self.busy_until
+        if busy_until <= self.sim.now:
+            # Bank already free: service is a zero-delay hop (now-queue).
+            self.sim.post(self._service)
+        else:
+            self.sim.schedule_fast_at(busy_until, self._service)
 
     def _service(self) -> None:
         self._kick_scheduled = False
@@ -76,34 +81,36 @@ class Bank:
 
     def _access(self, request: Request) -> None:
         """Perform one closed-page access and emit the response."""
-        timings = self.vault.timings
-        start = self.vault.command.acquire(0)
+        vault = self.vault
+        timings = vault.timings
+        start = vault.command.acquire(0)
         request.bank_start_ns = start
         self.accesses += 1
-        moved = timings.bus_bytes_moved(request.payload_bytes)
 
         if request.is_write:
             # Write data crosses the TSV bus, then commits in the arrays.
+            moved, occupancy = vault._write_params[request.payload_bytes]
             earliest = start + timings.t_rcd_ns + timings.t_cwl_ns
-            tsv_done = self.vault.tsv.acquire(moved, earliest=earliest)
+            tsv_done = vault.tsv.acquire(moved, earliest=earliest)
             depart = tsv_done
             self.busy_until = max(
-                start + timings.write_occupancy_ns(request.payload_bytes),
+                start + occupancy,
                 tsv_done + timings.t_wr_ns + timings.t_rp_ns,
             )
             self.busy_time += self.busy_until - start
         else:
             # Read data becomes available after RCD+CL, then streams up
             # the shared TSV bus toward the logic die.
+            moved, occupancy = vault._read_params[request.payload_bytes]
             earliest = start + timings.t_rcd_ns + timings.t_cl_ns
-            tsv_done = self.vault.tsv.acquire(moved, earliest=earliest)
+            tsv_done = vault.tsv.acquire(moved, earliest=earliest)
             depart = tsv_done
             self.busy_until = max(
-                start + timings.read_occupancy_ns(request.payload_bytes),
+                start + occupancy,
                 tsv_done + timings.t_rp_ns,
             )
             self.busy_time += self.busy_until - start
-        self.vault.complete(request, depart)
+        vault.complete(request, depart)
 
 
 class VaultController:
@@ -137,6 +144,19 @@ class VaultController:
             packet_overhead_ns=calibration.vault_command_ns,
             name=f"vault{index}.cmd",
         )
+        # Per-payload access parameters are pure functions of the fixed
+        # timings; the eight legal payload sizes are tabled so the bank
+        # service loop does one dict lookup instead of three method
+        # calls.  Values come from the canonical methods, so the cached
+        # floats are identical.
+        self._read_params = {
+            p: (timings.bus_bytes_moved(p), timings.read_occupancy_ns(p))
+            for p in VALID_PAYLOAD_BYTES
+        }
+        self._write_params = {
+            p: (timings.bus_bytes_moved(p), timings.write_occupancy_ns(p))
+            for p in VALID_PAYLOAD_BYTES
+        }
         self.banks: List[Bank] = [Bank(sim, self, b) for b in range(num_banks)]
         self._on_response = on_response
         self.requests_accepted = 0

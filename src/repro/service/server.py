@@ -22,7 +22,7 @@ import threading
 import time
 from typing import Optional, Set
 
-from repro.core import schema
+from repro.core import parallel, schema
 from repro.core.parallel import MeasurementExecutor
 from repro.service import protocol
 from repro.service.batcher import BatcherClosed, CoalescingBatcher
@@ -267,6 +267,9 @@ def run_service(
             )
 
     asyncio.run(_main())
+    # The daemon owned the process: drain the shared worker pool so the
+    # interpreter exits promptly instead of waiting on idle workers.
+    parallel.shutdown_pool()
 
 
 class BackgroundService:

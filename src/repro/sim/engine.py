@@ -1,11 +1,12 @@
 """Event loop for the transaction-level simulator.
 
-The simulator is a classic calendar queue built on :mod:`heapq`.  Every
-heap entry starts with ``(time, sequence, ...)``; the monotonically
+The simulator is a classic calendar queue built on :mod:`heapq` with a
+*now-queue* bolted on for the zero-delay events the model schedules in
+bulk.  Every entry carries ``(time, sequence, ...)``; the monotonically
 increasing sequence number makes event ordering total and therefore the
 whole simulation deterministic, including ties.
 
-Two scheduling flavours share the queue:
+Three scheduling flavours share one total order:
 
 * :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return a
   cancellable :class:`Event` handle.  The heap entry is
@@ -16,9 +17,20 @@ Two scheduling flavours share the queue:
   ``(time, seq, callback, args)`` and no per-event object is allocated.
   The model's hot loops (port issue, link transfer, vault service)
   schedule millions of these per campaign.
+* :meth:`Simulator.post` (and ``schedule_fast`` with delay ``0.0``)
+  appends ``(seq, callback, args)`` to the bounded **now-queue** - a
+  plain deque of microtasks due at the current instant.  Token-pool
+  wake-ups, queue hand-offs, and flow-control resumes are all
+  zero-delay hops; running them through the deque skips two O(log n)
+  heap operations each while the ``seq`` merge below keeps their order
+  exactly what the heap would have produced.
 
-Because ``seq`` is unique, tuple comparison never reaches the third
-element, so the two entry shapes coexist safely in one heap.
+Because ``seq`` is unique, entries never compare equal: the run loop
+merges the now-queue and the heap by ``(time, seq)``, so a simulation
+using microtasks is bit-identical to one pushing every zero-delay event
+through the heap.  The now-queue is bounded (:data:`NOW_QUEUE_LIMIT`) so
+a model bug that endlessly reschedules at the same instant raises
+instead of spinning forever.
 
 Time is measured in nanoseconds (float).  Model code never reads a wall
 clock; everything derives from :attr:`Simulator.now`.
@@ -27,7 +39,12 @@ clock; everything derives from :attr:`Simulator.now`.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
+
+#: Upper bound of the now-queue.  Zero-delay events are hops, not loops:
+#: any model that parks this many microtasks at one instant is livelocked.
+NOW_QUEUE_LIMIT = 1_000_000
 
 
 class SimulationError(RuntimeError):
@@ -98,6 +115,7 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple] = []
+        self._nowq: deque = deque()
         self._seq: int = 0
         self._live: int = 0
         self._running: bool = False
@@ -124,8 +142,31 @@ class Simulator:
         heapq.heappush(self._heap, (time, event.seq, event))
         return event
 
+    def post(self, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at the current instant (microtask).
+
+        Equivalent to ``schedule_fast(0.0, ...)`` - same position in the
+        total event order - but the entry lives in the now-queue deque
+        instead of costing two heap operations.  This is the right call
+        for zero-delay hops: token wake-ups, queue hand-offs,
+        flow-control resumes.
+        """
+        nowq = self._nowq
+        if len(nowq) >= NOW_QUEUE_LIMIT:
+            raise SimulationError(
+                f"now-queue overflow (> {NOW_QUEUE_LIMIT} microtasks at "
+                f"t={self.now}); zero-delay event livelock?"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        nowq.append((seq, callback, args))
+
     def schedule_fast(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Fast-path :meth:`schedule`: no cancellation handle, no Event."""
+        if delay == 0.0:
+            self.post(callback, *args)
+            return
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         seq = self._seq
@@ -135,7 +176,10 @@ class Simulator:
 
     def schedule_fast_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
         """Fast-path :meth:`schedule_at`: no cancellation handle, no Event."""
-        if time < self.now:
+        if time <= self.now:
+            if time == self.now:
+                self.post(callback, *args)
+                return
             raise SimulationError(
                 f"cannot schedule into the past (t={time}, now={self.now})"
             )
@@ -147,25 +191,48 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _next_is_microtask(self) -> bool:
+        """Whether the now-queue head precedes the heap top in event order.
+
+        Now-queue entries are all due at :attr:`now`; the heap top is
+        never earlier than :attr:`now`; and sequence numbers are unique -
+        so comparing ``(time, seq)`` decides exactly as one merged heap
+        would have.
+        """
+        nowq = self._nowq
+        if not nowq:
+            return False
+        heap = self._heap
+        if not heap:
+            return True
+        top = heap[0]
+        return top[0] > self.now or top[1] > nowq[0][0]
+
     def step(self) -> bool:
         """Run the next pending event.  Returns ``False`` when idle."""
         heap = self._heap
-        while heap:
+        while True:
+            if self._next_is_microtask():
+                _, callback, args = self._nowq.popleft()
+                break
+            if not heap:
+                return False
             entry = heapq.heappop(heap)
             if len(entry) == 4:
                 time, _, callback, args = entry
             else:
                 event = entry[2]
                 if event.cancelled:
+                    # Re-evaluate: the next live entry may be a microtask.
                     continue
                 event._sim = None  # popped: a late cancel() must not decrement
                 time, callback, args = event.time, event.callback, event.args
             self.now = time
-            self._live -= 1
-            self.events_processed += 1
-            callback(*args)
-            return True
-        return False
+            break
+        self._live -= 1
+        self.events_processed += 1
+        callback(*args)
+        return True
 
     def run(self, until: Optional[float] = None) -> None:
         """Drain the event queue, optionally stopping at time ``until``.
@@ -176,34 +243,81 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
+        if until is not None and until < self.now:
+            # Degenerate empty window: nothing can be due, leave queues be.
+            return
         self._running = True
         heap = self._heap
+        nowq = self._nowq
         pop = heapq.heappop
+        popleft = nowq.popleft
+        processed = 0
+        # Folding the unbounded case into an infinite bound removes a
+        # per-event `is None` test from the hot loop.
+        bound = float("inf") if until is None else until
         try:
-            while heap:
-                if until is not None and heap[0][0] > until:
-                    break
-                entry = pop(heap)
-                if len(entry) == 4:
-                    time, _, callback, args = entry
+            while True:
+                if not nowq:
+                    # Fast path: no microtasks pending, drain the heap.
+                    if not heap:
+                        break
+                    top = heap[0]
+                    if top[0] > bound:
+                        break
+                    pop(heap)
+                    if len(top) == 4:
+                        time, _, callback, args = top
+                    else:
+                        event = top[2]
+                        if event.cancelled:
+                            continue
+                        event._sim = None
+                        time, callback, args = event.time, event.callback, event.args
+                    self.now = time
                 else:
-                    event = entry[2]
-                    if event.cancelled:
-                        continue
-                    event._sim = None
-                    time, callback, args = event.time, event.callback, event.args
-                self.now = time
-                self._live -= 1
-                self.events_processed += 1
+                    # Merge point: microtasks are due at `now`; pop the
+                    # heap first only when its top is due at this same
+                    # instant with an older sequence number.  (That top
+                    # can never exceed `bound`: `now <= bound` is a loop
+                    # invariant.)
+                    if heap:
+                        top = heap[0]
+                        if top[0] == self.now and top[1] < nowq[0][0]:
+                            pop(heap)
+                            if len(top) == 4:
+                                _, _, callback, args = top
+                            else:
+                                event = top[2]
+                                if event.cancelled:
+                                    continue
+                                event._sim = None
+                                callback = event.callback
+                                args = event.args
+                            # The clock already reads `now`; no update.
+                        else:
+                            _, callback, args = popleft()
+                    else:
+                        _, callback, args = popleft()
+                processed += 1
                 callback(*args)
             if until is not None and self.now < until:
                 self.now = until
         finally:
+            # Batched bookkeeping: one executed event = one live entry
+            # gone.  Event.cancel() adjusts `_live` independently, and
+            # the two reconcile because decrements commute.
+            self._live -= processed
+            self.events_processed += processed
             self._running = False
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue (O(1))."""
+        """Number of not-yet-cancelled events in the queue (O(1)).
+
+        Exact between runs; while :meth:`run` is draining, executed
+        events are deducted in one batch at the end of the drain, so a
+        callback reading this mid-run sees the pre-run population.
+        """
         return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -123,7 +123,7 @@ class TokenPool:
             waiter = self._waiters.popleft()
             # The token passes directly to the waiter; `available` is
             # unchanged because it was never returned to the free pool.
-            self.sim.schedule_fast(0.0, waiter)
+            self.sim.post(waiter)
             return
         if self.available >= self.capacity:
             raise RuntimeError(f"TokenPool {self.name!r}: release without acquire")
@@ -175,7 +175,7 @@ class BoundedQueue:
         if not self.full:
             if self._consumers:
                 consumer = self._consumers.popleft()
-                self.sim.schedule_fast(0.0, consumer, item)
+                self.sim.post(consumer, item)
                 return True
             self._items.append(item)
             self.peak_depth = max(self.peak_depth, len(self._items))
@@ -194,7 +194,7 @@ class BoundedQueue:
             item = self._items.popleft()
             if self._producers:
                 producer = self._producers.popleft()
-                self.sim.schedule_fast(0.0, producer)
+                self.sim.post(producer)
             return item
         if on_item is not None:
             self._consumers.append(on_item)

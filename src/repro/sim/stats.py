@@ -100,21 +100,23 @@ class RateMeter:
         self.window_end: Optional[float] = None
         self.events = 0
         self.bytes = 0
+        # Plain attribute, not a property: `record` runs once or twice
+        # per completed transaction and the flag flips only at window
+        # edges.
+        self.is_open = False
 
     def open(self, now: float) -> None:
         self.window_start = now
         self.window_end = None
         self.events = 0
         self.bytes = 0
+        self.is_open = True
 
     def close(self, now: float) -> None:
         if self.window_start is None:
             raise RuntimeError("RateMeter.close() before open()")
         self.window_end = now
-
-    @property
-    def is_open(self) -> bool:
-        return self.window_start is not None and self.window_end is None
+        self.is_open = False
 
     def record(self, nbytes: int = 0) -> None:
         if self.is_open:

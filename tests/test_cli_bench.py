@@ -1,0 +1,158 @@
+"""Tests for `repro bench`: regression gating against a committed baseline.
+
+The actual campaign timing loop is exercised end to end by CI's
+perf-smoke job; here the expensive part is monkeypatched so the check
+logic (floors, tolerance, baseline handling) is testable in
+milliseconds.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+def _payload(**overrides):
+    payload = {
+        "experiments": ["fig7"],
+        "jobs": 4,
+        "settings": "fast",
+        "cpu_count": 4,
+        "cold_serial_s": 20.0,
+        "cold_parallel_s": 8.0,
+        "warm_s": 0.05,
+        "speedup_cold": 2.5,
+        "cold_simulations": 77,
+        "warm_simulations": 0,
+        "events_simulated": 4_000_000,
+        "events_per_sec": 500_000,
+    }
+    payload.update(overrides)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# check_bench verdicts
+# ----------------------------------------------------------------------
+
+
+def test_check_passes_within_tolerance():
+    baseline = _payload()
+    fresh = _payload(events_per_sec=400_000, speedup_cold=2.0)
+    assert cli.check_bench(fresh, baseline, tolerance=0.25) == []
+
+
+def test_check_flags_events_per_sec_regression():
+    baseline = _payload()
+    fresh = _payload(events_per_sec=300_000)
+    problems = cli.check_bench(fresh, baseline, tolerance=0.25)
+    assert len(problems) == 1
+    assert "events_per_sec" in problems[0]
+
+
+def test_check_flags_speedup_regression_on_multicore():
+    baseline = _payload()
+    fresh = _payload(speedup_cold=1.0)
+    problems = cli.check_bench(fresh, baseline, tolerance=0.25)
+    assert len(problems) == 1
+    assert "speedup_cold" in problems[0]
+
+
+def test_check_skips_speedup_on_single_core():
+    # One core means parallel == serial + overhead by construction; the
+    # ratio carries no signal about the code and must not fail the gate.
+    baseline = _payload()
+    fresh = _payload(speedup_cold=0.9, cpu_count=1)
+    assert cli.check_bench(fresh, baseline, tolerance=0.25) == []
+
+
+# ----------------------------------------------------------------------
+# the CLI command around it
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def stub_bench(monkeypatch):
+    """Replace the timing loop with a canned payload."""
+    result = _payload()
+    monkeypatch.setattr(cli, "run_bench", lambda *a, **k: dict(result))
+    return result
+
+
+def _run(args):
+    parser = cli.build_parser()
+    namespace = parser.parse_args(args)
+    return namespace.func(namespace)
+
+
+def test_bench_writes_output_json(tmp_path, stub_bench, capsys):
+    out = tmp_path / "bench.json"
+    assert _run(["bench", "--output", str(out)]) == 0
+    written = json.loads(out.read_text())
+    assert written == stub_bench
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_bench_check_passes_against_equal_baseline(tmp_path, stub_bench):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(stub_bench))
+    out = tmp_path / "bench.json"
+    assert (
+        _run(["bench", "--check", "--baseline", str(baseline), "--output", str(out)])
+        == 0
+    )
+
+
+def test_bench_check_fails_on_regression(tmp_path, stub_bench, capsys):
+    better = dict(stub_bench, events_per_sec=900_000)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(better))
+    out = tmp_path / "bench.json"
+    assert (
+        _run(["bench", "--check", "--baseline", str(baseline), "--output", str(out)])
+        == 1
+    )
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_bench_check_missing_baseline_is_an_error(tmp_path, stub_bench):
+    out = tmp_path / "bench.json"
+    code = _run(
+        ["bench", "--check", "--baseline", str(tmp_path / "nope.json"), "--output", str(out)]
+    )
+    assert code == 2
+
+
+def test_bench_check_reads_baseline_before_overwriting_it(tmp_path, stub_bench):
+    # Default --baseline and --output are the same path; a regression
+    # must still be detected even when the run overwrites the file.
+    shared = tmp_path / "BENCH_campaign.json"
+    shared.write_text(json.dumps(dict(stub_bench, events_per_sec=900_000)))
+    code = _run(
+        ["bench", "--check", "--baseline", str(shared), "--output", str(shared)]
+    )
+    assert code == 1
+    assert json.loads(shared.read_text())["events_per_sec"] == stub_bench["events_per_sec"]
+
+
+def test_bench_absolute_floors(tmp_path, stub_bench):
+    out = tmp_path / "bench.json"
+    assert (
+        _run(["bench", "--output", str(out), "--min-events-per-sec", "400000"]) == 0
+    )
+    assert (
+        _run(["bench", "--output", str(out), "--min-events-per-sec", "600000"]) == 1
+    )
+    assert _run(["bench", "--output", str(out), "--min-speedup", "3.0"]) == 1
+
+
+def test_bench_check_mismatched_settings_skips_comparison(tmp_path, stub_bench, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(dict(stub_bench, settings="tiny", events_per_sec=900_000)))
+    out = tmp_path / "bench.json"
+    assert (
+        _run(["bench", "--check", "--baseline", str(baseline), "--output", str(out)])
+        == 0
+    )
+    assert "not comparable" in capsys.readouterr().out

@@ -1,0 +1,62 @@
+"""Parallel execution must be bit-identical to serial execution.
+
+The executor's contract (and the premise of the content-addressed result
+cache) is that a measurement is a pure function of its
+:class:`~repro.core.experiment.MeasurementPoint`: the worker pool may
+change wall-clock time and completion order, never results.  These tests
+run a small slice of the Fig. 7 grid both ways and compare full reprs -
+every float, not a tolerance.
+"""
+
+from repro.core import parallel
+from repro.core.experiment import ExperimentSettings
+from repro.core.parallel import MeasurementExecutor
+from repro.experiments import load
+
+TINY = ExperimentSettings(warmup_us=2.0, window_us=5.0)
+
+
+def _fig7_slice(count: int = 8):
+    return load("fig7").measurement_points(TINY)[:count]
+
+
+def test_jobs4_bit_identical_to_jobs1(tmp_path, monkeypatch):
+    points = _fig7_slice()
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    parallel.reset()
+    serial = MeasurementExecutor(jobs=1).measure_points(points)
+    assert parallel.stats().simulations == len(points)
+    serial_events = parallel.stats().events_simulated
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    parallel.reset()
+    try:
+        pooled = MeasurementExecutor(jobs=4).measure_points(points)
+        assert parallel.stats().simulations == len(points)
+        pooled_events = parallel.stats().events_simulated
+    finally:
+        parallel.shutdown_pool()
+        parallel.reset()
+
+    # Bit-identical measurements AND identical simulated event counts:
+    # the cost-aware submission order must not leak into results.
+    assert [repr(m) for m in pooled] == [repr(m) for m in serial]
+    assert pooled_events == serial_events
+
+
+def test_parallel_results_reusable_from_serial_cache(tmp_path, monkeypatch):
+    """A cache populated by the pool serves a later serial run verbatim."""
+    points = _fig7_slice(4)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+    parallel.reset()
+    try:
+        pooled = MeasurementExecutor(jobs=2).measure_points(points)
+    finally:
+        parallel.shutdown_pool()
+    parallel.reset()  # drop the memo; force the disk path
+    serial = MeasurementExecutor(jobs=1).measure_points(points)
+    assert parallel.stats().simulations == 0
+    assert parallel.stats().disk_hits == len(set(repr(p) for p in points))
+    assert [repr(m) for m in serial] == [repr(m) for m in pooled]
+    parallel.reset()

@@ -86,3 +86,101 @@ def test_configured_context_overrides_and_restores(fresh_cache):
     after = MeasurementExecutor()
     assert after.jobs == default.jobs
     assert after.use_cache == default.use_cache
+
+
+# ----------------------------------------------------------------------
+# the persistent worker pool
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def fresh_pool():
+    """Ensure no pool survives from (or leaks into) other tests."""
+    parallel.shutdown_pool()
+    yield
+    parallel.shutdown_pool()
+
+
+def test_pool_persists_across_batches(fresh_cache, fresh_pool):
+    executor = MeasurementExecutor(jobs=2)
+    executor.measure_points(_points([16, 32]))
+    assert parallel.pool_workers() == 2
+    first = parallel.get_pool(2)
+    executor.measure_points(_points([64, 128]))
+    assert parallel.get_pool(2) is first  # same warm pool, not a new one
+    assert parallel.stats().simulations == 4
+
+
+def test_pool_grows_on_demand_and_never_shrinks(fresh_pool):
+    small = parallel.get_pool(1)
+    grown = parallel.get_pool(2)
+    assert grown is not small
+    assert parallel.pool_workers() == 2
+    # A narrower request keeps the wider pool.
+    assert parallel.get_pool(1) is grown
+    assert parallel.pool_workers() == 2
+
+
+def test_shutdown_pool_is_idempotent(fresh_pool):
+    parallel.get_pool(1)
+    assert parallel.pool_workers() == 1
+    parallel.shutdown_pool()
+    assert parallel.pool_workers() == 0
+    parallel.shutdown_pool()  # no pool: must be a no-op
+    assert parallel.pool_workers() == 0
+
+
+def test_get_pool_rejects_zero_workers(fresh_pool):
+    with pytest.raises(ValueError):
+        parallel.get_pool(0)
+
+
+def test_stats_add_is_thread_safe():
+    import threading
+
+    stats = parallel.ExecutorStats()
+
+    def hammer():
+        for _ in range(1000):
+            stats.add(simulations=1, memo_hits=2, events_simulated=3)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert stats.simulations == 8000
+    assert stats.memo_hits == 16000
+    assert stats.events_simulated == 24000
+
+
+def test_reset_zeroes_live_counters_in_place():
+    stats = parallel.stats()
+    stats.add(simulations=3, disk_hits=1)
+    parallel.reset()
+    # reset must clear the shared instance, not rebind the module global.
+    assert parallel.stats() is stats
+    assert stats.simulations == 0
+    assert stats.disk_hits == 0
+
+
+def test_snapshot_is_independent_copy():
+    stats = parallel.ExecutorStats()
+    stats.add(simulations=1)
+    snap = stats.snapshot()
+    stats.add(simulations=5)
+    assert snap.simulations == 1
+    assert stats.simulations == 6
+
+
+def test_expected_cost_orders_by_duration_ports_and_payload():
+    small, large = _points([128, 16])
+    assert parallel._expected_cost(large) > parallel._expected_cost(small)
+    wide = MeasurementPoint.for_pattern(
+        pattern_by_name("1 bank", TINY.config),
+        request_type=RequestType.READ,
+        payload_bytes=128,
+        settings=TINY,
+        active_ports=2,
+    )
+    assert parallel._expected_cost(small) > parallel._expected_cost(wide)

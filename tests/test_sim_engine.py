@@ -193,3 +193,122 @@ def test_events_processed_counts_fast_events_not_cancelled_ones():
     cancelled.cancel()
     sim.run()
     assert sim.events_processed == 3
+
+
+# ----------------------------------------------------------------------
+# the now-queue (zero-delay microtasks)
+# ----------------------------------------------------------------------
+
+
+def test_post_runs_at_current_time_in_post_order():
+    sim = Simulator()
+    fired = []
+
+    def at_two():
+        sim.post(fired.append, "first")
+        sim.schedule_fast(0.0, fired.append, "second")  # routed to the now-queue
+        sim.post(fired.append, "third")
+
+    sim.schedule(2.0, at_two)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+    assert sim.now == 2.0
+
+
+def test_heap_event_at_same_time_with_smaller_seq_runs_before_microtask():
+    # A heap event scheduled *before* the microtask was posted carries a
+    # smaller sequence number, so the merged order must run it first -
+    # exactly what the old all-heap engine did.
+    sim = Simulator()
+    fired = []
+
+    def first():
+        sim.post(fired.append, "microtask")
+
+    sim.schedule(5.0, first)
+    sim.schedule(5.0, fired.append, "heap-later")  # seq between first and microtask
+    sim.run()
+    assert fired == ["heap-later", "microtask"]
+
+
+def test_microtask_runs_before_heap_event_with_larger_seq():
+    # Conversely, a heap entry created *after* the post (a cancellable
+    # zero-delay Event) must wait its turn behind the microtask.
+    sim = Simulator()
+    fired = []
+
+    def first():
+        sim.post(fired.append, "microtask")
+        sim.schedule(0.0, fired.append, "heap-after")  # Event path stays on the heap
+
+    sim.schedule(5.0, first)
+    sim.run()
+    assert fired == ["microtask", "heap-after"]
+
+
+def test_schedule_fast_at_current_time_uses_now_queue():
+    sim = Simulator()
+    fired = []
+
+    def at_three():
+        sim.schedule_fast_at(sim.now, fired.append, "same-instant")
+
+    sim.schedule(3.0, at_three)
+    sim.run()
+    assert fired == ["same-instant"]
+    assert sim.now == 3.0
+
+
+def test_now_queue_bound_detects_zero_delay_livelock(monkeypatch):
+    from repro.sim import engine as engine_mod
+
+    monkeypatch.setattr(engine_mod, "NOW_QUEUE_LIMIT", 64)
+    sim = Simulator()
+
+    def breed():
+        sim.post(breed)
+        sim.post(breed)
+
+    sim.post(breed)
+    with pytest.raises(SimulationError, match="now-queue overflow"):
+        sim.run(until=1.0)
+
+
+def test_step_executes_microtasks_before_advancing_time():
+    sim = Simulator()
+    fired = []
+    sim.post(fired.append, "micro")
+    sim.schedule_fast(1.0, fired.append, "later")
+    assert sim.pending == 2
+    assert sim.step() is True
+    assert fired == ["micro"]
+    assert sim.now == 0.0
+    assert sim.step() is True
+    assert fired == ["micro", "later"]
+    assert sim.now == 1.0
+    assert sim.step() is False
+
+
+def test_pending_counts_microtasks():
+    sim = Simulator()
+    sim.post(lambda: None)
+    sim.post(lambda: None)
+    assert sim.pending == 2
+    sim.run(until=0.0)
+    assert sim.pending == 0
+    assert sim.events_processed == 2
+
+
+def test_step_skips_cancelled_heap_entry_in_favour_of_microtask():
+    sim = Simulator()
+    fired = []
+
+    def at_one():
+        cancelled = sim.schedule(0.0, fired.append, "cancelled")
+        sim.post(fired.append, "micro")
+        cancelled.cancel()
+        sim.schedule(0.0, fired.append, "heap-live")
+
+    sim.schedule(1.0, at_one)
+    sim.run()
+    assert fired == ["micro", "heap-live"]
