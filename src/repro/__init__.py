@@ -71,6 +71,12 @@ _PUBLIC = {
     "TopologySpec": "repro.topology.spec",
     "CubeNetwork": "repro.topology.network",
     "CubeMapping": "repro.hmc.address",
+    # observability: lifecycle tracing and the unified metrics registry
+    "simulate_point_traced": "repro.core.experiment",
+    "Tracer": "repro.obs.trace",
+    "TraceContext": "repro.obs.trace",
+    "MetricsRegistry": "repro.obs.registry",
+    "get_registry": "repro.obs.registry",
 }
 
 #: Renamed/relocated symbols kept importable behind a DeprecationWarning:
@@ -92,6 +98,7 @@ __all__ = sorted(_PUBLIC) + [
     "experiments",
     "service",
     "topology",
+    "obs",
 ]
 
 

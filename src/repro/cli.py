@@ -18,6 +18,10 @@ Usage::
     python -m repro serve --port 8642 --jobs 8
     python -m repro query --pattern "16 vaults" --size 128 --json
     python -m repro query --stats
+    python -m repro query --metrics
+    python -m repro trace run --pattern "16 vaults" --out trace.json
+    python -m repro trace export spans.ndjson --format report
+    python -m repro run fig7 --fast --trace fig7_trace.json --trace-sample 16
 
 ``--json`` output is newline-delimited JSON in the versioned wire
 schema (:mod:`repro.core.schema`) - the same format the measurement
@@ -29,6 +33,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.core import parallel
@@ -98,6 +103,39 @@ def _jobs(args: argparse.Namespace) -> int:
     return args.jobs if args.jobs else parallel.default_jobs()
 
 
+@contextmanager
+def _tracing(args: argparse.Namespace):
+    """Honour ``--trace``/``--trace-sample`` around a command body.
+
+    Tracing forces the serial in-process executor and disables the
+    result cache so every sampled request actually simulates in this
+    process; spans collected while the body runs are written to the
+    ``--trace`` path as a Chrome/Perfetto ``trace_event`` document.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield
+        return
+    from repro.obs import export as obs_export
+    from repro.obs import trace as obs_trace
+
+    args.jobs = 1
+    args.no_cache = True
+    obs_trace.drain_finished()  # drop any spans a previous command left
+    obs_trace.configure(args.trace_sample)
+    try:
+        yield
+    finally:
+        obs_trace.configure(None)
+        count = obs_export.write_chrome_trace(
+            path, obs_trace.drain_finished(), label=f"repro {args.command}"
+        )
+        print(
+            f"wrote {path} ({count} traced requests, "
+            f"sample 1/{args.trace_sample})"
+        )
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     width = max(len(i) for i in REGISTRY)
     for experiment_id in REGISTRY:
@@ -108,8 +146,11 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.json:
-        return _run_json(args)
-    with parallel.configured(jobs=_jobs(args), use_cache=not args.no_cache):
+        with _tracing(args):
+            return _run_json(args)
+    with _tracing(args), parallel.configured(
+        jobs=_jobs(args), use_cache=not args.no_cache
+    ):
         outcome = run_experiment(args.experiment, _settings(args))
     print(outcome.report)
     if not outcome.passed:
@@ -199,15 +240,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         from repro.core import schema
 
-        detailed = run_sweep_detailed(
-            grid, settings, jobs=_jobs(args), use_cache=not args.no_cache
-        )
+        with _tracing(args):
+            detailed = run_sweep_detailed(
+                grid, settings, jobs=_jobs(args), use_cache=not args.no_cache
+            )
         for point, measurement in detailed:
             print(schema.dumps(schema.result_to_dict(point, measurement)))
         return 0
-    records = run_sweep(
-        grid, settings, jobs=_jobs(args), use_cache=not args.no_cache
-    )
+    with _tracing(args):
+        records = run_sweep(
+            grid, settings, jobs=_jobs(args), use_cache=not args.no_cache
+        )
     text = to_csv(records, args.csv)
     if args.csv:
         print(f"wrote {args.csv} ({len(records)} records)")
@@ -241,6 +284,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return 0
         if args.stats:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.metrics:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
             return 0
         if args.shutdown:
             client.shutdown()
@@ -276,6 +322,94 @@ def _query_measure(args: argparse.Namespace, client) -> int:
             f"{measurement.bandwidth_gbs:.2f} GB/s, {measurement.mrps:.1f} MRPS, "
             f"read avg {measurement.read_latency_avg_ns / 1e3:.2f} us"
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Dispatch the ``trace`` subcommand (``run`` / ``export``)."""
+    if args.action == "run":
+        return _trace_run(args)
+    return _trace_export(args)
+
+
+def _trace_run(args: argparse.Namespace) -> int:
+    """Trace one measurement point, report, export, and cross-validate."""
+    from repro.core.experiment import MeasurementPoint, simulate_point_traced
+    from repro.core.patterns import pattern_by_name
+    from repro.fpga.address_gen import AddressingMode
+    from repro.hmc.packet import RequestType
+    from repro.obs import export as obs_export
+
+    settings = _settings(args)
+    point = MeasurementPoint.for_pattern(
+        pattern_by_name(args.pattern, settings.config),
+        request_type=RequestType.from_label(args.type),
+        payload_bytes=args.size,
+        settings=settings,
+        mode=AddressingMode.from_label(args.mode),
+        active_ports=args.ports,
+    )
+    measurement, tracer = simulate_point_traced(point, sample=args.sample)
+    contexts = list(tracer.contexts)
+    title = (
+        f"{point.pattern_name} {point.request_type.value} "
+        f"{point.payload_bytes}B {point.mode.value}: "
+        f"{measurement.bandwidth_gbs:.2f} GB/s, "
+        f"read avg {measurement.read_latency_avg_ns / 1e3:.2f} us"
+    )
+    result = obs_export.breakdown(contexts)
+    print(obs_export.render_report(result, title=title))
+    if args.out:
+        count = obs_export.write_chrome_trace(
+            args.out, contexts, label=f"repro trace {point.pattern_name}"
+        )
+        print(
+            f"wrote {args.out} ({count} traced requests, sample 1/{args.sample})"
+        )
+    if args.spans:
+        count = obs_export.write_spans(args.spans, contexts)
+        print(f"wrote {args.spans} ({count} wire-schema spans)")
+    if args.no_validate:
+        return 0
+    return _validate_against_profile(point, result)
+
+
+def _validate_against_profile(point, result) -> int:
+    """Cross-check the traced hotspot against the analytic profiler."""
+    from repro.core.profile import profile_workload
+    from repro.obs import export as obs_export
+
+    if not result.count:
+        print("trace: no finished read spans to validate", file=sys.stderr)
+        return 1
+    profiled = profile_workload(
+        mask=point.mask,
+        request_type=point.request_type,
+        payload_bytes=point.payload_bytes,
+        mode=point.mode,
+        active_ports=point.active_ports,
+        settings=point.settings,
+    )
+    agrees, detail = obs_export.agrees_with_profile(result, profiled)
+    print(("AGREES: " if agrees else "DISAGREES: ") + detail)
+    return 0 if agrees else 1
+
+
+def _trace_export(args: argparse.Namespace) -> int:
+    """Re-render a span NDJSON file as Perfetto JSON or a report."""
+    from repro.obs import export as obs_export
+
+    contexts = obs_export.read_spans(args.spans)
+    if args.format == "report":
+        print(
+            obs_export.render_report(
+                obs_export.breakdown(contexts), title=args.spans
+            )
+        )
+        return 0
+    out = args.out or "trace.json"
+    count = obs_export.write_chrome_trace(out, contexts, label=args.spans)
+    print(f"wrote {out} ({count} traced requests)")
     return 0
 
 
@@ -463,6 +597,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         (TINY_SETTINGS, "tiny") if args.tiny else (FAST_SETTINGS, "fast")
     )
 
+    trace_sample = getattr(args, "trace_sample", None)
+
     baseline: Optional[dict] = None
     if args.check:
         # Read the baseline before running: --output may point at the
@@ -475,7 +611,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"bench --check: cannot read baseline {args.baseline}: {exc}")
             return 2
 
-    payload = run_bench(ids, jobs, settings, label)
+    if trace_sample:
+        # The environment variable (not in-process config) is what forked
+        # pool workers inherit, so every benched simulation samples spans.
+        from repro.obs.trace import SAMPLE_ENV
+
+        saved_sample = os.environ.get(SAMPLE_ENV)
+        os.environ[SAMPLE_ENV] = str(trace_sample)
+        try:
+            payload = run_bench(ids, jobs, settings, label)
+        finally:
+            if saved_sample is None:
+                os.environ.pop(SAMPLE_ENV, None)
+            else:
+                os.environ[SAMPLE_ENV] = saved_sample
+        payload["trace_sample"] = trace_sample
+    else:
+        payload = run_bench(ids, jobs, settings, label)
 
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -544,6 +696,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="skip the on-disk result cache (always re-simulate)",
         )
 
+    def add_trace_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            metavar="FILE",
+            help=(
+                "trace sampled transaction lifecycles and write a "
+                "Chrome/Perfetto trace_event JSON here (forces --jobs 1 "
+                "and --no-cache)"
+            ),
+        )
+        p.add_argument(
+            "--trace-sample",
+            type=int,
+            default=1,
+            metavar="N",
+            help="trace every Nth submitted request (default: 1 = all)",
+        )
+
     def add_topology_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--topology",
@@ -572,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the experiment's measurement grid as wire-schema JSON lines",
     )
     add_executor_flags(run_parser)
+    add_trace_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     campaign_parser = sub.add_parser("campaign", help="run every experiment")
@@ -609,6 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--fast", action="store_true")
     add_executor_flags(sweep_parser)
+    add_trace_flags(sweep_parser)
     add_topology_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -689,7 +861,85 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="absolute floor on speedup_cold (CI smoke threshold)",
     )
+    bench_parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run the benchmark with lifecycle tracing sampling every Nth "
+            "request (overhead measurement; spans are discarded)"
+        ),
+    )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    trace_parser = sub.add_parser(
+        "trace", help="trace transaction lifecycles (Fig. 15 deconstruction)"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="action", required=True)
+
+    trace_run_parser = trace_sub.add_parser(
+        "run", help="trace one measurement point and validate vs the profiler"
+    )
+    trace_run_parser.add_argument(
+        "--pattern", default="16 vaults", help="access pattern to trace"
+    )
+    trace_run_parser.add_argument(
+        "--type", default="ro", choices=["ro", "wo", "rw"], dest="type"
+    )
+    trace_run_parser.add_argument("--size", type=int, default=128, metavar="BYTES")
+    trace_run_parser.add_argument(
+        "--mode", default="random", choices=["linear", "random"]
+    )
+    trace_run_parser.add_argument(
+        "--ports", type=int, default=None, metavar="N", help="active GUPS ports"
+    )
+    trace_run_parser.add_argument("--fast", action="store_true")
+    trace_run_parser.add_argument(
+        "--sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trace every Nth submitted request (default: 1 = all)",
+    )
+    trace_run_parser.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="FILE",
+        help="Chrome/Perfetto trace_event JSON output path",
+    )
+    trace_run_parser.add_argument(
+        "--spans",
+        default=None,
+        metavar="FILE",
+        help="also write wire-schema trace_span NDJSON here",
+    )
+    trace_run_parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the cross-check against the analytic station profiler",
+    )
+    trace_run_parser.set_defaults(func=_cmd_trace)
+
+    trace_export_parser = trace_sub.add_parser(
+        "export", help="re-render a span NDJSON file (from trace run --spans)"
+    )
+    trace_export_parser.add_argument(
+        "spans", help="wire-schema trace_span NDJSON file"
+    )
+    trace_export_parser.add_argument(
+        "--format",
+        default="perfetto",
+        choices=("perfetto", "report"),
+        help="perfetto = trace_event JSON, report = Fig. 15-style table",
+    )
+    trace_export_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="output path for --format perfetto (default: trace.json)",
+    )
+    trace_export_parser.set_defaults(func=_cmd_trace)
 
     from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
 
@@ -727,6 +977,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print the daemon's counters"
     )
     action.add_argument("--ping", action="store_true", help="liveness probe")
+    action.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the daemon's unified metrics-registry snapshot",
+    )
     action.add_argument(
         "--shutdown", action="store_true", help="ask the daemon to drain and exit"
     )

@@ -24,6 +24,7 @@ from repro.hmc.address import AddressMask
 from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hmc.config import HMCConfig, HMC_1_1_4GB
 from repro.hmc.packet import RequestType
+from repro.obs import trace as obs_trace
 from repro.power.model import (
     OperatingPoint,
     WRITE_FRACTION,
@@ -176,7 +177,38 @@ def simulate_point(point: MeasurementPoint) -> Tuple[BandwidthMeasurement, int]:
     This is the executor's worker function: it always simulates, never
     consults any cache.  The event count feeds the benchmark harness's
     events/second figure.
+
+    When process-wide trace sampling is configured (in process via
+    :func:`repro.obs.trace.configure` or through the
+    ``REPRO_TRACE_SAMPLE`` environment variable, which also reaches
+    forked pool workers), sampled transactions are traced into the
+    process-wide span store; the measurement itself is bit-identical
+    either way.
     """
+    return _run_point(point, obs_trace.tracer_for_run())
+
+
+def simulate_point_traced(
+    point: MeasurementPoint, sample: int = 1, capacity: int = 100_000
+) -> Tuple[BandwidthMeasurement, "obs_trace.Tracer"]:
+    """Run one GUPS experiment with lifecycle tracing on.
+
+    Every ``sample``-th submitted transaction carries a
+    :class:`~repro.obs.trace.TraceContext`; the returned tracer holds
+    up to ``capacity`` finished spans for export
+    (:mod:`repro.obs.export`).  The measurement is bit-identical to
+    :func:`simulate_point` - tracing only reads the clock at stations
+    the request crosses anyway.
+    """
+    tracer = obs_trace.Tracer(sample=sample, capacity=capacity)
+    measurement, _events = _run_point(point, tracer)
+    return measurement, tracer
+
+
+def _run_point(
+    point: MeasurementPoint, tracer: Optional["obs_trace.Tracer"]
+) -> Tuple[BandwidthMeasurement, int]:
+    """The shared warm-up/window protocol behind both entry points."""
     settings = point.settings
     board = AC510Board(
         config=settings.config,
@@ -194,6 +226,8 @@ def simulate_point(point: MeasurementPoint) -> Tuple[BandwidthMeasurement, int]:
         ),
         active_ports=point.active_ports,
     )
+    if tracer is not None:
+        board.controller.tracer = tracer
     gups.start()
     sim = board.sim
     warmup_ns = settings.warmup_us * 1e3

@@ -63,6 +63,7 @@ from repro.core.experiment import (
     MeasurementPoint,
     simulate_point,
 )
+from repro.obs import registry as obs_registry
 
 #: In-process memo shared by every executor: key -> measurement.  This
 #: is what lets Figs. 9-12 and 16 reuse Fig. 7/8 measurements within a
@@ -78,12 +79,20 @@ class ExecutorStats:
     instance lock - the daemon submits batches from executor threads
     while its event loop reads snapshots.  Plain attribute *reads* are
     fine for single-threaded callers (tests, CLI summaries).
+
+    ``pool_workers`` and ``start_method`` describe the shared worker
+    pool at :meth:`snapshot` time (0/"" on the live counters object) -
+    they are the labels under which the metrics registry files the
+    executor's series, so a fork-pool run and a spawn-pool run never
+    alias onto one series.
     """
 
     simulations: int = 0
     memo_hits: int = 0
     disk_hits: int = 0
     events_simulated: int = 0
+    pool_workers: int = 0
+    start_method: str = ""
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -111,17 +120,65 @@ class ExecutorStats:
             self.events_simulated = 0
 
     def snapshot(self) -> "ExecutorStats":
-        """An independent, internally consistent copy."""
+        """An independent, internally consistent copy.
+
+        The copy also captures the shared pool's current width and the
+        platform start method, so consumers (the ``/stats`` verb, the
+        metrics registry) can label executor series correctly.
+        """
         with self._lock:
             return ExecutorStats(
                 simulations=self.simulations,
                 memo_hits=self.memo_hits,
                 disk_hits=self.disk_hits,
                 events_simulated=self.events_simulated,
+                pool_workers=_POOL_WORKERS,
+                start_method=_mp_context().get_start_method(),
             )
 
 
 _STATS = ExecutorStats()
+
+
+def _collect_executor_series():
+    """Registry collector: the executor counters as labelled series."""
+    snap = _STATS.snapshot()
+    labels = {"pool": str(snap.pool_workers), "start_method": snap.start_method}
+    return [
+        {
+            "name": "executor_simulations_total",
+            "type": "counter",
+            "labels": labels,
+            "value": snap.simulations,
+        },
+        {
+            "name": "executor_memo_hits_total",
+            "type": "counter",
+            "labels": labels,
+            "value": snap.memo_hits,
+        },
+        {
+            "name": "executor_disk_hits_total",
+            "type": "counter",
+            "labels": labels,
+            "value": snap.disk_hits,
+        },
+        {
+            "name": "executor_events_simulated_total",
+            "type": "counter",
+            "labels": labels,
+            "value": snap.events_simulated,
+        },
+        {
+            "name": "executor_pool_workers",
+            "type": "gauge",
+            "labels": {"start_method": snap.start_method},
+            "value": snap.pool_workers,
+        },
+    ]
+
+
+obs_registry.get_registry().register_collector(_collect_executor_series)
 
 #: Module defaults applied when an executor is built without explicit
 #: arguments; `None` jobs means "serial" for library callers - the CLI

@@ -45,6 +45,7 @@ from repro.hmc.address import AddressMask
 from repro.hmc.calibration import Calibration
 from repro.hmc.config import HMCConfig, LinkConfig
 from repro.hmc.packet import RequestType
+from repro.obs.trace import STAMPS, TraceContext
 from repro.topology.spec import TopologySpec
 
 #: The wire-schema version this process reads and writes.  Bump it (and
@@ -343,6 +344,87 @@ def measurement_from_dict(payload: Mapping[str, Any]) -> BandwidthMeasurement:
         request_type=_decode_enum(RequestType, body.get("request_type")),
         mode=_decode_enum(AddressingMode, body.get("mode")),
     )
+
+
+# ----------------------------------------------------------------------
+# TraceContext spans - `repro trace` NDJSON interchange
+# ----------------------------------------------------------------------
+def span_to_dict(context: TraceContext) -> Dict[str, Any]:
+    """Wire payload for one finished lifecycle trace span."""
+    return _envelope(
+        "trace_span",
+        {
+            "trace_id": context.trace_id,
+            "port": context.port,
+            "link": context.link,
+            "cube": context.cube,
+            "is_write": context.is_write,
+            "payload_bytes": context.payload_bytes,
+            "stamps": {
+                name: encode_float(value)
+                for name, value in context.stamps().items()
+            },
+        },
+    )
+
+
+def span_from_dict(payload: Mapping[str, Any]) -> TraceContext:
+    """Decode a :class:`~repro.obs.trace.TraceContext` span payload."""
+    body = check_envelope(payload, "trace_span")
+    try:
+        context = TraceContext(
+            body["trace_id"],
+            port=body["port"],
+            is_write=body["is_write"],
+            payload_bytes=body["payload_bytes"],
+        )
+        context.link = body["link"]
+        context.cube = body["cube"]
+        stamps = body["stamps"]
+        for name, _stage in STAMPS:
+            setattr(context, name, decode_float(stamps[name]))
+        return context
+    except SchemaError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"invalid trace_span payload: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# metrics-registry snapshots - the daemon's `metrics` verb
+# ----------------------------------------------------------------------
+def metrics_to_dict(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """Wire payload for one registry snapshot (``{"series": [...]}``).
+
+    Series values pass through :func:`encode_float` so non-finite
+    gauges/sums survive strict JSON.
+    """
+    series = []
+    for entry in snapshot.get("series", ()):
+        encoded = dict(entry)
+        for key in ("value", "sum"):
+            if key in encoded and isinstance(encoded[key], float):
+                encoded[key] = encode_float(encoded[key])
+        series.append(encoded)
+    return _envelope("metrics_snapshot", {"series": series})
+
+
+def metrics_from_dict(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Decode a registry snapshot; inverse of :func:`metrics_to_dict`."""
+    body = check_envelope(payload, "metrics_snapshot")
+    try:
+        series = []
+        for entry in body["series"]:
+            decoded = dict(entry)
+            for key in ("value", "sum"):
+                if key in decoded and isinstance(decoded[key], (str, float)):
+                    decoded[key] = decode_float(decoded[key])
+            series.append(decoded)
+        return {"series": series}
+    except SchemaError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"invalid metrics_snapshot payload: {exc}") from None
 
 
 # ----------------------------------------------------------------------

@@ -71,6 +71,11 @@ class HmcController:
         # Optional link fault injection (see repro.faults): corrupted
         # transactions re-enter the TX path instead of completing.
         self.fault_model = None
+        # Optional lifecycle tracer (repro.obs.trace.Tracer): when set,
+        # head-sampled requests carry a TraceContext that the TX/RX
+        # stations below stamp in place.  None keeps every hot path to
+        # one is-None branch per station.
+        self.tracer = None
 
         # Measurement-window instrumentation.
         self.traffic = RateMeter()
@@ -115,12 +120,21 @@ class HmcController:
         """A port submits a request; the paper's latency clock starts."""
         request.submit_ns = self.sim.now
         request.link = self._port_links[request.port]
+        if self.tracer is not None:
+            self.tracer.attach(request)
         self.outstanding += 1
         self.submitted += 1
         pipeline_done = self.sim.now + self._tx_pipeline_ns[request.request_flits]
         self.sim.schedule_fast_at(pipeline_done, self._acquire_tokens, request)
 
     def _acquire_tokens(self, request: Request) -> None:
+        trace = request.trace
+        if trace is not None:
+            # Overwritten on a fault-model replay: the stamps then
+            # describe the final (successful) TX attempt, keeping every
+            # span non-negative while the latency clock still runs from
+            # the original submission.
+            trace.tx_pipeline_ns = self.sim.now
         link = self.device.links[request.link]
         flits = request.request_flits
         if link.tokens.acquire(flits, lambda: self._transmit(request)):
@@ -129,6 +143,10 @@ class HmcController:
     def _transmit(self, request: Request) -> None:
         link = self.device.links[request.link]
         tx_done = link.tx.acquire(packet_bytes(request.request_flits))
+        trace = request.trace
+        if trace is not None:
+            trace.tx_start_ns = self.sim.now
+            trace.link_tx_done_ns = tx_done
         self.device.submit_from_link(request, tx_done + link.propagation_ns)
 
     # ------------------------------------------------------------------
@@ -166,6 +184,12 @@ class HmcController:
             else:
                 self.reads_completed_in_window += 1
                 self.read_latency.record(request.latency_ns)
+
+        if request.trace is not None:
+            if self.tracer is not None:
+                self.tracer.finish(request)
+            else:
+                request.trace = None  # tracer detached mid-flight
 
         handler = self._handlers.get(request.port)
         if handler is not None:

@@ -221,6 +221,9 @@ class HMCDevice:
         rx_done = link.rx.acquire(
             packet_bytes(request.response_flits), earliest=ready + link.propagation_ns
         )
+        trace = request.trace
+        if trace is not None:
+            trace.rx_done_ns = rx_done
         if self.on_response is None:
             raise ConfigurationError("HMCDevice.on_response handler not installed")
         self.sim.schedule_fast_at(rx_done, self.on_response, request, rx_done)

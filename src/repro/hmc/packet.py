@@ -140,6 +140,10 @@ class Request:
     quadrant: int = -1  # decoded on ingress so egress never re-decodes
     parent: Optional["Request"] = None  # the read of a read-modify-write pair
     data: Optional[bytes] = None  # payload contents when the data store is on
+    # Lifecycle trace context (repro.obs.trace.TraceContext) when this
+    # transaction was head-sampled by an attached tracer; None keeps the
+    # untraced hot path to a single is-None check per station.
+    trace: Optional[object] = field(default=None, repr=False, compare=False)
     submit_ns: float = field(default=-1.0)
     vault_arrival_ns: float = field(default=-1.0)
     bank_start_ns: float = field(default=-1.0)

@@ -110,6 +110,9 @@ class Bank:
                 tsv_done + timings.t_rp_ns,
             )
             self.busy_time += self.busy_until - start
+        trace = request.trace
+        if trace is not None:
+            trace.dram_done_ns = depart
         vault.complete(request, depart)
 
 

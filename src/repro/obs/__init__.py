@@ -1,0 +1,44 @@
+"""Observability: transaction tracing, metrics registry, exporters.
+
+``repro.obs`` is the cross-cutting measurement layer:
+
+* :mod:`repro.obs.trace` - span-based transaction lifecycle tracing
+  with head-based sampling (zero overhead when disabled);
+* :mod:`repro.obs.registry` - the process-wide metrics registry
+  (counters/gauges/histograms with labels, one snapshot API);
+* :mod:`repro.obs.export` - Chrome/Perfetto ``trace_event`` JSON and
+  the plain-text Fig. 15 latency-deconstruction report, cross-validated
+  against :mod:`repro.core.profile`.
+
+``trace`` and ``registry`` are stdlib-only leaves, safe to import from
+any layer; ``export`` (which pulls in heavier model modules through
+the wire schema) loads lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.trace import TraceContext, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "get_registry",
+    "TraceContext",
+    "Tracer",
+    "trace",
+    "registry",
+    "export",
+]
+
+_LAZY_MODULES = ("export",)
+
+
+def __getattr__(name: str):
+    """Lazily import the heavier submodules (PEP 562)."""
+    if name in _LAZY_MODULES:
+        import importlib
+
+        module = importlib.import_module(f"repro.obs.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

@@ -1,0 +1,259 @@
+"""Trace exporters: Perfetto JSON and the Fig. 15-style breakdown.
+
+Two consumers of finished :class:`~repro.obs.trace.TraceContext` spans:
+
+* :func:`chrome_trace` renders them in the Chrome ``trace_event`` JSON
+  format (one complete-``"X"`` event per lifecycle stage, grouped by
+  GUPS port), loadable in Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``;
+* :func:`breakdown` + :func:`render_report` aggregate per-stage
+  durations into the paper's Fig. 15 latency deconstruction - mean
+  nanoseconds per station and its share of the round trip.
+
+:func:`agrees_with_profile` cross-validates the traced breakdown
+against the analytic station utilizations of
+:mod:`repro.core.profile`: both attributions are mapped onto common
+station *families* (request link, response link, vault/DRAM) and the
+hottest family must match.  The families bridge the two views - the
+profiler reports busy fractions of shared serving stations, the tracer
+reports where sampled transactions waited, and at a bottleneck both
+concentrate on the same station.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import (
+    STAGES,
+    STAGE_FAMILIES,
+    STAGE_TITLES,
+    TraceContext,
+)
+from repro.sim.stats import OnlineStats
+
+#: Families the analytic profiler can attribute (``repro.core.profile``
+#: has no station for the controller's fixed pipelines or the fabric's
+#: fixed route delay, so those trace stages sit out the comparison).
+COMPARABLE_FAMILIES = ("request link", "response link", "vault/DRAM")
+
+
+class LatencyBreakdown:
+    """Aggregated per-stage latency over a set of traced transactions."""
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, OnlineStats] = {}
+        self.latency = OnlineStats()
+        self.count = 0
+
+    def add(self, context: TraceContext) -> None:
+        """Fold one finished span into the aggregate."""
+        self.count += 1
+        self.latency.add(context.latency_ns)
+        for stage, start, end in context.spans():
+            stats = self.stages.get(stage)
+            if stats is None:
+                stats = self.stages[stage] = OnlineStats()
+            stats.add(end - start)
+
+    def mean_ns(self, stage: str) -> float:
+        """Mean duration of one stage (0 when the stage never occurred)."""
+        stats = self.stages.get(stage)
+        return stats.mean if stats is not None and stats.count else 0.0
+
+    def share(self, stage: str) -> float:
+        """Fraction of the mean round trip spent in ``stage``."""
+        total = self.latency.mean if self.latency.count else 0.0
+        return self.mean_ns(stage) / total if total else 0.0
+
+    def family_means_ns(self) -> Dict[str, float]:
+        """Mean nanoseconds per station family (summed over stages)."""
+        families: Dict[str, float] = {}
+        for stage in STAGES:
+            family = STAGE_FAMILIES[stage]
+            families[family] = families.get(family, 0.0) + self.mean_ns(stage)
+        return families
+
+    def dominant_family(self) -> str:
+        """The comparable family where sampled transactions waited most."""
+        means = self.family_means_ns()
+        return max(COMPARABLE_FAMILIES, key=lambda family: means.get(family, 0.0))
+
+
+def breakdown(
+    contexts: Iterable[TraceContext], reads_only: bool = True
+) -> LatencyBreakdown:
+    """Aggregate finished spans into a :class:`LatencyBreakdown`.
+
+    ``reads_only`` mirrors the paper's Fig. 15, which deconstructs read
+    round trips (writes complete at the controller and have a different
+    response-path meaning); pass ``False`` to aggregate everything.
+    """
+    result = LatencyBreakdown()
+    for context in contexts:
+        if not context.finished:
+            continue
+        if reads_only and context.is_write:
+            continue
+        result.add(context)
+    return result
+
+
+def render_report(result: LatencyBreakdown, title: str = "") -> str:
+    """The latency-deconstruction table as plain text (Fig. 15 style)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not result.count:
+        lines.append("no finished read spans (is tracing enabled?)")
+        return "\n".join(lines)
+    lines.append(
+        f"latency deconstruction over {result.count} sampled reads "
+        f"(mean RTT {result.latency.mean:,.1f} ns)"
+    )
+    lines.append(f"{'station':34s} {'mean ns':>12s} {'share':>7s}")
+    for stage in STAGES:
+        stats = result.stages.get(stage)
+        if stats is None or not stats.count:
+            continue
+        lines.append(
+            f"{STAGE_TITLES[stage]:34s} {stats.mean:12,.1f} {result.share(stage):6.1%}"
+        )
+    covered = sum(result.mean_ns(stage) for stage in STAGES)
+    lines.append(f"{'total (stages telescope to RTT)':34s} {covered:12,.1f} {1:6.1%}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome/Perfetto trace_event export
+# ----------------------------------------------------------------------
+def chrome_trace(
+    contexts: Sequence[TraceContext], label: str = "repro"
+) -> Dict[str, object]:
+    """Finished spans as a Chrome ``trace_event`` JSON document.
+
+    Each lifecycle stage becomes one complete (``"ph": "X"``) event;
+    rows group by GUPS port (``tid``), the whole simulation is one
+    process (``pid``), and timestamps convert from simulated
+    nanoseconds to the format's microseconds.  The document loads
+    directly in Perfetto or ``chrome://tracing``.
+    """
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"{label} (simulated time)"},
+        }
+    ]
+    ports = sorted({context.port for context in contexts})
+    for port in ports:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": port,
+                "args": {"name": f"GUPS port {port}"},
+            }
+        )
+    for context in contexts:
+        if not context.finished:
+            continue
+        kind = "write" if context.is_write else "read"
+        for stage, start, end in context.spans():
+            events.append(
+                {
+                    "name": STAGE_TITLES[stage],
+                    "cat": kind,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": context.port,
+                    "ts": start / 1e3,
+                    "dur": (end - start) / 1e3,
+                    "args": {
+                        "trace_id": context.trace_id,
+                        "stage": stage,
+                        "payload_bytes": context.payload_bytes,
+                        "link": context.link,
+                        "cube": context.cube,
+                    },
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    path: str, contexts: Sequence[TraceContext], label: str = "repro"
+) -> int:
+    """Write :func:`chrome_trace` output to ``path``; returns span count."""
+    document = chrome_trace(contexts, label=label)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return sum(1 for context in contexts if context.finished)
+
+
+# ----------------------------------------------------------------------
+# span NDJSON (wire schema) round trip
+# ----------------------------------------------------------------------
+def write_spans(path: str, contexts: Iterable[TraceContext]) -> int:
+    """Write spans as wire-schema ``trace_span`` NDJSON; returns count."""
+    from repro.core import schema
+
+    count = 0
+    with open(path, "w") as handle:
+        for context in contexts:
+            handle.write(schema.dumps(schema.span_to_dict(context)) + "\n")
+            count += 1
+    return count
+
+
+def read_spans(path: str) -> List[TraceContext]:
+    """Read a ``trace_span`` NDJSON file back into contexts."""
+    from repro.core import schema
+
+    contexts: List[TraceContext] = []
+    with open(path) as handle:
+        for line in handle:
+            if line.strip():
+                contexts.append(schema.span_from_dict(schema.loads(line)))
+    return contexts
+
+
+# ----------------------------------------------------------------------
+# validation against the analytic profiler
+# ----------------------------------------------------------------------
+def profile_station_family(station_name: str) -> Optional[str]:
+    """Map a ``repro.core.profile`` station name onto a trace family."""
+    if "tokens" in station_name:
+        return None  # occupancy watermark, excluded from attribution
+    if " TX" in station_name:
+        return "request link"
+    if " RX" in station_name:
+        return "response link"
+    if "TSV" in station_name or "command" in station_name or "bank" in station_name:
+        return "vault/DRAM"
+    return None
+
+
+def agrees_with_profile(result: LatencyBreakdown, profiled) -> Tuple[bool, str]:
+    """Does the traced breakdown name the profiler's hottest station?
+
+    ``profiled`` is a :class:`repro.core.profile.ProfiledMeasurement`;
+    both attributions map onto :data:`COMPARABLE_FAMILIES` and must
+    pick the same one.  Returns ``(agrees, human-readable detail)``.
+    """
+    bottleneck = profiled.bottleneck
+    profile_family = profile_station_family(bottleneck.name)
+    trace_family = result.dominant_family()
+    detail = (
+        f"profile bottleneck: {bottleneck.name} "
+        f"({bottleneck.utilization:.0%} busy, family {profile_family!r}); "
+        f"trace hotspot family: {trace_family!r}"
+    )
+    if profile_family is None:
+        return False, detail + " - profile station has no comparable family"
+    return profile_family == trace_family, detail

@@ -1,0 +1,280 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One snapshot API over everything the process measures, in the
+Prometheus data model (typed series with label sets).  Two kinds of
+series coexist:
+
+* **owned instruments** - :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` created through the registry and mutated in place
+  by the code being measured (e.g. the daemon's service-latency
+  histogram);
+* **collectors** - callbacks that render an existing stats object
+  (``repro.core.parallel.ExecutorStats``, a daemon's
+  :class:`~repro.service.metrics.ServiceMetrics`) into series at
+  snapshot time, so legacy counters join the registry without moving.
+
+Collectors are held by weak reference: a daemon that goes away takes
+its series with it instead of leaking a dead callback into every later
+snapshot.  All mutation is lock-protected - the daemon bumps counters
+from executor threads while its event loop snapshots concurrently.
+
+Stdlib-only (no ``repro`` imports) so any layer can import it freely.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import weakref
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: A label set in canonical form: sorted ``(key, value)`` pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets (upper bounds, seconds-ish decades); pass
+#: explicit buckets for anything with known scale.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    math.inf,
+)
+
+
+def _canonical_labels(labels: Optional[Mapping[str, str]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (requests served, spans traced)."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self.value += amount
+
+    def series(self) -> Dict[str, Any]:
+        """This counter as one JSON-ready snapshot series."""
+        return {
+            "name": self.name,
+            "type": "counter",
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, pool width)."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's current value."""
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        with self._lock:
+            self.value += amount
+
+    def series(self) -> Dict[str, Any]:
+        """This gauge as one JSON-ready snapshot series."""
+        return {
+            "name": self.name,
+            "type": "gauge",
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Cumulative-bucket distribution (service latency, span length)."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "total", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if bounds[-1] != math.inf:
+            bounds = bounds + (math.inf,)
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.count = 0
+        self.total = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample into its bucket."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    break
+
+    def series(self) -> Dict[str, Any]:
+        """This histogram as one JSON-ready snapshot series.
+
+        Bucket counts are cumulative (Prometheus convention); the
+        ``+Inf`` bucket equals ``count``.
+        """
+        with self._lock:
+            cumulative: Dict[str, int] = {}
+            running = 0
+            for bound, count in zip(self.buckets, self.counts):
+                running += count
+                key = "+Inf" if math.isinf(bound) else repr(bound)
+                cumulative[key] = running
+            return {
+                "name": self.name,
+                "type": "histogram",
+                "labels": dict(self.labels),
+                "count": self.count,
+                "sum": self.total,
+                "buckets": cumulative,
+            }
+
+
+#: A collector renders zero or more snapshot series on demand.
+Collector = Callable[[], Iterable[Dict[str, Any]]]
+
+
+class MetricsRegistry:
+    """Owns instruments and collectors; produces unified snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelKey], Any] = {}
+        self._collectors: List[weakref.ref] = []
+
+    # ------------------------------------------------------------------
+    # instrument creation (get-or-create, keyed by name + labels)
+    # ------------------------------------------------------------------
+    def _instrument(self, cls, name: str, labels: LabelKey, *args):
+        key = (name, labels)
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r}{dict(labels)} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            instrument = cls(name, labels, *args)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Counter:
+        """Get or create the counter for ``(name, labels)``."""
+        return self._instrument(Counter, name, _canonical_labels(labels))
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        """Get or create the gauge for ``(name, labels)``."""
+        return self._instrument(Gauge, name, _canonical_labels(labels))
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram for ``(name, labels)``."""
+        return self._instrument(Histogram, name, _canonical_labels(labels), buckets)
+
+    # ------------------------------------------------------------------
+    # collectors
+    # ------------------------------------------------------------------
+    def register_collector(self, collect: Collector) -> None:
+        """Register a snapshot-time series source (weakly referenced).
+
+        Bound methods are held via :class:`weakref.WeakMethod` so the
+        owning object (e.g. one daemon's metrics) can be garbage
+        collected; module-level functions live for the process anyway.
+        """
+        ref: weakref.ref
+        if hasattr(collect, "__self__"):
+            ref = weakref.WeakMethod(collect)  # type: ignore[arg-type]
+        else:
+            ref = weakref.ref(collect)
+        with self._lock:
+            self._collectors.append(ref)
+
+    def unregister_collector(self, collect: Collector) -> None:
+        """Drop a previously registered collector (idempotent)."""
+        with self._lock:
+            self._collectors = [
+                ref for ref in self._collectors if ref() not in (collect, None)
+            ]
+
+    # ------------------------------------------------------------------
+    # snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Every live series, JSON-ready, deterministically ordered."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+            collector_refs = list(self._collectors)
+        series: List[Dict[str, Any]] = [inst.series() for inst in instruments]
+        dead: List[weakref.ref] = []
+        for ref in collector_refs:
+            collect = ref()
+            if collect is None:
+                dead.append(ref)
+                continue
+            series.extend(collect())
+        if dead:
+            with self._lock:
+                self._collectors = [r for r in self._collectors if r not in dead]
+        series.sort(key=lambda s: (s["name"], sorted(s["labels"].items())))
+        return {"series": series}
+
+    def clear(self) -> None:
+        """Drop every instrument and collector (test isolation)."""
+        with self._lock:
+            self._instruments.clear()
+            self._collectors.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every subsystem reports into."""
+    return _REGISTRY

@@ -1,0 +1,295 @@
+"""Span-based transaction lifecycle tracing (the Fig. 15 instrument).
+
+The paper's latency *deconstruction* attributes each nanosecond of a
+round-trip to a lifecycle station: the controller's TX pipeline, the
+link-token wait, link serialization, the quadrant route, the vault
+queue, the DRAM access, and the response path back through the link's
+RX channel and the controller's RX pipeline.  This module provides the
+measurement side of that decomposition:
+
+* :class:`TraceContext` - one sampled transaction's timestamps, stamped
+  in place as the request crosses the model.  Consecutive stamps
+  telescope: the per-stage durations sum *exactly* to the transaction's
+  reported round-trip latency, with no double counting and no gaps.
+* :class:`Tracer` - head-based sampling (every Nth submitted request
+  carries a context) plus a bounded store of finished spans.
+
+Zero-overhead when off: the hot path guards every stamp behind a plain
+``is None`` check on ``controller.tracer`` / ``request.trace``, so an
+untraced run executes the identical event sequence and arithmetic as a
+build without this module - which is what keeps the bench gate green
+and traced measurements bit-identical to untraced ones.
+
+This module is intentionally stdlib-only (no ``repro`` imports) so the
+packet/controller/schema layers can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+#: Ordered lifecycle stamps.  Each entry is ``(attribute, stage)`` where
+#: ``stage`` names the span *ending* at that stamp (``None`` for the
+#: clock-starting submit stamp).  Stages between consecutive present
+#: stamps telescope, so their durations sum to ``complete_ns -
+#: submit_ns`` exactly; a stamp a path never sets (e.g. ``rx_done_ns``
+#: on a multi-cube egress) folds its time into the following stage.
+STAMPS: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("submit_ns", None),
+    ("tx_pipeline_ns", "tx_pipeline"),
+    ("tx_start_ns", "token_wait"),
+    ("link_tx_done_ns", "link_tx"),
+    ("vault_arrival_ns", "route"),
+    ("bank_start_ns", "vault_queue"),
+    ("dram_done_ns", "dram"),
+    ("rx_done_ns", "link_rx"),
+    ("complete_ns", "rx_pipeline"),
+)
+
+#: Canonical stage order (the paper's Fig. 15 left-to-right order).
+STAGES: Tuple[str, ...] = tuple(stage for _, stage in STAMPS if stage is not None)
+
+#: Human-readable stage titles for reports and trace viewers.
+STAGE_TITLES: Dict[str, str] = {
+    "tx_pipeline": "controller TX pipeline",
+    "token_wait": "link token wait",
+    "link_tx": "link TX serialization",
+    "route": "quadrant route + vault decode",
+    "vault_queue": "vault/bank queue",
+    "dram": "DRAM access + TSV bus",
+    "link_rx": "response route + link RX",
+    "rx_pipeline": "controller RX pipeline",
+}
+
+#: Stage -> attributable family, aligning trace stages with the station
+#: families of :mod:`repro.core.profile` (see ``repro.obs.export``).
+STAGE_FAMILIES: Dict[str, str] = {
+    "tx_pipeline": "controller",
+    "token_wait": "request link",
+    "link_tx": "request link",
+    "route": "fabric",
+    "vault_queue": "vault/DRAM",
+    "dram": "vault/DRAM",
+    "link_rx": "response link",
+    "rx_pipeline": "controller",
+}
+
+
+class TraceContext:
+    """Per-transaction lifecycle timestamps (all ns; ``-1`` = unset).
+
+    Attached to a :class:`~repro.hmc.packet.Request` by a
+    :class:`Tracer`; model stations stamp it in place.  Slots keep the
+    per-sample cost to one small object with no dict.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "port",
+        "link",
+        "cube",
+        "is_write",
+        "payload_bytes",
+        "submit_ns",
+        "tx_pipeline_ns",
+        "tx_start_ns",
+        "link_tx_done_ns",
+        "vault_arrival_ns",
+        "bank_start_ns",
+        "dram_done_ns",
+        "rx_done_ns",
+        "complete_ns",
+    )
+
+    def __init__(
+        self,
+        trace_id: int,
+        port: int = 0,
+        is_write: bool = False,
+        payload_bytes: int = 0,
+    ) -> None:
+        self.trace_id = trace_id
+        self.port = port
+        self.link = 0
+        self.cube = 0
+        self.is_write = is_write
+        self.payload_bytes = payload_bytes
+        self.submit_ns = -1.0
+        self.tx_pipeline_ns = -1.0
+        self.tx_start_ns = -1.0
+        self.link_tx_done_ns = -1.0
+        self.vault_arrival_ns = -1.0
+        self.bank_start_ns = -1.0
+        self.dram_done_ns = -1.0
+        self.rx_done_ns = -1.0
+        self.complete_ns = -1.0
+
+    @property
+    def finished(self) -> bool:
+        """True once both endpoints of the round trip are stamped."""
+        return self.submit_ns >= 0.0 and self.complete_ns >= 0.0
+
+    @property
+    def latency_ns(self) -> float:
+        """Round-trip time, defined exactly as the paper measures it."""
+        if not self.finished:
+            raise ValueError("trace has not completed")
+        return self.complete_ns - self.submit_ns
+
+    def spans(self) -> List[Tuple[str, float, float]]:
+        """``(stage, start_ns, end_ns)`` per present stage, in order.
+
+        Telescoping invariant: the first span starts at ``submit_ns``,
+        each span starts where the previous one ended, and the last
+        ends at ``complete_ns`` - so durations sum to ``latency_ns``.
+        """
+        out: List[Tuple[str, float, float]] = []
+        last = self.submit_ns
+        for attribute, stage in STAMPS[1:]:
+            value = getattr(self, attribute)
+            if value < 0.0:
+                continue  # path never crossed this station: fold forward
+            out.append((stage, last, value))
+            last = value
+        return out
+
+    def stage_durations(self) -> Dict[str, float]:
+        """``{stage: duration_ns}`` for the present stages."""
+        return {stage: end - start for stage, start, end in self.spans()}
+
+    def stamps(self) -> Dict[str, float]:
+        """All stamp attributes as a plain dict (wire-schema body)."""
+        return {attribute: getattr(self, attribute) for attribute, _ in STAMPS}
+
+
+class Tracer:
+    """Head-sampled trace collection for one simulation run.
+
+    ``sample=N`` attaches a context to every Nth submitted request
+    (deterministic countdown, first request always sampled, so a traced
+    run is reproducible).  Finished contexts land in a bounded deque;
+    when it fills, the oldest spans are evicted and counted.
+    """
+
+    def __init__(
+        self,
+        sample: int = 1,
+        capacity: int = 100_000,
+        store: Optional[Deque[TraceContext]] = None,
+    ) -> None:
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sample = sample
+        self.contexts: Deque[TraceContext] = (
+            store if store is not None else deque(maxlen=capacity)
+        )
+        self.started = 0
+        self.completed = 0
+        self.evicted = 0
+        self._countdown = 1
+
+    def attach(self, request) -> None:
+        """Sampling decision for one submitted request (hot path)."""
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = self.sample
+        context = TraceContext(
+            self.started,
+            port=request.port,
+            is_write=request.is_write,
+            payload_bytes=request.payload_bytes,
+        )
+        context.submit_ns = request.submit_ns
+        request.trace = context
+        self.started += 1
+
+    def finish(self, request) -> None:
+        """Harvest a completing request's context into the store.
+
+        Stamps the request already carries (vault arrival, bank start,
+        completion) are copied from the request itself so the vault and
+        completion paths stay branch-free for those fields.
+        """
+        context = request.trace
+        request.trace = None
+        context.link = request.link
+        context.cube = request.cube
+        context.vault_arrival_ns = request.vault_arrival_ns
+        context.bank_start_ns = request.bank_start_ns
+        context.complete_ns = request.complete_ns
+        self.completed += 1
+        store = self.contexts
+        if store.maxlen is not None and len(store) == store.maxlen:
+            self.evicted += 1
+        store.append(context)
+
+
+# ----------------------------------------------------------------------
+# process-wide sampling configuration
+# ----------------------------------------------------------------------
+#: Environment variable consulted when no in-process configuration is
+#: set.  Crucially, environ propagates into forked pool workers, which
+#: is how ``repro bench --trace-sample N`` reaches every simulation.
+SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
+
+_SAMPLE: Optional[int] = None
+_FINISHED: Deque[TraceContext] = deque(maxlen=200_000)
+
+
+def configure(sample: Optional[int]) -> None:
+    """Set (or with ``None`` clear) the process-wide trace sampling."""
+    global _SAMPLE
+    if sample is not None and sample < 1:
+        raise ValueError(f"sample must be >= 1, got {sample}")
+    _SAMPLE = sample
+
+
+def active_sample() -> Optional[int]:
+    """The effective sampling rate: configuration, else environment.
+
+    ``None`` (the default) means tracing is off and the model's
+    zero-overhead path is taken; ``0`` or a blank environment value
+    also read as off.
+    """
+    if _SAMPLE is not None:
+        return _SAMPLE
+    raw = os.environ.get(SAMPLE_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 1 else None
+
+
+def tracer_for_run() -> Optional[Tracer]:
+    """A tracer honouring the process-wide config, or ``None`` when off.
+
+    Finished spans accumulate in the shared process-wide store so a
+    multi-simulation run (``repro run --trace``) can drain them all at
+    once with :func:`drain_finished`.
+    """
+    sample = active_sample()
+    if sample is None:
+        return None
+    return Tracer(sample=sample, store=_FINISHED)
+
+
+def drain_finished() -> List[TraceContext]:
+    """Remove and return every span in the process-wide store."""
+    drained = list(_FINISHED)
+    _FINISHED.clear()
+    return drained
+
+
+def merge_contexts(groups: Iterable[Iterable[TraceContext]]) -> List[TraceContext]:
+    """Flatten per-run span groups, ordered by submit time then id."""
+    merged = [context for group in groups for context in group]
+    merged.sort(key=lambda c: (c.submit_ns, c.trace_id))
+    return merged

@@ -100,6 +100,15 @@ class ServiceClient:
         """The daemon's live counters (the ``stats`` verb)."""
         return self._roundtrip(protocol.verb_request("stats"))["result"]
 
+    def metrics(self) -> Dict:
+        """The unified metrics-registry snapshot (the ``metrics`` verb).
+
+        Returns the decoded body: ``{"series": [...]}`` with every
+        counter/gauge/histogram series the daemon process exports.
+        """
+        response = self._roundtrip(protocol.verb_request("metrics"))
+        return schema.metrics_from_dict(response["result"])
+
     def ping(self) -> bool:
         """Liveness probe; True when the daemon answers."""
         return bool(self._roundtrip(protocol.verb_request("ping"))["result"]["pong"])

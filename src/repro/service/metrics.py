@@ -7,6 +7,12 @@ through the ``stats`` verb - the service equivalent of the paper's
 exactly one of three things happens, and the counters partition
 accordingly: it *coalesces* onto an identical in-flight request, it is
 *cache-served* (in-process memo or on-disk cache), or it is *simulated*.
+
+The same numbers also feed the process-wide metrics registry
+(:mod:`repro.obs.registry`): each :class:`ServiceMetrics` registers a
+weak collector that renders its counters as ``service_*`` series, and
+``observe_latency`` doubles every sample into a registry histogram -
+so the ``metrics`` verb and the ``stats`` verb always agree.
 """
 
 from __future__ import annotations
@@ -14,16 +20,53 @@ from __future__ import annotations
 import math
 import time
 from collections import deque
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+#: Service-latency histogram bucket bounds, seconds.  Cache hits land
+#: in the millisecond buckets, fresh simulations in the second ones.
+LATENCY_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    math.inf,
+)
 
 
 def percentile(samples, fraction: float) -> float:
-    """Nearest-rank percentile of ``samples``; NaN when empty."""
+    """Linearly interpolated percentile of ``samples``; NaN when empty.
+
+    Uses the "linear" method (the default of ``numpy.percentile`` and
+    ``statistics.quantiles(method='inclusive')``): the requested
+    fraction lands at position ``fraction * (n - 1)`` in the sorted
+    samples and interpolates between the two closest ranks.  This
+    replaces the original nearest-rank rule, whose p95 jumped by a
+    whole sample at small window sizes (with 10 samples, nearest-rank
+    p95 *is* the maximum).
+    """
     ordered = sorted(samples)
     if not ordered:
         return math.nan
-    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
-    return ordered[rank]
+    if fraction <= 0.0:
+        return ordered[0]
+    if fraction >= 1.0:
+        return ordered[-1]
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
 
 
 class LatencyWindow:
@@ -39,12 +82,13 @@ class LatencyWindow:
         self.count += 1
 
     def snapshot_ms(self) -> Dict[str, float]:
-        """p50/p95/max over the window, in milliseconds."""
+        """p50/p95/p99/max over the window, in milliseconds."""
         samples = list(self._samples)
         return {
             "count": self.count,
             "p50_ms": round(percentile(samples, 0.50) * 1e3, 3),
             "p95_ms": round(percentile(samples, 0.95) * 1e3, 3),
+            "p99_ms": round(percentile(samples, 0.99) * 1e3, 3),
             "max_ms": round(max(samples) * 1e3, 3) if samples else math.nan,
         }
 
@@ -52,7 +96,19 @@ class LatencyWindow:
 class ServiceMetrics:
     """Live counters of one daemon instance (see module docstring)."""
 
-    def __init__(self) -> None:
+    #: Counter attributes mirrored into the registry as
+    #: ``service_<name>_total`` series by the weak collector.
+    _COUNTER_FIELDS = (
+        "requests",
+        "measure_requests",
+        "coalesced",
+        "cache_served",
+        "simulated",
+        "batches",
+        "errors",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.started = time.monotonic()
         self.requests = 0  # every parsed-or-not request line
         self.measure_requests = 0
@@ -62,10 +118,40 @@ class ServiceMetrics:
         self.batches = 0
         self.errors = 0
         self.latency = LatencyWindow()
+        # Registry integration: weakly registered, so a daemon that is
+        # dropped takes its series with it instead of leaking into
+        # every later snapshot.
+        self._registry = registry if registry is not None else get_registry()
+        self._latency_histogram = self._registry.histogram(
+            "service_latency_seconds", buckets=LATENCY_BUCKETS
+        )
+        self._registry.register_collector(self.collect_series)
 
     def observe_latency(self, seconds: float) -> None:
         """Record one measure request's end-to-end service time."""
         self.latency.observe(seconds)
+        self._latency_histogram.observe(seconds)
+
+    def collect_series(self) -> List[Dict[str, object]]:
+        """Registry collector: the daemon counters as ``service_*`` series."""
+        series: List[Dict[str, object]] = [
+            {
+                "name": f"service_{name}_total",
+                "type": "counter",
+                "labels": {},
+                "value": getattr(self, name),
+            }
+            for name in self._COUNTER_FIELDS
+        ]
+        series.append(
+            {
+                "name": "service_uptime_seconds",
+                "type": "gauge",
+                "labels": {},
+                "value": round(time.monotonic() - self.started, 3),
+            }
+        )
+        return series
 
     def snapshot(
         self, queue_depth: int = 0, inflight: int = 0
@@ -87,9 +173,26 @@ class ServiceMetrics:
                 "count": latency["count"],
                 "p50_ms": _json_float(latency["p50_ms"]),
                 "p95_ms": _json_float(latency["p95_ms"]),
+                "p99_ms": _json_float(latency["p99_ms"]),
                 "max_ms": _json_float(latency["max_ms"]),
             },
+            "executor": _executor_snapshot(),
         }
+
+
+def _executor_snapshot() -> Dict[str, object]:
+    """The process-wide executor counters, labelled with pool identity."""
+    from repro.core.parallel import stats
+
+    snap = stats().snapshot()
+    return {
+        "simulations": snap.simulations,
+        "memo_hits": snap.memo_hits,
+        "disk_hits": snap.disk_hits,
+        "events_simulated": snap.events_simulated,
+        "pool_workers": snap.pool_workers,
+        "start_method": snap.start_method,
+    }
 
 
 def _json_float(value: float) -> Optional[float]:

@@ -14,7 +14,13 @@ Verbs:
     response's ``result`` is a wire-schema ``bandwidth_measurement``.
 ``stats``
     Service counters: requests served, coalesced, cache-served,
-    simulated, queue depth, p50/p95 service latency.
+    simulated, queue depth, p50/p95/p99 service latency, and the
+    process-wide executor counters (with pool width and start method).
+``metrics``
+    The unified process-wide metrics-registry snapshot
+    (:mod:`repro.obs.registry`) as a wire-schema ``metrics_snapshot``
+    payload: every counter/gauge/histogram series the process exports,
+    including the daemon's own ``service_*`` series.
 ``ping``
     Liveness probe; the response result is ``{"pong": true}``.
 ``shutdown``
@@ -35,7 +41,7 @@ from repro.core.experiment import MeasurementPoint
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
 
-VERBS = ("measure", "stats", "ping", "shutdown")
+VERBS = ("measure", "stats", "metrics", "ping", "shutdown")
 
 #: Request ids are opaque echo tokens chosen by the client.
 RequestId = Union[int, str, None]

@@ -24,6 +24,7 @@ from typing import Optional, Set
 
 from repro.core import parallel, schema
 from repro.core.parallel import MeasurementExecutor
+from repro.obs.registry import get_registry
 from repro.service import protocol
 from repro.service.batcher import BatcherClosed, CoalescingBatcher
 from repro.service.metrics import ServiceMetrics
@@ -179,6 +180,10 @@ class MeasurementService:
                     queue_depth=self._batcher.queue_depth,
                     inflight=self._batcher.inflight,
                 ),
+            )
+        elif request.verb == "metrics":
+            response = protocol.ok_response(
+                request.id, schema.metrics_to_dict(get_registry().snapshot())
             )
         elif request.verb == "shutdown":
             response = protocol.ok_response(request.id, {"stopping": True})

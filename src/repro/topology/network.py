@@ -231,6 +231,12 @@ class CubeNetwork:
             rx_done = link.rx.acquire(
                 nbytes, earliest=when + link.propagation_ns
             )
+            trace = request.trace
+            if trace is not None:
+                # Remote-cube responses skip the device's own RX stamp
+                # (they egress before it); stamping here keeps the
+                # link_rx span covering the full hop + host-RX return.
+                trace.rx_done_ns = rx_done
             self.sim.schedule_fast_at(rx_done, self._deliver, request, rx_done)
 
         return egress

@@ -1,0 +1,95 @@
+"""The ``repro trace`` subcommand and the ``--trace`` run/sweep flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.core.experiment import ExperimentSettings
+
+
+@pytest.fixture(autouse=True)
+def _tiny_fast(monkeypatch):
+    """Shrink ``--fast`` to the tiny window so CLI runs stay quick."""
+    monkeypatch.setattr(
+        cli, "FAST_SETTINGS", ExperimentSettings(warmup_us=5.0, window_us=15.0)
+    )
+
+
+def test_trace_run_writes_perfetto_and_agrees(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    spans = tmp_path / "spans.ndjson"
+    code = cli.main(
+        [
+            "trace",
+            "run",
+            "--fast",
+            "--sample",
+            "2",
+            "--out",
+            str(out),
+            "--spans",
+            str(spans),
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "AGREES" in captured
+    assert "latency deconstruction" in captured
+    document = json.loads(out.read_text())
+    assert document["displayTimeUnit"] == "ns"
+    assert any(event["ph"] == "X" for event in document["traceEvents"])
+    assert spans.read_text().startswith("{")
+
+
+def test_trace_export_renders_report_from_spans(tmp_path, capsys):
+    spans = tmp_path / "spans.ndjson"
+    assert (
+        cli.main(
+            [
+                "trace",
+                "run",
+                "--fast",
+                "--no-validate",
+                "--out",
+                str(tmp_path / "t.json"),
+                "--spans",
+                str(spans),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert cli.main(["trace", "export", str(spans), "--format", "report"]) == 0
+    assert "latency deconstruction" in capsys.readouterr().out
+
+
+def test_sweep_trace_flag_writes_a_trace(tmp_path, capsys):
+    out = tmp_path / "sweep_trace.json"
+    code = cli.main(
+        [
+            "sweep",
+            "--patterns",
+            "16 vaults",
+            "--fast",
+            "--trace",
+            str(out),
+            "--trace-sample",
+            "4",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert f"wrote {out}" in captured
+    document = json.loads(out.read_text())
+    assert any(event["ph"] == "X" for event in document["traceEvents"])
+
+
+def test_untraced_run_leaves_sampling_off(capsys):
+    """After a --trace command finishes, process-wide tracing is off."""
+    from repro.obs import trace as obs_trace
+
+    assert obs_trace.active_sample() is None
+    assert obs_trace.drain_finished() == []

@@ -1,0 +1,148 @@
+"""Trace exporters: breakdown, Perfetto JSON, NDJSON, profile agreement."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import export as obs_export
+from repro.obs.trace import STAGES, TraceContext
+
+
+def _context(
+    trace_id: int = 0,
+    port: int = 0,
+    is_write: bool = False,
+    dram_ns: float = 40.0,
+    rx_ns: float = 50.0,
+) -> TraceContext:
+    """A fully stamped synthetic read (or write) span."""
+    context = TraceContext(
+        trace_id, port=port, is_write=is_write, payload_bytes=128
+    )
+    context.submit_ns = 0.0
+    context.tx_pipeline_ns = 10.0
+    context.tx_start_ns = 12.0
+    context.link_tx_done_ns = 20.0
+    context.vault_arrival_ns = 30.0
+    context.bank_start_ns = 35.0
+    context.dram_done_ns = 35.0 + dram_ns
+    context.rx_done_ns = 35.0 + dram_ns + rx_ns
+    context.complete_ns = 35.0 + dram_ns + rx_ns + 5.0
+    return context
+
+
+# ----------------------------------------------------------------------
+# breakdown
+# ----------------------------------------------------------------------
+def test_breakdown_aggregates_reads_only_by_default():
+    contexts = [_context(0), _context(1), _context(2, is_write=True)]
+    result = obs_export.breakdown(contexts)
+    assert result.count == 2
+    assert obs_export.breakdown(contexts, reads_only=False).count == 3
+
+
+def test_breakdown_stage_means_sum_to_mean_rtt():
+    contexts = [_context(0, dram_ns=40.0), _context(1, dram_ns=80.0)]
+    result = obs_export.breakdown(contexts)
+    covered = sum(result.mean_ns(stage) for stage in STAGES)
+    assert covered == pytest.approx(result.latency.mean)
+    assert sum(result.share(stage) for stage in STAGES) == pytest.approx(1.0)
+
+
+def test_dominant_family_tracks_the_hot_stage():
+    dram_bound = obs_export.breakdown([_context(dram_ns=500.0, rx_ns=10.0)])
+    assert dram_bound.dominant_family() == "vault/DRAM"
+    rx_bound = obs_export.breakdown([_context(dram_ns=10.0, rx_ns=500.0)])
+    assert rx_bound.dominant_family() == "response link"
+
+
+def test_render_report_lists_every_present_stage():
+    report = obs_export.render_report(
+        obs_export.breakdown([_context()]), title="synthetic"
+    )
+    assert "synthetic" in report
+    assert "DRAM access + TSV bus" in report
+    assert "1 sampled reads" in report
+
+
+def test_render_report_on_empty_breakdown_says_so():
+    report = obs_export.render_report(obs_export.breakdown([]))
+    assert "no finished read spans" in report
+
+
+# ----------------------------------------------------------------------
+# Chrome/Perfetto trace_event document
+# ----------------------------------------------------------------------
+def test_chrome_trace_structure():
+    contexts = [_context(0, port=1), _context(1, port=3, is_write=True)]
+    document = obs_export.chrome_trace(contexts, label="unit")
+    assert document["displayTimeUnit"] == "ns"
+    events = document["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in metadata} == {"process_name", "thread_name"}
+    assert {e["tid"] for e in spans} == {1, 3}
+    # timestamps are microseconds: the 10 ns TX pipeline span is 0.01 us
+    first = min(spans, key=lambda e: e["ts"])
+    assert first["ts"] == 0.0
+    assert first["dur"] == pytest.approx(0.01)
+    assert {e["cat"] for e in spans} == {"read", "write"}
+
+
+def test_write_chrome_trace_counts_only_finished(tmp_path):
+    unfinished = TraceContext(9)
+    path = tmp_path / "trace.json"
+    count = obs_export.write_chrome_trace(
+        str(path), [_context(0), unfinished], label="unit"
+    )
+    assert count == 1
+    document = json.loads(path.read_text())
+    assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# span NDJSON round trip
+# ----------------------------------------------------------------------
+def test_spans_round_trip_through_ndjson(tmp_path):
+    original = [_context(0), _context(1, is_write=True, dram_ns=7.5)]
+    path = tmp_path / "spans.ndjson"
+    assert obs_export.write_spans(str(path), original) == 2
+    restored = obs_export.read_spans(str(path))
+    for before, after in zip(original, restored):
+        assert after.stamps() == before.stamps()
+        assert after.trace_id == before.trace_id
+        assert after.is_write == before.is_write
+        assert after.payload_bytes == before.payload_bytes
+        assert after.stage_durations() == before.stage_durations()
+
+
+# ----------------------------------------------------------------------
+# agreement with the analytic profiler
+# ----------------------------------------------------------------------
+def test_profile_station_families():
+    assert obs_export.profile_station_family("link0 TX") == "request link"
+    assert obs_export.profile_station_family("link2 RX") == "response link"
+    assert obs_export.profile_station_family("vault3 TSV bus") == "vault/DRAM"
+    assert obs_export.profile_station_family("vault0 bank7") == "vault/DRAM"
+    assert obs_export.profile_station_family("link1 tokens") is None
+
+
+def test_agreement_on_a_link_bound_point(tiny_settings):
+    """The acceptance check: traced hotspot == profiled bottleneck family."""
+    from repro.core.experiment import MeasurementPoint, simulate_point_traced
+    from repro.core.profile import profile_workload
+
+    point = MeasurementPoint(settings=tiny_settings, pattern_name="agree")
+    _measurement, tracer = simulate_point_traced(point, sample=1)
+    result = obs_export.breakdown(tracer.contexts)
+    profiled = profile_workload(
+        mask=point.mask,
+        request_type=point.request_type,
+        payload_bytes=point.payload_bytes,
+        mode=point.mode,
+        settings=point.settings,
+    )
+    agrees, detail = obs_export.agrees_with_profile(result, profiled)
+    assert agrees, detail

@@ -1,0 +1,131 @@
+"""Unified metrics registry: instruments, labels, collectors, snapshot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+# ----------------------------------------------------------------------
+# instruments
+# ----------------------------------------------------------------------
+def test_counter_accumulates_and_rejects_negative():
+    counter = MetricsRegistry().counter(
+        "requests_total", labels={"verb": "measure"}
+    )
+    counter.inc()
+    counter.inc(4)
+    series = counter.series()
+    assert series["type"] == "counter"
+    assert series["value"] == 5
+    assert series["labels"] == {"verb": "measure"}
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_sets_and_moves_both_ways():
+    gauge = MetricsRegistry().gauge("queue_depth")
+    gauge.set(10)
+    gauge.inc(-3)
+    assert gauge.series()["value"] == 7
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    histogram = MetricsRegistry().histogram(
+        "latency_seconds", buckets=(0.1, 1.0)
+    )
+    for value in (0.05, 0.5, 0.5, 5.0):
+        histogram.observe(value)
+    series = histogram.series()
+    assert series["type"] == "histogram"
+    assert series["count"] == 4
+    assert series["sum"] == pytest.approx(6.05)
+    assert series["buckets"][repr(0.1)] == 1
+    assert series["buckets"][repr(1.0)] == 3
+    assert series["buckets"]["+Inf"] == 4
+
+
+def test_histogram_bounds_are_sorted_with_inf_appended():
+    histogram = MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+    assert histogram.buckets[:-1] == (1.0, 2.0)
+    assert histogram.buckets[-1] == float("inf")
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_returns_the_same_instrument_per_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("hits_total", labels={"kind": "memo"})
+    b = registry.counter("hits_total", labels={"kind": "memo"})
+    c = registry.counter("hits_total", labels={"kind": "disk"})
+    assert a is b
+    assert a is not c
+
+
+def test_registry_rejects_type_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_snapshot_sorts_series_deterministically():
+    registry = MetricsRegistry()
+    registry.counter("b_total").inc()
+    registry.counter("a_total", labels={"z": "1"}).inc()
+    registry.counter("a_total", labels={"a": "1"}).inc()
+    names = [
+        (series["name"], tuple(sorted(series["labels"].items())))
+        for series in registry.snapshot()["series"]
+    ]
+    assert names == sorted(names)
+
+
+def test_collectors_contribute_series_and_die_with_their_owner():
+    registry = MetricsRegistry()
+
+    class Source:
+        """A stats holder exporting one gauge series."""
+
+        def collect(self):
+            """Render the live value as a snapshot series."""
+            return [
+                {"name": "live_gauge", "type": "gauge", "labels": {}, "value": 1}
+            ]
+
+    source = Source()
+    registry.register_collector(source.collect)
+    assert any(
+        series["name"] == "live_gauge"
+        for series in registry.snapshot()["series"]
+    )
+    del source  # weakly referenced: the dead collector must drop out
+    assert not any(
+        series["name"] == "live_gauge"
+        for series in registry.snapshot()["series"]
+    )
+
+
+def test_unregister_collector_is_idempotent():
+    registry = MetricsRegistry()
+
+    def collect():
+        return []
+
+    registry.register_collector(collect)
+    registry.unregister_collector(collect)
+    registry.unregister_collector(collect)
+    assert registry.snapshot()["series"] == []
+
+
+def test_global_registry_is_a_singleton_with_executor_series():
+    registry = get_registry()
+    assert registry is get_registry()
+    # repro.core.parallel registers its counters on import
+    import repro.core.parallel  # noqa: F401 - imported for the side effect
+
+    names = {series["name"] for series in registry.snapshot()["series"]}
+    assert "executor_simulations_total" in names
+    assert "executor_pool_workers" in names

@@ -1,0 +1,186 @@
+"""Lifecycle tracer: sampling, telescoping spans, and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import schema
+from repro.core.experiment import (
+    ExperimentSettings,
+    MeasurementPoint,
+    simulate_point,
+    simulate_point_traced,
+)
+from repro.hmc.packet import Request, RequestType
+from repro.obs import trace as obs_trace
+from repro.obs.trace import STAGES, TraceContext, Tracer
+
+
+def _request(port: int = 0, submit_ns: float = 0.0) -> Request:
+    request = Request(address=0, payload_bytes=128, is_write=False, port=port)
+    request.submit_ns = submit_ns
+    return request
+
+
+# ----------------------------------------------------------------------
+# TraceContext: telescoping invariant
+# ----------------------------------------------------------------------
+def test_spans_telescope_exactly_to_latency():
+    context = TraceContext(0)
+    context.submit_ns = 100.0
+    context.tx_pipeline_ns = 110.0
+    context.tx_start_ns = 115.0
+    context.link_tx_done_ns = 120.0
+    context.vault_arrival_ns = 140.0
+    context.bank_start_ns = 150.0
+    context.dram_done_ns = 190.0
+    context.rx_done_ns = 230.0
+    context.complete_ns = 240.0
+    spans = context.spans()
+    assert [stage for stage, _, _ in spans] == list(STAGES)
+    assert spans[0][1] == 100.0
+    assert spans[-1][2] == 240.0
+    # each span starts where the previous ended
+    for (_, _, end), (_, start, _) in zip(spans, spans[1:]):
+        assert end == start
+    assert sum(end - start for _, start, end in spans) == context.latency_ns
+
+
+def test_missing_stamp_folds_into_the_following_stage():
+    """A station a path never crosses leaves no gap in the timeline."""
+    context = TraceContext(0)
+    context.submit_ns = 0.0
+    context.tx_pipeline_ns = 10.0
+    context.rx_done_ns = 90.0  # everything between folds into link_rx
+    context.complete_ns = 100.0
+    durations = context.stage_durations()
+    assert set(durations) == {"tx_pipeline", "link_rx", "rx_pipeline"}
+    assert durations["link_rx"] == 80.0
+    assert sum(durations.values()) == context.latency_ns
+
+
+def test_unfinished_context_raises_on_latency():
+    with pytest.raises(ValueError):
+        TraceContext(0).latency_ns
+
+
+# ----------------------------------------------------------------------
+# Tracer: head-based sampling
+# ----------------------------------------------------------------------
+def test_sample_one_traces_every_request():
+    tracer = Tracer(sample=1)
+    requests = [_request() for _ in range(5)]
+    for request in requests:
+        tracer.attach(request)
+    assert all(request.trace is not None for request in requests)
+    assert tracer.started == 5
+
+
+def test_sample_n_traces_first_then_every_nth():
+    tracer = Tracer(sample=3)
+    requests = [_request() for _ in range(9)]
+    for request in requests:
+        tracer.attach(request)
+    traced = [i for i, request in enumerate(requests) if request.trace is not None]
+    assert traced == [0, 3, 6]
+    assert tracer.started == 3
+
+
+def test_finish_copies_request_stamps_and_detaches():
+    tracer = Tracer(sample=1)
+    request = _request(port=2, submit_ns=5.0)
+    tracer.attach(request)
+    request.link = 1
+    request.vault_arrival_ns = 20.0
+    request.bank_start_ns = 25.0
+    request.complete_ns = 60.0
+    context = request.trace
+    tracer.finish(request)
+    assert request.trace is None
+    assert context.link == 1
+    assert context.vault_arrival_ns == 20.0
+    assert context.complete_ns == 60.0
+    assert context.finished
+    assert list(tracer.contexts) == [context]
+
+
+def test_bounded_store_counts_evictions():
+    tracer = Tracer(sample=1, capacity=2)
+    for i in range(4):
+        request = _request(submit_ns=float(i))
+        tracer.attach(request)
+        request.complete_ns = float(i) + 1.0
+        tracer.finish(request)
+    assert len(tracer.contexts) == 2
+    assert tracer.evicted == 2
+    assert tracer.completed == 4
+
+
+def test_invalid_sample_rejected():
+    with pytest.raises(ValueError):
+        Tracer(sample=0)
+    with pytest.raises(ValueError):
+        obs_trace.configure(0)
+
+
+# ----------------------------------------------------------------------
+# process-wide configuration
+# ----------------------------------------------------------------------
+def test_active_sample_prefers_config_over_environment(monkeypatch):
+    monkeypatch.setenv(obs_trace.SAMPLE_ENV, "8")
+    assert obs_trace.active_sample() == 8
+    obs_trace.configure(2)
+    try:
+        assert obs_trace.active_sample() == 2
+    finally:
+        obs_trace.configure(None)
+
+
+def test_blank_or_invalid_environment_reads_as_off(monkeypatch):
+    for raw in ("", "0", "-3", "not-a-number"):
+        monkeypatch.setenv(obs_trace.SAMPLE_ENV, raw)
+        assert obs_trace.active_sample() is None
+    monkeypatch.delenv(obs_trace.SAMPLE_ENV)
+    assert obs_trace.tracer_for_run() is None
+
+
+# ----------------------------------------------------------------------
+# end-to-end: traced simulation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def traced_run():
+    """One tiny traced simulation shared by the end-to-end assertions."""
+    point = MeasurementPoint(
+        request_type=RequestType.READ,
+        payload_bytes=128,
+        settings=ExperimentSettings(warmup_us=5.0, window_us=15.0),
+        pattern_name="trace-test",
+    )
+    measurement, tracer = simulate_point_traced(point, sample=1)
+    return point, measurement, tracer
+
+
+def test_traced_measurement_is_bit_identical_to_untraced(traced_run):
+    point, measurement, _ = traced_run
+    untraced, _events = simulate_point(point)
+    assert schema.dumps(schema.measurement_to_dict(measurement)) == schema.dumps(
+        schema.measurement_to_dict(untraced)
+    )
+
+
+def test_every_finished_span_telescopes_to_its_rtt(traced_run):
+    _, _, tracer = traced_run
+    finished = [context for context in tracer.contexts if context.finished]
+    assert len(finished) > 100
+    for context in finished:
+        covered = sum(end - start for _, start, end in context.spans())
+        # within one engine tick (1 ns) of the reported round trip
+        assert covered == pytest.approx(context.latency_ns, abs=1.0)
+
+
+def test_traced_reads_carry_the_full_station_sequence(traced_run):
+    _, _, tracer = traced_run
+    reads = [c for c in tracer.contexts if c.finished and not c.is_write]
+    assert reads, "tiny window produced no finished reads"
+    stages = {stage for c in reads for stage in c.stage_durations()}
+    assert stages == set(STAGES)

@@ -173,6 +173,12 @@ def test_snapshot_is_independent_copy():
     assert stats.simulations == 6
 
 
+def test_snapshot_labels_pool_width_and_start_method():
+    snap = parallel.stats().snapshot()
+    assert snap.start_method in ("fork", "forkserver", "spawn")
+    assert snap.pool_workers == parallel.pool_workers()
+
+
 def test_expected_cost_orders_by_duration_ports_and_payload():
     small, large = _points([128, 16])
     assert parallel._expected_cost(large) > parallel._expected_cost(small)

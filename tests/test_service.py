@@ -138,6 +138,24 @@ def test_stats_ping_and_error_responses():
                 client._roundtrip({"schema": 1, "verb": "measure"})
 
 
+def test_metrics_verb_returns_registry_snapshot():
+    with BackgroundService(jobs=1) as service:
+        with ServiceClient(port=service.port) as client:
+            client.ping()
+            snapshot = client.metrics()
+    series = snapshot["series"]
+    by_name = {entry["name"] for entry in series}
+    # the daemon's own counters and the process-wide executor series
+    assert "service_requests_total" in by_name
+    assert "service_uptime_seconds" in by_name
+    assert "executor_simulations_total" in by_name
+    histogram = next(
+        entry for entry in series if entry["name"] == "service_latency_seconds"
+    )
+    assert histogram["type"] == "histogram"
+    assert "+Inf" in histogram["buckets"]
+
+
 def test_shutdown_verb_drains_and_stops_accepting():
     settings = _tiny(window_us=10.75)
     with BackgroundService(jobs=1) as service:

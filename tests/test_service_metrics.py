@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import math
 
+import pytest
+
 from repro.service.metrics import (
     LatencyWindow,
     ServiceMetrics,
@@ -13,7 +15,7 @@ from repro.service.metrics import (
 
 
 # ----------------------------------------------------------------------
-# percentile (nearest-rank)
+# percentile (linear interpolation between closest ranks)
 # ----------------------------------------------------------------------
 def test_percentile_of_empty_window_is_nan():
     assert math.isnan(percentile([], 0.50))
@@ -26,16 +28,24 @@ def test_percentile_of_single_sample_is_that_sample():
     assert percentile([7.5], 1.0) == 7.5
 
 
-def test_p95_with_fewer_than_twenty_samples_is_the_maximum():
-    """Nearest-rank: below 20 samples the 95th percentile is the max."""
-    for n in range(1, 20):
-        samples = list(range(1, n + 1))
-        assert percentile(samples, 0.95) == n
+def test_median_of_even_count_interpolates_midway():
+    """The defining case nearest-rank gets wrong: median of [1, 2]."""
+    assert percentile([1.0, 2.0], 0.50) == 1.5
 
 
-def test_p95_with_twenty_samples_drops_the_top_one():
-    samples = list(range(1, 21))
-    assert percentile(samples, 0.95) == 19
+def test_percentile_interpolates_between_closest_ranks():
+    """p95 over 1..20 sits at position 0.95 * 19 = 18.05 -> 19.05."""
+    samples = [float(v) for v in range(1, 21)]
+    assert percentile(samples, 0.95) == pytest.approx(19.05)
+    assert percentile(samples, 0.99) == pytest.approx(19.81)
+
+
+def test_percentile_matches_numpy_linear_definition():
+    """position = fraction * (n - 1), interpolated, for assorted cases."""
+    samples = [10.0, 20.0, 30.0, 40.0, 50.0]
+    assert percentile(samples, 0.25) == 20.0
+    assert percentile(samples, 0.50) == 30.0
+    assert percentile(samples, 0.10) == pytest.approx(14.0)
 
 
 def test_percentile_sorts_its_input():
@@ -55,6 +65,7 @@ def test_empty_window_snapshot_is_all_nan():
     assert snapshot["count"] == 0
     assert math.isnan(snapshot["p50_ms"])
     assert math.isnan(snapshot["p95_ms"])
+    assert math.isnan(snapshot["p99_ms"])
     assert math.isnan(snapshot["max_ms"])
 
 
@@ -65,6 +76,7 @@ def test_single_sample_snapshot_collapses_to_it():
     assert snapshot["count"] == 1
     assert snapshot["p50_ms"] == 2.0
     assert snapshot["p95_ms"] == 2.0
+    assert snapshot["p99_ms"] == 2.0
     assert snapshot["max_ms"] == 2.0
 
 
@@ -74,8 +86,9 @@ def test_window_evicts_but_count_is_lifetime():
         window.observe(float(i))
     snapshot = window.snapshot_ms()
     assert snapshot["count"] == 10
-    # only the newest four samples (6..9 s) remain in the window
-    assert snapshot["p50_ms"] == 7000.0
+    # only the newest four samples (6..9 s) remain in the window;
+    # interpolated median of [6, 7, 8, 9] is 7.5 s
+    assert snapshot["p50_ms"] == 7500.0
     assert snapshot["max_ms"] == 9000.0
 
 
@@ -89,6 +102,7 @@ def test_snapshot_with_no_latency_samples_is_strict_json():
     assert snapshot["latency"]["count"] == 0
     assert snapshot["latency"]["p50_ms"] is None
     assert snapshot["latency"]["p95_ms"] is None
+    assert snapshot["latency"]["p99_ms"] is None
     assert snapshot["latency"]["max_ms"] is None
 
 
@@ -96,7 +110,21 @@ def test_snapshot_reports_observed_latency():
     metrics = ServiceMetrics()
     metrics.observe_latency(0.010)
     latency = metrics.snapshot()["latency"]
-    assert latency == {"count": 1, "p50_ms": 10.0, "p95_ms": 10.0, "max_ms": 10.0}
+    assert latency == {
+        "count": 1,
+        "p50_ms": 10.0,
+        "p95_ms": 10.0,
+        "p99_ms": 10.0,
+        "max_ms": 10.0,
+    }
+
+
+def test_snapshot_carries_executor_labels():
+    """The executor section exposes pool width and start method."""
+    executor = ServiceMetrics().snapshot()["executor"]
+    assert executor["start_method"] in ("fork", "forkserver", "spawn")
+    assert executor["pool_workers"] >= 0
+    assert "simulations" in executor
 
 
 def test_json_float_maps_only_nan_to_none():
