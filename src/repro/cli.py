@@ -15,6 +15,9 @@ Usage::
     python -m repro topo --kind star --cubes 8 --size 32 --json
     python -m repro cache stats
     python -m repro bench --jobs 4
+    python -m repro run fig8 --fast --kernel auto
+    python -m repro run fig13 --fast --kernel-parity
+    python -m repro bench --kernel batch --check
     python -m repro serve --port 8642 --jobs 8
     python -m repro query --pattern "16 vaults" --size 128 --json
     python -m repro query --stats
@@ -76,8 +79,35 @@ _DESCRIPTIONS = {
 }
 
 
+#: Relative-error tolerance for batch-vs-DES parity gates (``repro bench
+#: --kernel batch --check`` and ``repro run --kernel-parity``): 0.1%.
+KERNEL_PARITY_TOLERANCE = 0.001
+
+#: Minimum DES-equivalent event advance ratio the hybrid kernel must
+#: reach on the bench suite (`events_equivalent / events`).
+KERNEL_MIN_ADVANCE_RATIO = 5.0
+
+#: The fixed suite `repro bench --kernel batch` measures: the six
+#: certified-stationary workloads (pattern label, type, payload, mode)
+#: whose batch results are parity-gated against event-exact DES runs.
+KERNEL_BENCH_POINTS = (
+    ("ro128r", "ro", 128, "random"),
+    ("wo128r", "wo", 128, "random"),
+    ("ro32r", "ro", 32, "random"),
+    ("ro128l", "ro", 128, "linear"),
+    ("ro64r", "ro", 64, "random"),
+    ("wo64r", "wo", 64, "random"),
+)
+
+
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
-    return FAST_SETTINGS if args.fast else ExperimentSettings()
+    settings = FAST_SETTINGS if args.fast else ExperimentSettings()
+    kernel = getattr(args, "kernel", None)
+    if kernel and kernel != "des":
+        from dataclasses import replace
+
+        settings = replace(settings, kernel=kernel)
+    return settings
 
 
 def _with_topology(
@@ -145,6 +175,8 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "kernel_parity", False):
+        return _run_kernel_parity(args)
     if args.json:
         with _tracing(args):
             return _run_json(args)
@@ -178,6 +210,89 @@ def _run_json(args: argparse.Namespace) -> int:
     for point, measurement in zip(points, measurements):
         print(schema.dumps(schema.result_to_dict(point, measurement)))
     return 0
+
+
+def _parity_errors(des, hybrid) -> dict:
+    """Relative batch-vs-DES error per headline metric, NaN-aware.
+
+    A metric absent on both legs (e.g. write latency on a read-only
+    workload is NaN) contributes zero error; present on only one leg is
+    an infinite error - the kernels disagree about what even happened.
+    """
+    import math
+
+    def rel(base: float, other: float) -> float:
+        if math.isnan(base) and math.isnan(other):
+            return 0.0
+        if math.isnan(base) or math.isnan(other):
+            return float("inf")
+        if base == 0.0:
+            return abs(other)
+        return abs(other - base) / abs(base)
+
+    return {
+        "bandwidth_gbs": rel(des.bandwidth_gbs, hybrid.bandwidth_gbs),
+        "mrps": rel(des.mrps, hybrid.mrps),
+        "read_latency_avg_ns": rel(
+            des.read_latency_avg_ns, hybrid.read_latency_avg_ns
+        ),
+        "write_latency_avg_ns": rel(
+            des.write_latency_avg_ns, hybrid.write_latency_avg_ns
+        ),
+    }
+
+
+def _run_kernel_parity(args: argparse.Namespace) -> int:
+    """``run --kernel-parity``: batch vs DES over one experiment's grid.
+
+    Simulates every point of the experiment's measurement grid under
+    both kernels and fails (exit 1) if any headline metric diverges by
+    more than :data:`KERNEL_PARITY_TOLERANCE`.  Points the hybrid
+    kernel declines (decertified or ineligible) fall back to DES and
+    therefore compare exactly - the flag checks the whole grid, not
+    just the certified subset.
+    """
+    from dataclasses import replace
+
+    from repro.core.campaign import collect_measurement_points
+
+    settings = _settings(args)
+    if settings.kernel == "des":
+        settings = replace(settings, kernel="batch")
+    des_settings = replace(settings, kernel="des")
+    points = collect_measurement_points([args.experiment], settings)
+    if not points:
+        print(
+            f"{args.experiment} has no measurement grid; --kernel-parity "
+            "applies to simulated experiments",
+            file=sys.stderr,
+        )
+        return 2
+    des_points = [replace(p, settings=des_settings) for p in points]
+    with parallel.configured(jobs=_jobs(args), use_cache=not args.no_cache):
+        executor = parallel.get_executor()
+        hybrid = executor.measure_points(points)
+        exact = executor.measure_points(des_points)
+    worst = 0.0
+    failures = 0
+    for point, des_m, hyb_m in zip(points, exact, hybrid):
+        errors = _parity_errors(des_m, hyb_m)
+        peak_metric = max(errors, key=lambda k: errors[k])
+        peak = errors[peak_metric]
+        worst = max(worst, peak)
+        flag = "ok" if peak <= KERNEL_PARITY_TOLERANCE else "FAIL"
+        if flag == "FAIL":
+            failures += 1
+        print(
+            f"{flag:4s} {point.pattern_name} {point.request_type.value} "
+            f"{point.payload_bytes}B {point.mode.value}: "
+            f"worst {peak:.4%} ({peak_metric})"
+        )
+    print(
+        f"kernel parity ({settings.kernel} vs des): {len(points)} points, "
+        f"worst error {worst:.4%}, tolerance {KERNEL_PARITY_TOLERANCE:.2%}"
+    )
+    return 1 if failures else 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -587,15 +702,233 @@ def check_bench(payload: dict, baseline: dict, tolerance: float) -> List[str]:
     return problems
 
 
+def run_kernel_bench(kernel: str, only: Optional[List[str]] = None) -> dict:
+    """Run the hybrid-kernel bench suite: batch vs DES at full windows.
+
+    Every suite point is simulated twice - event-exact DES and the
+    hybrid ``kernel`` - at the *default* measurement windows (the hybrid
+    kernel's certification needs the long window; ``--tiny``/``--fast``
+    windows route ``auto`` back to DES by design).  Reports per-point
+    parity errors, the DES-equivalent advance ratio
+    (``events_equivalent / events``, a wall-clock-free throughput
+    measure), measured window wall speedup, and a profiler-attribution
+    AGREES cross-check on a link-bound and a DRAM-bound point.
+    """
+    import re
+    import time
+    from dataclasses import replace
+
+    from repro.core.experiment import MeasurementPoint, simulate_point_observed
+    from repro.core.profile import profile_workload
+    from repro.fpga.address_gen import AddressingMode
+    from repro.hmc.packet import RequestType
+
+    des_settings = ExperimentSettings()
+    hybrid_settings = replace(des_settings, kernel=kernel)
+    suite = [
+        entry for entry in KERNEL_BENCH_POINTS if not only or entry[0] in only
+    ]
+
+    points = []
+    worst_parity = 0.0
+    min_advance = float("inf")
+    des_wall = hybrid_wall = 0.0
+    start = time.perf_counter()
+    for label, type_label, size, mode_label in suite:
+        request_type = RequestType.from_label(type_label)
+        mode = AddressingMode.from_label(mode_label)
+        des_m, des_info = simulate_point_observed(
+            MeasurementPoint(
+                request_type=request_type,
+                payload_bytes=size,
+                mode=mode,
+                settings=des_settings,
+                pattern_name=label,
+            )
+        )
+        hyb_m, hyb_info = simulate_point_observed(
+            MeasurementPoint(
+                request_type=request_type,
+                payload_bytes=size,
+                mode=mode,
+                settings=hybrid_settings,
+                pattern_name=label,
+            )
+        )
+        errors = _parity_errors(des_m, hyb_m)
+        advance = (
+            hyb_info["events_equivalent"] / hyb_info["events"]
+            if hyb_info["events"]
+            else 0.0
+        )
+        worst_parity = max(worst_parity, max(errors.values()))
+        min_advance = min(min_advance, advance)
+        des_wall += des_info["window_wall_s"]
+        hybrid_wall += hyb_info["window_wall_s"]
+        points.append(
+            {
+                "point": label,
+                "type": type_label,
+                "payload_bytes": size,
+                "mode": mode_label,
+                "kernel_used": hyb_info["kernel"],
+                "reason": hyb_info["reason"],
+                "bandwidth_gbs": round(hyb_m.bandwidth_gbs, 4),
+                "parity_errors": {k: round(v, 8) for k, v in errors.items()},
+                "advance_ratio": round(advance, 3),
+                "des_window_wall_s": round(des_info["window_wall_s"], 4),
+                "kernel_window_wall_s": round(hyb_info["window_wall_s"], 4),
+            }
+        )
+
+    def family(name: str) -> str:
+        # "link0 TX" / "vault12 bank3" -> "link TX" / "vault bank": the
+        # AGREES check cares about which *kind* of station is hottest,
+        # not which instance the tie-break landed on.
+        return re.sub(r"\d+", "", name)
+
+    # Attribution cross-check: one link-bound point (128B reads saturate
+    # the request link) and one DRAM-bound point (32B random reads are
+    # command/bank limited) - the batch-extrapolated station counters
+    # must name the same bottleneck family as the event-exact run.
+    agrees = []
+    for label, type_label, size, mode_label in (
+        ("ro128r", "ro", 128, "random"),
+        ("ro32r", "ro", 32, "random"),
+    ):
+        request_type = RequestType.from_label(type_label)
+        mode = AddressingMode.from_label(mode_label)
+        prof_des = profile_workload(
+            request_type=request_type,
+            payload_bytes=size,
+            mode=mode,
+            settings=des_settings,
+        )
+        prof_hyb = profile_workload(
+            request_type=request_type,
+            payload_bytes=size,
+            mode=mode,
+            settings=hybrid_settings,
+        )
+        agrees.append(
+            {
+                "point": label,
+                "des_bottleneck": prof_des.bottleneck.name,
+                "kernel_bottleneck": prof_hyb.bottleneck.name,
+                "agrees": family(prof_des.bottleneck.name)
+                == family(prof_hyb.bottleneck.name),
+            }
+        )
+
+    return {
+        "kernel": kernel,
+        "settings": "default",
+        "suite": points,
+        "worst_parity_error": worst_parity,
+        "min_advance_ratio": round(min_advance, 3)
+        if min_advance != float("inf")
+        else 0.0,
+        "window_wall_speedup": round(des_wall / hybrid_wall, 2)
+        if hybrid_wall
+        else 0.0,
+        "profile_agrees": agrees,
+        "total_seconds": round(time.perf_counter() - start, 3),
+    }
+
+
+def check_kernel_bench(payload: dict, tolerance: float) -> List[str]:
+    """Acceptance verdicts for a hybrid-kernel bench run.
+
+    Deterministic gates only - parity, advance ratio, certification,
+    attribution agreement - so CI boxes of any speed give the same
+    verdict; the measured wall speedup is reported but not gated.
+    """
+    problems: List[str] = []
+    for entry in payload["suite"]:
+        if entry["kernel_used"] != "batch":
+            problems.append(
+                f"{entry['point']}: hybrid kernel fell back to DES "
+                f"({entry['reason'] or 'no reason recorded'})"
+            )
+    if payload["worst_parity_error"] > tolerance:
+        problems.append(
+            f"parity: worst error {payload['worst_parity_error']:.4%} > "
+            f"tolerance {tolerance:.2%}"
+        )
+    if payload["min_advance_ratio"] < KERNEL_MIN_ADVANCE_RATIO:
+        problems.append(
+            f"advance ratio: {payload['min_advance_ratio']} < "
+            f"{KERNEL_MIN_ADVANCE_RATIO} (steady-state windows not "
+            "advancing fast enough)"
+        )
+    for check in payload["profile_agrees"]:
+        if not check["agrees"]:
+            problems.append(
+                f"profile attribution: {check['point']} bottleneck "
+                f"{check['kernel_bottleneck']!r} (kernel) vs "
+                f"{check['des_bottleneck']!r} (des)"
+            )
+    return problems
+
+
+def _bench_kernel(args: argparse.Namespace, kernel: str) -> int:
+    """``bench --kernel batch|auto``: parity-gated hybrid-kernel bench."""
+    import json
+
+    tolerance = (
+        args.tolerance if args.tolerance is not None else KERNEL_PARITY_TOLERANCE
+    )
+    payload = run_kernel_bench(kernel, only=args.only or None)
+    output = args.output or "BENCH_kernel.json"
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    for entry in payload["suite"]:
+        worst = max(entry["parity_errors"].values())
+        print(
+            f"{entry['point']:8s} {entry['kernel_used']:5s} "
+            f"{entry['bandwidth_gbs']:7.2f} GB/s  "
+            f"parity {worst:.4%}  advance {entry['advance_ratio']:.2f}x  "
+            f"wall {entry['des_window_wall_s']:.2f}s -> "
+            f"{entry['kernel_window_wall_s']:.2f}s"
+        )
+    for check in payload["profile_agrees"]:
+        verdict = "AGREES" if check["agrees"] else "DISAGREES"
+        print(
+            f"profile {check['point']}: {verdict} "
+            f"({check['kernel_bottleneck']} vs {check['des_bottleneck']})"
+        )
+    print(
+        f"kernel={kernel}: worst parity {payload['worst_parity_error']:.4%}, "
+        f"min advance {payload['min_advance_ratio']:.2f}x, "
+        f"window wall speedup {payload['window_wall_speedup']:.2f}x"
+    )
+    print(f"wrote {output}")
+    if not args.check:
+        return 0
+    failures = check_kernel_bench(payload, tolerance)
+    for failure in failures:
+        print(f"bench: FAIL {failure}")
+    return 1 if failures else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time the fixed fast campaign and optionally gate on regressions."""
     import json
+
+    kernel = getattr(args, "kernel", "des") or "des"
+    if kernel != "des":
+        return _bench_kernel(args, kernel)
 
     ids = list(args.only) if args.only else list(BENCH_EXPERIMENTS)
     jobs = _jobs(args)
     settings, label = (
         (TINY_SETTINGS, "tiny") if args.tiny else (FAST_SETTINGS, "fast")
     )
+
+    output = args.output or "BENCH_campaign.json"
+    baseline_path = args.baseline or "BENCH_campaign.json"
+    tolerance = args.tolerance if args.tolerance is not None else 0.25
 
     trace_sample = getattr(args, "trace_sample", None)
 
@@ -605,10 +938,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # same file (the default), and writing first would make the
         # check compare the run against itself.
         try:
-            with open(args.baseline) as handle:
+            with open(baseline_path) as handle:
                 baseline = json.load(handle)
         except (OSError, ValueError) as exc:
-            print(f"bench --check: cannot read baseline {args.baseline}: {exc}")
+            print(f"bench --check: cannot read baseline {baseline_path}: {exc}")
             return 2
 
     if trace_sample:
@@ -629,7 +962,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         payload = run_bench(ids, jobs, settings, label)
 
-    with open(args.output, "w") as handle:
+    with open(output, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(
@@ -640,7 +973,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"({payload['warm_simulations']} simulations), "
         f"{payload['events_per_sec']:,} events/s on {payload['cpu_count']} cpu(s)"
     )
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
 
     failures: List[str] = []
     if args.min_events_per_sec is not None:
@@ -662,7 +995,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "not comparable, skipping"
             )
         else:
-            failures.extend(check_bench(payload, baseline, args.tolerance))
+            failures.extend(check_bench(payload, baseline, tolerance))
 
     if failures:
         for failure in failures:
@@ -714,6 +1047,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="trace every Nth submitted request (default: 1 = all)",
         )
 
+    def add_kernel_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--kernel",
+            default="des",
+            choices=("des", "batch", "auto"),
+            help=(
+                "simulation kernel: des = event-exact (default), batch = "
+                "hybrid steady-state window advancement, auto = batch only "
+                "when the window is long enough to certify"
+            ),
+        )
+
     def add_topology_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--topology",
@@ -741,8 +1086,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the experiment's measurement grid as wire-schema JSON lines",
     )
+    run_parser.add_argument(
+        "--kernel-parity",
+        action="store_true",
+        dest="kernel_parity",
+        help=(
+            "simulate the experiment's grid under both kernels and fail "
+            "if any metric diverges beyond the 0.1%% parity tolerance"
+        ),
+    )
     add_executor_flags(run_parser)
     add_trace_flags(run_parser)
+    add_kernel_flag(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     campaign_parser = sub.add_parser("campaign", help="run every experiment")
@@ -782,6 +1137,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_executor_flags(sweep_parser)
     add_trace_flags(sweep_parser)
     add_topology_flags(sweep_parser)
+    add_kernel_flag(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     topo_parser = sub.add_parser(
@@ -818,10 +1174,21 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="time the fixed fast campaign (cold/warm) for perf tracking"
     )
     bench_parser.add_argument(
-        "--only", nargs="*", metavar="ID", help="bench these experiment ids instead"
+        "--only",
+        nargs="*",
+        metavar="ID",
+        help=(
+            "bench these experiment ids instead (with --kernel: these "
+            "suite point labels, e.g. ro128r)"
+        ),
     )
     bench_parser.add_argument(
-        "--output", default="BENCH_campaign.json", help="benchmark JSON path"
+        "--output",
+        default=None,
+        help=(
+            "benchmark JSON path (default: BENCH_campaign.json, or "
+            "BENCH_kernel.json with --kernel batch/auto)"
+        ),
     )
     bench_parser.add_argument("--jobs", type=int, metavar="N")
     bench_parser.add_argument(
@@ -832,20 +1199,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--check",
         action="store_true",
-        help="compare against --baseline and exit nonzero on regression",
+        help=(
+            "compare against --baseline and exit nonzero on regression "
+            "(with --kernel: gate on parity, advance ratio, and profiler "
+            "agreement instead)"
+        ),
     )
     bench_parser.add_argument(
         "--baseline",
-        default="BENCH_campaign.json",
+        default=None,
         metavar="PATH",
         help="committed baseline JSON for --check (default: BENCH_campaign.json)",
     )
     bench_parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.25,
+        default=None,
         metavar="FRAC",
-        help="allowed fractional drop below baseline before --check fails",
+        help=(
+            "allowed fractional drop below baseline before --check fails "
+            "(default 0.25; with --kernel: allowed relative parity error, "
+            "default 0.001)"
+        ),
     )
     bench_parser.add_argument(
         "--min-events-per-sec",
@@ -871,6 +1246,7 @@ def build_parser() -> argparse.ArgumentParser:
             "request (overhead measurement; spans are discarded)"
         ),
     )
+    add_kernel_flag(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench)
 
     trace_parser = sub.add_parser(
@@ -1003,6 +1379,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="wire-schema JSON instead of a summary"
     )
     add_topology_flags(query_parser)
+    add_kernel_flag(query_parser)
     query_parser.set_defaults(func=_cmd_query)
     return parser
 

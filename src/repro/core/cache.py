@@ -5,7 +5,8 @@ stable key derived from *all* simulation inputs: the structural
 :class:`HMCConfig` (including link geometry), the full
 :class:`Calibration`, the address mask, request type, payload size,
 addressing mode, port count, simulation windows, the RNG seed, the
-pattern label, the cube-network topology (when one is configured), and
+pattern label, the cube-network topology (when one is configured), the
+simulation kernel (when not the default DES), and
 :data:`MODEL_VERSION`.  Equal key implies equal
 :class:`BandwidthMeasurement`, so results can be reused across
 processes and across campaign runs without ever re-simulating a point.
@@ -92,6 +93,11 @@ def cache_key(point: MeasurementPoint) -> str:
     # what pre-topology builds computed for the same point.
     if settings.topology is not None:
         inputs.append(settings.topology)
+    # Same convention for the simulation kernel: batch/auto results are
+    # extrapolated, so they live under their own keys and can never
+    # shadow (or be shadowed by) an event-exact DES result.
+    if settings.kernel != "des":
+        inputs.append(("kernel", settings.kernel))
     canonical = repr(tuple(inputs))
     return hashlib.sha256(canonical.encode()).hexdigest()
 

@@ -35,6 +35,10 @@ from repro.thermal.model import ThermalModel, ThermalReading
 from repro.topology.spec import TopologySpec
 
 
+#: Legal values of :attr:`ExperimentSettings.kernel`.
+VALID_KERNELS = ("des", "batch", "auto")
+
+
 @dataclass(frozen=True)
 class ExperimentSettings:
     """Simulation-window and device settings shared by experiments.
@@ -42,6 +46,15 @@ class ExperimentSettings:
     ``topology`` selects a multi-cube network (``None`` means the plain
     single-device board); it rides through the cache key and the wire
     schema so topology-keyed results coexist with single-cube ones.
+
+    ``kernel`` selects the simulation kernel for the measurement window:
+    ``"des"`` (the default) is the event-by-event engine; ``"batch"``
+    attempts the hybrid steady-state kernel (:mod:`repro.sim.batch`) on
+    every point, falling back to the DES whenever the configuration or
+    the probe fails certification; ``"auto"`` batches only eligible
+    points with windows long enough to certify at 0.1% parity.  Like
+    ``topology``, the kernel rides through the cache key (batch results
+    are keyed separately) and the wire schema.
     """
 
     config: HMCConfig = HMC_1_1_4GB
@@ -50,6 +63,13 @@ class ExperimentSettings:
     window_us: float = 120.0
     max_block_bytes: int = 128
     topology: Optional[TopologySpec] = None
+    kernel: str = "des"
+
+    def __post_init__(self) -> None:
+        if self.kernel not in VALID_KERNELS:
+            raise ValueError(
+                f"kernel must be one of {VALID_KERNELS}, got {self.kernel!r}"
+            )
 
     def scaled(self, factor: float) -> "ExperimentSettings":
         """Shrink/grow both windows (tests use small factors)."""
@@ -176,7 +196,10 @@ def simulate_point(point: MeasurementPoint) -> Tuple[BandwidthMeasurement, int]:
 
     This is the executor's worker function: it always simulates, never
     consults any cache.  The event count feeds the benchmark harness's
-    events/second figure.
+    events/second figure; when the batch kernel advances the window
+    (``settings.kernel`` of ``"batch"``/``"auto"``), the count is the
+    DES-equivalent figure - events actually run plus the events the
+    extrapolated tail would have cost the event-by-event engine.
 
     When process-wide trace sampling is configured (in process via
     :func:`repro.obs.trace.configure` or through the
@@ -205,10 +228,32 @@ def simulate_point_traced(
     return measurement, tracer
 
 
+def simulate_point_observed(
+    point: MeasurementPoint,
+) -> Tuple[BandwidthMeasurement, dict]:
+    """Like :func:`simulate_point`, plus kernel/timing observability.
+
+    The returned info dict carries ``kernel`` (the kernel that actually
+    advanced the window: ``"des"`` or ``"batch"``), ``window_wall_s``
+    (wall-clock seconds spent advancing the measurement window),
+    ``events`` (engine events actually processed), ``events_equivalent``
+    (events the pure DES would have processed over the same window), and
+    ``reason`` (why the batch kernel was not used, when it was not).
+    The kernel benchmark and the parity suite are the consumers.
+    """
+    info: dict = {}
+    measurement, _events = _run_point(point, obs_trace.tracer_for_run(), observer=info)
+    return measurement, info
+
+
 def _run_point(
-    point: MeasurementPoint, tracer: Optional["obs_trace.Tracer"]
+    point: MeasurementPoint,
+    tracer: Optional["obs_trace.Tracer"],
+    observer: Optional[dict] = None,
 ) -> Tuple[BandwidthMeasurement, int]:
     """The shared warm-up/window protocol behind both entry points."""
+    import time as _time
+
     settings = point.settings
     board = AC510Board(
         config=settings.config,
@@ -233,10 +278,50 @@ def _run_point(
     warmup_ns = settings.warmup_us * 1e3
     window_ns = settings.window_us * 1e3
     sim.run(until=warmup_ns)
-    board.controller.begin_measurement()
-    sim.run(until=warmup_ns + window_ns)
-    board.controller.end_measurement()
+
+    kernel_used = "des"
+    reason = ""
+    events = 0
+    events_equivalent = 0
+    if settings.kernel != "des":
+        from repro.sim import batch as batch_kernel
+
+        eligible, reason = batch_kernel.static_eligibility(board, tracer)
+        if eligible and settings.kernel == "auto" and not batch_kernel.auto_allows(
+            settings
+        ):
+            eligible, reason = False, "window too short for auto"
+    else:
+        eligible = False
+
+    if eligible:
+        outcome = batch_kernel.run_window(board, window_ns)
+        kernel_used = "batch" if outcome.used_batch else "des"
+        reason = outcome.reason
+        window_wall_s = outcome.window_wall_s
+        events = outcome.events
+        events_equivalent = outcome.events_equivalent
+    else:
+        board.controller.begin_measurement()
+        events_at_window_start = sim.events_processed
+        wall_start = _time.perf_counter()
+        sim.run(until=warmup_ns + window_ns)
+        window_wall_s = _time.perf_counter() - wall_start
+        board.controller.end_measurement()
+        # Window-scoped (warmup excluded) so the hybrid kernel's advance
+        # ratio - events_equivalent / events - measures the *window*.
+        events = sim.events_processed - events_at_window_start
+        events_equivalent = events
     gups.stop()
+
+    if observer is not None:
+        observer.update(
+            kernel=kernel_used,
+            reason=reason,
+            window_wall_s=window_wall_s,
+            events=events,
+            events_equivalent=events_equivalent,
+        )
 
     controller = board.controller
     reads = controller.read_latency.stats
@@ -257,7 +342,7 @@ def _run_point(
         write_latency_avg_ns=writes.mean if writes.count else math.nan,
         window_ns=controller.traffic.window_ns,
     )
-    return measurement, sim.events_processed
+    return measurement, events_equivalent
 
 
 def measure_bandwidth(

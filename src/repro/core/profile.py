@@ -65,7 +65,14 @@ def profile_workload(
     active_ports: Optional[int] = None,
     settings: ExperimentSettings = ExperimentSettings(),
 ) -> ProfiledMeasurement:
-    """Run one workload and attribute its time to stations."""
+    """Run one workload and attribute its time to stations.
+
+    Honours ``settings.kernel``: under ``"batch"``/``"auto"`` the
+    hybrid kernel (:mod:`repro.sim.batch`) advances the window when it
+    certifies, extrapolating every station's busy-time counters across
+    the tiled tail - so batch-profiled attribution is directly
+    comparable (the AGREES cross-check) with the event-by-event run.
+    """
     board = AC510Board(
         config=settings.config,
         calibration=settings.calibration,
@@ -84,12 +91,20 @@ def profile_workload(
     warmup_ns = settings.warmup_us * 1e3
     window_ns = settings.window_us * 1e3
     board.sim.run(until=warmup_ns)
-    board.controller.begin_measurement()
-    token_low_water = [
-        link.tokens.available for link in board.device.links
-    ]
-    board.sim.run(until=warmup_ns + window_ns)
-    board.controller.end_measurement()
+    batched = False
+    if settings.kernel != "des":
+        from repro.sim import batch as batch_kernel
+
+        eligible, _reason = batch_kernel.static_eligibility(board)
+        if eligible and not (
+            settings.kernel == "auto" and not batch_kernel.auto_allows(settings)
+        ):
+            batched = True
+            batch_kernel.run_window(board, window_ns)
+    if not batched:
+        board.controller.begin_measurement()
+        board.sim.run(until=warmup_ns + window_ns)
+        board.controller.end_measurement()
     gups.stop()
 
     stations: List[StationUtilization] = []
@@ -113,6 +128,16 @@ def profile_workload(
                 f"link{link.index} tokens",
                 min(1.0, link.tokens.peak_in_use / link.tokens.capacity),
                 f"peak {link.tokens.peak_in_use}/{link.tokens.capacity} flits",
+            )
+        )
+        # Window-scoped low-water mark (reset at begin_measurement): how
+        # close the request direction came to stalling on flow control.
+        low_water = link.tokens.low_water
+        stations.append(
+            StationUtilization(
+                f"link{link.index} tokens low-water",
+                min(1.0, 1.0 - low_water / link.tokens.capacity),
+                f"min {low_water}/{link.tokens.capacity} flits free",
             )
         )
 
@@ -143,8 +168,6 @@ def profile_workload(
             f"{busiest_bank.accesses} accesses",
         )
     )
-    del token_low_water  # reserved for future watermark reporting
-
     controller = board.controller
     return ProfiledMeasurement(
         bandwidth_gbs=controller.bandwidth_gbs,

@@ -44,6 +44,16 @@ class LinearFit:
             n=len(xs),
         )
 
+    @classmethod
+    def fit_indexed(cls, ys: Sequence[float]) -> "LinearFit":
+        """Fit against the sample index 0..n-1.
+
+        Used for trend tests over evenly spaced series - e.g. the batch
+        kernel's drift gate over per-chunk completion counts, where
+        ``rise_over(0, n - 1)`` is the modelled change across the probe.
+        """
+        return cls.fit(range(len(ys)), ys)
+
     def predict(self, x: float) -> float:
         return self.slope * x + self.intercept
 

@@ -239,6 +239,9 @@ def settings_to_dict(settings: ExperimentSettings) -> Dict[str, Any]:
     single-cube payloads are byte-identical to what pre-topology builds
     emitted, and those builds' decoders (which ignore unknown keys)
     still read topology-bearing payloads as their single-cube fields.
+    The ``kernel`` key follows the same convention: present only when a
+    non-default simulation kernel is selected, so default payloads stay
+    byte-identical to what pre-kernel builds emitted.
     """
     config = _scalars_to_dict(settings.config)
     config["links"] = _scalars_to_dict(settings.config.links)
@@ -251,14 +254,17 @@ def settings_to_dict(settings: ExperimentSettings) -> Dict[str, Any]:
     }
     if settings.topology is not None:
         body["topology"] = topology_to_dict(settings.topology)
+    if settings.kernel != "des":
+        body["kernel"] = settings.kernel
     return _envelope("experiment_settings", body)
 
 
 def settings_from_dict(payload: Mapping[str, Any]) -> ExperimentSettings:
     """Decode :class:`ExperimentSettings` (validates the device config).
 
-    A missing ``topology`` key decodes as ``None`` so payloads from
-    pre-topology writers remain readable under schema version 1.
+    A missing ``topology`` key decodes as ``None`` and a missing
+    ``kernel`` key as ``"des"`` so payloads from older writers remain
+    readable under schema version 1.
     """
     body = check_envelope(payload, "experiment_settings")
     try:
@@ -277,6 +283,7 @@ def settings_from_dict(payload: Mapping[str, Any]) -> ExperimentSettings:
             window_us=decode_float(body["window_us"]),
             max_block_bytes=body["max_block_bytes"],
             topology=topology,
+            kernel=body.get("kernel", "des"),
         )
     except SchemaError:
         raise

@@ -15,7 +15,7 @@ response clears the RX pipeline.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict
+from typing import Callable, Deque, Dict, Optional
 
 from repro.hmc.calibration import Calibration
 from repro.hmc.device import HMCDevice
@@ -76,6 +76,11 @@ class HmcController:
         # stations below stamp in place.  None keeps every hot path to
         # one is-None branch per station.
         self.tracer = None
+        # Optional completion recorder (repro.sim.batch.CompletionRecorder):
+        # the batch kernel attaches it for the probe prefix of a window
+        # and detaches it afterwards.  Same None-guard discipline as the
+        # tracer: one is-None branch on the completion path.
+        self.recorder = None
 
         # Measurement-window instrumentation.
         self.traffic = RateMeter()
@@ -176,6 +181,9 @@ class HmcController:
         else:
             self.reads_total += 1
 
+        if self.recorder is not None:
+            self.recorder.record(request.complete_ns, request)
+
         self.traffic.record(request.raw_bytes)
         if self.traffic.is_open:
             if request.is_write:
@@ -208,10 +216,32 @@ class HmcController:
         # Delegated so a CubeNetwork can also zero its pass-through hops.
         self.device.reset_counters()
 
-    def end_measurement(self) -> None:
-        self.traffic.close(self.sim.now)
+    def end_measurement(self, at: Optional[float] = None) -> None:
+        """Close the window meters, by default at the current instant.
+
+        The batch kernel passes ``at`` explicitly: it leaves the event
+        clock at the end of its DES probe but accounts for the whole
+        window, so the meters must close at the window edge the
+        extrapolated counters describe.
+        """
+        self.traffic.close(self.sim.now if at is None else at)
         self.read_latency.close()
         self.write_latency.close()
+
+    def snapshot(self) -> dict:
+        """Exportable controller state for kernel entry/exit handoff."""
+        return {
+            "outstanding": self.outstanding,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "raw_bytes_total": self.raw_bytes_total,
+            "reads_total": self.reads_total,
+            "writes_total": self.writes_total,
+            "window_events": self.traffic.events,
+            "window_bytes": self.traffic.bytes,
+            "reads_completed_in_window": self.reads_completed_in_window,
+            "writes_completed_in_window": self.writes_completed_in_window,
+        }
 
     @property
     def bandwidth_gbs(self) -> float:

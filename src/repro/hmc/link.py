@@ -95,6 +95,9 @@ class LinkTokenPool:
         self.available = capacity_flits
         self._waiters: Deque[tuple[int, Callable[[], None]]] = deque()
         self.peak_in_use = 0
+        # Fewest tokens simultaneously free since the last watermark
+        # reset - the pressure indicator the profiler reports per link.
+        self.low_water = capacity_flits
 
     @property
     def in_use(self) -> int:
@@ -111,10 +114,13 @@ class LinkTokenPool:
                 f"packet of {flits} flits exceeds link buffer of {self.capacity}"
             )
         if not self._waiters and self.available >= flits:
-            self.available -= flits
-            in_use = self.capacity - self.available
+            available = self.available - flits
+            self.available = available
+            in_use = self.capacity - available
             if in_use > self.peak_in_use:
                 self.peak_in_use = in_use
+            if available < self.low_water:
+                self.low_water = available
             return True
         self._waiters.append((flits, on_ready))
         return False
@@ -126,12 +132,23 @@ class LinkTokenPool:
             raise RuntimeError(f"LinkTokenPool {self.name!r}: token overflow")
         while self._waiters and self.available >= self._waiters[0][0]:
             need, callback = self._waiters.popleft()
-            self.available -= need
-            in_use = self.capacity - self.available
+            available = self.available - need
+            self.available = available
+            in_use = self.capacity - available
             if in_use > self.peak_in_use:
                 self.peak_in_use = in_use
+            if available < self.low_water:
+                self.low_water = available
             # Zero-delay wake-up: the now-queue skips the heap round-trip.
             self.sim.post(callback)
+
+    def reset_watermarks(self) -> None:
+        """Restart low-water tracking from the current occupancy.
+
+        Called at the start of a measurement window so the reported
+        low-water mark describes the window, not the warm-up transient.
+        """
+        self.low_water = self.available
 
     @property
     def waiting(self) -> int:
@@ -161,3 +178,23 @@ class Link:
     def reset_counters(self) -> None:
         self.tx.reset_counters()
         self.rx.reset_counters()
+        self.tokens.reset_watermarks()
+
+    def snapshot(self) -> dict:
+        """Exportable state of both directions and the token pool.
+
+        The batch kernel captures one snapshot at its tiling-span start
+        and another at kernel entry; the difference is the span's busy
+        time / packet flow, which it scales across the remaining window.
+        """
+        return {
+            "tx_busy": self.tx.busy_time,
+            "tx_packets": self.tx.packets,
+            "tx_bytes": self.tx.bytes,
+            "rx_busy": self.rx.busy_time,
+            "rx_packets": self.rx.packets,
+            "rx_bytes": self.rx.bytes,
+            "tokens_available": self.tokens.available,
+            "tokens_peak_in_use": self.tokens.peak_in_use,
+            "tokens_low_water": self.tokens.low_water,
+        }

@@ -6,6 +6,12 @@ The kernel is deliberately small: a time-ordered event loop
 (:mod:`repro.sim.stats`).  All simulated time is expressed in nanoseconds
 as floats; ties are broken by schedule order so runs are fully
 deterministic for a fixed seed.
+
+On top of the event loop sits the hybrid steady-state batch kernel
+(:mod:`repro.sim.batch`): a DES probe prefix plus vectorized window
+advancement for certified stationary measurement windows.  It is
+imported lazily (``from repro.sim import batch``) so the event engine
+itself stays numpy-free.
 """
 
 from repro.sim.engine import Event, Simulator

@@ -1,0 +1,453 @@
+"""Hybrid steady-state batch kernel: vectorized window advancement.
+
+The paper's measurement protocol is steady-state by construction: warm
+up the closed loop, then read counters over a long stationary window
+(§III-B).  The event engine spends most of a campaign replaying the
+same stationary completion stream chunk after chunk.  This module
+exploits that: it runs a short DES *probe* prefix of the window,
+certifies that the stream is stationary, and then advances the rest of
+the window with numpy array operations - tiling the probe's trailing
+completion records across the remaining time and folding the
+extrapolated counts, bytes, latencies, and per-station busy times into
+the same meters the event-by-event path fills.
+
+The kernel never guesses: correctness is gated three ways.
+
+1. **Static eligibility** - configurations the kernel does not model
+   (multi-cube topologies, fault injection, active tracing, refresh)
+   route to the event-by-event :class:`~repro.sim.engine.Simulator`
+   before the window even starts.
+2. **Dynamic certification** - the probe's trailing chunks must show a
+   stationary in-flight population and a stationary per-station flow:
+   bounded spread of per-chunk completion counts and latency means,
+   bounded split-half prediction error, and a bounded linear trend
+   (:class:`~repro.core.regression.LinearFit`).  A failed certificate
+   falls back to the DES for the remainder of the window, which is
+   bit-identical to never having tried (the probe ran the same events
+   the DES would have, chunked ``run(until=...)`` calls being
+   equivalent to one by the engine contract).
+3. **Parity acceptance** - `repro bench --kernel batch` and the
+   kernel-parity test suite assert bandwidth/MRPS/latency within 0.1%
+   of the DES on the certified suite.
+
+Tuning (validated against the DES across payload sizes, read/write
+mixes, addressing modes, and seeds): 48 chunks per window, a 9-chunk
+probe, and a 7-chunk tiling span - the first two window chunks carry a
+~1% completion-rate transient even after warm-up and are excluded from
+the span.  This advances 48/9 = 5.33x more window time per simulated
+event than the pure DES with worst-case parity error under 0.1%.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - numpy is a core dependency
+    raise ImportError(
+        "the batch kernel needs numpy (declared in pyproject.toml); "
+        "install the project dependencies or run with --kernel des"
+    ) from exc
+
+from repro.core.regression import LinearFit
+from repro.sim.stats import OnlineStats
+
+#: Window partitioning: the probe runs PROBE_CHUNKS of TOTAL_CHUNKS
+#: through the DES, and the trailing SPAN_CHUNKS of the probe are the
+#: tiling span replicated across the remaining window.
+TOTAL_CHUNKS = 48
+PROBE_CHUNKS = 9
+SPAN_CHUNKS = 7
+
+#: Certification thresholds (relative).  Calibrated so every stationary
+#: configuration in the bench suite passes with ~2x margin while the
+#: known non-stationary ones (write-linear beat patterns, read-modify-
+#: write oscillation) fail with >=2x margin.
+MAX_EVENT_SPREAD = 0.04
+MAX_LATENCY_SPREAD = 0.015
+MAX_OUTSTANDING_SPREAD = 0.02
+MAX_SPLIT_DRIFT = 0.008
+MAX_TREND_DRIFT = 0.02
+#: Queue-occupancy stationarity only gates when queues are deep enough
+#: for the relative spread to be meaningful.
+MIN_QUEUE_DEPTH_FOR_GATE = 64.0
+MAX_QUEUE_SPREAD = 0.5
+
+#: ``kernel="auto"`` only batches windows long enough for the per-chunk
+#: statistics to certify at 0.1% parity; shorter windows (the --fast and
+#: --tiny presets) route to the DES.
+AUTO_MIN_WINDOW_US = 60.0
+
+
+class CompletionRecorder:
+    """Per-completion record buffer the controller fills during a probe.
+
+    Attached as ``controller.recorder`` (same None-guard discipline as
+    the tracer hook): one list append per completion, converted to numpy
+    arrays once at extrapolation time.
+    """
+
+    __slots__ = ("times", "latencies", "writes", "nbytes")
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.latencies: List[float] = []
+        self.writes: List[bool] = []
+        self.nbytes: List[int] = []
+
+    def record(self, now: float, request) -> None:
+        self.times.append(now)
+        self.latencies.append(request.latency_ns)
+        self.writes.append(request.is_write)
+        self.nbytes.append(request.raw_bytes)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def arrays(self) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray"]:
+        return (
+            np.asarray(self.times, dtype=float),
+            np.asarray(self.latencies, dtype=float),
+            np.asarray(self.writes, dtype=bool),
+            np.asarray(self.nbytes, dtype=np.int64),
+        )
+
+
+@dataclass(frozen=True)
+class Certification:
+    """Outcome of the dynamic stationarity check over the probe."""
+
+    certified: bool
+    reason: str
+    event_spread: float = math.nan
+    latency_spread: float = math.nan
+    outstanding_spread: float = math.nan
+    split_drift: float = math.nan
+    trend_drift: float = math.nan
+    queue_spread: float = math.nan
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What one window advancement did and what it would have cost.
+
+    ``events_equivalent`` counts the engine events the pure DES would
+    have processed over the same window (actual probe events plus the
+    span's event count scaled across the extrapolated tail) - the
+    numerator of the events/s-equivalent throughput figure.  Both event
+    counts are window-scoped (warm-up excluded), so
+    ``events_equivalent / events`` is the window advance ratio.
+    """
+
+    used_batch: bool
+    reason: str
+    window_wall_s: float
+    events: int
+    events_equivalent: int
+    certification: Optional[Certification] = None
+    tail_tiles: int = 0
+    diagnostics: dict = field(default_factory=dict)
+
+
+def static_eligibility(board, tracer=None) -> Tuple[bool, str]:
+    """Whether this board/run shape is one the kernel certifies at all.
+
+    Anything the vectorized advancement does not model - topology hops,
+    link fault injection, periodic refresh, active lifecycle tracing -
+    routes to the event-by-event engine.
+    """
+    if tracer is not None or board.controller.tracer is not None:
+        return False, "tracing"
+    if getattr(board, "network", None) is not None:
+        return False, "topology"
+    if board.controller.fault_model is not None:
+        return False, "faults"
+    if getattr(board.device, "refresh", None) is not None:
+        return False, "refresh"
+    return True, ""
+
+
+def auto_allows(settings) -> bool:
+    """The ``auto`` kernel's static window-length gate."""
+    return settings.window_us >= AUTO_MIN_WINDOW_US
+
+
+def _relative_spread(values: "np.ndarray") -> float:
+    mean = float(values.mean())
+    if not mean:
+        return math.inf
+    return float(values.max() - values.min()) / abs(mean)
+
+
+def _certify(
+    chunk_events: "np.ndarray",
+    chunk_latency_means: "np.ndarray",
+    chunk_outstanding: "np.ndarray",
+    chunk_queued: "np.ndarray",
+) -> Certification:
+    """Stationarity certificate over the probe's trailing span chunks."""
+    events = chunk_events[-SPAN_CHUNKS:].astype(float)
+    latencies = chunk_latency_means[-SPAN_CHUNKS:]
+    outstanding = chunk_outstanding[-SPAN_CHUNKS:].astype(float)
+    queued = chunk_queued[-SPAN_CHUNKS:].astype(float)
+    if not events.all():
+        return Certification(False, "empty probe chunk")
+    if np.isnan(latencies).any():
+        return Certification(False, "chunk without completions")
+
+    event_spread = _relative_spread(events)
+    latency_spread = _relative_spread(latencies)
+    outstanding_spread = _relative_spread(outstanding)
+    half = SPAN_CHUNKS // 2
+    split_drift = max(
+        abs(float(events[:half].mean() - events[-half:].mean())) / float(events.mean()),
+        abs(float(latencies[:half].mean() - latencies[-half:].mean()))
+        / float(latencies.mean()),
+    )
+    trend = LinearFit.fit_indexed(events.tolist())
+    trend_drift = abs(trend.rise_over(0, SPAN_CHUNKS - 1)) / float(events.mean())
+    queue_mean = float(queued.mean())
+    queue_spread = _relative_spread(queued) if queue_mean else 0.0
+
+    metrics = dict(
+        event_spread=event_spread,
+        latency_spread=latency_spread,
+        outstanding_spread=outstanding_spread,
+        split_drift=split_drift,
+        trend_drift=trend_drift,
+        queue_spread=queue_spread,
+    )
+    checks = (
+        (event_spread <= MAX_EVENT_SPREAD, "completion-rate spread"),
+        (latency_spread <= MAX_LATENCY_SPREAD, "latency spread"),
+        (outstanding_spread <= MAX_OUTSTANDING_SPREAD, "in-flight population"),
+        (split_drift <= MAX_SPLIT_DRIFT, "split-half drift"),
+        (trend_drift <= MAX_TREND_DRIFT, "completion-rate trend"),
+        (
+            queue_mean < MIN_QUEUE_DEPTH_FOR_GATE or queue_spread <= MAX_QUEUE_SPREAD,
+            "queue occupancy",
+        ),
+    )
+    for passed, label in checks:
+        if not passed:
+            return Certification(False, f"non-stationary {label}", **metrics)
+    return Certification(True, "", **metrics)
+
+
+# ----------------------------------------------------------------------
+# station extrapolation
+# ----------------------------------------------------------------------
+def _span_station_snapshot(board) -> dict:
+    """Busy-counter snapshot at the tiling-span start (kernel handoff)."""
+    return {
+        "links": [link.snapshot() for link in board.device.links],
+        "vaults": [vault.snapshot() for vault in board.device.vaults],
+    }
+
+
+def _scale_channel(channel, busy0: float, packets0: int, bytes0: int, scale: float) -> None:
+    channel.busy_time += (channel.busy_time - busy0) * scale
+    channel.packets += int(round((channel.packets - packets0) * scale))
+    channel.bytes += int(round((channel.bytes - bytes0) * scale))
+
+
+def _scale_stations(board, span_snapshot: dict, scale: float) -> None:
+    """Extend every station's window counters across the tiled tail.
+
+    Busy time, packet, and byte counters grew linearly over the
+    stationary span; the tail is ``scale`` spans long, so each counter
+    gains its span delta times ``scale``.  Occupancy watermarks (token
+    peaks/low-water, queue depths) are left at their probe values - a
+    stationary stream revisits them.
+    """
+    for link, snap in zip(board.device.links, span_snapshot["links"]):
+        _scale_channel(link.tx, snap["tx_busy"], snap["tx_packets"], snap["tx_bytes"], scale)
+        _scale_channel(link.rx, snap["rx_busy"], snap["rx_packets"], snap["rx_bytes"], scale)
+    for vault, snap in zip(board.device.vaults, span_snapshot["vaults"]):
+        _scale_channel(vault.tsv, snap["tsv_busy"], snap["tsv_packets"], snap["tsv_bytes"], scale)
+        vault.command.busy_time += (vault.command.busy_time - snap["command_busy"]) * scale
+        vault.command.packets += int(
+            round((vault.command.packets - snap["command_packets"]) * scale)
+        )
+        vault.requests_accepted += int(
+            round((vault.requests_accepted - snap["requests_accepted"]) * scale)
+        )
+        for bank, bank_snap in zip(vault.banks, snap["banks"]):
+            bank.busy_time += (bank.busy_time - bank_snap["busy_time"]) * scale
+            bank.accesses += int(round((bank.accesses - bank_snap["accesses"]) * scale))
+
+
+# ----------------------------------------------------------------------
+# completion-stream extrapolation
+# ----------------------------------------------------------------------
+def _tiled_stats(
+    span_values: "np.ndarray", partial_values: "np.ndarray", tiles: int
+) -> Optional[OnlineStats]:
+    """Exact OnlineStats of ``tiles`` span copies plus the partial tile."""
+    count = tiles * len(span_values) + len(partial_values)
+    if not count:
+        return None
+    total = tiles * float(span_values.sum()) + float(partial_values.sum())
+    mean = total / count
+    m2 = tiles * float(((span_values - mean) ** 2).sum()) + float(
+        ((partial_values - mean) ** 2).sum()
+    )
+    stats = OnlineStats()
+    stats.count = count
+    stats.total = total
+    stats._mean = mean
+    stats._m2 = m2
+    minimum = math.inf
+    maximum = -math.inf
+    if tiles and len(span_values):
+        minimum = float(span_values.min())
+        maximum = float(span_values.max())
+    if len(partial_values):
+        minimum = min(minimum, float(partial_values.min()))
+        maximum = max(maximum, float(partial_values.max()))
+    stats.minimum = minimum
+    stats.maximum = maximum
+    return stats
+
+
+def run_window(board, window_ns: float) -> BatchOutcome:
+    """Advance one measurement window starting at ``board.sim.now``.
+
+    Opens the measurement meters, runs the DES probe, and either tiles
+    the stationary span across the rest of the window (closing the
+    meters at the window edge the extrapolated counters describe) or
+    falls back to the DES for the remainder - bit-identical to a pure
+    DES window, since the chunked probe ran exactly the events the DES
+    would have.
+    """
+    sim = board.sim
+    controller = board.controller
+    window_start = sim.now
+    chunk_ns = window_ns / TOTAL_CHUNKS
+    span_start_ns = window_start + chunk_ns * (PROBE_CHUNKS - SPAN_CHUNKS)
+    probe_end_ns = window_start + chunk_ns * PROBE_CHUNKS
+    window_end_ns = window_start + window_ns
+
+    controller.begin_measurement()
+    window_start_events = sim.events_processed
+    wall_start = time.perf_counter()
+    recorder = CompletionRecorder()
+    controller.recorder = recorder
+    chunk_marks: List[int] = []
+    chunk_outstanding: List[int] = []
+    chunk_queued: List[int] = []
+    span_snapshot: Optional[dict] = None
+    span_engine_events = 0
+    try:
+        for i in range(PROBE_CHUNKS):
+            if i == PROBE_CHUNKS - SPAN_CHUNKS:
+                span_snapshot = _span_station_snapshot(board)
+                span_engine_events = sim.events_processed
+            sim.run(until=window_start + chunk_ns * (i + 1))
+            chunk_marks.append(len(recorder))
+            chunk_outstanding.append(controller.outstanding)
+            chunk_queued.append(sum(vault.queued for vault in board.device.vaults))
+    finally:
+        controller.recorder = None
+    probe_engine_events = sim.events_processed
+    span_engine_events = probe_engine_events - span_engine_events
+
+    times, latencies, writes, nbytes = recorder.arrays()
+    marks = np.asarray([0] + chunk_marks)
+    chunk_events = np.diff(marks)
+    chunk_latency_means = np.asarray(
+        [
+            float(latencies[lo:hi].mean()) if hi > lo else math.nan
+            for lo, hi in zip(marks[:-1], marks[1:])
+        ]
+    )
+    certification = _certify(
+        chunk_events,
+        chunk_latency_means,
+        np.asarray(chunk_outstanding),
+        np.asarray(chunk_queued),
+    )
+    if not certification.certified:
+        # Fall back: finish the window event by event.  The probe ran
+        # the exact events the DES would have, so the full window is
+        # bit-identical to a pure-DES one.
+        sim.run(until=window_end_ns)
+        controller.end_measurement()
+        window_events = sim.events_processed - window_start_events
+        return BatchOutcome(
+            used_batch=False,
+            reason=certification.reason,
+            window_wall_s=time.perf_counter() - wall_start,
+            events=window_events,
+            events_equivalent=window_events,
+            certification=certification,
+        )
+
+    # Tile the trailing span across the remaining window.  A partial
+    # tile keeps the records whose offset into the span precedes the
+    # remainder - searchsorted over the stably sorted offsets.
+    span_ns = chunk_ns * SPAN_CHUNKS
+    tail_ns = window_end_ns - probe_end_ns
+    tiles = int(tail_ns // span_ns)
+    remainder_ns = tail_ns - tiles * span_ns
+    in_span = times > span_start_ns
+    span_offsets = times[in_span] - span_start_ns
+    span_lats = latencies[in_span]
+    span_writes = writes[in_span]
+    span_bytes = nbytes[in_span]
+    order = np.argsort(span_offsets, kind="stable")
+    cut = int(np.searchsorted(span_offsets[order], remainder_ns, side="right"))
+    partial = order[:cut]
+
+    tail_events = tiles * len(span_offsets) + cut
+    tail_bytes = tiles * int(span_bytes.sum()) + int(span_bytes[partial].sum())
+    tail_writes = tiles * int(span_writes.sum()) + int(span_writes[partial].sum())
+    tail_reads = tail_events - tail_writes
+
+    partial_lats = span_lats[partial]
+    partial_writes = span_writes[partial]
+    read_tail = _tiled_stats(span_lats[~span_writes], partial_lats[~partial_writes], tiles)
+    write_tail = _tiled_stats(span_lats[span_writes], partial_lats[partial_writes], tiles)
+
+    # Fold the tail into the same meters the DES path fills, then close
+    # the window at the edge those counters describe.
+    controller.traffic.events += tail_events
+    controller.traffic.bytes += tail_bytes
+    controller.reads_completed_in_window += tail_reads
+    controller.writes_completed_in_window += tail_writes
+    controller.submitted += tail_events
+    controller.completed += tail_events
+    controller.raw_bytes_total += tail_bytes
+    controller.reads_total += tail_reads
+    controller.writes_total += tail_writes
+    if read_tail is not None:
+        controller.read_latency.stats = controller.read_latency.stats.merge(read_tail)
+    if write_tail is not None:
+        controller.write_latency.stats = controller.write_latency.stats.merge(write_tail)
+    assert span_snapshot is not None
+    _scale_stations(board, span_snapshot, tail_ns / span_ns)
+    controller.end_measurement(at=window_end_ns)
+
+    probe_window_events = probe_engine_events - window_start_events
+    events_equivalent = probe_window_events + int(
+        span_engine_events * (tail_ns / span_ns)
+    )
+    return BatchOutcome(
+        used_batch=True,
+        reason="",
+        window_wall_s=time.perf_counter() - wall_start,
+        events=probe_window_events,
+        events_equivalent=events_equivalent,
+        certification=certification,
+        tail_tiles=tiles,
+        diagnostics={
+            "probe_records": len(recorder),
+            "span_records": int(in_span.sum()),
+            "partial_records": cut,
+            "tail_events": tail_events,
+        },
+    )

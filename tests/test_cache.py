@@ -88,3 +88,14 @@ def test_stats_and_clear(tmp_path):
     assert "2 entries" in stats.render()
     assert cache.clear() == 2
     assert cache.stats().entries == 0
+
+
+def test_kernel_gets_its_own_cache_key():
+    from dataclasses import replace
+
+    des_key = cache_key(_point())
+    batch_key = cache_key(_point(settings=replace(TINY, kernel="batch")))
+    auto_key = cache_key(_point(settings=replace(TINY, kernel="auto")))
+    # Extrapolated results must never shadow event-exact ones (or each
+    # other), and the DES key must match what pre-kernel builds computed.
+    assert len({des_key, batch_key, auto_key}) == 3

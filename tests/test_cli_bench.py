@@ -156,3 +156,82 @@ def test_bench_check_mismatched_settings_skips_comparison(tmp_path, stub_bench, 
         == 0
     )
     assert "not comparable" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# check_kernel_bench verdicts (the hybrid-kernel acceptance gates)
+# ----------------------------------------------------------------------
+
+
+def _kernel_payload(**overrides):
+    payload = {
+        "kernel": "batch",
+        "settings": "default",
+        "suite": [
+            {
+                "point": "ro128r",
+                "kernel_used": "batch",
+                "reason": "",
+                "parity_errors": {"bandwidth_gbs": 0.0002, "mrps": 0.0002},
+                "advance_ratio": 5.33,
+            }
+        ],
+        "worst_parity_error": 0.0007,
+        "min_advance_ratio": 5.33,
+        "window_wall_speedup": 5.0,
+        "profile_agrees": [
+            {
+                "point": "ro128r",
+                "des_bottleneck": "link1 RX",
+                "kernel_bottleneck": "link0 RX",
+                "agrees": True,
+            }
+        ],
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_kernel_check_passes_when_all_gates_green():
+    assert cli.check_kernel_bench(_kernel_payload(), tolerance=0.001) == []
+
+
+def test_kernel_check_fails_on_parity_breach():
+    problems = cli.check_kernel_bench(
+        _kernel_payload(worst_parity_error=0.002), tolerance=0.001
+    )
+    assert any("parity" in p for p in problems)
+
+
+def test_kernel_check_fails_on_slow_advance_and_fallback():
+    payload = _kernel_payload(min_advance_ratio=2.8)
+    payload["suite"][0]["kernel_used"] = "des"
+    payload["suite"][0]["reason"] = "non-stationary latency spread"
+    problems = cli.check_kernel_bench(payload, tolerance=0.001)
+    assert any("advance ratio" in p for p in problems)
+    assert any("fell back" in p for p in problems)
+
+
+def test_kernel_check_fails_on_profile_disagreement():
+    payload = _kernel_payload()
+    payload["profile_agrees"][0]["agrees"] = False
+    problems = cli.check_kernel_bench(payload, tolerance=0.001)
+    assert any("attribution" in p for p in problems)
+
+
+def test_parity_errors_are_nan_aware():
+    import math
+    from types import SimpleNamespace
+
+    def measurement(write_lat):
+        return SimpleNamespace(
+            bandwidth_gbs=20.0,
+            mrps=10.0,
+            read_latency_avg_ns=1800.0,
+            write_latency_avg_ns=write_lat,
+        )
+
+    both_nan = cli._parity_errors(measurement(math.nan), measurement(math.nan))
+    assert both_nan["write_latency_avg_ns"] == 0.0
+    one_nan = cli._parity_errors(measurement(math.nan), measurement(900.0))
+    assert one_nan["write_latency_avg_ns"] == math.inf

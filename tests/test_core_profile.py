@@ -82,3 +82,24 @@ def test_write_profile_shows_tx_pressure():
         by_name["link0 TX"].utilization
         > {s.name: s for s in read_result.stations}["link0 TX"].utilization * 2
     )
+
+
+def test_token_low_water_stations_reported_as_pressure_indicators():
+    result = profile("16 vaults", payload_bytes=128)
+    low_water = [s for s in result.stations if "tokens low-water" in s.name]
+    assert low_water, "every link should report a low-water station"
+    for station in low_water:
+        assert 0.0 <= station.utilization <= 1.0
+        assert "flits free" in station.detail
+    # Pressure indicators never win bottleneck attribution.
+    assert "tokens" not in result.bottleneck.name
+
+
+def test_saturated_link_shows_token_low_water_pressure():
+    # 128B distributed reads saturate the response link; the request
+    # path's token pool should run visibly below its full capacity.
+    result = profile("16 vaults", payload_bytes=128)
+    pressure = max(
+        s.utilization for s in result.stations if "tokens low-water" in s.name
+    )
+    assert pressure > 0.0

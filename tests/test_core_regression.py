@@ -67,3 +67,12 @@ def test_r_squared_bounded(ys):
     xs = list(range(len(ys)))
     fit = LinearFit.fit(xs, ys)
     assert fit.r_squared <= 1.0 + 1e-9
+
+
+def test_fit_indexed_matches_explicit_indices():
+    ys = [3.0, 5.0, 7.0, 9.0]
+    indexed = LinearFit.fit_indexed(ys)
+    explicit = LinearFit.fit(range(len(ys)), ys)
+    assert indexed == explicit
+    assert indexed.slope == pytest.approx(2.0)
+    assert indexed.intercept == pytest.approx(3.0)

@@ -108,3 +108,75 @@ def test_bandwidth_property_uses_raw_bytes():
     board.controller.end_measurement()
     window = board.controller.traffic.window_ns
     assert board.controller.bandwidth_gbs == pytest.approx(160.0 / window)
+
+
+def test_completion_recorder_hook_sees_every_completion():
+    from repro.sim.batch import CompletionRecorder
+
+    board = AC510Board()
+    recorder = CompletionRecorder()
+    board.controller.recorder = recorder
+    for i in range(3):
+        submit_and_run(
+            board,
+            Request(address=i * 4096, payload_bytes=64, is_write=(i == 2), port=0),
+        )
+    board.controller.recorder = None
+    submit_and_run(
+        board, Request(address=5 * 4096, payload_bytes=64, is_write=False, port=0)
+    )  # detached: not recorded
+    assert len(recorder) == 3
+    assert recorder.writes == [False, False, True]
+    assert all(lat > 0 for lat in recorder.latencies)
+    times, lats, writes, nbytes = recorder.arrays()
+    assert times.shape == lats.shape == writes.shape == nbytes.shape == (3,)
+    assert list(times) == sorted(times)
+
+
+def test_controller_snapshot_tracks_window_counters():
+    board = AC510Board()
+    controller = board.controller
+    submit_and_run(
+        board, Request(address=0, payload_bytes=128, is_write=False, port=0)
+    )
+    controller.begin_measurement()
+    submit_and_run(
+        board, Request(address=4096, payload_bytes=128, is_write=True, port=0)
+    )
+    snap = controller.snapshot()
+    assert snap["submitted"] == 2
+    assert snap["completed"] == 2
+    assert snap["outstanding"] == 0
+    assert snap["window_events"] == 1
+    assert snap["writes_completed_in_window"] == 1
+    assert snap["reads_completed_in_window"] == 0
+
+
+def test_end_measurement_at_closes_window_at_given_edge():
+    board = AC510Board()
+    controller = board.controller
+    board.sim.run(until=100.0)
+    controller.begin_measurement()
+    board.sim.run(until=150.0)
+    controller.end_measurement(at=600.0)
+    # The window spans begin..at, not begin..now.
+    assert controller.traffic.window_ns == pytest.approx(500.0)
+
+
+def test_link_snapshot_and_token_low_water_reset():
+    board = AC510Board()
+    link = board.device.links[0]
+    submit_and_run(
+        board, Request(address=0, payload_bytes=128, is_write=False, port=0)
+    )
+    snap = link.snapshot()
+    assert snap["tx_packets"] >= 1
+    assert snap["tokens_low_water"] < snap["tokens_available"] or (
+        snap["tokens_low_water"] == snap["tokens_available"]
+    )
+    assert link.tokens.low_water <= link.tokens.capacity
+    drained_low = link.tokens.low_water
+    assert drained_low < link.tokens.capacity  # the in-flight request dipped it
+    link.reset_counters()
+    assert link.tokens.low_water == link.tokens.available
+    assert link.tokens.low_water >= drained_low

@@ -184,3 +184,22 @@ def test_curated_top_level_surface():
         assert repro.measurement_to_dict is schema.measurement_to_dict
     with pytest.raises(AttributeError):
         repro.definitely_not_public
+
+
+def test_kernel_round_trips_and_default_stays_byte_identical():
+    from dataclasses import replace
+
+    batch_settings = replace(TINY, kernel="batch")
+    payload = schema.settings_to_dict(batch_settings)
+    assert payload["kernel"] == "batch"
+    assert schema.settings_from_dict(payload) == batch_settings
+
+    # The default DES payload must not grow a key: pre-kernel builds
+    # (and their cache entries) decode it, and old payloads without the
+    # key decode to the DES default.
+    default_payload = schema.settings_to_dict(TINY)
+    assert "kernel" not in default_payload
+    assert schema.settings_from_dict(default_payload).kernel == "des"
+
+    point = MeasurementPoint(settings=replace(TINY, kernel="auto"))
+    assert schema.point_from_dict(point.to_dict()) == point

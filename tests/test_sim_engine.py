@@ -312,3 +312,121 @@ def test_step_skips_cancelled_heap_entry_in_favour_of_microtask():
     sim.schedule(1.0, at_one)
     sim.run()
     assert fired == ["micro", "heap-live"]
+
+
+# ----------------------------------------------------------------------
+# Bounded-run window contract: the hybrid batch kernel's probe advances
+# the window as consecutive run(until=...) calls and relies on that
+# being indistinguishable from one big run.  These tests pin the edge
+# semantics that equivalence needs.
+# ----------------------------------------------------------------------
+def test_run_until_in_past_is_a_degenerate_no_op():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "later")
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    before = sim.pending
+    sim.run(until=1.0)  # window entirely in the past
+    assert sim.now == 3.0  # the clock never moves backwards
+    assert sim.pending == before
+    assert fired == []
+    sim.run(until=5.0)
+    assert fired == ["later"]
+
+
+def test_run_until_empty_window_between_events_only_moves_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(9.0, fired.append, "b")
+    sim.run(until=2.0)
+    events_after_a = sim.events_processed
+    sim.run(until=5.0)  # no events live in (2, 5]
+    assert fired == ["a"]
+    assert sim.now == 5.0
+    assert sim.events_processed == events_after_a
+
+
+def test_chunked_windows_equal_one_run():
+    """N back-to-back bounded runs == one run over the union window."""
+
+    def load(sim, fired):
+        for i in range(40):
+            t = 0.25 * (i + 1)
+            if i % 3 == 0:
+                sim.schedule_fast(t, fired.append, ("fast", t))
+            else:
+                sim.schedule(t, fired.append, ("slow", t))
+
+    chunked = Simulator()
+    chunked_fired = []
+    load(chunked, chunked_fired)
+    for k in range(10):
+        chunked.run(until=(k + 1) * 1.0)
+
+    single = Simulator()
+    single_fired = []
+    load(single, single_fired)
+    single.run(until=10.0)
+
+    assert chunked_fired == single_fired
+    assert chunked.now == single.now == 10.0
+    assert chunked.events_processed == single.events_processed
+    assert chunked.pending == single.pending == 0
+
+
+def test_event_exactly_at_window_boundary_runs_once_in_that_window():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "edge")
+    sim.run(until=2.0)
+    assert fired == ["edge"]
+    sim.run(until=4.0)
+    assert fired == ["edge"]  # not replayed by the next window
+
+
+def test_microtask_posted_at_window_boundary_runs_inside_the_window():
+    sim = Simulator()
+    fired = []
+
+    def at_edge():
+        fired.append("edge")
+        sim.post(fired.append, "micro")
+
+    sim.schedule(2.0, at_edge)
+    sim.run(until=2.0)
+    # The boundary event's microtask belongs to the same instant, so a
+    # bounded run may not strand it for the next window.
+    assert fired == ["edge", "micro"]
+    assert sim.pending == 0
+
+
+def test_cancellations_between_bounded_runs_are_honoured():
+    sim = Simulator()
+    fired = []
+    sim.schedule_fast(1.0, fired.append, "fast-1")
+    doomed = sim.schedule(2.0, fired.append, "doomed")
+    sim.schedule(3.0, fired.append, "kept")
+    sim.run(until=1.5)
+    assert fired == ["fast-1"]
+    doomed.cancel()
+    assert sim.pending == 1  # cancellation visible immediately
+    sim.run(until=4.0)
+    assert fired == ["fast-1", "kept"]
+    assert sim.events_processed == 2  # cancelled event never counted
+
+
+def test_pending_stays_exact_across_consecutive_bounded_runs():
+    sim = Simulator()
+    for i in range(6):
+        sim.schedule(float(i + 1), lambda: None)
+    cancelled = sim.schedule(3.5, lambda: None)
+    cancelled.cancel()
+    expected = 6
+    assert sim.pending == expected
+    for k in range(6):
+        sim.run(until=float(k + 1))
+        expected -= 1
+        assert sim.pending == expected
+    assert sim.events_processed == 6
