@@ -6,7 +6,9 @@ The package models the paper's entire experimental apparatus - the HMC
 1.1 (Gen2) device, the AC-510 FPGA infrastructure with its GUPS traffic
 generators, the cooling rig, and the power instrumentation - and
 provides experiment runners that regenerate every table and figure of
-the paper's evaluation.
+the paper's evaluation.  A pluggable backend registry
+(:mod:`repro.devices`) makes HMC 2.0, HBM2 and DDR4 models selectable
+alongside the measured HMC 1.1 device.
 
 Quick start::
 
@@ -36,7 +38,7 @@ from __future__ import annotations
 
 import warnings
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Public name -> defining module.  Resolved lazily on first attribute
 #: access (PEP 562) and cached in the package namespace.
@@ -53,11 +55,18 @@ _PUBLIC = {
     "AccessPattern": "repro.core.patterns",
     "pattern_by_name": "repro.core.patterns",
     "PATTERN_NAMES": "repro.core.patterns",
+    "available_pattern_names": "repro.core.patterns",
     "AddressMask": "repro.hmc.address",
     "RequestType": "repro.hmc.packet",
     "AddressingMode": "repro.fpga.address_gen",
     "HMCConfig": "repro.hmc.config",
     "Calibration": "repro.hmc.calibration",
+    # device backends (the registry behind --device)
+    "DeviceProfile": "repro.devices",
+    "MemoryDevice": "repro.devices",
+    "register_device": "repro.devices",
+    "resolve_device": "repro.devices",
+    "device_names": "repro.devices",
     # wire schema
     "SCHEMA_VERSION": "repro.core.schema",
     "SchemaError": "repro.core.schema",
@@ -79,16 +88,17 @@ _PUBLIC = {
     "get_registry": "repro.obs.registry",
 }
 
-#: Renamed/relocated symbols kept importable behind a DeprecationWarning:
-#: old name -> (replacement module, replacement name).
-_DEPRECATED = {
-    "measurement_to_dict": ("repro.core.schema", "measurement_to_dict"),
-    "measurement_from_dict": ("repro.core.schema", "measurement_from_dict"),
-}
+#: Renamed/relocated symbols kept importable behind a DeprecationWarning
+#: for one deprecation cycle (~5 PRs): old name -> (replacement module,
+#: replacement name).  Currently empty - the PR-2-era cache-serializer
+#: shims (``measurement_to_dict``/``measurement_from_dict``, moved to
+#: :mod:`repro.core.schema`) completed their cycle and were removed.
+_DEPRECATED: dict = {}
 
 #: The curated stable surface plus the documented subpackages.
 __all__ = sorted(_PUBLIC) + [
     "core",
+    "devices",
     "hmc",
     "fpga",
     "thermal",

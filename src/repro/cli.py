@@ -11,6 +11,9 @@ Usage::
     python -m repro sweep --patterns "2 banks" "16 vaults" --csv out.csv
     python -m repro sweep --patterns "16 vaults" --sizes 32 128 --json
     python -m repro sweep --patterns "16 vaults" --topology chain --cubes 4
+    python -m repro devices list
+    python -m repro run fig7 --fast --device hbm2
+    python -m repro sweep --patterns "1 vault" --sizes 32 128 --device ddr4
     python -m repro topo --kind chain --cubes 4
     python -m repro topo --kind star --cubes 8 --size 32 --json
     python -m repro cache stats
@@ -102,12 +105,68 @@ KERNEL_BENCH_POINTS = (
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
     settings = FAST_SETTINGS if args.fast else ExperimentSettings()
+    device = getattr(args, "device", None)
+    if device and device != "hmc1":
+        from repro.devices import resolve_device
+
+        settings = resolve_device(device).apply(settings)
     kernel = getattr(args, "kernel", None)
     if kernel and kernel != "des":
         from dataclasses import replace
 
         settings = replace(settings, kernel=kernel)
     return settings
+
+
+def _choice_flag(
+    parser: argparse.ArgumentParser,
+    flag: str,
+    *,
+    choices,
+    help_text: str,
+    default: Optional[str] = None,
+    dest: Optional[str] = None,
+) -> None:
+    """Add a selector flag with the CLI's one validation/error format.
+
+    Every name-selector flag (``--device``, ``--kernel``, ``--topology``,
+    ``--cube-map``) goes through here so an invalid value always reads
+    ``invalid <flag> 'value' (choose from a, b, c)`` and the help text
+    always lists the accepted names.  ``choices`` may be a callable for
+    registries that can grow at runtime (the device zoo).
+    """
+
+    def parse(value: str) -> str:
+        names = tuple(choices() if callable(choices) else choices)
+        if value not in names:
+            raise argparse.ArgumentTypeError(
+                f"invalid {flag} {value!r} (choose from {', '.join(names)})"
+            )
+        return value
+
+    names = tuple(choices() if callable(choices) else choices)
+    kwargs = {"dest": dest} if dest else {}
+    parser.add_argument(
+        flag,
+        default=default,
+        type=parse,
+        metavar="{" + ",".join(names) + "}",
+        help=help_text,
+        **kwargs,
+    )
+
+
+def _device_names():
+    """Registered backend names (imported lazily to keep startup cheap).
+
+    Scans the ``repro.devices`` entry-point group first so third-party
+    backends are accepted by ``--device`` and listed in its errors.
+    """
+    from repro.devices import device_names
+    from repro.devices.registry import _load_entry_points
+
+    _load_entry_points()
+    return device_names()
 
 
 def _with_topology(
@@ -171,6 +230,18 @@ def _cmd_list(_: argparse.Namespace) -> int:
     for experiment_id in REGISTRY:
         description = _DESCRIPTIONS.get(experiment_id, "")
         print(f"{experiment_id:{width}s}  {description}")
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    """``repro devices list``: the registered memory-device backends."""
+    from repro.devices import iter_devices
+
+    _device_names()  # force the lazy entry-point scan so plugins appear
+    entries = list(iter_devices())
+    width = max(len(name) for name, _ in entries)
+    for name, description in entries:
+        print(f"{name:{width}s}  {description}")
     return 0
 
 
@@ -377,6 +448,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import run_service
 
+    device = getattr(args, "device", None)
+    if device:
+        # The daemon measures whatever settings each request carries;
+        # --device here just validates the name and announces the
+        # backend the operator expects clients to target.
+        from repro.devices import resolve_device
+
+        profile = resolve_device(device)
+        print(f"serving device backend {profile.name}: {profile.description}")
     run_service(
         host=args.host,
         port=args.port,
@@ -702,7 +782,11 @@ def check_bench(payload: dict, baseline: dict, tolerance: float) -> List[str]:
     return problems
 
 
-def run_kernel_bench(kernel: str, only: Optional[List[str]] = None) -> dict:
+def run_kernel_bench(
+    kernel: str,
+    only: Optional[List[str]] = None,
+    device: Optional[str] = None,
+) -> dict:
     """Run the hybrid-kernel bench suite: batch vs DES at full windows.
 
     Every suite point is simulated twice - event-exact DES and the
@@ -724,6 +808,10 @@ def run_kernel_bench(kernel: str, only: Optional[List[str]] = None) -> dict:
     from repro.hmc.packet import RequestType
 
     des_settings = ExperimentSettings()
+    if device and device != "hmc1":
+        from repro.devices import resolve_device
+
+        des_settings = resolve_device(device).apply(des_settings)
     hybrid_settings = replace(des_settings, kernel=kernel)
     suite = [
         entry for entry in KERNEL_BENCH_POINTS if not only or entry[0] in only
@@ -878,7 +966,9 @@ def _bench_kernel(args: argparse.Namespace, kernel: str) -> int:
     tolerance = (
         args.tolerance if args.tolerance is not None else KERNEL_PARITY_TOLERANCE
     )
-    payload = run_kernel_bench(kernel, only=args.only or None)
+    payload = run_kernel_bench(
+        kernel, only=args.only or None, device=getattr(args, "device", None)
+    )
     output = args.output or "BENCH_kernel.json"
     with open(output, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -925,6 +1015,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     settings, label = (
         (TINY_SETTINGS, "tiny") if args.tiny else (FAST_SETTINGS, "fast")
     )
+    device = getattr(args, "device", None)
+    if device and device != "hmc1":
+        from repro.devices import resolve_device
+
+        settings = resolve_device(device).apply(settings)
+        # Device-retargeted runs are not comparable to an hmc1 baseline;
+        # folding the backend into the settings label makes --check skip.
+        label = f"{label}+{device}"
 
     output = args.output or "BENCH_campaign.json"
     baseline_path = args.baseline or "BENCH_campaign.json"
@@ -1048,32 +1146,47 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     def add_kernel_flag(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
+        _choice_flag(
+            p,
             "--kernel",
-            default="des",
             choices=("des", "batch", "auto"),
-            help=(
+            default="des",
+            help_text=(
                 "simulation kernel: des = event-exact (default), batch = "
                 "hybrid steady-state window advancement, auto = batch only "
                 "when the window is long enough to certify"
             ),
         )
 
+    def add_device_flag(p: argparse.ArgumentParser) -> None:
+        _choice_flag(
+            p,
+            "--device",
+            choices=_device_names,
+            default=None,
+            help_text=(
+                "memory-device backend to measure (default: hmc1, the "
+                "calibrated HMC 1.1 model; see `repro devices list`)"
+            ),
+        )
+
     def add_topology_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
+        _choice_flag(
+            p,
             "--topology",
             choices=("chain", "ring", "star"),
-            help="measure against a cube network of this shape",
+            help_text="measure against a cube network of this shape",
         )
         p.add_argument(
             "--cubes", type=int, metavar="N", help="cubes in the network"
         )
-        p.add_argument(
+        _choice_flag(
+            p,
             "--cube-map",
-            default="contiguous",
             choices=("contiguous", "interleave"),
+            default="contiguous",
             dest="cube_map",
-            help="cube-level address mapping",
+            help_text="cube-level address mapping",
         )
 
     run_parser = sub.add_parser("run", help="run one experiment")
@@ -1098,7 +1211,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_executor_flags(run_parser)
     add_trace_flags(run_parser)
     add_kernel_flag(run_parser)
+    add_device_flag(run_parser)
     run_parser.set_defaults(func=_cmd_run)
+
+    devices_parser = sub.add_parser(
+        "devices", help="list the registered memory-device backends"
+    )
+    devices_parser.add_argument(
+        "action", nargs="?", default="list", choices=("list",)
+    )
+    devices_parser.set_defaults(func=_cmd_devices)
 
     campaign_parser = sub.add_parser("campaign", help="run every experiment")
     campaign_parser.add_argument("--fast", action="store_true")
@@ -1138,6 +1260,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_flags(sweep_parser)
     add_topology_flags(sweep_parser)
     add_kernel_flag(sweep_parser)
+    add_device_flag(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     topo_parser = sub.add_parser(
@@ -1247,6 +1370,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_kernel_flag(bench_parser)
+    add_device_flag(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench)
 
     trace_parser = sub.add_parser(
@@ -1341,6 +1465,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="most points simulated per executor batch",
     )
     add_executor_flags(serve_parser)
+    add_device_flag(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 
     query_parser = sub.add_parser(
@@ -1380,6 +1505,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_topology_flags(query_parser)
     add_kernel_flag(query_parser)
+    add_device_flag(query_parser)
     query_parser.set_defaults(func=_cmd_query)
     return parser
 

@@ -6,8 +6,8 @@ stable key derived from *all* simulation inputs: the structural
 :class:`Calibration`, the address mask, request type, payload size,
 addressing mode, port count, simulation windows, the RNG seed, the
 pattern label, the cube-network topology (when one is configured), the
-simulation kernel (when not the default DES), and
-:data:`MODEL_VERSION`.  Equal key implies equal
+simulation kernel (when not the default DES), the device backend (when
+not the default ``hmc1``), and :data:`MODEL_VERSION`.  Equal key implies equal
 :class:`BandwidthMeasurement`, so results can be reused across
 processes and across campaign runs without ever re-simulating a point.
 
@@ -35,7 +35,6 @@ import hashlib
 import json
 import os
 import tempfile
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Tuple, Union
@@ -98,30 +97,13 @@ def cache_key(point: MeasurementPoint) -> str:
     # shadow (or be shadowed by) an event-exact DES result.
     if settings.kernel != "des":
         inputs.append(("kernel", settings.kernel))
+    # And for the device backend: non-hmc1 devices change the simulated
+    # machine, so their results live under their own keys, while hmc1
+    # keys stay exactly what pre-device-zoo builds computed.
+    if settings.device != "hmc1":
+        inputs.append(("device", settings.device))
     canonical = repr(tuple(inputs))
     return hashlib.sha256(canonical.encode()).hexdigest()
-
-
-def measurement_to_dict(measurement: BandwidthMeasurement) -> dict:
-    """Deprecated: moved to :func:`repro.core.schema.measurement_to_dict`."""
-    warnings.warn(
-        "repro.core.cache.measurement_to_dict moved to "
-        "repro.core.schema.measurement_to_dict",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return schema.measurement_to_dict(measurement)
-
-
-def measurement_from_dict(payload: dict) -> BandwidthMeasurement:
-    """Deprecated: moved to :func:`repro.core.schema.measurement_from_dict`."""
-    warnings.warn(
-        "repro.core.cache.measurement_from_dict moved to "
-        "repro.core.schema.measurement_from_dict",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return schema.measurement_from_dict(payload)
 
 
 @dataclass(frozen=True)

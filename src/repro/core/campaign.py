@@ -98,6 +98,17 @@ def _call_with_optional_settings(func, settings: ExperimentSettings):
     return func()
 
 
+def _check_shape(module, result, settings: ExperimentSettings):
+    """Run a module's shape claims, passing settings when it takes them.
+
+    Device-aware checks (fig7, fig18) gate their HMC-specific claims on
+    ``settings.device``; the rest keep their one-argument signature.
+    """
+    if "settings" in inspect.signature(module.check_shape).parameters:
+        return list(module.check_shape(result, settings))
+    return list(module.check_shape(result))
+
+
 def run_experiment(
     experiment_id: str, settings: ExperimentSettings = ExperimentSettings()
 ) -> ExperimentOutcome:
@@ -112,7 +123,7 @@ def run_experiment(
     problems: List[str] = []
     if hasattr(module, "check_shape") and hasattr(module, "run"):
         result = _call_with_optional_settings(module.run, settings)
-        problems = list(module.check_shape(result))
+        problems = _check_shape(module, result, settings)
     return ExperimentOutcome(
         experiment_id=experiment_id,
         report=report,

@@ -55,6 +55,15 @@ class ExperimentSettings:
     points with windows long enough to certify at 0.1% parity.  Like
     ``topology``, the kernel rides through the cache key (batch results
     are keyed separately) and the wire schema.
+
+    ``device`` names the memory backend (:mod:`repro.devices`) that
+    boards and cube networks construct; ``"hmc1"`` is the registry name
+    of the pre-existing model, so defaulted settings are bit-identical
+    to pre-device-zoo payloads and cache keys.  Note ``config`` and
+    ``calibration`` still carry the actual tables - ``device`` decides
+    the device *class* and is the name recorded in wire payloads; use
+    :meth:`repro.devices.base.DeviceProfile.apply` to switch all three
+    coherently.
     """
 
     config: HMCConfig = HMC_1_1_4GB
@@ -64,12 +73,20 @@ class ExperimentSettings:
     max_block_bytes: int = 128
     topology: Optional[TopologySpec] = None
     kernel: str = "des"
+    device: str = "hmc1"
 
     def __post_init__(self) -> None:
         if self.kernel not in VALID_KERNELS:
             raise ValueError(
                 f"kernel must be one of {VALID_KERNELS}, got {self.kernel!r}"
             )
+        if self.device != "hmc1":
+            # Deferred import: repro.devices imports device modules that
+            # themselves build ExperimentSettings-free machinery, but the
+            # common default path should not pay the package import.
+            from repro.devices.registry import validate_device_name
+
+            validate_device_name(self.device)
 
     def scaled(self, factor: float) -> "ExperimentSettings":
         """Shrink/grow both windows (tests use small factors)."""
@@ -260,6 +277,7 @@ def _run_point(
         calibration=settings.calibration,
         max_block_bytes=settings.max_block_bytes,
         topology=settings.topology,
+        device=settings.device,
     )
     gups = board.load_gups(
         PortConfig(
@@ -498,6 +516,7 @@ def run_stream_latency(
             config=settings.config,
             calibration=settings.calibration,
             max_block_bytes=settings.max_block_bytes,
+            device=settings.device,
         )
         stream = board.load_stream_gups()
         slots = settings.config.capacity_bytes // payload_bytes

@@ -106,6 +106,18 @@ PATTERN_NAMES: Tuple[str, ...] = (
 )
 
 
+def available_pattern_names(config: HMCConfig = HMC_1_1_4GB) -> Tuple[str, ...]:
+    """The subset of :data:`PATTERN_NAMES` this device geometry has.
+
+    Smaller devices (fewer vaults or banks per vault than HMC 1.1) lack
+    the most-distributed patterns; cross-device experiments iterate this
+    instead of :data:`PATTERN_NAMES` so every named pattern exists.  For
+    the default HMC 1.1 geometry the two are identical.
+    """
+    patterns = standard_patterns(config)
+    return tuple(name for name in PATTERN_NAMES if name in patterns)
+
+
 def pattern_by_name(name: str, config: HMCConfig = HMC_1_1_4GB) -> AccessPattern:
     """Look up one of the paper's standard patterns by its name."""
     patterns = standard_patterns(config)

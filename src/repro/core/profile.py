@@ -77,6 +77,7 @@ def profile_workload(
         config=settings.config,
         calibration=settings.calibration,
         max_block_bytes=settings.max_block_bytes,
+        device=settings.device,
     )
     gups = board.load_gups(
         PortConfig(

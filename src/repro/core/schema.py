@@ -241,7 +241,9 @@ def settings_to_dict(settings: ExperimentSettings) -> Dict[str, Any]:
     still read topology-bearing payloads as their single-cube fields.
     The ``kernel`` key follows the same convention: present only when a
     non-default simulation kernel is selected, so default payloads stay
-    byte-identical to what pre-kernel builds emitted.
+    byte-identical to what pre-kernel builds emitted.  So does the
+    ``device`` key: present only for non-``hmc1`` backends, keeping
+    default payloads byte-identical to pre-device-zoo builds.
     """
     config = _scalars_to_dict(settings.config)
     config["links"] = _scalars_to_dict(settings.config.links)
@@ -256,15 +258,17 @@ def settings_to_dict(settings: ExperimentSettings) -> Dict[str, Any]:
         body["topology"] = topology_to_dict(settings.topology)
     if settings.kernel != "des":
         body["kernel"] = settings.kernel
+    if settings.device != "hmc1":
+        body["device"] = settings.device
     return _envelope("experiment_settings", body)
 
 
 def settings_from_dict(payload: Mapping[str, Any]) -> ExperimentSettings:
     """Decode :class:`ExperimentSettings` (validates the device config).
 
-    A missing ``topology`` key decodes as ``None`` and a missing
-    ``kernel`` key as ``"des"`` so payloads from older writers remain
-    readable under schema version 1.
+    A missing ``topology`` key decodes as ``None``, a missing ``kernel``
+    key as ``"des"``, and a missing ``device`` key as ``"hmc1"`` so
+    payloads from older writers remain readable under schema version 1.
     """
     body = check_envelope(payload, "experiment_settings")
     try:
@@ -284,6 +288,7 @@ def settings_from_dict(payload: Mapping[str, Any]) -> ExperimentSettings:
             max_block_bytes=body["max_block_bytes"],
             topology=topology,
             kernel=body.get("kernel", "des"),
+            device=body.get("device", "hmc1"),
         )
     except SchemaError:
         raise

@@ -1,0 +1,65 @@
+"""Pluggable memory-device backends (the "device zoo").
+
+Importing this package registers the four built-in backends; anything
+that needs a device by name goes through :func:`resolve_device`::
+
+    from repro.devices import resolve_device
+
+    profile = resolve_device("hbm2")
+    device = profile.create(sim)             # a live simulated device
+    settings = profile.apply(settings)       # re-target an experiment
+
+Built-in backends:
+
+``hmc1``
+    The calibrated HMC 1.1 model (AC-510) - the repo default,
+    bit-identical to the pre-registry code path.
+``hmc2``
+    The HMC 2.0 Table I projection, absorbed from
+    ``experiments/hmc2_projection.py``.
+``hbm2``
+    An HBM2 stack (8 channels / 16 pseudo-channels) calibrated to the
+    Shuhai FPGA benchmarks (arXiv:2005.04324).
+``ddr4``
+    The open-page DDR4-2400 baseline promoted from
+    ``repro.baseline.ddr``.
+
+Third-party packages add backends through the ``repro.devices`` entry
+point group or by calling :func:`register_device` directly; see
+``docs/DEVICES.md``.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceProfile, MemoryDevice
+from repro.devices.registry import (
+    UnknownDeviceError,
+    device_names,
+    iter_devices,
+    register_device,
+    resolve_device,
+    unregister_device,
+    validate_device_name,
+)
+
+# Importing the backend modules runs their @register_device decorators;
+# registration order here is the order `repro devices list` prints.
+from repro.devices import hmc1 as _hmc1
+from repro.devices import hmc2 as _hmc2
+from repro.devices import hbm2 as _hbm2
+from repro.devices import ddr4 as _ddr4
+
+#: The built-in backend modules, in registration order.
+BUILTIN_BACKENDS = (_hmc1, _hmc2, _hbm2, _ddr4)
+
+__all__ = [
+    "DeviceProfile",
+    "MemoryDevice",
+    "UnknownDeviceError",
+    "device_names",
+    "iter_devices",
+    "register_device",
+    "resolve_device",
+    "unregister_device",
+    "validate_device_name",
+]

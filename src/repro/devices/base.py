@@ -1,0 +1,141 @@
+"""The memory-device interface and backend profiles.
+
+The simulation stack never names a concrete device class: the FPGA-side
+controller, the GUPS generators, the batch kernel and the profiler all
+speak the duck-typed :class:`MemoryDevice` contract (links, vaults,
+request admission, completion hooks, counter snapshots).  This module
+makes that contract explicit and packages each selectable backend as a
+:class:`DeviceProfile` - the structural config, calibration table and
+device class that together define one named entry in the registry
+(:mod:`repro.devices.registry`), in the spirit of ramulator2's
+``RAMULATOR_REGISTER_IMPLEMENTATION`` idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Protocol, runtime_checkable
+
+from repro.hmc.calibration import Calibration
+from repro.hmc.config import HMCConfig
+from repro.hmc.device import HMCDevice
+from repro.hmc.dram import DramTimings
+from repro.hmc.packet import Request
+from repro.sim.engine import Simulator
+
+
+@runtime_checkable
+class MemoryDevice(Protocol):
+    """The structural contract every backend must satisfy.
+
+    The contract is duck-typed on purpose - :class:`HMCDevice`, its
+    subclasses and :class:`~repro.topology.network.CubeNetwork` all
+    satisfy it without inheriting from a common base - but it is written
+    down here so a third-party backend knows exactly what the engine,
+    the controller and the batch kernel consume:
+
+    * ``config`` - structural description; ``config.links`` supplies the
+      link/channel geometry and ``config.capacity_bytes`` sizes the
+      address generators.
+    * ``mapping`` - the address mapper; ``decode_route(address)`` must
+      return ``(quadrant, vault, bank)`` coordinates.
+    * ``links`` - :class:`~repro.hmc.link.Link` objects whose ``tx``/
+      ``rx`` channels and ``tokens`` pool the controller books directly.
+    * ``vaults`` - :class:`~repro.hmc.vault.VaultController` objects
+      (or equivalents exposing ``tsv``, ``command``, ``banks``,
+      ``snapshot()`` and ``reset_counters()``); the batch kernel scales
+      their busy-time snapshots across the extrapolated window.
+    * ``submit_from_link(request, arrival_ns)`` - request admission.
+    * ``on_response`` - completion hook set by the controller.
+    * ``egress``, ``store``, ``enable_data_store()``, ``reset()``,
+      ``total_queued``, ``reset_counters()`` - topology, functional
+      store and measurement-window plumbing.
+    """
+
+    config: HMCConfig
+    calibration: Calibration
+
+    @property
+    def links(self) -> List: ...  # pragma: no cover - structural
+
+    @property
+    def vaults(self) -> List: ...  # pragma: no cover - structural
+
+    def submit_from_link(
+        self, request: Request, arrival_ns: float
+    ) -> None: ...  # pragma: no cover - structural
+
+    def reset_counters(self) -> None: ...  # pragma: no cover - structural
+
+
+#: Builds the default DRAM timings for a backend when none are given.
+TimingsFactory = Callable[[HMCConfig, Calibration], DramTimings]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One selectable memory backend: structure, calibration, class.
+
+    A profile bundles everything ``--device NAME`` needs: the structural
+    config and calibration table that become the defaults of
+    :class:`~repro.core.experiment.ExperimentSettings`, the device class
+    constructed by boards and cube networks, and the calibration
+    provenance trail (which measured numbers each backend is fitted to).
+    """
+
+    name: str
+    description: str
+    config: HMCConfig
+    calibration: Calibration
+    device_cls: Callable = HMCDevice
+    timings_factory: Optional[TimingsFactory] = None
+    provenance: str = field(default="", compare=False)
+
+    def create(
+        self,
+        sim: Simulator,
+        config: Optional[HMCConfig] = None,
+        calibration: Optional[Calibration] = None,
+        timings: Optional[DramTimings] = None,
+        max_block_bytes: int = 128,
+        interleave: str = "vault-first",
+        refresh=None,
+        junction_c: float = 60.0,
+    ) -> MemoryDevice:
+        """Instantiate the backend's device model.
+
+        ``config``/``calibration`` default to the profile's own tables
+        but accept overrides so experiments (e.g. the HMC 2.0
+        projection) can re-parameterize a backend without re-registering
+        it.  The argument set mirrors :class:`HMCDevice` exactly, so the
+        ``hmc1`` profile constructs a device bit-identical to the
+        pre-registry direct construction.
+        """
+        config = config if config is not None else self.config
+        calibration = calibration if calibration is not None else self.calibration
+        if timings is None and self.timings_factory is not None:
+            timings = self.timings_factory(config, calibration)
+        return self.device_cls(
+            sim,
+            config=config,
+            calibration=calibration,
+            timings=timings,
+            max_block_bytes=max_block_bytes,
+            interleave=interleave,
+            refresh=refresh,
+            junction_c=junction_c,
+        )
+
+    def apply(self, settings):
+        """Re-target :class:`ExperimentSettings` at this backend.
+
+        Returns a copy of ``settings`` with this profile's name, config
+        and calibration installed - the operation behind the CLI's
+        ``--device`` flag.  Window/kernel/topology fields are preserved.
+        """
+        return replace(
+            settings,
+            device=self.name,
+            config=self.config,
+            calibration=self.calibration,
+        )

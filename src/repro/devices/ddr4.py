@@ -1,0 +1,274 @@
+"""The ``ddr4`` backend: the open-page DDR baseline as a real device.
+
+``repro.baseline.ddr`` replays address traces through an analytic
+open-page DIMM model - useful for the paper's §IV-D locality argument
+but disconnected from the transaction-level stack.  This backend
+promotes those constants (DDR4-2400 x64 channel: 19.2 GB/s bus, 16
+banks, 1 KB rows, tCCD=3.3 ns) into a selectable device: two channels
+modeled as vaults, an :class:`OpenPageBank` that keeps rows open and
+pays activate/precharge only on empty/conflict accesses, and a host
+side with the shallow memory-level parallelism of a synchronous bus.
+
+The contrast the paper draws falls out directly: linear streams hit the
+open row ~7 of 8 accesses (128 B blocks, 1 KB rows) while random
+streams mostly conflict - unlike every closed-page HMC-style backend,
+where linear and random are equivalent (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.devices.base import DeviceProfile
+from repro.devices.registry import register_device
+from repro.hmc.address import AddressMapping
+from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hmc.config import GBIT, GBYTE, HMCConfig, LinkConfig
+from repro.hmc.device import HMCDevice
+from repro.hmc.dram import OpenPageTimings
+from repro.hmc.packet import Request
+from repro.hmc.refresh import RefreshPolicy
+from repro.hmc.vault import Bank, VaultController
+from repro.sim.engine import Simulator
+
+DESCRIPTION = (
+    "DDR4-2400 dual-channel 8GB DIMM baseline (open-page, 16 banks/"
+    "channel, 1 KB rows) promoted from repro.baseline.ddr"
+)
+
+#: Two x64 channels modeled as vaults; each channel owns 16 banks with
+#: 1 KB rows.  The 16-lane/9.6 Gbps link geometry encodes one channel's
+#: 19.2 GB/s (DDR4-2400 x 8 B) per direction.
+DDR4_DUAL_8GB = HMCConfig(
+    name="DDR4-2400 dual-channel 8GB",
+    generation="ddr4",
+    capacity_bytes=8 * GBYTE,
+    num_dram_layers=1,
+    dram_layer_bits=64 * GBIT,
+    num_quadrants=2,
+    num_vaults=2,
+    banks_per_partition=16,
+    partitions_per_layer=2,
+    page_bytes=1024,
+    block_bytes=16,
+    vault_bus_bytes=64,
+    links=LinkConfig(num_links=2, lanes_per_link=16, gbps_per_lane=9.6),
+)
+
+#: Where each calibrated number comes from; see docs/DEVICES.md.
+PROVENANCE = """\
+[spec]  DDR4-2400 x64 channel: 19.2 GB/s data bus (2400 MT/s x 8 B),
+        16 banks per channel, 1024 B rows, tCCD=3.3 ns - the constants
+        of repro.baseline.ddr's DdrConfig, promoted unchanged.
+[spec]  Open-page core timings carried from the baseline's
+        OpenPageTimings defaults: tRCD=16, tCL=16, tCWL=12, tWR=18,
+        tRP=16 ns over a 64 B burst.
+[fit]   Host side models a CPU memory controller rather than the
+        AC-510: small fixed pipelines summing to ~100 ns idle read
+        latency, a 64-deep outstanding-request window and 8-deep
+        per-bank queues for the limited memory-level parallelism of a
+        synchronous bus (the baseline's window=4 analogue), and a
+        no-op token economy (JEDEC has no link-level flow control).
+"""
+
+#: DDR4 calibration: channel rates at the 19.2 GB/s bus speed (the
+#: 9.6 Gbps link geometry makes wire_scale x1.28 land exactly there),
+#: tCCD as the command spacing, and a token economy sized to never bind.
+DDR4_CALIBRATION: Calibration = replace(
+    DEFAULT_CALIBRATION,
+    # Host side: CPU memory-controller front-end, not the GUPS FPGA.
+    fpga_clock_mhz=300.0,
+    gups_ports=10,
+    flow_control_threshold=64,
+    tx_pipeline_cycles_base=5,
+    tx_wire_cycles_128b=9,
+    rx_pipeline_base_ns=15.0,
+    rx_pipeline_per_flit_ns=2.0,
+    # Channel: synchronous bus, no packet framing to speak of.
+    tx_packet_overhead_ns=0.5,
+    tx_bytes_per_ns=15.0,
+    rx_packet_overhead_ns=0.5,
+    rx_bytes_per_ns=15.0,
+    link_tokens_per_link=4096,
+    token_return_latency_ns=1.0,
+    link_propagation_ns=1.0,
+    # Channel internals: 19.2 GB/s shared data bus, tCCD command
+    # spacing, shallow per-bank queues.
+    vault_bandwidth_gbps=19.2,
+    vault_command_ns=3.3,
+    vault_queue_per_bank=8,
+    quadrant_route_local_ns=1.0,
+    quadrant_route_remote_ns=0.0,
+    response_route_ns=1.0,
+    vault_processing_ns=10.0,
+    response_processing_ns=5.0,
+)
+
+
+def ddr4_timings(config: HMCConfig, calibration: Calibration) -> OpenPageTimings:
+    """The baseline DdrConfig timings over the channel's 64 B bus."""
+    return OpenPageTimings(
+        bus_bytes=config.vault_bus_bytes,
+        bus_gbps=calibration.vault_bandwidth_gbps,
+    )
+
+
+class OpenPageBank(Bank):
+    """A DRAM bank that keeps its last row open between accesses.
+
+    Row hits skip activate and precharge entirely; an access to an idle
+    bank pays activate; a conflict pays precharge then activate.  Hit/
+    miss/empty counters are kept per bank so experiments can report the
+    stream's row-buffer locality alongside bandwidth.
+    """
+
+    def __init__(self, sim: Simulator, vault: "VaultController", index: int) -> None:
+        super().__init__(sim, vault, index)
+        self.open_row: Optional[int] = None
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_empties = 0
+        # Bound by the owning device to its address mapping; the default
+        # decodes 1 KB-row identity straight off the address.
+        self.row_of: Callable[[int], int] = lambda address: address >> 10
+
+    def _access(self, request: Request) -> None:
+        """Perform one open-page access and emit the response."""
+        vault = self.vault
+        timings = vault.timings
+        start = vault.command.acquire(0)
+        request.bank_start_ns = start
+        self.accesses += 1
+
+        row = self.row_of(request.address)
+        if self.open_row == row:
+            self.row_hits += 1
+            preamble = 0.0
+        elif self.open_row is None:
+            self.row_empties += 1
+            preamble = timings.t_rcd_ns
+        else:
+            self.row_misses += 1
+            preamble = timings.t_rp_ns + timings.t_rcd_ns
+        self.open_row = row
+
+        payload = request.payload_bytes
+        if request.is_write:
+            moved, _ = vault._write_params[payload]
+            earliest = start + preamble + timings.t_cwl_ns
+            tsv_done = vault.tsv.acquire(moved, earliest=earliest)
+            depart = tsv_done
+            # The row stays open: no trailing precharge, only write
+            # recovery before the bank can take the next command.
+            self.busy_until = max(
+                start + preamble + timings.row_hit_occupancy_ns(True, payload),
+                tsv_done + timings.t_wr_ns,
+            )
+        else:
+            moved, _ = vault._read_params[payload]
+            earliest = start + preamble + timings.t_cl_ns
+            tsv_done = vault.tsv.acquire(moved, earliest=earliest)
+            depart = tsv_done
+            self.busy_until = max(
+                start + preamble + timings.row_hit_occupancy_ns(False, payload),
+                tsv_done,
+            )
+        self.busy_time += self.busy_until - start
+        trace = request.trace
+        if trace is not None:
+            trace.dram_done_ns = depart
+        vault.complete(request, depart)
+
+    def _refresh(self) -> None:
+        # Refresh closes every open row (all-bank refresh precharges).
+        self.open_row = None
+        super()._refresh()
+
+
+class Ddr4Device(HMCDevice):
+    """The DDR4 DIMM on the transaction-level machinery.
+
+    Channels ride the vault plumbing and the shared data bus rides the
+    TSV channel; the only structural change from :class:`HMCDevice` is
+    the open-page bank class and the row-identity binding through the
+    device's address mapping.
+    """
+
+    BANK_CLS = OpenPageBank
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: HMCConfig = DDR4_DUAL_8GB,
+        calibration: Calibration = DDR4_CALIBRATION,
+        timings: Optional[OpenPageTimings] = None,
+        max_block_bytes: int = 128,
+        interleave: str = "vault-first",
+        refresh: Optional[RefreshPolicy] = None,
+        junction_c: float = 60.0,
+        mapping: Optional[AddressMapping] = None,
+    ) -> None:
+        if timings is None:
+            timings = ddr4_timings(config, calibration)
+        super().__init__(
+            sim,
+            config=config,
+            calibration=calibration,
+            timings=timings,
+            max_block_bytes=max_block_bytes,
+            interleave=interleave,
+            refresh=refresh,
+            junction_c=junction_c,
+            mapping=mapping,
+        )
+        for vault in self.vaults:
+            for bank in vault.banks:
+                bank.row_of = self._row_of
+
+    def _row_of(self, address: int) -> int:
+        """Bank-local row identity under a DDR4 controller's mapping.
+
+        Real DDR4 controllers place the column bits between the
+        channel-interleave bits and the bank bits - a linear stream
+        fills a whole ``page_bytes`` row of a bank before the row index
+        advances.  The shared HMC-style mapping has no such column
+        field, so the row is derived directly: one row per bank per
+        full channel*bank interleave sweep of ``page_bytes`` each.
+        Random traffic lands on a fresh row almost every access, which
+        is exactly the open-vs-closed-page contrast of the paper's
+        Fig. 13 discussion.
+        """
+        config = self.config
+        sweep_bytes = config.num_vaults * config.banks_per_vault * config.page_bytes
+        return address // sweep_bytes
+
+    def row_buffer_stats(self) -> dict:
+        """Aggregate row-buffer hit/miss/empty counts across all banks."""
+        hits = misses = empties = 0
+        for vault in self.vaults:
+            for bank in vault.banks:
+                hits += bank.row_hits
+                misses += bank.row_misses
+                empties += bank.row_empties
+        total = hits + misses + empties
+        return {
+            "row_hits": hits,
+            "row_misses": misses,
+            "row_empties": empties,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+
+@register_device("ddr4", description=DESCRIPTION)
+def make_profile() -> DeviceProfile:
+    """Build the promoted DDR4 baseline profile."""
+    return DeviceProfile(
+        name="ddr4",
+        description=DESCRIPTION,
+        config=DDR4_DUAL_8GB,
+        calibration=DDR4_CALIBRATION,
+        device_cls=Ddr4Device,
+        timings_factory=ddr4_timings,
+        provenance=PROVENANCE,
+    )

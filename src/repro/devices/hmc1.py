@@ -1,0 +1,46 @@
+"""The ``hmc1`` backend: the repo's calibrated HMC 1.1 model, extracted.
+
+This profile is a pure re-packaging - the config, calibration table and
+device class are exactly the objects the board constructed directly
+before the registry existed, so ``--device hmc1`` (and the default when
+no device is named) is bit-identical to the pre-registry model: same
+wire payloads, same cache keys.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceProfile
+from repro.devices.registry import register_device
+from repro.hmc.calibration import DEFAULT_CALIBRATION
+from repro.hmc.config import HMC_1_1_4GB
+from repro.hmc.device import HMCDevice
+
+DESCRIPTION = (
+    "HMC 1.1 4GB (AC-510, 2 half-width links @ 15 Gbps) - the paper's "
+    "measured device; repo default"
+)
+
+#: Where each calibrated number comes from; see docs/DEVICES.md.
+PROVENANCE = """\
+[spec]  HMC 1.1 structure (Table I): 4GB, 8 layers, 16 vaults/32 banks
+        per-die, 256 B pages, 2 half-width links at 15 Gbps (Eq. 2).
+[paper] Host/link/vault latency split fitted to the paper's Fig. 15
+        latency deconstruction and Figs. 6-8 bandwidth curves, measured
+        on the Micron AC-510 (EX-700 backplane).
+[fit]   GUPS port count, tag pools, token-return latency and TX/RX
+        pipeline constants tuned so closed-loop bandwidth and RTT match
+        the measured curves; see repro/hmc/calibration.py docstrings.
+"""
+
+
+@register_device("hmc1", description=DESCRIPTION)
+def make_profile() -> DeviceProfile:
+    """Build the HMC 1.1 profile from the existing calibrated tables."""
+    return DeviceProfile(
+        name="hmc1",
+        description=DESCRIPTION,
+        config=HMC_1_1_4GB,
+        calibration=DEFAULT_CALIBRATION,
+        device_cls=HMCDevice,
+        provenance=PROVENANCE,
+    )

@@ -1,0 +1,61 @@
+"""The ``hmc2`` backend: HMC 2.0 projection as a first-class device.
+
+HMC 2.0 silicon was not available to the paper; Table I still specifies
+its structure (8GB, 32 vaults, four full-width 15 Gbps links, 120 GB/s
+raw per direction) and the structural model generalizes.  This profile
+absorbs the constants that previously lived only inside
+``experiments/hmc2_projection.py`` so the projection hardware is
+selectable anywhere (``--device hmc2``), not just inside one experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.devices.base import DeviceProfile
+from repro.devices.registry import register_device
+from repro.hmc.calibration import DEFAULT_CALIBRATION
+from repro.hmc.config import HMC_2_0_8GB
+from repro.hmc.device import HMCDevice
+
+DESCRIPTION = (
+    "HMC 2.0 8GB projection (32 vaults, 4 full-width links @ 15 Gbps) - "
+    "Table I structure, host scaled to feed all links"
+)
+
+#: Host-side assumptions of the projection (documented, not measured):
+#: the FPGA design is scaled to 18 GUPS ports so all four full-width
+#: links are fed, and the flow-control window doubles with the links.
+#: Everything device-side comes from Table I.
+HMC2_HOST_CALIBRATION = replace(
+    DEFAULT_CALIBRATION,
+    gups_ports=18,
+    flow_control_threshold=768,
+)
+
+#: Where each calibrated number comes from; see docs/DEVICES.md.
+PROVENANCE = """\
+[spec]  HMC 2.0 structure (Table I): 8GB, 8 layers, 32 vaults, 256 B
+        pages, four full-width links at 15 Gbps (120 GB/s raw per
+        direction via Eq. 2).
+[paper] Per-vault and per-bank timing carried over unchanged from the
+        calibrated HMC 1.1 model - the projection the paper's Section V
+        discussion implies (internal limits carry over, link/vault
+        parallelism doubles).
+[fit]   Host side only: GUPS ports scaled 9 -> 18 and the flow-control
+        window 384 -> 768 so the host can feed four links; neither is a
+        measured HMC 2.0 number.
+"""
+
+
+@register_device("hmc2", description=DESCRIPTION)
+def make_profile() -> DeviceProfile:
+    """Build the HMC 2.0 projection profile (Table I + scaled host)."""
+    return DeviceProfile(
+        name="hmc2",
+        description=DESCRIPTION,
+        config=HMC_2_0_8GB,
+        calibration=HMC2_HOST_CALIBRATION,
+        device_cls=HMCDevice,
+        provenance=PROVENANCE,
+    )

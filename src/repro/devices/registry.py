@@ -1,0 +1,142 @@
+"""Named registry of memory-device backends.
+
+Backends register a factory under a short name (``hmc1``, ``hbm2``, ...)
+and everything downstream - `ExperimentSettings.device`, the board, the
+topology layer, the CLI's ``--device`` flag - resolves through this one
+table.  Third-party packages can add backends without touching this
+repository by exposing a ``repro.devices`` entry point whose callable
+returns (or registers) a :class:`~repro.devices.base.DeviceProfile`;
+entry points are loaded lazily on the first unknown-name lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.devices.base import DeviceProfile
+from repro.hmc.errors import ConfigurationError
+
+#: Entry-point group scanned for third-party backends.
+ENTRY_POINT_GROUP = "repro.devices"
+
+
+class UnknownDeviceError(ConfigurationError):
+    """Raised when a device name has no registered backend."""
+
+
+#: name -> (factory producing a DeviceProfile, one-line description)
+_REGISTRY: Dict[str, Tuple[Callable[[], DeviceProfile], str]] = {}
+#: Resolved profiles, memoized so repeated lookups share one instance.
+_PROFILES: Dict[str, DeviceProfile] = {}
+_ENTRY_POINTS_LOADED = False
+
+
+def register_device(
+    name: str,
+    factory: Optional[Callable[[], DeviceProfile]] = None,
+    description: str = "",
+):
+    """Register a backend factory under ``name``.
+
+    Usable directly::
+
+        register_device("hmc1", make_profile, description="HMC 1.1 ...")
+
+    or as a decorator::
+
+        @register_device("hmc1", description="HMC 1.1 ...")
+        def make_profile() -> DeviceProfile: ...
+
+    The factory runs at most once per process; its profile is memoized.
+    Re-registering an existing name raises so two backends cannot
+    silently shadow each other (tests use :func:`unregister_device`).
+    """
+
+    def _register(fn: Callable[[], DeviceProfile]) -> Callable[[], DeviceProfile]:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"device backend {name!r} is already registered")
+        _REGISTRY[name] = (fn, description)
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_device(name: str) -> None:
+    """Remove a backend (primarily for tests exercising the registry)."""
+    _REGISTRY.pop(name, None)
+    _PROFILES.pop(name, None)
+
+
+def _load_entry_points() -> None:
+    """Load third-party backends declared under ``repro.devices``."""
+    global _ENTRY_POINTS_LOADED
+    if _ENTRY_POINTS_LOADED:
+        return
+    _ENTRY_POINTS_LOADED = True
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        return
+    try:
+        points = entry_points(group=ENTRY_POINT_GROUP)
+    except TypeError:  # pragma: no cover - pre-3.10 dict-style API
+        points = entry_points().get(ENTRY_POINT_GROUP, ())
+    for point in points:
+        try:
+            loaded = point.load()
+        except Exception:  # pragma: no cover - a broken plugin must not
+            continue  # take down the built-in backends
+        # A plugin may self-register on load, or return a profile for us
+        # to register under the entry-point name.
+        if isinstance(loaded, DeviceProfile) and loaded.name not in _REGISTRY:
+            register_device(loaded.name, lambda p=loaded: p, loaded.description)
+
+
+def resolve_device(name: str) -> DeviceProfile:
+    """Return the :class:`DeviceProfile` registered under ``name``.
+
+    Unknown names trigger one lazy scan of the ``repro.devices`` entry
+    point group before failing with the list of available backends.
+    """
+    profile = _PROFILES.get(name)
+    if profile is not None:
+        return profile
+    if name not in _REGISTRY:
+        _load_entry_points()
+    try:
+        factory, _ = _REGISTRY[name]
+    except KeyError:
+        raise UnknownDeviceError(
+            f"unknown device {name!r} (choose from {', '.join(device_names())})"
+        ) from None
+    profile = factory()
+    _PROFILES[name] = profile
+    return profile
+
+
+def device_names() -> List[str]:
+    """Registered backend names, in registration order."""
+    return list(_REGISTRY)
+
+
+def iter_devices() -> Iterator[Tuple[str, str]]:
+    """Yield ``(name, description)`` pairs in registration order."""
+    for name, (_, description) in _REGISTRY.items():
+        yield name, description
+
+
+def validate_device_name(name: str) -> str:
+    """Validate a device name without building its profile.
+
+    Used by :class:`ExperimentSettings` so a typo fails at construction
+    time, before any simulation or cache write.
+    """
+    if name not in _REGISTRY:
+        _load_entry_points()
+    if name not in _REGISTRY:
+        raise UnknownDeviceError(
+            f"unknown device {name!r} (choose from {', '.join(device_names())})"
+        )
+    return name

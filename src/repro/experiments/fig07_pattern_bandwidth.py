@@ -16,7 +16,7 @@ from typing import Dict, List
 
 from repro.core.experiment import ExperimentSettings, MeasurementPoint
 from repro.core.parallel import get_executor
-from repro.core.patterns import PATTERN_NAMES, standard_patterns
+from repro.core.patterns import available_pattern_names, standard_patterns
 from repro.core.report import render_series
 from repro.hmc.packet import RequestType
 
@@ -40,7 +40,12 @@ class PatternBandwidth:
 def measurement_points(
     settings: ExperimentSettings = ExperimentSettings(), payload_bytes: int = 128
 ) -> List[MeasurementPoint]:
-    """The figure's simulation grid, for batch submission/prefetch."""
+    """The figure's simulation grid, for batch submission/prefetch.
+
+    Pattern names come from the device geometry in ``settings.config``
+    (identical to the paper's nine for HMC 1.1); cross-device runs get
+    the subset their vault/bank structure supports.
+    """
     patterns = standard_patterns(settings.config)
     return [
         MeasurementPoint.for_pattern(
@@ -49,7 +54,7 @@ def measurement_points(
             payload_bytes=payload_bytes,
             settings=settings,
         )
-        for name in PATTERN_NAMES
+        for name in available_pattern_names(settings.config)
         for rt in REQUEST_TYPES
     ]
 
@@ -61,15 +66,29 @@ def run(
         get_executor().measure_points(measurement_points(settings, payload_bytes))
     )
     results = []
-    for name in PATTERN_NAMES:
+    for name in available_pattern_names(settings.config):
         bw = {rt.value: next(measurements).bandwidth_gbs for rt in REQUEST_TYPES}
         results.append(PatternBandwidth(pattern=name, bandwidth_gbs=bw))
     return results
 
 
-def check_shape(results: List[PatternBandwidth]) -> List[str]:
+def check_shape(
+    results: List[PatternBandwidth],
+    settings: ExperimentSettings = ExperimentSettings(),
+) -> List[str]:
     by_name = {r.pattern: r.bandwidth_gbs for r in results}
     problems = []
+    if settings.device != "hmc1":
+        # The claims below were read off the paper's measured HMC 1.1;
+        # other backends have different binding resources (ddr4's
+        # 16-bank channel keeps scaling past 8 banks, hbm2's wide duplex
+        # channels make wo ~ ro, hmc2's links are never the limit), so
+        # cross-device runs only get a sanity gate.
+        for r in results:
+            for rt, bandwidth in r.bandwidth_gbs.items():
+                if not bandwidth > 0:
+                    problems.append(f"{r.pattern}/{rt}: non-positive bandwidth")
+        return problems
     for rt in ("ro", "rw", "wo"):
         eight_banks = by_name["8 banks"][rt]
         one_vault = by_name["1 vault"][rt]
@@ -95,12 +114,19 @@ def main(settings: ExperimentSettings = ExperimentSettings()) -> str:
         series,
         title="Figure 7: bandwidth (GB/s) by access pattern, 128 B requests",
     )
-    problems = check_shape(results)
-    text += (
-        "\nShape matches the paper: vault cap beyond 8 banks; rw > ro; rw ~ 2x wo."
-        if not problems
-        else "\nShape deviations: " + "; ".join(problems)
-    )
+    problems = check_shape(results, settings)
+    if problems:
+        text += "\nShape deviations: " + "; ".join(problems)
+    elif settings.device != "hmc1":
+        text += (
+            f"\nSanity checks pass on device backend {settings.device!r}"
+            " (the paper's Fig. 7 shape claims apply to hmc1 only)."
+        )
+    else:
+        text += (
+            "\nShape matches the paper: vault cap beyond 8 banks; rw > ro;"
+            " rw ~ 2x wo."
+        )
     print(text)
     return text
 

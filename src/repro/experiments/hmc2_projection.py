@@ -6,10 +6,10 @@ paper.  The structural model generalizes, so this module projects the
 bandwidth characterization onto it - the "what would Fig. 7 look like"
 a designer evaluating the next generation would want.
 
-Host-side assumptions (documented, not from the paper): the FPGA design
-is scaled to 18 GUPS ports so all four links are fed, and the
-flow-control window doubles with the links.  Everything device-side
-comes from Table I.
+The projection hardware now lives in the device registry as the
+``hmc2`` backend (:mod:`repro.devices.hmc2`); this experiment is a
+consumer of that profile, comparing it against the measured ``hmc1``
+model pattern by pattern.
 """
 
 from __future__ import annotations
@@ -21,18 +21,15 @@ from repro.core.experiment import ExperimentSettings, MeasurementPoint
 from repro.core.parallel import get_executor
 from repro.core.patterns import standard_patterns
 from repro.core.report import render_series
-from repro.hmc.calibration import DEFAULT_CALIBRATION
+from repro.devices.hmc2 import HMC2_HOST_CALIBRATION
 from repro.hmc.config import HMC_1_1_4GB, HMC_2_0_8GB
 from repro.hmc.packet import RequestType
 
 #: Patterns shared by both generations, in sweep order.
 PATTERNS = ("1 bank", "4 banks", "1 vault", "4 vaults", "16 vaults")
 
-HOST_CALIBRATION = replace(
-    DEFAULT_CALIBRATION,
-    gups_ports=18,
-    flow_control_threshold=768,
-)
+#: Backward-compatible alias; the constants moved to the hmc2 backend.
+HOST_CALIBRATION = HMC2_HOST_CALIBRATION
 
 
 @dataclass(frozen=True)
@@ -50,7 +47,9 @@ def measurement_points(
     settings: ExperimentSettings = ExperimentSettings(),
 ) -> List[MeasurementPoint]:
     """Both generations' simulation grids, for batch submission/prefetch."""
-    hmc2_settings = replace(settings, config=HMC_2_0_8GB, calibration=HOST_CALIBRATION)
+    hmc2_settings = replace(
+        settings, device="hmc2", config=HMC_2_0_8GB, calibration=HOST_CALIBRATION
+    )
     gen2_patterns = standard_patterns(HMC_1_1_4GB)
     hmc2_patterns = standard_patterns(HMC_2_0_8GB)
     points = []

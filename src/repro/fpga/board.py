@@ -3,7 +3,10 @@
 One AC-510 carries a Kintex UltraScale FPGA and a 4 GB HMC Gen2 with
 two half-width links at 15 Gbps (60 GB/s bi-directional peak, Eq. 2).
 :class:`AC510Board` wires a fresh simulator, device and controller
-together - the starting point for every experiment.
+together - the starting point for every experiment.  The attached
+memory is resolved through the device registry (:mod:`repro.devices`),
+so any registered backend - including third-party entry points - can
+sit behind the same controller and GUPS firmware.
 """
 
 from __future__ import annotations
@@ -13,9 +16,8 @@ from typing import Optional
 from repro.fpga.controller import HmcController
 from repro.fpga.gups import Gups, PortConfig
 from repro.fpga.stream import StreamGups
-from repro.hmc.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.hmc.config import HMCConfig, HMC_1_1_4GB
-from repro.hmc.device import HMCDevice
+from repro.hmc.calibration import Calibration
+from repro.hmc.config import HMCConfig
 from repro.hmc.dram import DramTimings
 from repro.hmc.refresh import RefreshPolicy
 from repro.sim.engine import Simulator
@@ -24,9 +26,12 @@ from repro.topology.spec import TopologySpec
 
 
 class AC510Board:
-    """A simulator, an HMC device and its FPGA-side controller.
+    """A simulator, a memory device and its FPGA-side controller.
 
-    With a :class:`~repro.topology.spec.TopologySpec` the board fronts a
+    ``device`` names a registered backend (``hmc1``, ``hmc2``, ``hbm2``,
+    ``ddr4``, or an entry-point plugin); ``config``/``calibration``
+    default to that backend's tables when not given.  With a
+    :class:`~repro.topology.spec.TopologySpec` the board fronts a
     :class:`~repro.topology.network.CubeNetwork` of chained cubes instead
     of a single device; the controller and GUPS firmware are unchanged
     either way because the network duck-types the device interface.
@@ -34,18 +39,25 @@ class AC510Board:
 
     def __init__(
         self,
-        config: HMCConfig = HMC_1_1_4GB,
-        calibration: Calibration = DEFAULT_CALIBRATION,
+        config: Optional[HMCConfig] = None,
+        calibration: Optional[Calibration] = None,
         timings: Optional[DramTimings] = None,
         max_block_bytes: int = 128,
         interleave: str = "vault-first",
         refresh: Optional[RefreshPolicy] = None,
         junction_c: float = 60.0,
         topology: Optional[TopologySpec] = None,
+        device: str = "hmc1",
     ) -> None:
+        from repro.devices import resolve_device
+
+        profile = resolve_device(device)
+        config = config if config is not None else profile.config
+        calibration = calibration if calibration is not None else profile.calibration
         self.sim = Simulator()
         self.calibration = calibration
         self.topology = topology
+        self.device_name = device
         if topology is not None and not topology.is_trivial:
             self.network: Optional[CubeNetwork] = CubeNetwork(
                 self.sim,
@@ -57,13 +69,14 @@ class AC510Board:
                 interleave=interleave,
                 refresh=refresh,
                 junction_c=junction_c,
+                device=device,
             )
             self.device = self.network
         else:
             # A trivial (or absent) topology short-circuits to the plain
             # device so single-cube results stay bit-identical.
             self.network = None
-            self.device = HMCDevice(
+            self.device = profile.create(
                 self.sim,
                 config=config,
                 calibration=calibration,

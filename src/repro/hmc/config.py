@@ -38,9 +38,12 @@ class LinkConfig:
             raise ConfigurationError(
                 f"links are half-width (8 lanes) or full-width (16), not {self.lanes_per_link}"
             )
-        if self.gbps_per_lane not in (10.0, 12.5, 15.0):
+        # 10/12.5/15 are the HMC SerDes rates; 9.6 is the non-SerDes
+        # equivalent used by the ddr4 backend (16 lanes x 9.6 Gbps =
+        # 19.2 GB/s per direction, one DDR4-2400 x64 channel).
+        if self.gbps_per_lane not in (9.6, 10.0, 12.5, 15.0):
             raise ConfigurationError(
-                f"lane speed must be 10, 12.5 or 15 Gbps, not {self.gbps_per_lane}"
+                f"lane speed must be 9.6, 10, 12.5 or 15 Gbps, not {self.gbps_per_lane}"
             )
 
     @property

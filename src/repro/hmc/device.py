@@ -19,7 +19,7 @@ from repro.hmc.errors import ConfigurationError
 from repro.hmc.link import Link
 from repro.hmc.packet import Request, packet_bytes
 from repro.hmc.refresh import RefreshPolicy
-from repro.hmc.vault import VaultController
+from repro.hmc.vault import Bank, VaultController
 from repro.sim.engine import Simulator
 
 ResponseHandler = Callable[[Request, float], None]
@@ -34,7 +34,16 @@ class HMCDevice:
     :meth:`submit_from_link` and receives completions through the
     ``on_response`` callback, timestamped with the instant the response
     packet clears the link's RX channel.
+
+    Backend subclasses (see :mod:`repro.devices`) customize the bank
+    model by overriding :attr:`BANK_CLS` and the address mapper by
+    passing ``mapping``; everything else is parameterized by the config
+    and calibration tables.
     """
+
+    #: Bank class instantiated by every vault controller; open-page
+    #: backends substitute a subclass with row-buffer state.
+    BANK_CLS: type = Bank
 
     def __init__(
         self,
@@ -46,6 +55,7 @@ class HMCDevice:
         interleave: str = "vault-first",
         refresh: Optional["RefreshPolicy"] = None,
         junction_c: float = 60.0,
+        mapping: Optional[AddressMapping] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -54,7 +64,7 @@ class HMCDevice:
             bus_bytes=config.vault_bus_bytes,
             bus_gbps=calibration.vault_bandwidth_gbps,
         )
-        self.mapping = AddressMapping(
+        self.mapping = mapping or AddressMapping(
             config, max_block_bytes=max_block_bytes, interleave=interleave
         )
         self.on_response: Optional[ResponseHandler] = None
@@ -91,6 +101,7 @@ class HMCDevice:
                 timings=self.timings,
                 calibration=calibration,
                 on_response=self._vault_response,
+                bank_cls=self.BANK_CLS,
             )
             for v in range(config.num_vaults)
         ]

@@ -127,6 +127,7 @@ class VaultController:
         timings: DramTimings,
         calibration: Calibration,
         on_response: Callable[[Request, float], None],
+        bank_cls: type = Bank,
     ) -> None:
         self.sim = sim
         self.index = index
@@ -160,7 +161,9 @@ class VaultController:
             p: (timings.bus_bytes_moved(p), timings.write_occupancy_ns(p))
             for p in VALID_PAYLOAD_BYTES
         }
-        self.banks: List[Bank] = [Bank(sim, self, b) for b in range(num_banks)]
+        # `bank_cls` is the device-backend hook: open-page backends (the
+        # ddr4 device) substitute a Bank subclass with row-buffer state.
+        self.banks: List[Bank] = [bank_cls(sim, self, b) for b in range(num_banks)]
         self._on_response = on_response
         self.requests_accepted = 0
         self.payload_bytes_accepted = 0

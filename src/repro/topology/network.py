@@ -118,13 +118,21 @@ class CubeNetwork:
         interleave: str = "vault-first",
         refresh: Optional[RefreshPolicy] = None,
         junction_c: float = 60.0,
+        device: str = "hmc1",
     ) -> None:
+        # Cubes are built through the registry so a network of any
+        # registered backend (including entry-point plugins) works; the
+        # default resolves to the same HMCDevice construction as before.
+        from repro.devices import resolve_device
+
+        profile = resolve_device(device)
         self.sim = sim
         self.spec = spec
         self.calibration = calibration
         self.cube_config = config
+        self.device_name = device
         self.cubes: List[HMCDevice] = [
-            HMCDevice(
+            profile.create(
                 sim,
                 config=config,
                 calibration=calibration,

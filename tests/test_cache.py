@@ -4,13 +4,8 @@ import json
 import math
 
 from repro.core import cache as cache_mod
-from repro.core.cache import (
-    ResultCache,
-    cache_key,
-    default_cache_dir,
-    measurement_from_dict,
-    measurement_to_dict,
-)
+from repro.core.cache import ResultCache, cache_key, default_cache_dir
+from repro.core.schema import measurement_from_dict, measurement_to_dict
 from repro.core.experiment import (
     ExperimentSettings,
     MeasurementPoint,

@@ -1,0 +1,286 @@
+"""Tests for the pluggable memory-device backend registry.
+
+Covers the registry surface (register/resolve/unknown names), the
+``device`` field's schema and cache-key round trips, bit-identity of the
+``hmc1`` backend against pre-refactor golden results, and a cross-device
+smoke of the fig7/fig18 experiment shapes on every built-in backend.
+"""
+
+import json
+import math
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.core import schema
+from repro.core.cache import cache_key
+from repro.core.experiment import ExperimentSettings
+from repro.core.patterns import available_pattern_names
+from repro.core.sweeps import SweepGrid, run_sweep_detailed
+from repro.devices import (
+    DeviceProfile,
+    MemoryDevice,
+    UnknownDeviceError,
+    device_names,
+    iter_devices,
+    register_device,
+    resolve_device,
+    unregister_device,
+)
+from repro.hmc.errors import ConfigurationError
+from repro.hmc.packet import RequestType
+from repro.sim.engine import Simulator
+
+DATA = Path(__file__).parent / "data"
+
+#: Exactly the settings the committed golden baselines were made with.
+GOLDEN_SETTINGS = ExperimentSettings(warmup_us=2.0, window_us=10.0)
+GOLDEN_GRID = SweepGrid(
+    patterns=("8 banks", "1 vault"),
+    request_types=(RequestType.READ,),
+    payload_bytes=(32,),
+)
+
+BUILTIN_NAMES = ("hmc1", "hmc2", "hbm2", "ddr4")
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_builtin_backends_are_registered_in_order():
+    names = device_names()
+    assert tuple(names[:4]) == BUILTIN_NAMES
+    for name, description in iter_devices():
+        if name in BUILTIN_NAMES:
+            assert description  # `repro devices list` shows these
+
+
+def test_resolve_memoizes_one_profile_per_name():
+    assert resolve_device("hmc1") is resolve_device("hmc1")
+    profile = resolve_device("hbm2")
+    assert isinstance(profile, DeviceProfile)
+    assert profile.name == "hbm2"
+
+
+def test_unknown_device_error_lists_backends():
+    with pytest.raises(UnknownDeviceError) as excinfo:
+        resolve_device("sram9000")
+    message = str(excinfo.value)
+    for name in BUILTIN_NAMES:
+        assert name in message
+
+
+def test_register_resolve_unregister_round_trip():
+    probe = resolve_device("hmc1")
+    try:
+        register_device("testdev", lambda: probe, description="probe")
+        assert resolve_device("testdev") is probe
+        assert ("testdev", "probe") in list(iter_devices())
+    finally:
+        unregister_device("testdev")
+    with pytest.raises(UnknownDeviceError):
+        resolve_device("testdev")
+
+
+def test_register_decorator_form_and_duplicate_rejection():
+    try:
+
+        @register_device("testdev2", description="decorated")
+        def make_profile():
+            return resolve_device("hmc1")
+
+        assert resolve_device("testdev2").name == "hmc1"
+        with pytest.raises(ConfigurationError):
+            register_device("testdev2", make_profile)
+        with pytest.raises(ConfigurationError):
+            register_device("hmc1", make_profile)
+    finally:
+        unregister_device("testdev2")
+
+
+def test_profiles_satisfy_the_device_protocol():
+    for name in BUILTIN_NAMES:
+        device = resolve_device(name).create(Simulator())
+        assert isinstance(device, MemoryDevice)
+        assert device.config is resolve_device(name).config
+
+
+def test_profile_apply_retargets_settings():
+    settings = GOLDEN_SETTINGS
+    for name in BUILTIN_NAMES:
+        profile = resolve_device(name)
+        applied = profile.apply(settings)
+        assert applied.device == name
+        assert applied.config is profile.config
+        assert applied.calibration is profile.calibration
+        assert applied.warmup_us == settings.warmup_us
+    # hmc1 is the default: applying it must not change the settings value.
+    assert resolve_device("hmc1").apply(settings) == settings
+
+
+def test_settings_validate_the_device_name():
+    for name in BUILTIN_NAMES:
+        assert ExperimentSettings(device=name).device == name
+    with pytest.raises(UnknownDeviceError):
+        ExperimentSettings(device="sram9000")
+
+
+# ------------------------------------------------- schema and cache keys
+
+
+def test_schema_device_key_round_trips():
+    hbm2 = resolve_device("hbm2").apply(GOLDEN_SETTINGS)
+    payload = schema.settings_to_dict(hbm2)
+    assert payload["device"] == "hbm2"
+    assert schema.settings_from_dict(payload) == hbm2
+
+
+def test_schema_default_device_stays_byte_identical():
+    # hmc1 payloads must not grow a key: pre-registry builds (and their
+    # cache entries) decode them, and old payloads without the key
+    # decode to the hmc1 default.
+    payload = schema.settings_to_dict(GOLDEN_SETTINGS)
+    assert "device" not in payload
+    assert schema.settings_from_dict(payload).device == "hmc1"
+
+
+def test_cache_key_depends_on_device():
+    def point(settings):
+        from repro.core.experiment import MeasurementPoint
+        from repro.core.patterns import pattern_by_name
+
+        return MeasurementPoint.for_pattern(
+            pattern_by_name("1 bank", settings.config),
+            request_type=RequestType.READ,
+            payload_bytes=32,
+            settings=settings,
+        )
+
+    baseline = cache_key(point(GOLDEN_SETTINGS))
+    # Same geometry and calibration, different backend name: the key
+    # must differ (the ddr4 backend simulates open-page banks).
+    retagged = replace(GOLDEN_SETTINGS, device="hmc2")
+    assert cache_key(point(retagged)) != baseline
+
+
+def test_hmc1_cache_keys_match_committed_baseline():
+    expected = (DATA / "hmc1_cache_keys.txt").read_text().split()
+    from repro.core.experiment import MeasurementPoint
+    from repro.core.patterns import pattern_by_name
+
+    keys = [
+        cache_key(
+            MeasurementPoint.for_pattern(
+                pattern_by_name(name, GOLDEN_SETTINGS.config),
+                request_type=RequestType.READ,
+                payload_bytes=32,
+                settings=GOLDEN_SETTINGS,
+            )
+        )
+        for name in GOLDEN_GRID.patterns
+    ]
+    assert keys == expected
+
+
+# ------------------------------------------------------ hmc1 bit parity
+
+
+def test_hmc1_results_match_pre_refactor_golden():
+    golden_lines = (DATA / "hmc1_golden_tiny.ndjson").read_text().splitlines()
+    detailed = run_sweep_detailed(
+        GOLDEN_GRID, GOLDEN_SETTINGS, jobs=1, use_cache=False
+    )
+    lines = [
+        schema.dumps(schema.result_to_dict(point, measurement))
+        for point, measurement in detailed
+    ]
+    assert lines == golden_lines
+
+
+def test_explicit_hmc1_device_is_bit_identical_to_default():
+    applied = resolve_device("hmc1").apply(GOLDEN_SETTINGS)
+    default = run_sweep_detailed(
+        GOLDEN_GRID, GOLDEN_SETTINGS, jobs=1, use_cache=False
+    )
+    explicit = run_sweep_detailed(GOLDEN_GRID, applied, jobs=1, use_cache=False)
+    for (p0, m0), (p1, m1) in zip(default, explicit):
+        assert schema.dumps(schema.point_to_dict(p0)) == schema.dumps(
+            schema.point_to_dict(p1)
+        )
+        assert repr(m0) == repr(m1)
+
+
+# --------------------------------------------------- cross-device smoke
+
+
+@pytest.mark.parametrize("name", BUILTIN_NAMES)
+def test_fig7_shape_runs_on_every_backend(name):
+    from repro.experiments import fig07_pattern_bandwidth as fig07
+
+    settings = resolve_device(name).apply(GOLDEN_SETTINGS)
+    results = fig07.run(settings)
+    expected = available_pattern_names(settings.config)
+    assert tuple(r.pattern for r in results) == expected
+    for result in results:
+        for request_type in ("ro", "rw", "wo"):
+            bandwidth = result.bandwidth_gbs[request_type]
+            assert math.isfinite(bandwidth) and bandwidth > 0.0
+
+
+@pytest.mark.parametrize("name", BUILTIN_NAMES)
+def test_fig18_sweep_runs_on_every_backend(name):
+    from repro.experiments import fig18_latency_bandwidth as fig18
+
+    # Tiny windows and a one-pattern/one-size slice: this checks the
+    # grid machinery runs end to end per backend, not the knee values.
+    settings = resolve_device(name).apply(
+        ExperimentSettings(warmup_us=1.0, window_us=4.0)
+    )
+    summaries = fig18.run(settings, sizes=(32,), pattern_names=("1 vault",))
+    assert len(summaries) == 1
+    summary = summaries[0]
+    assert summary.pattern == "1 vault"
+    assert len(summary.points) == settings.calibration.gups_ports
+    assert summary.knee_bandwidth_gbs > 0.0
+
+
+def test_ddr4_backend_counts_row_buffer_locality():
+    from repro.devices.ddr4 import Ddr4Device
+    from repro.fpga.address_gen import AddressingMode
+    from repro.fpga.board import AC510Board
+    from repro.fpga.gups import PortConfig
+
+    def hit_rate(mode):
+        board = AC510Board(device="ddr4")
+        assert isinstance(board.device, Ddr4Device)
+        gups = board.load_gups(
+            PortConfig(
+                request_type=RequestType.READ, payload_bytes=128, mode=mode
+            ),
+            active_ports=1,  # one stream; more would thrash the row buffer
+        )
+        gups.start()
+        board.sim.run(until=12_000.0)
+        gups.stop()
+        stats = board.device.row_buffer_stats()
+        assert stats["row_hits"] + stats["row_misses"] + stats["row_empties"] > 0
+        return stats["hit_rate"]
+
+    # A linear stream fills each 1 KB row before moving on (7 of 8
+    # accesses hit); random traffic opens a fresh row almost every time -
+    # the paper's open-vs-closed-page contrast.
+    assert hit_rate(AddressingMode.LINEAR) > 0.7
+    assert hit_rate(AddressingMode.RANDOM) < 0.2
+
+
+def test_json_wire_payload_carries_device(tmp_path):
+    hbm2 = resolve_device("hbm2").apply(GOLDEN_SETTINGS)
+    detailed = run_sweep_detailed(
+        SweepGrid(patterns=("1 vault",), payload_bytes=(32,)),
+        hbm2,
+        jobs=1,
+        use_cache=False,
+    )
+    line = schema.dumps(schema.result_to_dict(*detailed[0]))
+    assert json.loads(line)["point"]["settings"]["device"] == "hbm2"

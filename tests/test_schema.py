@@ -2,6 +2,7 @@
 
 import json
 import math
+import warnings
 
 import pytest
 
@@ -162,15 +163,18 @@ def test_result_pair_round_trips():
     assert repr(restored_measurement) == repr(measurement)
 
 
-def test_deprecated_cache_serializer_aliases_still_work():
+def test_removed_cache_serializer_aliases_are_gone():
+    # The PR-2-era shims finished their deprecation cycle: the cache
+    # module no longer re-exports the schema serializers and the shim
+    # table in repro/__init__.py is empty.
+    import repro
     from repro.core import cache as cache_mod
 
-    measurement = _measurement()
-    with pytest.deprecated_call():
-        payload = cache_mod.measurement_to_dict(measurement)
-    with pytest.deprecated_call():
-        restored = cache_mod.measurement_from_dict(payload)
-    assert repr(restored) == repr(measurement)
+    assert not hasattr(cache_mod, "measurement_to_dict")
+    assert not hasattr(cache_mod, "measurement_from_dict")
+    assert repro._DEPRECATED == {}
+    with pytest.raises(AttributeError):
+        repro.measurement_to_dict
 
 
 def test_curated_top_level_surface():
@@ -180,10 +184,27 @@ def test_curated_top_level_surface():
     assert repro.MeasurementPoint is MeasurementPoint
     assert repro.SCHEMA_VERSION == schema.SCHEMA_VERSION
     assert repro.RequestType is RequestType
-    with pytest.deprecated_call():
-        assert repro.measurement_to_dict is schema.measurement_to_dict
     with pytest.raises(AttributeError):
         repro.definitely_not_public
+
+
+def test_curated_surface_imports_warning_free():
+    # Every curated __all__ name must resolve without emitting any
+    # warning - the deprecation shims may not leak into the stable API.
+    import importlib
+
+    import repro
+
+    subpackages = {
+        name for name in repro.__all__ if name not in repro._PUBLIC
+    }
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        for name in repro.__all__:
+            if name in subpackages:
+                importlib.import_module(f"repro.{name}")
+            else:
+                getattr(repro, name)
 
 
 def test_kernel_round_trips_and_default_stays_byte_identical():
