@@ -76,6 +76,13 @@ _PUBLIC = {
     "MeasurementService": "repro.service.server",
     "BackgroundService": "repro.service.server",
     "ServiceError": "repro.service.protocol",
+    "ServiceTimeoutError": "repro.service.protocol",
+    # sharded measurement fleet
+    "FleetClient": "repro.fleet",
+    "FleetExecutor": "repro.fleet",
+    "FleetSpec": "repro.fleet",
+    "FleetState": "repro.fleet",
+    "HashRing": "repro.fleet",
     # multi-cube networks
     "TopologySpec": "repro.topology.spec",
     "CubeNetwork": "repro.topology.network",
@@ -107,6 +114,7 @@ __all__ = sorted(_PUBLIC) + [
     "baseline",
     "experiments",
     "service",
+    "fleet",
     "topology",
     "obs",
 ]

@@ -25,6 +25,11 @@ Usage::
     python -m repro query --pattern "16 vaults" --size 128 --json
     python -m repro query --stats
     python -m repro query --metrics
+    python -m repro fleet up -n 3
+    python -m repro fleet status
+    python -m repro query --fleet --pattern "16 vaults" --size 128
+    python -m repro sweep --patterns "16 vaults" --fleet --json
+    python -m repro fleet down
     python -m repro trace run --pattern "16 vaults" --out trace.json
     python -m repro trace export spans.ndjson --format report
     python -m repro run fig7 --fast --trace fig7_trace.json --trace-sample 16
@@ -367,12 +372,13 @@ def _run_kernel_parity(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    result = run_campaign(
-        _settings(args),
-        experiment_ids=args.only or None,
-        jobs=_jobs(args),
-        use_cache=not args.no_cache,
-    )
+    with _maybe_fleet(args):
+        result = run_campaign(
+            _settings(args),
+            experiment_ids=args.only or None,
+            jobs=_jobs(args),
+            use_cache=not args.no_cache,
+        )
     report = result.full_report()
     if args.output:
         with open(args.output, "w") as handle:
@@ -426,14 +432,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         from repro.core import schema
 
-        with _tracing(args):
+        with _tracing(args), _maybe_fleet(args):
             detailed = run_sweep_detailed(
                 grid, settings, jobs=_jobs(args), use_cache=not args.no_cache
             )
         for point, measurement in detailed:
             print(schema.dumps(schema.result_to_dict(point, measurement)))
         return 0
-    with _tracing(args):
+    with _tracing(args), _maybe_fleet(args):
         records = run_sweep(
             grid, settings, jobs=_jobs(args), use_cache=not args.no_cache
         )
@@ -470,6 +476,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     import json
+
+    if getattr(args, "fleet", False):
+        from repro.fleet.client import FleetClient
+
+        if args.shutdown:
+            print(
+                "a fleet is stopped with `repro fleet down`, not --shutdown",
+                file=sys.stderr,
+            )
+            return 2
+        with FleetClient(run_dir=args.fleet_dir) as fleet_client:
+            if args.ping:
+                print("pong" if fleet_client.ping() else "no answer")
+                return 0
+            if args.stats:
+                print(json.dumps(fleet_client.stats(), indent=2, sort_keys=True))
+                return 0
+            if args.metrics:
+                print(json.dumps(fleet_client.metrics(), indent=2, sort_keys=True))
+                return 0
+            return _query_measure(args, fleet_client)
 
     from repro.service.client import ServiceClient
 
@@ -518,6 +545,151 @@ def _query_measure(args: argparse.Namespace, client) -> int:
             f"read avg {measurement.read_latency_avg_ns / 1e3:.2f} us"
         )
     return 0
+
+
+def _cmd_fleet_up(args: argparse.Namespace) -> int:
+    from repro.fleet.manager import FleetLaunchError, fleet_up
+    from repro.fleet.spec import FleetSpec, FleetStateError
+
+    spec = FleetSpec(
+        backends=args.backends,
+        host=args.host,
+        router_port=args.router_port,
+        run_dir=args.run_dir,
+        jobs_per_backend=args.jobs,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        replicas=args.replicas,
+        device=getattr(args, "device", None),
+        use_cache=not args.no_cache,
+    )
+    try:
+        state = fleet_up(spec)
+    except (FleetLaunchError, FleetStateError) as exc:
+        print(f"fleet up failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"fleet up: router {state.host}:{state.router_port} "
+        f"(pid {state.router_pid}), {len(state.backends)} backend(s)"
+    )
+    for backend in state.backends:
+        print(
+            f"  {backend.name}: {backend.host}:{backend.port} "
+            f"(pid {backend.pid}, cache {backend.cache_dir})"
+        )
+    print(f"state: {state.save()}")
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet.manager import fleet_status
+    from repro.fleet.spec import FleetStateError
+
+    try:
+        status = fleet_status(args.run_dir)
+    except FleetStateError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0 if status["healthy"] else 1
+    router = status["router"]
+    print(
+        f"fleet in {status['run_dir']}: "
+        f"{'healthy' if status['healthy'] else 'DEGRADED'}"
+    )
+    print(
+        f"  router     {router['host']}:{router['port']} pid {router['pid']} "
+        f"{'alive' if router['alive'] else 'DEAD'}"
+    )
+    ring_view = router.get("stats", {}).get("backends", {})
+    for name, entry in sorted(status["backends"].items()):
+        ring = ring_view.get(name, {})
+        extra = ""
+        if ring:
+            latency = ring.get("latency", {})
+            p50, p95 = latency.get("p50_ms"), latency.get("p95_ms")
+            extra = (
+                f"  ring={'in' if ring.get('alive') else 'OUT'} "
+                f"requests={int(ring.get('requests') or 0)} "
+                f"p50={'-' if p50 is None else f'{p50:.1f}ms'} "
+                f"p95={'-' if p95 is None else f'{p95:.1f}ms'}"
+            )
+        print(
+            f"  {name:10s} {entry['host']}:{entry['port']} pid {entry['pid']} "
+            f"{'alive' if entry['alive'] else 'DEAD'}{extra}"
+        )
+    if "stats_error" in router:
+        print(f"  (router stats unavailable: {router['stats_error']})")
+    return 0 if status["healthy"] else 1
+
+
+def _cmd_fleet_down(args: argparse.Namespace) -> int:
+    from repro.fleet.manager import fleet_down
+    from repro.fleet.spec import FleetStateError
+
+    try:
+        outcome = fleet_down(args.run_dir, timeout=args.timeout)
+    except FleetStateError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    stopped = ", ".join(outcome["stopped"]) or "none"
+    print(f"fleet down: stopped {stopped}")
+    if outcome["killed"]:
+        print(f"  killed after timeout: {', '.join(outcome['killed'])}")
+    return 0
+
+
+def _cmd_fleet_route(args: argparse.Namespace) -> int:
+    """Run the fleet router in the foreground (spawned by ``fleet up``)."""
+    from repro.fleet.router import run_router
+
+    backends = {}
+    for entry in args.backend or []:
+        name, sep, address = entry.partition("=")
+        host, _, port = address.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            print(
+                f"invalid --backend {entry!r} (expected name=host:port)",
+                file=sys.stderr,
+            )
+            return 2
+        backends[name] = (host, int(port))
+    if not backends:
+        from repro.fleet.spec import FleetState, FleetStateError
+
+        try:
+            backends = FleetState.load(args.run_dir).backend_map()
+        except FleetStateError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    run_router(
+        backends,
+        host=args.host,
+        port=args.port,
+        replicas=args.replicas,
+        window=args.window,
+    )
+    return 0
+
+
+@contextmanager
+def _maybe_fleet(args: argparse.Namespace):
+    """Route measurements through a running fleet when ``--fleet`` asks.
+
+    Installs the fleet-backed executor factory for the command body, so
+    sweeps and campaigns measure through the fleet with their ordinary
+    code paths; without ``--fleet`` this is a no-op.
+    """
+    if not getattr(args, "fleet", False):
+        yield False
+        return
+    from repro.fleet.executor import fleet_executor
+
+    with fleet_executor(run_dir=getattr(args, "fleet_dir", None)):
+        yield True
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -1222,6 +1394,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     devices_parser.set_defaults(func=_cmd_devices)
 
+    def add_fleet_flags(p: argparse.ArgumentParser) -> None:
+        from repro.fleet.spec import DEFAULT_RUN_DIR
+
+        p.add_argument(
+            "--fleet",
+            action="store_true",
+            help="measure through a running fleet's router (see `repro fleet up`)",
+        )
+        p.add_argument(
+            "--fleet-dir",
+            default=DEFAULT_RUN_DIR,
+            metavar="DIR",
+            help=f"fleet run directory holding fleet.json (default: {DEFAULT_RUN_DIR})",
+        )
+
     campaign_parser = sub.add_parser("campaign", help="run every experiment")
     campaign_parser.add_argument("--fast", action="store_true")
     campaign_parser.add_argument("--output", help="write the full report to a file")
@@ -1229,6 +1416,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", nargs="*", metavar="ID", help="restrict to these experiment ids"
     )
     add_executor_flags(campaign_parser)
+    add_fleet_flags(campaign_parser)
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     kernels_parser = sub.add_parser(
@@ -1261,6 +1449,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_topology_flags(sweep_parser)
     add_kernel_flag(sweep_parser)
     add_device_flag(sweep_parser)
+    add_fleet_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     topo_parser = sub.add_parser(
@@ -1506,7 +1695,135 @@ def build_parser() -> argparse.ArgumentParser:
     add_topology_flags(query_parser)
     add_kernel_flag(query_parser)
     add_device_flag(query_parser)
+    add_fleet_flags(query_parser)
     query_parser.set_defaults(func=_cmd_query)
+
+    from repro.fleet.ring import DEFAULT_REPLICAS
+    from repro.fleet.spec import DEFAULT_RUN_DIR
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="manage a sharded measurement fleet (router + N daemons)"
+    )
+    fleet_sub = fleet_parser.add_subparsers(dest="action", required=True)
+
+    fleet_up_parser = fleet_sub.add_parser(
+        "up", help="launch N backend daemons and the consistent-hash router"
+    )
+    fleet_up_parser.add_argument(
+        "-n",
+        "--backends",
+        type=int,
+        default=3,
+        metavar="N",
+        help="backend daemons to launch (default: 3)",
+    )
+    fleet_up_parser.add_argument("--host", default=DEFAULT_HOST)
+    fleet_up_parser.add_argument(
+        "--router-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="router listen port (default: 0 = ephemeral)",
+    )
+    fleet_up_parser.add_argument(
+        "--run-dir",
+        default=DEFAULT_RUN_DIR,
+        metavar="DIR",
+        help=f"fleet state/log/cache directory (default: {DEFAULT_RUN_DIR})",
+    )
+    fleet_up_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per backend (default: each backend decides)",
+    )
+    fleet_up_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="per-backend pending-request queue bound",
+    )
+    fleet_up_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-backend executor batch bound",
+    )
+    fleet_up_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=DEFAULT_REPLICAS,
+        metavar="N",
+        help="virtual nodes per backend on the hash ring",
+    )
+    fleet_up_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the backends' on-disk result-cache shards",
+    )
+    add_device_flag(fleet_up_parser)
+    fleet_up_parser.set_defaults(func=_cmd_fleet_up)
+
+    fleet_status_parser = fleet_sub.add_parser(
+        "status", help="report the fleet's process and ring health"
+    )
+    fleet_status_parser.add_argument(
+        "--run-dir", default=DEFAULT_RUN_DIR, metavar="DIR"
+    )
+    fleet_status_parser.add_argument(
+        "--json", action="store_true", help="full status as JSON"
+    )
+    fleet_status_parser.set_defaults(func=_cmd_fleet_status)
+
+    fleet_down_parser = fleet_sub.add_parser(
+        "down", help="stop the router and every backend, remove fleet.json"
+    )
+    fleet_down_parser.add_argument(
+        "--run-dir", default=DEFAULT_RUN_DIR, metavar="DIR"
+    )
+    fleet_down_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds to wait for graceful drains before SIGKILL",
+    )
+    fleet_down_parser.set_defaults(func=_cmd_fleet_down)
+
+    fleet_route_parser = fleet_sub.add_parser(
+        "route",
+        help="run the fleet router in the foreground (spawned by `fleet up`)",
+    )
+    fleet_route_parser.add_argument("--host", default=DEFAULT_HOST)
+    fleet_route_parser.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    fleet_route_parser.add_argument(
+        "--replicas", type=int, default=DEFAULT_REPLICAS, metavar="N"
+    )
+    fleet_route_parser.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bounded in-flight requests per backend",
+    )
+    fleet_route_parser.add_argument(
+        "--backend",
+        action="append",
+        metavar="NAME=HOST:PORT",
+        help="one backend (repeat per backend); omit to read fleet.json",
+    )
+    fleet_route_parser.add_argument(
+        "--run-dir",
+        default=DEFAULT_RUN_DIR,
+        metavar="DIR",
+        help="fleet.json location used when no --backend is given",
+    )
+    fleet_route_parser.set_defaults(func=_cmd_fleet_route)
     return parser
 
 

@@ -23,7 +23,9 @@ Pool lifecycle
 Worker processes are expensive to start (interpreter boot or fork, module
 imports), so the pool is created lazily on the first parallel batch and
 then *reused for the life of the process* - across batches, experiments,
-campaigns, and daemon requests.  It is torn down by an ``atexit`` hook or
+campaigns, and daemon requests.  Daemons are the exception: they call
+:meth:`MeasurementExecutor.prefork` before binding their listener, so no
+worker ever inherits a socket fd (see :func:`prefork_pool`).  It is torn down by an ``atexit`` hook or
 an explicit :func:`shutdown_pool` (which benchmarks use between timed
 legs so cold numbers honestly include pool start-up).  On platforms with
 ``fork`` (Linux, macOS with caveats) the workers are forked, so they
@@ -51,11 +53,21 @@ import atexit
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.cache import ResultCache, cache_key
 from repro.core.experiment import (
@@ -271,6 +283,27 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
         return _POOL
 
 
+def _prefork_nap(delay: float) -> None:
+    """Priming task for :func:`prefork_pool` (module-level: picklable)."""
+    time.sleep(delay)
+
+
+def prefork_pool(workers: int) -> None:
+    """Fork every pool worker *now* (blocking, idempotent).
+
+    :class:`ProcessPoolExecutor` forks workers lazily, one per submit,
+    and reuses an idle worker instead of forking — so merely creating
+    the pool forks nothing, and the real forks happen mid-batch with
+    whatever file descriptors the process has open *then*.  Each priming
+    task naps just long enough that no worker goes idle while the
+    ``workers`` submits are still arriving, which forces the full
+    complement of forks to happen here and nowhere else.
+    """
+    pool = get_pool(workers)
+    if workers > 1:
+        list(pool.map(_prefork_nap, [0.05] * workers, chunksize=1))
+
+
 def shutdown_pool() -> None:
     """Drain and discard the shared pool (idempotent).
 
@@ -347,6 +380,20 @@ class MeasurementExecutor:
         if not self.use_cache:
             return None
         return self._cache if self._cache is not None else ResultCache()
+
+    def prefork(self) -> None:
+        """Start the worker pool now instead of at the first batch.
+
+        Daemons call this *before* binding their listener: with the
+        ``fork`` start method, workers inherit every file descriptor
+        open at fork time, so a pool forked lazily mid-request would
+        hold the daemon's listener and connection sockets — and a
+        SIGKILLed daemon would leave those sockets alive in its orphaned
+        workers, its peers waiting on connections that never see EOF.
+        Forking while no socket exists makes the daemon's death observable.
+        """
+        if self.jobs > 1:
+            prefork_pool(self.jobs)
 
     def measure_point(self, point: MeasurementPoint) -> BandwidthMeasurement:
         """Measure a single point (memo -> disk -> simulate)."""
@@ -454,6 +501,63 @@ class MeasurementExecutor:
         return results  # type: ignore[return-value]
 
 
+#: Optional override consulted by :func:`get_executor`.  Installing a
+#: factory (e.g. one returning a fleet-backed executor) reroutes every
+#: measurement in the process - experiments, campaigns, sweeps - without
+#: touching their call sites.
+_EXECUTOR_FACTORY: Optional[Callable[[], "MeasurementExecutor"]] = None
+
+
+def set_executor_factory(
+    factory: Optional[Callable[[], "MeasurementExecutor"]],
+) -> Optional[Callable[[], "MeasurementExecutor"]]:
+    """Install (or clear, with ``None``) the executor factory.
+
+    Returns the previously installed factory so callers can restore it:
+
+        previous = set_executor_factory(lambda: my_executor)
+        try:
+            ...  # everything measures through my_executor
+        finally:
+            set_executor_factory(previous)
+
+    The factory must return an object duck-typed to
+    :class:`MeasurementExecutor`: ``measure_point``, ``measure_points``,
+    and ``measure_keyed``.
+    """
+    global _EXECUTOR_FACTORY
+    previous = _EXECUTOR_FACTORY
+    _EXECUTOR_FACTORY = factory
+    return previous
+
+
+@contextmanager
+def executor_factory(factory: Callable[[], "MeasurementExecutor"]):
+    """Temporarily install an executor factory (restores on exit)."""
+    previous = set_executor_factory(factory)
+    try:
+        yield
+    finally:
+        set_executor_factory(previous)
+
+
 def get_executor() -> MeasurementExecutor:
-    """An executor honouring the current module defaults."""
+    """An executor honouring the installed factory or module defaults."""
+    if _EXECUTOR_FACTORY is not None:
+        return _EXECUTOR_FACTORY()
     return MeasurementExecutor()
+
+
+def executor_for(
+    jobs: Optional[int] = None, use_cache: Optional[bool] = None
+) -> MeasurementExecutor:
+    """An executor honouring the installed factory, else explicit policy.
+
+    Call sites that thread ``jobs``/``use_cache`` through their API (the
+    sweep runners) use this instead of constructing
+    :class:`MeasurementExecutor` directly, so an installed factory (a
+    fleet-backed executor) still reroutes them.
+    """
+    if _EXECUTOR_FACTORY is not None:
+        return _EXECUTOR_FACTORY()
+    return MeasurementExecutor(jobs=jobs, use_cache=use_cache)

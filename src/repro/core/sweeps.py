@@ -20,7 +20,7 @@ from repro.core.experiment import (
     ExperimentSettings,
     MeasurementPoint,
 )
-from repro.core.parallel import MeasurementExecutor
+from repro.core.parallel import executor_for
 from repro.core.patterns import pattern_by_name
 from repro.hmc.errors import ConfigurationError
 from repro.hmc.packet import RequestType
@@ -97,7 +97,7 @@ def run_sweep_detailed(
         )
         for pattern_name, request_type, payload, ports in grid.points()
     ]
-    executor = MeasurementExecutor(jobs=jobs, use_cache=use_cache)
+    executor = executor_for(jobs=jobs, use_cache=use_cache)
     return list(zip(batch, executor.measure_points(batch)))
 
 

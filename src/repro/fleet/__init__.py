@@ -1,0 +1,53 @@
+"""Sharded measurement fleet: router, backends, client, manager.
+
+One ``repro serve`` daemon coalesces duplicate requests but still
+funnels every cache miss through a single process's worker pool.  The
+fleet shards that service horizontally: N backend daemons - each with
+its own persistent pool and its own ``REPRO_CACHE_DIR`` shard - sit
+behind one front-end router that consistent-hashes every measure
+request's cache identity key (:func:`repro.core.cache.cache_key`) onto
+a :class:`~repro.fleet.ring.HashRing` of backends.  The same key always
+lands on the same backend, so each backend's disk cache stays warm for
+*its* slice of the measurement space and the shards never duplicate
+work (shared-nothing cache warming).
+
+Layers
+------
+:mod:`repro.fleet.ring`
+    The consistent-hash ring: deterministic placement plus the
+    failover preference order (ring successors).
+:mod:`repro.fleet.spec`
+    :class:`FleetSpec` (how to launch a fleet) and :class:`FleetState`
+    (what is running), persisted as JSON in the fleet run directory.
+:mod:`repro.fleet.router`
+    The asyncio NDJSON front-end: per-backend connection pooling,
+    bounded in-flight windows, failover to ring successors, and
+    ``fleet_*`` metrics in the process registry.
+:mod:`repro.fleet.client`
+    :class:`FleetClient`: blocking client with connect/read timeouts,
+    exponential-backoff retry, and (in direct mode) client-side ring
+    routing with failover.
+:mod:`repro.fleet.executor`
+    :class:`FleetExecutor`: the drop-in measurement executor that lets
+    sweeps and campaigns transparently run against a fleet.
+:mod:`repro.fleet.manager`
+    ``repro fleet {up,status,down}``: launch N backends + the router as
+    OS processes, persist/inspect/tear down the fleet state.
+
+Everything speaks the versioned wire schema (``"schema": 1``) of
+:mod:`repro.core.schema`; a 1-backend fleet is byte-identical to a
+single ``repro serve`` daemon.
+"""
+
+from repro.fleet.client import FleetClient
+from repro.fleet.executor import FleetExecutor
+from repro.fleet.ring import HashRing
+from repro.fleet.spec import FleetSpec, FleetState
+
+__all__ = [
+    "FleetClient",
+    "FleetExecutor",
+    "FleetSpec",
+    "FleetState",
+    "HashRing",
+]

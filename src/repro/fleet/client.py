@@ -1,0 +1,283 @@
+"""Blocking fleet client: timeouts, backoff retry, ring failover.
+
+:class:`FleetClient` is how synchronous code - ``repro query --fleet``,
+``repro sweep --fleet``, campaign executors, notebooks - talks to a
+running fleet.  It loads the persisted :class:`~repro.fleet.spec.FleetState`
+from the run directory (or takes one directly) and speaks the ordinary
+daemon protocol through per-endpoint :class:`ServiceClient` connections
+with explicit connect/read timeouts.
+
+Two routing modes:
+
+``via="router"`` (default)
+    Every request goes to the fleet's front-end router, which does the
+    consistent hashing and failover server-side.  One endpoint, one
+    pipelined connection per client - ``measure_many`` batches scatter
+    across backends inside the router and gather back on the same
+    connection.  Transport failures (connect refused, read timeout,
+    connection dropped mid-batch) are retried with exponential backoff:
+    re-asking is idempotent because every backend caches and coalesces
+    by the same content-addressed key.
+
+``via="direct"``
+    The client itself places each point on the hash ring (the identical
+    :func:`~repro.core.cache.cache_key` placement the router computes)
+    and pipelines per-backend groups concurrently - no router in the
+    path.  A backend that dies fails its whole group over to the next
+    ring node in preference order; a node that failed is skipped until
+    a full retry round resets the dead set.
+
+Daemon-*reported* failures (a simulation error) stay
+:class:`ServiceError` and are never retried - they are deterministic
+and would fail identically on every ring node.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.cache import cache_key
+from repro.core.experiment import BandwidthMeasurement, MeasurementPoint
+from repro.fleet.ring import HashRing
+from repro.fleet.spec import DEFAULT_RUN_DIR, FleetState
+from repro.service.client import ServiceClient
+from repro.service.protocol import ServiceError, ServiceTimeoutError
+
+#: Default client-side timeouts, seconds.  Connects fail fast (the
+#: endpoint is local or near); reads wait out a cold simulation.
+CONNECT_TIMEOUT = 5.0
+READ_TIMEOUT = 600.0
+
+#: Transport failures worth a failover/retry; daemon-reported errors
+#: (plain ServiceError) are deterministic and excluded.
+_TRANSPORT_ERRORS = (ConnectionError, ServiceTimeoutError, OSError)
+
+
+class FleetUnavailable(ServiceError):
+    """Every candidate endpoint failed after all retry rounds."""
+
+
+class Backoff:
+    """Exponential-backoff schedule: ``base * factor**n``, capped."""
+
+    def __init__(
+        self,
+        retries: int = 3,
+        base: float = 0.05,
+        factor: float = 2.0,
+        max_delay: float = 2.0,
+    ) -> None:
+        self.retries = max(0, retries)
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay
+
+    def delays(self) -> List[float]:
+        """The sleep before each retry round (len == retries)."""
+        return [
+            min(self.base * self.factor**attempt, self.max_delay)
+            for attempt in range(self.retries)
+        ]
+
+
+class FleetClient:
+    """One process's connection(s) to a running measurement fleet."""
+
+    def __init__(
+        self,
+        state: Optional[FleetState] = None,
+        run_dir: Union[str, None] = None,
+        via: str = "router",
+        connect_timeout: float = CONNECT_TIMEOUT,
+        read_timeout: float = READ_TIMEOUT,
+        backoff: Optional[Backoff] = None,
+    ) -> None:
+        if via not in ("router", "direct"):
+            raise ValueError(f"via must be 'router' or 'direct', got {via!r}")
+        if state is None:
+            state = FleetState.load(run_dir if run_dir is not None else DEFAULT_RUN_DIR)
+        self.state = state
+        self.via = via
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.backoff = backoff if backoff is not None else Backoff()
+        self.failovers = 0
+        self.retries = 0
+        self._addresses: Dict[str, Tuple[str, int]] = state.backend_map()
+        self._ring = HashRing(self._addresses, replicas=state.replicas)
+        self._clients: Dict[str, ServiceClient] = {}
+        self._dead: set = set()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    def _address(self, endpoint: str) -> Tuple[str, int]:
+        if endpoint == "router":
+            return self.state.router_address
+        return self._addresses[endpoint]
+
+    def _client(self, endpoint: str) -> ServiceClient:
+        """The cached connection to one endpoint, opened on demand."""
+        with self._lock:
+            client = self._clients.get(endpoint)
+        if client is not None:
+            return client
+        host, port = self._address(endpoint)
+        client = ServiceClient(
+            host=host,
+            port=port,
+            connect_timeout=self.connect_timeout,
+            read_timeout=self.read_timeout,
+        )
+        with self._lock:
+            existing = self._clients.setdefault(endpoint, client)
+        if existing is not client:
+            client.close()
+        return existing
+
+    def _drop(self, endpoint: str) -> None:
+        """Close and forget a connection that just failed."""
+        with self._lock:
+            client = self._clients.pop(endpoint, None)
+        if client is not None:
+            client.close()
+
+    # ------------------------------------------------------------------
+    # measuring
+    # ------------------------------------------------------------------
+    def measure(self, point: MeasurementPoint) -> BandwidthMeasurement:
+        """Measure one point through the fleet."""
+        return self.measure_many([point])[0]
+
+    def measure_many(
+        self, points: Iterable[MeasurementPoint]
+    ) -> List[BandwidthMeasurement]:
+        """Measure a batch; results come back in submission order."""
+        batch = list(points)
+        if not batch:
+            return []
+        if self.via == "router":
+            return self._measure_via_router(batch)
+        return self._measure_direct(batch)
+
+    def _measure_via_router(
+        self, batch: List[MeasurementPoint]
+    ) -> List[BandwidthMeasurement]:
+        """Pipeline the whole batch on the router connection, with retry."""
+        failure: Optional[BaseException] = None
+        for delay in [0.0] + self.backoff.delays():
+            if delay:
+                self.retries += 1
+                time.sleep(delay)
+            try:
+                return self._client("router").measure_many(batch)
+            except _TRANSPORT_ERRORS as exc:
+                self._drop("router")
+                failure = exc
+        raise FleetUnavailable(
+            f"fleet router {self.state.router_address} unreachable after "
+            f"{self.backoff.retries} retries: {failure}"
+        ) from failure
+
+    def _measure_direct(
+        self, batch: List[MeasurementPoint]
+    ) -> List[BandwidthMeasurement]:
+        """Ring-place each point, pipeline per-backend groups concurrently."""
+        keys = [cache_key(point) for point in batch]
+        groups: Dict[str, List[int]] = {}
+        for index, key in enumerate(keys):
+            groups.setdefault(self._ring.node_for(key), []).append(index)
+        results: List[Optional[BandwidthMeasurement]] = [None] * len(batch)
+
+        def resolve(owner: str, indexes: List[int]) -> None:
+            measurements = self._resolve_group(
+                owner, keys[indexes[0]], [batch[i] for i in indexes]
+            )
+            for slot, measurement in zip(indexes, measurements):
+                results[slot] = measurement
+
+        if len(groups) == 1:
+            owner, indexes = next(iter(groups.items()))
+            resolve(owner, indexes)
+        else:
+            with ThreadPoolExecutor(max_workers=len(groups)) as pool:
+                futures = [
+                    pool.submit(resolve, owner, indexes)
+                    for owner, indexes in groups.items()
+                ]
+                for future in futures:
+                    future.result()
+        return results  # type: ignore[return-value]
+
+    def _resolve_group(
+        self, owner: str, key: str, group: List[MeasurementPoint]
+    ) -> List[BandwidthMeasurement]:
+        """One backend's share of a batch, failing over along the ring.
+
+        ``key`` is any key owned by ``owner``; its preference list is
+        the failover order for the whole group.  Each retry round
+        resets the dead set - a backend that recovered gets its keys
+        back.
+        """
+        failure: Optional[BaseException] = None
+        for delay in [0.0] + self.backoff.delays():
+            if delay:
+                self.retries += 1
+                self._dead.clear()
+                time.sleep(delay)
+            for attempt, name in enumerate(self._ring.preference(key)):
+                if name in self._dead:
+                    continue
+                if attempt:
+                    self.failovers += 1
+                try:
+                    return self._client(name).measure_many(group)
+                except _TRANSPORT_ERRORS as exc:
+                    self._drop(name)
+                    self._dead.add(name)
+                    failure = exc
+        raise FleetUnavailable(
+            f"no backend reachable for {len(group)} point(s) "
+            f"(owner {owner}) after {self.backoff.retries} retries: {failure}"
+        ) from failure
+
+    # ------------------------------------------------------------------
+    # control verbs
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """Liveness of the routing endpoint(s)."""
+        if self.via == "router":
+            return self._client("router").ping()
+        return all(self._client(name).ping() for name in self._addresses)
+
+    def stats(self) -> Dict:
+        """Router fleet stats, or per-backend stats in direct mode."""
+        if self.via == "router":
+            return self._client("router").stats()
+        return {name: self._client(name).stats() for name in sorted(self._addresses)}
+
+    def metrics(self) -> Dict:
+        """The routing endpoint's metrics-registry snapshot."""
+        endpoint = "router" if self.via == "router" else next(iter(self._addresses))
+        return self._client(endpoint).metrics()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every open connection (idempotent)."""
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

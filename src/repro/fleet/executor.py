@@ -1,0 +1,108 @@
+"""A fleet-backed drop-in for :class:`MeasurementExecutor`.
+
+:class:`FleetExecutor` duck-types the executor interface
+(``measure_point`` / ``measure_points`` / ``measure_keyed``) but
+resolves every point through a running measurement fleet via
+:class:`~repro.fleet.client.FleetClient` instead of the local worker
+pool.  Installed process-wide with
+:func:`repro.core.parallel.set_executor_factory`, it makes every
+campaign, experiment module, and sweep measure through the fleet with
+zero changes at their call sites:
+
+    client = FleetClient(run_dir=".repro-fleet")
+    executor = FleetExecutor(client)
+    previous = parallel.set_executor_factory(lambda: executor)
+    try:
+        run_campaign(...)          # all simulations happen fleet-side
+    finally:
+        parallel.set_executor_factory(previous)
+
+or, as a context manager over the same machinery::
+
+    with fleet_executor(run_dir=".repro-fleet"):
+        run_campaign(...)
+
+Deduplication still happens client-side (same content-addressed
+:func:`~repro.core.cache.cache_key` identity), so a grid with repeats
+costs one round-trip per *unique* point; the fleet's backends then add
+their own coalescing and per-shard caching on top.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.core import parallel
+from repro.core.cache import cache_key
+from repro.core.experiment import BandwidthMeasurement, MeasurementPoint
+from repro.fleet.client import FleetClient
+
+
+class FleetExecutor:
+    """Measurement executor that delegates to a fleet.
+
+    Parameters
+    ----------
+    client:
+        The :class:`FleetClient` carrying the connection(s).  The
+        executor does not own it - close it where it was opened.
+    """
+
+    def __init__(self, client: FleetClient) -> None:
+        self.client = client
+
+    def measure_point(self, point: MeasurementPoint) -> BandwidthMeasurement:
+        """Measure a single point through the fleet."""
+        return self.measure_points((point,))[0]
+
+    def measure_points(
+        self, points: Iterable[MeasurementPoint]
+    ) -> List[BandwidthMeasurement]:
+        """Measure a batch; results come back in submission order.
+
+        Duplicates collapse client-side to one request per unique cache
+        key - the same dedup the local executor performs - and the
+        unique points travel as one pipelined batch.
+        """
+        batch = list(points)
+        keys = [cache_key(point) for point in batch]
+        keyed: Dict[str, MeasurementPoint] = {}
+        for key, point in zip(keys, batch):
+            keyed.setdefault(key, point)
+        resolved = self.measure_keyed(keyed)
+        return [resolved[key] for key in keys]
+
+    def measure_keyed(
+        self, keyed: Mapping[str, MeasurementPoint]
+    ) -> Dict[str, BandwidthMeasurement]:
+        """Resolve pre-keyed unique points through the fleet."""
+        names = list(keyed)
+        measurements = self.client.measure_many([keyed[key] for key in names])
+        return dict(zip(names, measurements))
+
+
+@contextmanager
+def fleet_executor(
+    client: Optional[FleetClient] = None,
+    run_dir: Optional[str] = None,
+    via: str = "router",
+):
+    """Route every measurement in this process through a fleet.
+
+    Installs a :class:`FleetExecutor` as the process-wide executor
+    factory for the duration of the ``with`` block and restores the
+    previous factory after.  When ``client`` is omitted, one is opened
+    from the fleet state in ``run_dir`` and closed on exit.
+    """
+    own_client = client is None
+    if client is None:
+        client = FleetClient(run_dir=run_dir, via=via)
+    executor = FleetExecutor(client)
+    previous = parallel.set_executor_factory(lambda: executor)
+    try:
+        yield executor
+    finally:
+        parallel.set_executor_factory(previous)
+        if own_client:
+            client.close()

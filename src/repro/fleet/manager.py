@@ -1,0 +1,333 @@
+"""The fleet manager: launch, inspect, and tear down a fleet.
+
+``repro fleet up`` turns a :class:`~repro.fleet.spec.FleetSpec` into
+real OS processes: N ``repro serve`` backends - each with its own
+worker pool and its own ``REPRO_CACHE_DIR`` shard under the run
+directory - plus one ``repro fleet route`` front-end.  Each process
+logs to ``<run_dir>/logs/<name>.log``; the manager watches the log for
+the ready line (``listening on host:port`` / ``routing on host:port``)
+to learn the ephemerally bound port, then persists the whole wiring as
+``fleet.json`` so any later process can find the fleet.
+
+``repro fleet status`` reads that state back, checks every PID, and
+(when the router answers) merges in the router's live ``stats`` view -
+which backends the ring currently considers alive, per-backend request
+counts and latency.
+
+``repro fleet down`` stops the router first (so nothing routes into
+half a fleet), then the backends: SIGTERM for a graceful drain, a
+bounded wait, SIGKILL for stragglers, and finally removes
+``fleet.json``.  Cache shards survive teardown on purpose - the next
+``fleet up`` with the same run dir starts warm, because backend *names*
+(the ring identities) are stable across restarts.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.fleet.spec import (
+    DEFAULT_RUN_DIR,
+    BackendState,
+    FleetSpec,
+    FleetState,
+    FleetStateError,
+    state_path,
+)
+
+#: Seconds to wait for a spawned process to print its ready line.
+LAUNCH_TIMEOUT = 30.0
+
+#: Seconds between SIGTERM and SIGKILL during ``fleet down``.
+STOP_TIMEOUT = 30.0
+
+_SERVE_READY = re.compile(r"listening on ([^\s:]+):(\d+)")
+_ROUTER_READY = re.compile(r"routing on ([^\s:]+):(\d+)")
+
+
+class FleetLaunchError(RuntimeError):
+    """A fleet process failed to start or report ready in time."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a PID currently names a running process."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def _spawn(command: List[str], log_path: Path, env: Dict[str, str]) -> subprocess.Popen:
+    """Start one detached fleet process, logging to its own file."""
+    log_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(log_path, "ab") as log:
+        return subprocess.Popen(
+            command,
+            stdin=subprocess.DEVNULL,
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=env,
+            start_new_session=True,  # our Ctrl-C must not kill the fleet
+        )
+
+
+def _await_ready(
+    proc: subprocess.Popen,
+    log_path: Path,
+    pattern: re.Pattern,
+    timeout: float = LAUNCH_TIMEOUT,
+) -> Tuple[str, int]:
+    """Poll a process's log until its ready line appears; return host, port."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            text = log_path.read_text(errors="replace")
+        except FileNotFoundError:
+            text = ""
+        match = pattern.search(text)
+        if match:
+            return match.group(1), int(match.group(2))
+        if proc.poll() is not None:
+            tail = text.strip().splitlines()[-5:]
+            raise FleetLaunchError(
+                f"fleet process exited with code {proc.returncode} before "
+                f"reporting ready; last log lines from {log_path}: {tail}"
+            )
+        time.sleep(0.05)
+    proc.terminate()
+    raise FleetLaunchError(
+        f"fleet process did not report ready within {timeout}s (log: {log_path})"
+    )
+
+
+def _kill_tree(pids: List[int]) -> None:
+    for pid in pids:
+        if _pid_alive(pid):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+
+
+def _backend_command(spec: FleetSpec) -> List[str]:
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        spec.host,
+        "--port",
+        "0",
+        "--max-queue",
+        str(spec.max_queue),
+        "--max-batch",
+        str(spec.max_batch),
+    ]
+    if spec.jobs_per_backend is not None:
+        command += ["--jobs", str(spec.jobs_per_backend)]
+    if not spec.use_cache:
+        command.append("--no-cache")
+    if spec.device:
+        command += ["--device", spec.device]
+    return command
+
+
+def fleet_up(spec: FleetSpec) -> FleetState:
+    """Launch a fleet per ``spec``; returns the persisted state.
+
+    Refuses to launch over a run directory whose recorded fleet still
+    has live processes; silently replaces stale state (every PID gone).
+    """
+    run_dir = Path(spec.run_dir)
+    try:
+        existing = FleetState.load(run_dir)
+    except FleetStateError:
+        existing = None
+    if existing is not None:
+        live = [existing.router_pid] + [b.pid for b in existing.backends]
+        if any(_pid_alive(pid) for pid in live):
+            raise FleetStateError(
+                f"a fleet is already up in {run_dir} "
+                "(run `repro fleet down` first)"
+            )
+
+    launched: List[subprocess.Popen] = []
+    try:
+        backends: List[BackendState] = []
+        for name in spec.backend_names():
+            cache_dir = spec.cache_dir(name)
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            log_path = spec.log_path(name)
+            env = dict(os.environ)
+            env["REPRO_CACHE_DIR"] = str(cache_dir)
+            proc = _spawn(_backend_command(spec), log_path, env)
+            launched.append(proc)
+            host, port = _await_ready(proc, log_path, _SERVE_READY)
+            backends.append(
+                BackendState(
+                    name=name,
+                    host=host,
+                    port=port,
+                    pid=proc.pid,
+                    cache_dir=str(cache_dir),
+                    log=str(log_path),
+                )
+            )
+
+        router_log = spec.log_path("router")
+        router_command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "fleet",
+            "route",
+            "--host",
+            spec.host,
+            "--port",
+            str(spec.router_port),
+            "--replicas",
+            str(spec.replicas),
+        ]
+        for backend in backends:
+            router_command += [
+                "--backend",
+                f"{backend.name}={backend.host}:{backend.port}",
+            ]
+        router_proc = _spawn(router_command, router_log, dict(os.environ))
+        launched.append(router_proc)
+        router_host, router_port = _await_ready(router_proc, router_log, _ROUTER_READY)
+    except BaseException:
+        # Launch failed part-way: tear down whatever already started so
+        # a failed `fleet up` never leaks daemons.
+        for proc in launched:
+            proc.terminate()
+        time.sleep(0.2)
+        _kill_tree([proc.pid for proc in launched])
+        raise
+
+    state = FleetState(
+        host=router_host,
+        router_port=router_port,
+        router_pid=router_proc.pid,
+        backends=tuple(backends),
+        replicas=spec.replicas,
+        run_dir=str(run_dir),
+        device=spec.device,
+        spec={
+            "backends": spec.backends,
+            "jobs_per_backend": spec.jobs_per_backend,
+            "max_queue": spec.max_queue,
+            "max_batch": spec.max_batch,
+            "use_cache": spec.use_cache,
+        },
+    )
+    state.save()
+    return state
+
+
+def fleet_status(
+    run_dir: Union[str, Path] = DEFAULT_RUN_DIR, probe: bool = True
+) -> Dict:
+    """The fleet's health: recorded state + PID liveness + router view.
+
+    ``probe=True`` additionally asks the router for its live ``stats``
+    payload (ring membership, per-backend counters); a router that does
+    not answer is reported, not raised.
+    """
+    state = FleetState.load(run_dir)
+    status: Dict = {
+        "run_dir": str(state.run_dir),
+        "router": {
+            "host": state.host,
+            "port": state.router_port,
+            "pid": state.router_pid,
+            "alive": _pid_alive(state.router_pid),
+        },
+        "backends": {
+            b.name: {
+                "host": b.host,
+                "port": b.port,
+                "pid": b.pid,
+                "alive": _pid_alive(b.pid),
+                "cache_dir": b.cache_dir,
+                "log": b.log,
+            }
+            for b in state.backends
+        },
+    }
+    status["healthy"] = status["router"]["alive"] and all(
+        entry["alive"] for entry in status["backends"].values()
+    )
+    if probe and status["router"]["alive"]:
+        from repro.service.client import ServiceClient
+        from repro.service.protocol import ServiceError
+
+        try:
+            with ServiceClient(
+                host=state.host,
+                port=state.router_port,
+                connect_timeout=5.0,
+                read_timeout=10.0,
+            ) as client:
+                status["router"]["stats"] = client.stats()
+        except (ServiceError, OSError) as exc:
+            status["router"]["stats_error"] = str(exc)
+    return status
+
+
+def fleet_down(
+    run_dir: Union[str, Path] = DEFAULT_RUN_DIR, timeout: float = STOP_TIMEOUT
+) -> Dict:
+    """Stop a fleet: router first, then backends; remove ``fleet.json``.
+
+    SIGTERM starts each process's graceful drain; anything still alive
+    after ``timeout`` seconds is SIGKILLed (and reported as such).
+    Cache shards and logs are kept.
+    """
+    state = FleetState.load(run_dir)
+    ordered: List[Tuple[str, int]] = [("router", state.router_pid)]
+    ordered += [(b.name, b.pid) for b in state.backends]
+
+    terminated: List[str] = []
+    for name, pid in ordered:
+        if _pid_alive(pid):
+            try:
+                os.kill(pid, signal.SIGTERM)
+                terminated.append(name)
+            except (ProcessLookupError, PermissionError):
+                pass
+
+    deadline = time.monotonic() + timeout
+    killed: List[str] = []
+    while time.monotonic() < deadline:
+        if not any(_pid_alive(pid) for _, pid in ordered):
+            break
+        time.sleep(0.05)
+    else:
+        for name, pid in ordered:
+            if _pid_alive(pid):
+                killed.append(name)
+        _kill_tree([pid for _, pid in ordered])
+
+    try:
+        state_path(run_dir).unlink()
+    except FileNotFoundError:
+        pass
+    return {
+        "stopped": [name for name in terminated if name not in killed],
+        "killed": killed,
+        "run_dir": str(state.run_dir),
+    }

@@ -1,0 +1,628 @@
+"""The fleet front-end: an asyncio NDJSON router over N backends.
+
+The router speaks exactly the daemon protocol
+(:mod:`repro.service.protocol`, ``"schema": 1``) on its listener, so
+every existing client - ``repro query``, :class:`ServiceClient`, a raw
+socket - works against a fleet unchanged.  For each ``measure`` request
+it computes the point's content-addressed cache key
+(:func:`repro.core.cache.cache_key`) - the same identity the backends
+coalesce and cache on - and walks the key's hash-ring preference order
+(:class:`~repro.fleet.ring.HashRing`): the owner backend first, then
+each successor until one answers.  The request and response lines are
+relayed *verbatim*, which is what makes a 1-backend fleet byte-identical
+to talking to ``repro serve`` directly.
+
+Per backend the router keeps a :class:`BackendChannel`: a pool of
+reusable connections plus a semaphore bounding the in-flight window, so
+one slow backend queues its own work instead of exhausting router-side
+file descriptors.  A client that pipelines a whole ``measure_many``
+batch gets scatter-gather for free - every request line is its own
+asyncio task, so the batch fans out across backends concurrently and
+responses return as they complete (matched by the echoed ``id``).
+
+Failure handling: a connect error, read timeout, or mid-request
+disconnect marks the backend dead, removes it from the ring (only its
+key share moves - a *rebalance*, counted), and the request fails over
+to the next preference node.  A background probe pings dead backends
+every :data:`PROBE_INTERVAL` seconds and restores them to the ring when
+they answer.  All of it is observable: ``fleet_requests_total{backend=}``,
+``fleet_failovers_total{backend=}``, ``fleet_ring_rebalances_total{event=}``
+and per-backend latency histograms live in the process
+:class:`~repro.obs.registry.MetricsRegistry` (the ``metrics`` verb),
+and the ``stats`` verb renders per-backend health with p50/p95.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core import schema
+from repro.core.cache import cache_key
+from repro.fleet.ring import DEFAULT_REPLICAS, HashRing
+from repro.obs.registry import get_registry
+from repro.service import protocol
+from repro.service.metrics import LATENCY_BUCKETS, LatencyWindow
+
+#: Seconds between liveness probes of dead backends.
+PROBE_INTERVAL = 2.0
+
+#: Default bound on concurrent in-flight requests per backend.
+DEFAULT_WINDOW = 8
+
+#: Default connect/read timeouts towards a backend, seconds.  Reads are
+#: generous - a cold simulation takes real time - but not infinite: a
+#: wedged backend must eventually fail over, not hang its clients.
+CONNECT_TIMEOUT = 5.0
+READ_TIMEOUT = 600.0
+
+
+class BackendUnavailable(ConnectionError):
+    """A backend could not be reached or died mid-request."""
+
+
+class BackendChannel:
+    """Pooled connections and a bounded in-flight window to one backend.
+
+    Connections are used exclusively for one request/response round trip
+    and then returned to the free list, so response matching needs no id
+    bookkeeping; the semaphore bounds how many round trips (and thus how
+    many connections) can be in flight at once.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        window: int = DEFAULT_WINDOW,
+        connect_timeout: float = CONNECT_TIMEOUT,
+        read_timeout: float = READ_TIMEOUT,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.inflight = 0
+        self._window = asyncio.Semaphore(max(1, window))
+        self._free: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def _acquire(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        while self._free:
+            reader, writer = self._free.pop()
+            if not writer.is_closing():
+                return reader, writer
+            _abandon(writer)
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.connect_timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise BackendUnavailable(
+                f"{self.name} ({self.host}:{self.port}): connect failed: {exc}"
+            ) from None
+
+    async def roundtrip(self, line: bytes) -> bytes:
+        """Send one request line, return the backend's response line.
+
+        Raises :class:`BackendUnavailable` on connect failure, read
+        timeout, or a connection closed mid-request - the signals the
+        router fails over on.
+        """
+        async with self._window:
+            reader, writer = await self._acquire()
+            self.inflight += 1
+            try:
+                writer.write(line)
+                await writer.drain()
+                response = await asyncio.wait_for(
+                    reader.readline(), timeout=self.read_timeout
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                _abandon(writer)
+                raise BackendUnavailable(
+                    f"{self.name} ({self.host}:{self.port}): {exc or 'read timed out'}"
+                ) from None
+            finally:
+                self.inflight -= 1
+            if not response:
+                _abandon(writer)
+                raise BackendUnavailable(
+                    f"{self.name} ({self.host}:{self.port}): closed mid-request"
+                )
+            self._free.append((reader, writer))
+            return response
+
+    async def probe(self) -> bool:
+        """One ``ping`` round trip; True when the backend answers."""
+        line = (schema.dumps(protocol.verb_request("ping")) + "\n").encode()
+        try:
+            response = await self.roundtrip(line)
+            return bool(protocol.parse_response(response.decode()).get("ok"))
+        except (BackendUnavailable, schema.SchemaError):
+            return False
+
+    def close(self) -> None:
+        """Drop every pooled connection."""
+        while self._free:
+            _, writer = self._free.pop()
+            _abandon(writer)
+
+
+def _abandon(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.close()
+    except (OSError, RuntimeError):
+        pass
+
+
+class FleetRouter:
+    """One router process: listener + hash ring + backend channels.
+
+    ``backends`` maps stable ring names to ``(host, port)`` addresses.
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        backends: Mapping[str, Tuple[str, int]],
+        host: str = protocol.DEFAULT_HOST,
+        port: int = 0,
+        replicas: int = DEFAULT_REPLICAS,
+        window: int = DEFAULT_WINDOW,
+        connect_timeout: float = CONNECT_TIMEOUT,
+        read_timeout: float = READ_TIMEOUT,
+    ) -> None:
+        if not backends:
+            raise ValueError("a fleet router needs at least one backend")
+        self.host = host
+        self.port = port
+        self.started = time.monotonic()
+        self.ring = HashRing(backends, replicas=replicas)
+        self.channels: Dict[str, BackendChannel] = {
+            name: BackendChannel(
+                name,
+                address[0],
+                address[1],
+                window=window,
+                connect_timeout=connect_timeout,
+                read_timeout=read_timeout,
+            )
+            for name, address in backends.items()
+        }
+        self.dead: Set[str] = set()
+        self.requests = 0
+        self.measure_requests = 0
+        self.errors = 0
+        self.failovers = 0
+        self.rebalances = 0
+        self._latency: Dict[str, LatencyWindow] = {
+            name: LatencyWindow() for name in backends
+        }
+        registry = get_registry()
+        self._requests_total = {
+            name: registry.counter("fleet_requests_total", {"backend": name})
+            for name in backends
+        }
+        self._failovers_total = {
+            name: registry.counter("fleet_failovers_total", {"backend": name})
+            for name in backends
+        }
+        self._rebalances_total = {
+            event: registry.counter(
+                "fleet_ring_rebalances_total", {"event": event}
+            )
+            for event in ("removed", "restored")
+        }
+        self._latency_seconds = {
+            name: registry.histogram(
+                "fleet_backend_latency_seconds",
+                {"backend": name},
+                buckets=LATENCY_BUCKETS,
+            )
+            for name in backends
+        }
+        self._alive_gauge = registry.gauge("fleet_backends_alive")
+        self._alive_gauge.set(len(backends))
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._line_tasks: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._probe_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle (mirrors MeasurementService)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the dead-backend probe task."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._probe_task = self._loop.create_task(self._probe_loop())
+
+    def request_shutdown(self) -> None:
+        """Flag the router to drain and exit (signal- and thread-safe)."""
+        loop, event = self._loop, self._stop_requested
+        if loop is None or event is None:
+            return
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            event.set()
+        else:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass
+
+    async def serve_until_shutdown(self, install_signal_handlers: bool = True) -> None:
+        """Serve until SIGTERM/SIGINT or a ``shutdown`` verb, then drain."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        installed = []
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
+        try:
+            assert self._stop_requested is not None
+            await self._stop_requested.wait()
+            await self.stop()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
+    async def stop(self) -> None:
+        """Graceful drain: close listener, finish in-flight relays."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.request_shutdown()
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
+        if self._line_tasks:
+            await asyncio.gather(*tuple(self._line_tasks), return_exceptions=True)
+        for writer in tuple(self._writers):
+            await _close_writer(writer)
+        self._writers.clear()
+        for channel in self.channels.values():
+            channel.close()
+
+    # ------------------------------------------------------------------
+    # ring health
+    # ------------------------------------------------------------------
+    def _mark_dead(self, name: str) -> None:
+        """Remove a failed backend from the ring (its key share moves)."""
+        if name in self.dead or name not in self.ring:
+            return
+        if len(self.ring) == 1:
+            # The last backend stays on the ring: requests keep trying
+            # it (and erroring) instead of having nowhere to hash to.
+            return
+        self.ring.remove(name)
+        self.dead.add(name)
+        self.rebalances += 1
+        self._rebalances_total["removed"].inc()
+        self._alive_gauge.set(len(self.ring))
+
+    def _restore(self, name: str) -> None:
+        """Re-add a recovered backend (its key share moves back)."""
+        if name not in self.dead:
+            return
+        self.dead.discard(name)
+        self.ring.add(name)
+        self.rebalances += 1
+        self._rebalances_total["restored"].inc()
+        self._alive_gauge.set(len(self.ring))
+
+    async def _probe_loop(self) -> None:
+        """Ping dead backends periodically; restore the ones that answer."""
+        while True:
+            await asyncio.sleep(PROBE_INTERVAL)
+            for name in sorted(self.dead):
+                if await self.channels[name].probe():
+                    self._restore(name)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        assert self._stop_requested is not None
+        try:
+            while not self._stop_requested.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                self._line_tasks.add(task)
+                task.add_done_callback(self._line_tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if not self._stop_requested.is_set():
+                self._writers.discard(writer)
+                await _close_writer(writer)
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        self.requests += 1
+        try:
+            request = protocol.parse_request(line.decode())
+        except (schema.SchemaError, UnicodeDecodeError) as exc:
+            self.errors += 1
+            await self._send_payload(
+                writer, write_lock, protocol.error_response(None, str(exc))
+            )
+            return
+        if request.verb == "ping":
+            await self._send_payload(
+                writer, write_lock, protocol.ok_response(request.id, {"pong": True})
+            )
+        elif request.verb == "stats":
+            await self._send_payload(
+                writer, write_lock, protocol.ok_response(request.id, self.stats())
+            )
+        elif request.verb == "metrics":
+            await self._send_payload(
+                writer,
+                write_lock,
+                protocol.ok_response(
+                    request.id, schema.metrics_to_dict(get_registry().snapshot())
+                ),
+            )
+        elif request.verb == "shutdown":
+            await self._send_payload(
+                writer, write_lock, protocol.ok_response(request.id, {"stopping": True})
+            )
+            self.request_shutdown()
+        else:  # measure: relay raw lines so payloads stay byte-identical
+            self.measure_requests += 1
+            assert request.point is not None
+            response = await self._route_measure(line, request)
+            await self._send_raw(writer, write_lock, response)
+
+    async def _route_measure(self, line: bytes, request: protocol.Request) -> bytes:
+        """Relay one measure line along its key's ring preference order."""
+        key = cache_key(request.point)
+        tried: Set[str] = set()
+        first = True
+        # The preference list is re-read after each failure: marking a
+        # backend dead rebalances the ring, and the retry should follow
+        # the *new* placement (which is also what later requests see).
+        while True:
+            candidates = [
+                name for name in self.ring.preference(key) if name not in tried
+            ]
+            if not candidates:
+                break
+            name = candidates[0]
+            tried.add(name)
+            if not first:
+                self.failovers += 1
+            first = False
+            channel = self.channels[name]
+            started = time.monotonic()
+            try:
+                response = await channel.roundtrip(line)
+            except BackendUnavailable:
+                self._failovers_total[name].inc()
+                self._mark_dead(name)
+                continue
+            self._requests_total[name].inc()
+            elapsed = time.monotonic() - started
+            self._latency[name].observe(elapsed)
+            self._latency_seconds[name].observe(elapsed)
+            return response
+        self.errors += 1
+        payload = protocol.error_response(
+            request.id,
+            f"no backend available for this point (tried {sorted(tried)})",
+        )
+        return (schema.dumps(payload) + "\n").encode()
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """The fleet-level ``stats`` verb payload."""
+        backends = {}
+        for name, channel in sorted(self.channels.items()):
+            latency = self._latency[name].snapshot_ms()
+            backends[name] = {
+                "host": channel.host,
+                "port": channel.port,
+                "alive": name not in self.dead,
+                "requests": self._requests_total[name].value,
+                "failovers": self._failovers_total[name].value,
+                "inflight": channel.inflight,
+                "latency": {
+                    "count": latency["count"],
+                    "p50_ms": _json_float(latency["p50_ms"]),
+                    "p95_ms": _json_float(latency["p95_ms"]),
+                },
+            }
+        return {
+            "router": {
+                "uptime_s": round(time.monotonic() - self.started, 3),
+                "requests": self.requests,
+                "measure_requests": self.measure_requests,
+                "errors": self.errors,
+                "failovers": self.failovers,
+            },
+            "ring": {
+                "nodes": sorted(self.ring.nodes),
+                "replicas": self.ring.replicas,
+                "rebalances": self.rebalances,
+            },
+            "backends": backends,
+        }
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    async def _send_payload(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, payload: Dict
+    ) -> None:
+        await self._send_raw(
+            writer, write_lock, (schema.dumps(payload) + "\n").encode()
+        )
+
+    async def _send_raw(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, data: bytes
+    ) -> None:
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; backend results stay cached anyway
+
+
+def _json_float(value) -> Optional[float]:
+    import math
+
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    try:
+        if writer.can_write_eof():
+            writer.write_eof()
+    except (OSError, RuntimeError):
+        pass
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+def run_router(
+    backends: Mapping[str, Tuple[str, int]],
+    host: str = protocol.DEFAULT_HOST,
+    port: int = 0,
+    replicas: int = DEFAULT_REPLICAS,
+    window: int = DEFAULT_WINDOW,
+    ready_message: bool = True,
+) -> None:
+    """Run a router in the foreground until SIGTERM/SIGINT (the CLI path)."""
+
+    async def _main() -> None:
+        router = FleetRouter(
+            backends, host=host, port=port, replicas=replicas, window=window
+        )
+        await router.start()
+        if ready_message:
+            print(
+                f"repro fleet-router: routing on {router.host}:{router.port} "
+                f"across {len(backends)} backend(s)",
+                flush=True,
+            )
+        await router.serve_until_shutdown()
+        if ready_message:
+            print(
+                "repro fleet-router: drained cleanly "
+                f"({router.measure_requests} measure requests, "
+                f"{router.failovers} failovers, "
+                f"{router.rebalances} ring rebalances)",
+                flush=True,
+            )
+
+    asyncio.run(_main())
+
+
+class BackgroundRouter:
+    """A router on a dedicated thread (tests, notebooks, embedding).
+
+    Mirrors :class:`~repro.service.server.BackgroundService`: ``start()``
+    blocks until the listener is bound (or raises the startup error) and
+    returns the port; ``stop()`` drains gracefully and joins the thread.
+    """
+
+    def __init__(self, backends: Mapping[str, Tuple[str, int]], **kwargs) -> None:
+        kwargs.setdefault("port", 0)
+        self._backends = dict(backends)
+        self._kwargs = kwargs
+        self.router: Optional[FleetRouter] = None
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Launch the router thread; returns the bound port."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-fleet-router", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.port is not None
+        return self.port
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Request graceful drain and join the router thread."""
+        router = self.router
+        if router is not None:
+            router.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    f"fleet router thread failed to stop within {timeout}s"
+                )
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            self.router = FleetRouter(self._backends, **self._kwargs)
+            await self.router.start()
+            self.port = self.router.port
+            self._ready.set()
+            await self.router.serve_until_shutdown(install_signal_handlers=False)
+
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:
+            if self._startup_error is None:
+                self._startup_error = exc
+        finally:
+            self._ready.set()
+
+    def __enter__(self) -> "BackgroundRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

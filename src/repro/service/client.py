@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.core import schema
 from repro.core.experiment import BandwidthMeasurement, MeasurementPoint
 from repro.service import protocol
-from repro.service.protocol import ServiceError
+from repro.service.protocol import ServiceError, ServiceTimeoutError
 
 
 class ServiceClient:
@@ -28,6 +28,14 @@ class ServiceClient:
 
     Usable as a context manager; the connection is opened eagerly so
     connect errors surface at construction, not first use.
+
+    ``timeout`` is the legacy single knob covering both phases;
+    ``connect_timeout`` and ``read_timeout`` override it separately
+    (connects should fail in seconds, reads may legitimately wait
+    minutes for a cold simulation).  A deadline that expires raises
+    :class:`ServiceTimeoutError` instead of hanging forever - before
+    these knobs existed, a daemon that accepted the connection and then
+    wedged would block ``_read_response`` indefinitely.
     """
 
     def __init__(
@@ -35,10 +43,23 @@ class ServiceClient:
         host: str = protocol.DEFAULT_HOST,
         port: int = protocol.DEFAULT_PORT,
         timeout: Optional[float] = 600.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
     ) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self.read_timeout = read_timeout if read_timeout is not None else timeout
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=self.connect_timeout
+            )
+        except socket.timeout:
+            raise ServiceTimeoutError(
+                f"connect to {host}:{port} timed out after "
+                f"{self.connect_timeout}s"
+            ) from None
+        self._sock.settimeout(self.read_timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
 
@@ -49,7 +70,13 @@ class ServiceClient:
         self._file.write((schema.dumps(payload) + "\n").encode())
 
     def _read_response(self) -> Dict:
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except socket.timeout:
+            raise ServiceTimeoutError(
+                f"read from {self.host}:{self.port} timed out after "
+                f"{self.read_timeout}s"
+            ) from None
         if not line:
             raise ConnectionError("measurement service closed the connection")
         response = protocol.parse_response(line.decode())

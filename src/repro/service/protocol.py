@@ -51,6 +51,16 @@ class ServiceError(RuntimeError):
     """The daemon reported a failure for one request."""
 
 
+class ServiceTimeoutError(ServiceError, TimeoutError):
+    """A connect or read against the daemon exceeded its deadline.
+
+    Subclasses both :class:`ServiceError` (existing ``except`` clauses
+    keep working) and :class:`TimeoutError` (callers can treat network
+    deadlines uniformly).  Raised by the blocking clients; distinct from
+    a daemon-reported failure, which stays a plain :class:`ServiceError`.
+    """
+
+
 @dataclass(frozen=True)
 class Request:
     """One decoded client request."""

@@ -52,8 +52,9 @@ class MeasurementService:
         self.host = host
         self.port = port
         self.metrics = ServiceMetrics()
+        self._executor = MeasurementExecutor(jobs=jobs, use_cache=use_cache)
         self._batcher = CoalescingBatcher(
-            MeasurementExecutor(jobs=jobs, use_cache=use_cache),
+            self._executor,
             metrics=self.metrics,
             max_queue=max_queue,
             max_batch=max_batch,
@@ -71,6 +72,11 @@ class MeasurementService:
         """Bind the listener and start the batcher's drain task."""
         self._loop = asyncio.get_running_loop()
         self._stop_requested = asyncio.Event()
+        # Fork the worker pool while no listener or connection socket
+        # exists: forked workers inherit open fds, and a worker holding
+        # the daemon's sockets would keep them alive past a SIGKILL —
+        # peers (the fleet router) would hang instead of failing over.
+        self._executor.prefork()
         self._batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -281,8 +287,13 @@ class BackgroundService:
     """A daemon on a dedicated thread (tests, notebooks, embedding).
 
     ``start()`` blocks until the listener is bound and returns the
-    port; ``stop()`` performs the same graceful drain as SIGTERM and
-    joins the thread.  Usable as a context manager.
+    port - or re-raises whatever the daemon thread died of, including
+    construction errors, so a misconfigured service fails fast instead
+    of hanging the caller on a ready flag nobody will ever set.
+    ``stop()`` performs the same graceful drain as SIGTERM, joins the
+    thread, and *reports* a thread that failed to stop within the
+    timeout (a stuck drain raises instead of silently leaking the
+    daemon).  Usable as a context manager.
     """
 
     def __init__(self, **kwargs) -> None:
@@ -307,27 +318,42 @@ class BackgroundService:
         return self.port
 
     def stop(self, timeout: float = 60.0) -> None:
-        """Request graceful drain and join the daemon thread."""
+        """Request graceful drain and join the daemon thread.
+
+        Raises :class:`RuntimeError` when the thread is still alive
+        after ``timeout`` seconds - a drain that cannot finish (a hung
+        simulation, a wedged pool) must be reported, not swallowed.
+        """
         service = self.service
         if service is not None:
             service.request_shutdown()
         if self._thread is not None:
             self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    "measurement service thread failed to stop within "
+                    f"{timeout}s (drain is stuck; its port stays bound)"
+                )
 
     def _run(self) -> None:
         async def _main() -> None:
             self.service = MeasurementService(**self._kwargs)
-            try:
-                await self.service.start()
-            except BaseException as exc:
-                self._startup_error = exc
-                self._ready.set()
-                raise
+            await self.service.start()
             self.port = self.service.port
             self._ready.set()
             await self.service.serve_until_shutdown(install_signal_handlers=False)
 
-        asyncio.run(_main())
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:
+            # Anything raised before the listener bound - including a
+            # MeasurementService construction error - must reach the
+            # caller blocked in start(), not die silently on this
+            # thread while start() waits forever.
+            if self._startup_error is None:
+                self._startup_error = exc
+        finally:
+            self._ready.set()
 
     def __enter__(self) -> "BackgroundService":
         self.start()

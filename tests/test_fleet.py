@@ -1,0 +1,438 @@
+"""Tests for the sharded measurement fleet.
+
+Ring placement (determinism, distribution, minimal disruption on
+rebalance), the persisted fleet state, the router's failover behaviour
+under backend death, byte-parity of a 1-backend fleet against a single
+daemon, the direct-mode client's ring failover, and the executor
+factory that routes sweeps/campaigns through a fleet.
+
+Everything runs in-process (BackgroundService / BackgroundRouter on
+their own event-loop threads, ephemeral ports), mirroring the service
+suite: no network setup, unique simulation windows per test so points
+are cold in every cache.
+"""
+
+import socket
+from pathlib import Path
+
+import pytest
+
+from repro.core import parallel, schema
+from repro.core.cache import cache_key
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.patterns import pattern_by_name
+from repro.core.sweeps import SweepGrid, run_sweep_detailed
+from repro.fleet.client import Backoff, FleetClient, FleetUnavailable
+from repro.fleet.executor import FleetExecutor, fleet_executor
+from repro.fleet.ring import HashRing
+from repro.fleet.router import BackgroundRouter
+from repro.fleet.spec import BackendState, FleetSpec, FleetState, FleetStateError
+from repro.hmc.packet import RequestType
+from repro.service import protocol
+from repro.service.server import BackgroundService
+
+DATA = Path(__file__).parent / "data"
+
+#: Exactly the settings/grid the committed golden baselines were made
+#: with (see test_devices.py) - reused for the fleet parity gate.
+GOLDEN_SETTINGS = ExperimentSettings(warmup_us=2.0, window_us=10.0)
+GOLDEN_GRID = SweepGrid(
+    patterns=("8 banks", "1 vault"),
+    request_types=(RequestType.READ,),
+    payload_bytes=(32,),
+)
+
+NODES = ["backend-0", "backend-1", "backend-2"]
+
+
+def _tiny(window_us: float) -> ExperimentSettings:
+    """Unique-window settings: cold in every cache, cheap to simulate."""
+    return ExperimentSettings(warmup_us=2.0, window_us=window_us)
+
+
+def _point(settings: ExperimentSettings, payload_bytes: int = 32):
+    return MeasurementPoint.for_pattern(
+        pattern_by_name("1 bank", settings.config),
+        request_type=RequestType.READ,
+        payload_bytes=payload_bytes,
+        settings=settings,
+    )
+
+
+def _state(backends, router_port=0) -> FleetState:
+    """An in-memory FleetState wiring name -> (host, port) maps."""
+    return FleetState(
+        host="127.0.0.1",
+        router_port=router_port,
+        router_pid=0,
+        backends=tuple(
+            BackendState(
+                name=name, host=host, port=port, pid=0, cache_dir="", log=""
+            )
+            for name, (host, port) in backends.items()
+        ),
+    )
+
+
+# ------------------------------------------------------------------ ring
+
+
+def test_ring_placement_is_deterministic_across_instances():
+    keys = [f"key-{i}" for i in range(300)]
+    first = [HashRing(NODES).node_for(key) for key in keys]
+    second = [HashRing(list(reversed(NODES))).node_for(key) for key in keys]
+    assert first == second  # insertion order must not matter
+
+
+def test_committed_cache_keys_route_identically_across_rings():
+    # The golden hmc1 cache keys are real routing inputs: two rings
+    # built independently must agree on their owners and preferences.
+    keys = (DATA / "hmc1_cache_keys.txt").read_text().split()
+    ring_a, ring_b = HashRing(NODES), HashRing(NODES)
+    for key in keys:
+        assert ring_a.node_for(key) == ring_b.node_for(key)
+        assert ring_a.preference(key) == ring_b.preference(key)
+
+
+def test_ring_spreads_keys_across_every_node():
+    keys = [f"key-{i}" for i in range(300)]
+    shares = HashRing(NODES).shares(keys)
+    assert set(shares) == set(NODES)
+    assert sum(shares.values()) == len(keys)
+    # With 64 virtual nodes each, no backend should own almost
+    # everything or almost nothing.
+    assert all(20 <= count <= 200 for count in shares.values())
+
+
+def test_removing_a_node_moves_only_its_keys():
+    keys = [f"key-{i}" for i in range(300)]
+    ring = HashRing(NODES)
+    before = {key: ring.node_for(key) for key in keys}
+    ring.remove("backend-1")
+    for key in keys:
+        after = ring.node_for(key)
+        if before[key] == "backend-1":
+            assert after != "backend-1"
+        else:  # consistent hashing: unaffected keys must not move
+            assert after == before[key]
+    ring.add("backend-1")
+    assert {key: ring.node_for(key) for key in keys} == before
+
+
+def test_preference_lists_distinct_nodes_starting_with_owner():
+    ring = HashRing(NODES)
+    for key in ("a", "b", "c", "d"):
+        preference = ring.preference(key)
+        assert preference[0] == ring.node_for(key)
+        assert sorted(preference) == sorted(NODES)
+
+
+def test_last_ring_node_cannot_be_removed():
+    ring = HashRing(["backend-0"])
+    with pytest.raises(ValueError):
+        ring.remove("backend-0")
+
+
+# ------------------------------------------------------------ spec/state
+
+
+def test_fleet_state_round_trips_through_json(tmp_path):
+    spec = FleetSpec(backends=2, run_dir=str(tmp_path))
+    state = FleetState(
+        host="127.0.0.1",
+        router_port=8700,
+        router_pid=42,
+        backends=tuple(
+            BackendState(
+                name=name,
+                host="127.0.0.1",
+                port=8700 + i + 1,
+                pid=100 + i,
+                cache_dir=str(spec.cache_dir(name)),
+                log=str(spec.log_path(name)),
+            )
+            for i, name in enumerate(spec.backend_names())
+        ),
+        run_dir=str(tmp_path),
+        device="hmc2",
+    )
+    state.save()
+    loaded = FleetState.load(tmp_path)
+    assert loaded == state
+    assert loaded.backend_map() == state.backend_map()
+    assert loaded.backend("backend-1").port == 8702
+
+
+def test_fleet_state_rejects_unknown_version(tmp_path):
+    state = _state({"backend-0": ("127.0.0.1", 1)})
+    payload = state.to_dict()
+    payload["version"] = 99
+    with pytest.raises(FleetStateError):
+        FleetState.from_dict(payload)
+
+
+def test_missing_fleet_state_names_the_run_dir(tmp_path):
+    with pytest.raises(FleetStateError, match="fleet up"):
+        FleetState.load(tmp_path)
+
+
+def test_spec_requires_at_least_one_backend():
+    with pytest.raises(ValueError):
+        FleetSpec(backends=0)
+
+
+# ------------------------------------------------- 1-backend byte parity
+
+
+def _raw_roundtrip(port: int, line: bytes) -> bytes:
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.sendall(line)
+        with sock.makefile("rb") as reader:
+            return reader.readline()
+
+
+def test_one_backend_fleet_is_byte_identical_to_single_daemon():
+    """The parity gate: the router must relay responses verbatim."""
+    parallel.reset()
+    points = [
+        MeasurementPoint.for_pattern(
+            pattern_by_name(name, GOLDEN_SETTINGS.config),
+            request_type=RequestType.READ,
+            payload_bytes=32,
+            settings=GOLDEN_SETTINGS,
+        )
+        for name in GOLDEN_GRID.patterns
+    ]
+    with BackgroundService(jobs=1, use_cache=False) as backend:
+        backends = {"backend-0": ("127.0.0.1", backend.port)}
+        with BackgroundRouter(backends) as router:
+            for index, point in enumerate(points):
+                line = (
+                    schema.dumps(protocol.measure_request(point, request_id=index))
+                    + "\n"
+                ).encode()
+                direct = _raw_roundtrip(backend.port, line)
+                via_fleet = _raw_roundtrip(router.port, line)
+                assert via_fleet == direct
+
+
+def test_one_backend_fleet_matches_committed_golden_results():
+    parallel.reset()
+    golden_lines = (DATA / "hmc1_golden_tiny.ndjson").read_text().splitlines()
+    points = [
+        MeasurementPoint.for_pattern(
+            pattern_by_name(name, GOLDEN_SETTINGS.config),
+            request_type=RequestType.READ,
+            payload_bytes=32,
+            settings=GOLDEN_SETTINGS,
+        )
+        for name in GOLDEN_GRID.patterns
+    ]
+    with BackgroundService(jobs=1, use_cache=False) as backend:
+        backends = {"backend-0": ("127.0.0.1", backend.port)}
+        with BackgroundRouter(backends) as router:
+            state = _state(backends, router_port=router.port)
+            with FleetClient(state=state) as client:
+                measurements = client.measure_many(points)
+    lines = [
+        schema.dumps(schema.result_to_dict(point, measurement))
+        for point, measurement in zip(points, measurements)
+    ]
+    assert lines == golden_lines
+
+
+# ------------------------------------------------------ router failover
+
+
+def test_router_fails_over_when_a_backend_dies_under_load():
+    settings = _tiny(window_us=11.125)
+    points = [_point(settings, size) for size in (16, 32, 48, 64, 80, 96)]
+    services = [BackgroundService(jobs=1, use_cache=False) for _ in range(2)]
+    try:
+        backends = {
+            f"backend-{i}": ("127.0.0.1", service.start())
+            for i, service in enumerate(services)
+        }
+        with BackgroundRouter(backends) as router:
+            state = _state(backends, router_port=router.port)
+            with FleetClient(state=state) as client:
+                expected = client.measure_many(points)
+                services[0].stop()  # one shard dies mid-fleet
+                survivors = client.measure_many(points)
+                stats = client.stats()
+        assert [m.bandwidth_gbs for m in survivors] == [
+            m.bandwidth_gbs for m in expected
+        ]
+        assert stats["ring"]["nodes"] == ["backend-1"]
+        assert stats["ring"]["rebalances"] >= 1
+        assert stats["backends"]["backend-0"]["alive"] is False
+        assert stats["router"]["errors"] == 0
+    finally:
+        for service in services:
+            try:
+                service.stop(timeout=5)
+            except RuntimeError:
+                pass
+
+
+def test_router_reports_error_when_every_backend_is_gone():
+    settings = _tiny(window_us=11.375)
+    service = BackgroundService(jobs=1, use_cache=False)
+    backends = {"backend-0": ("127.0.0.1", service.start())}
+    service.stop()  # the only backend is already dead
+    with BackgroundRouter(backends) as router:
+        state = _state(backends, router_port=router.port)
+        with FleetClient(state=state, backoff=Backoff(retries=0)) as client:
+            # The router answers with a daemon-style error response (it
+            # stays up; only the measure fails), which the client
+            # surfaces as a ServiceError rather than retrying forever.
+            with pytest.raises(protocol.ServiceError, match="no backend available"):
+                client.measure(_point(settings))
+
+
+def test_background_router_propagates_startup_errors():
+    with pytest.raises(ValueError, match="at least one backend"):
+        BackgroundRouter({}).start()
+
+
+# ------------------------------------------------- client direct mode
+
+
+def test_direct_client_fails_over_past_a_dead_address():
+    settings = _tiny(window_us=11.625)
+    points = [_point(settings, size) for size in (16, 32, 48, 64, 80, 96)]
+    # Reserve a port that is guaranteed closed for the dead backend.
+    placeholder = socket.socket()
+    placeholder.bind(("127.0.0.1", 0))
+    dead_port = placeholder.getsockname()[1]
+    placeholder.close()
+    with BackgroundService(jobs=1, use_cache=False) as alive:
+        backends = {
+            "backend-0": ("127.0.0.1", alive.port),
+            "backend-1": ("127.0.0.1", dead_port),
+        }
+        state = _state(backends)
+        with FleetClient(state=state, via="direct") as client:
+            measurements = client.measure_many(points)
+        ring = HashRing(backends)
+        owned_by_dead = [
+            p for p in points if ring.node_for(cache_key(p)) == "backend-1"
+        ]
+    assert len(measurements) == len(points)
+    if owned_by_dead:  # those points must have failed over
+        assert client.failovers >= 1
+
+
+def test_direct_client_raises_fleet_unavailable_when_all_nodes_dead():
+    settings = _tiny(window_us=11.75)
+    placeholder = socket.socket()
+    placeholder.bind(("127.0.0.1", 0))
+    dead_port = placeholder.getsockname()[1]
+    placeholder.close()
+    backends = {
+        "backend-0": ("127.0.0.1", dead_port),
+        "backend-1": ("127.0.0.1", dead_port),
+    }
+    state = _state(backends)
+    fast = Backoff(retries=1, base=0.01)
+    with FleetClient(state=state, via="direct", backoff=fast) as client:
+        with pytest.raises(FleetUnavailable, match="no backend reachable"):
+            client.measure(_point(settings))
+    assert client.retries >= 1
+
+
+def test_direct_client_routes_by_the_same_ring_as_the_router():
+    settings = _tiny(window_us=11.875)
+    points = [_point(settings, size) for size in (16, 48, 96, 128)]
+    services = [BackgroundService(jobs=1, use_cache=False) for _ in range(2)]
+    try:
+        backends = {
+            f"backend-{i}": ("127.0.0.1", service.start())
+            for i, service in enumerate(services)
+        }
+        state = _state(backends)
+        with FleetClient(state=state, via="direct") as client:
+            client.measure_many(points)
+        # Each backend's measure count equals its ring share: the
+        # client placed every point exactly where the ring says.
+        ring = HashRing(backends)
+        shares = ring.shares([cache_key(p) for p in points])
+        for i, service in enumerate(services):
+            snapshot = service.service.metrics.snapshot()
+            assert snapshot["measure_requests"] == shares.get(f"backend-{i}", 0)
+    finally:
+        for service in services:
+            service.stop(timeout=5)
+
+
+def test_backoff_schedule_is_capped_exponential():
+    assert Backoff(retries=4, base=0.1, factor=2.0, max_delay=0.5).delays() == [
+        0.1,
+        0.2,
+        0.4,
+        0.5,
+    ]
+    assert Backoff(retries=0).delays() == []
+
+
+# ------------------------------------------------- executor transparency
+
+
+def test_fleet_executor_routes_sweeps_through_the_fleet():
+    settings = _tiny(window_us=12.125)
+    grid = SweepGrid(
+        patterns=("1 bank",),
+        request_types=(RequestType.READ,),
+        payload_bytes=(32, 64),
+    )
+    parallel.reset()
+    expected = run_sweep_detailed(grid, settings, jobs=1, use_cache=False)
+    parallel.reset()
+    with BackgroundService(jobs=1, use_cache=False) as backend:
+        backends = {"backend-0": ("127.0.0.1", backend.port)}
+        with BackgroundRouter(backends) as router:
+            state = _state(backends, router_port=router.port)
+            with FleetClient(state=state) as client:
+                parallel.reset()  # all simulation must happen fleet-side
+                with fleet_executor(client=client):
+                    via_fleet = run_sweep_detailed(
+                        grid, settings, jobs=1, use_cache=False
+                    )
+                backend_simulations = parallel.stats().simulations
+    # This process simulated every point exactly once - in the backend
+    # daemon's thread, not the sweep's (both live in this process here).
+    assert backend_simulations == len(expected)
+    for (p0, m0), (p1, m1) in zip(expected, via_fleet):
+        assert cache_key(p0) == cache_key(p1)
+        assert repr(m0) == repr(m1)
+    # The factory is restored: executors are local again.
+    assert isinstance(parallel.get_executor(), parallel.MeasurementExecutor)
+
+
+def test_executor_factory_installs_and_restores():
+    sentinel = object()
+    previous = parallel.set_executor_factory(lambda: sentinel)
+    try:
+        assert parallel.get_executor() is sentinel
+        assert parallel.executor_for(jobs=4) is sentinel
+    finally:
+        parallel.set_executor_factory(previous)
+    assert isinstance(parallel.get_executor(), parallel.MeasurementExecutor)
+
+
+def test_fleet_executor_deduplicates_before_the_wire():
+    class CountingClient:
+        def __init__(self):
+            self.batches = []
+
+        def measure_many(self, points):
+            self.batches.append(list(points))
+            return [f"m-{cache_key(p)[:8]}" for p in points]
+
+    settings = _tiny(window_us=12.375)
+    point = _point(settings)
+    client = CountingClient()
+    results = FleetExecutor(client).measure_points([point, point, point])
+    assert len(client.batches) == 1
+    assert len(client.batches[0]) == 1  # one unique point on the wire
+    assert results[0] == results[1] == results[2]

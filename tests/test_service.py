@@ -208,3 +208,59 @@ def test_backpressure_queue_bounds_pending_points():
         await batcher.drain()
 
     asyncio.run(scenario())
+
+
+def test_read_timeout_raises_typed_timeout_error():
+    """A daemon that accepts but never answers must not hang the client."""
+    from repro.service.protocol import ServiceTimeoutError
+
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    try:
+        client = ServiceClient(port=port, connect_timeout=5.0, read_timeout=0.2)
+        try:
+            with pytest.raises(ServiceTimeoutError, match="timed out after 0.2s"):
+                client.ping()
+        finally:
+            client.close()
+    finally:
+        listener.close()
+    # The typed error serves both exception families: existing callers
+    # catching ServiceError and new callers catching TimeoutError.
+    assert issubclass(ServiceTimeoutError, ServiceError)
+    assert issubclass(ServiceTimeoutError, TimeoutError)
+
+
+def test_background_service_start_propagates_startup_failures():
+    """A daemon that cannot bind must raise in start(), not hang forever."""
+    service = BackgroundService(host="999.999.999.999")
+    with pytest.raises(OSError):
+        service.start()
+
+
+def test_background_service_stop_is_clean_after_failed_start():
+    service = BackgroundService(host="999.999.999.999")
+    with pytest.raises(OSError):
+        service.start()
+    service.stop()  # the dead thread joins immediately; no error
+
+
+def test_daemon_preforks_worker_pool_before_serving():
+    """The pool must fork before any socket exists (fd inheritance).
+
+    A pool forked lazily mid-request inherits the daemon's listener and
+    connection fds; after a SIGKILL those sockets stay alive in the
+    orphaned workers and peers — the fleet router in particular — hang
+    on reads that never see EOF instead of failing over.
+    """
+    parallel.shutdown_pool()
+    try:
+        with BackgroundService(jobs=2, use_cache=False):
+            assert parallel.pool_workers() >= 2
+            # The width being configured is not enough - the worker
+            # *processes* must exist (ProcessPoolExecutor forks lazily).
+            assert len(parallel._POOL._processes) >= 2
+    finally:
+        parallel.shutdown_pool()
