@@ -36,7 +36,7 @@ from repro.topology.spec import TopologySpec
 
 
 #: Legal values of :attr:`ExperimentSettings.kernel`.
-VALID_KERNELS = ("des", "batch", "auto")
+VALID_KERNELS = ("des", "batch", "auto", "vector")
 
 
 @dataclass(frozen=True)
@@ -52,9 +52,14 @@ class ExperimentSettings:
     attempts the hybrid steady-state kernel (:mod:`repro.sim.batch`) on
     every point, falling back to the DES whenever the configuration or
     the probe fails certification; ``"auto"`` batches only eligible
-    points with windows long enough to certify at 0.1% parity.  Like
-    ``topology``, the kernel rides through the cache key (batch results
-    are keyed separately) and the wire schema.
+    points with windows long enough to certify at 0.1% parity;
+    ``"vector"`` attempts the vectorized probe kernel
+    (:mod:`repro.sim.vectorprobe`), which shrinks the DES prefix to a
+    short calibration and advances the rest of the window from a
+    certified regression model - same eligibility shapes and the same
+    certification gate as ``"batch"``, same DES fallback.  Like
+    ``topology``, the kernel rides through the cache key (batch and
+    vector results are keyed separately) and the wire schema.
 
     ``device`` names the memory backend (:mod:`repro.devices`) that
     boards and cube networks construct; ``"hmc1"`` is the registry name
@@ -263,10 +268,88 @@ def simulate_point_observed(
     return measurement, info
 
 
+def simulate_point_hinted(
+    point: MeasurementPoint, warm=None
+) -> Tuple[BandwidthMeasurement, int, dict]:
+    """Run one vector-kernel experiment with an explicit warm-start hint.
+
+    ``warm`` is a :class:`repro.sim.vectorprobe.WarmStart` (or ``None``
+    for a cold calibration).  Returns ``(measurement, events_equivalent,
+    info)`` where ``info`` is the observer dict of
+    :func:`simulate_point_observed` plus ``steady_state`` - the
+    certified :class:`~repro.sim.vectorprobe.WarmStart` this point
+    produced (``None`` on fallback).  This is the per-point leg of the
+    grouped-execution parity contract: :func:`simulate_vector_group`
+    over a point set is identical to calling this function point by
+    point along :func:`vector_group_order` with each family head's
+    steady state as the hint.
+    """
+    info: dict = {}
+    measurement, events = _run_point(
+        point, obs_trace.tracer_for_run(), observer=info, warm=warm
+    )
+    return measurement, events, info
+
+
+def _vector_order_key(point: MeasurementPoint):
+    """Canonical within-group ordering - a pure function of the point."""
+    return (
+        str(point.request_type.value),
+        str(point.mode.value),
+        point.payload_bytes,
+        -1 if point.active_ports is None else point.active_ports,
+        point.pattern_name,
+        point.seed,
+    )
+
+
+def _vector_family(point: MeasurementPoint):
+    """Points sharing a family may warm-start from the family head."""
+    return (point.request_type, point.mode)
+
+
+def vector_group_order(points: List[MeasurementPoint]) -> List[int]:
+    """Deterministic execution order for a vector sweep group.
+
+    Returns indices into ``points`` sorted by the canonical key, so the
+    warm-start plan - the first point of each (request type, addressing
+    mode) family is the cold head, the rest warm-start from it - is a
+    pure function of the point *set*, independent of submission order.
+    """
+    return sorted(range(len(points)), key=lambda i: _vector_order_key(points[i]))
+
+
+def simulate_vector_group(
+    points: List[MeasurementPoint],
+) -> List[Tuple[BandwidthMeasurement, int]]:
+    """Run a group of vector-kernel points with cross-point warm starts.
+
+    Executes in :func:`vector_group_order`; each family's head runs the
+    cold calibration, and its certified steady state warm-starts the
+    rest of the family (heads that fell back to the DES leave their
+    family cold).  Results come back in the *input* order, shaped like
+    :func:`simulate_point` returns, so the executor can treat a group
+    as a batch of independent points.
+    """
+    results: List[Optional[Tuple[BandwidthMeasurement, int]]] = [None] * len(points)
+    heads: dict = {}
+    for i in vector_group_order(points):
+        point = points[i]
+        family = _vector_family(point)
+        measurement, events, info = simulate_point_hinted(
+            point, warm=heads.get(family)
+        )
+        if family not in heads:
+            heads[family] = info.get("steady_state")
+        results[i] = (measurement, events)
+    return results  # type: ignore[return-value]
+
+
 def _run_point(
     point: MeasurementPoint,
     tracer: Optional["obs_trace.Tracer"],
     observer: Optional[dict] = None,
+    warm=None,
 ) -> Tuple[BandwidthMeasurement, int]:
     """The shared warm-up/window protocol behind both entry points."""
     import time as _time
@@ -301,6 +384,9 @@ def _run_point(
     reason = ""
     events = 0
     events_equivalent = 0
+    probe_wall_s = 0.0
+    tail_wall_s = 0.0
+    steady_state = None
     if settings.kernel != "des":
         from repro.sim import batch as batch_kernel
 
@@ -309,14 +395,28 @@ def _run_point(
             settings
         ):
             eligible, reason = False, "window too short for auto"
+        if eligible and settings.kernel == "vector":
+            from repro.sim import vectorprobe as vector_kernel
+
+            if not vector_kernel.window_allows(settings):
+                eligible, reason = False, "window too short for vector calibration"
     else:
         eligible = False
 
     if eligible:
-        outcome = batch_kernel.run_window(board, window_ns)
-        kernel_used = "batch" if outcome.used_batch else "des"
+        if settings.kernel == "vector":
+            from repro.sim import vectorprobe as vector_kernel
+
+            outcome = vector_kernel.run_window(board, window_ns, warm=warm)
+            kernel_used = "vector" if outcome.used_vector else "des"
+            steady_state = outcome.steady_state
+        else:
+            outcome = batch_kernel.run_window(board, window_ns)
+            kernel_used = "batch" if outcome.used_batch else "des"
         reason = outcome.reason
         window_wall_s = outcome.window_wall_s
+        probe_wall_s = outcome.probe_wall_s
+        tail_wall_s = outcome.tail_wall_s
         events = outcome.events
         events_equivalent = outcome.events_equivalent
     else:
@@ -337,8 +437,11 @@ def _run_point(
             kernel=kernel_used,
             reason=reason,
             window_wall_s=window_wall_s,
+            probe_wall_s=probe_wall_s,
+            tail_wall_s=tail_wall_s,
             events=events,
             events_equivalent=events_equivalent,
+            steady_state=steady_state,
         )
 
     controller = board.controller

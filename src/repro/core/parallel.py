@@ -331,6 +331,52 @@ def _simulate(point: MeasurementPoint) -> Tuple[BandwidthMeasurement, int]:
     return simulate_point(point)
 
 
+def _simulate_group(
+    points: List[MeasurementPoint],
+) -> List[Tuple[BandwidthMeasurement, int]]:
+    """Pool worker: one warm-start vector sweep group (picklable).
+
+    Delegates to :func:`repro.core.experiment.simulate_vector_group`,
+    which runs the group in its canonical order with family heads
+    warm-starting the rest - one pool task instead of one per point,
+    and the warm starts shrink every non-head calibration.
+    """
+    from repro.core.experiment import simulate_vector_group
+
+    return simulate_vector_group(points)
+
+
+def _vector_groups(
+    points: Sequence[MeasurementPoint],
+) -> Tuple[List[List[int]], List[int]]:
+    """Partition batch indices into vector sweep groups and singles.
+
+    A group is >= 2 points sharing identical vector-kernel settings with
+    no topology and a window above the kernel's static floor (the vector
+    kernel's static eligibility is settings-shaped, so one check covers
+    the group).  Everything else - other kernels, topology runs,
+    short-window points that would fall back statically, lone vector
+    points - stays on the per-point path.  Grouping only changes *where* points run, never what they
+    produce: the group runner's warm-start plan is a pure function of
+    the point set, pinned by the grouped-vs-per-point parity test.
+    """
+    from repro.sim.vectorprobe import window_allows
+
+    by_settings: Dict[object, List[int]] = {}
+    for i, point in enumerate(points):
+        settings = point.settings
+        if (
+            settings.kernel == "vector"
+            and settings.topology is None
+            and window_allows(settings)
+        ):
+            by_settings.setdefault(settings, []).append(i)
+    groups = [indices for indices in by_settings.values() if len(indices) >= 2]
+    grouped = {i for indices in groups for i in indices}
+    singles = [i for i in range(len(points)) if i not in grouped]
+    return groups, singles
+
+
 def _expected_cost(point: MeasurementPoint) -> float:
     """Relative expected event count of one simulation.
 
@@ -459,7 +505,7 @@ class MeasurementExecutor:
             events_total = 0
             fresh: List[Tuple[str, BandwidthMeasurement]] = []
             for key, (measurement, events) in zip(
-                miss_keys, self._run_misses(miss_points)
+                miss_keys, self._run_batch(miss_points)
             ):
                 events_total += events
                 _MEMO[key] = measurement
@@ -469,6 +515,45 @@ class MeasurementExecutor:
                 cache.store_many(fresh)
             _STATS.add(simulations=len(fresh), events_simulated=events_total)
         return results
+
+    def _run_batch(
+        self, miss_points: Sequence[MeasurementPoint]
+    ) -> List[Tuple[BandwidthMeasurement, int]]:
+        """Run a batch of misses: vector sweep groups, then the rest."""
+        groups, singles = _vector_groups(miss_points)
+        if not groups:
+            return self._run_misses(miss_points)
+        outcomes: List[Optional[Tuple[BandwidthMeasurement, int]]] = [None] * len(
+            miss_points
+        )
+        group_points = [[miss_points[i] for i in indices] for indices in groups]
+        for indices, group_result in zip(groups, self._run_groups(group_points)):
+            for i, outcome in zip(indices, group_result):
+                outcomes[i] = outcome
+        if singles:
+            single_results = self._run_misses([miss_points[i] for i in singles])
+            for i, outcome in zip(singles, single_results):
+                outcomes[i] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def _run_groups(
+        self, group_points: Sequence[List[MeasurementPoint]]
+    ) -> List[List[Tuple[BandwidthMeasurement, int]]]:
+        """Run vector sweep groups - one pool task per group.
+
+        Inline execution (``jobs == 1`` or a single group) and the pool
+        path call the same :func:`_simulate_group`, so grouping is
+        scheduling only; the same worker-death retry as
+        :meth:`_run_misses` applies.
+        """
+        workers = min(self.jobs, len(group_points))
+        if workers <= 1:
+            return [_simulate_group(points) for points in group_points]
+        try:
+            return list(get_pool(self.jobs).map(_simulate_group, group_points))
+        except BrokenProcessPool:
+            shutdown_pool()
+            return list(get_pool(self.jobs).map(_simulate_group, group_points))
 
     def _run_misses(
         self, miss_points: Sequence[MeasurementPoint]

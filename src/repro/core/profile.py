@@ -72,6 +72,10 @@ def profile_workload(
     certifies, extrapolating every station's busy-time counters across
     the tiled tail - so batch-profiled attribution is directly
     comparable (the AGREES cross-check) with the event-by-event run.
+    Under ``"vector"`` the vectorized probe kernel
+    (:mod:`repro.sim.vectorprobe`) does the same with its model tail:
+    station counters are scaled over the certified span, so the
+    bottleneck ranking stays cross-checkable against the DES.
     """
     board = AC510Board(
         config=settings.config,
@@ -93,7 +97,14 @@ def profile_workload(
     window_ns = settings.window_us * 1e3
     board.sim.run(until=warmup_ns)
     batched = False
-    if settings.kernel != "des":
+    if settings.kernel == "vector":
+        from repro.sim import vectorprobe as vector_kernel
+
+        eligible, _reason = vector_kernel.static_eligibility(board)
+        if eligible and vector_kernel.window_allows(settings):
+            batched = True
+            vector_kernel.run_window(board, window_ns)
+    elif settings.kernel != "des":
         from repro.sim import batch as batch_kernel
 
         eligible, _reason = batch_kernel.static_eligibility(board)

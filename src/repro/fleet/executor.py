@@ -34,7 +34,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.core import parallel
-from repro.core.cache import cache_key
+from repro.core.cache import ResultCache, cache_key
 from repro.core.experiment import BandwidthMeasurement, MeasurementPoint
 from repro.fleet.client import FleetClient
 
@@ -47,10 +47,33 @@ class FleetExecutor:
     client:
         The :class:`FleetClient` carrying the connection(s).  The
         executor does not own it - close it where it was opened.
+    use_cache:
+        Whether to consult/populate the *local* memo and on-disk result
+        cache around the fleet round-trip (default on).  The shards keep
+        their own caches; the local layer spares the network for points
+        this process has already seen, and makes fleet-fetched results
+        reusable by later local runs.  Fresh results are persisted with
+        one batched :meth:`~repro.core.cache.ResultCache.store_many`
+        call per batch.
+    cache:
+        Cache instance override (tests); defaults to the directory
+        resolved from the environment at each batch.
     """
 
-    def __init__(self, client: FleetClient) -> None:
+    def __init__(
+        self,
+        client: FleetClient,
+        use_cache: bool = True,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
         self.client = client
+        self.use_cache = use_cache
+        self._cache = cache
+
+    def _resolve_cache(self) -> Optional[ResultCache]:
+        if not self.use_cache:
+            return None
+        return self._cache if self._cache is not None else ResultCache()
 
     def measure_point(self, point: MeasurementPoint) -> BandwidthMeasurement:
         """Measure a single point through the fleet."""
@@ -76,10 +99,49 @@ class FleetExecutor:
     def measure_keyed(
         self, keyed: Mapping[str, MeasurementPoint]
     ) -> Dict[str, BandwidthMeasurement]:
-        """Resolve pre-keyed unique points through the fleet."""
-        names = list(keyed)
-        measurements = self.client.measure_many([keyed[key] for key in names])
-        return dict(zip(names, measurements))
+        """Resolve pre-keyed unique points: memo -> disk -> fleet.
+
+        Only keys missing from the local memo and disk cache travel to
+        the fleet; fleet results are memoized and batch-persisted so a
+        re-run (or a later local run) never repeats the round-trip.
+        Local counters record the hits; simulations are counted by the
+        shards that actually run them, not here.
+        """
+        results: Dict[str, BandwidthMeasurement] = {}
+        cache = self._resolve_cache()
+
+        memo_hits = 0
+        disk_hits = 0
+        missing: Dict[str, MeasurementPoint] = {}
+        for key, point in keyed.items():
+            memoized = parallel._MEMO.get(key)
+            if memoized is not None:
+                memo_hits += 1
+                results[key] = memoized
+                continue
+            if cache is not None:
+                stored = cache.load(key)
+                if stored is not None:
+                    disk_hits += 1
+                    parallel._MEMO[key] = stored
+                    results[key] = stored
+                    continue
+            missing[key] = point
+        if memo_hits or disk_hits:
+            parallel.stats().add(memo_hits=memo_hits, disk_hits=disk_hits)
+
+        if missing:
+            names = list(missing)
+            measurements = self.client.measure_many(
+                [missing[key] for key in names]
+            )
+            fresh = list(zip(names, measurements))
+            for key, measurement in fresh:
+                parallel._MEMO[key] = measurement
+                results[key] = measurement
+            if cache is not None:
+                cache.store_many(fresh)
+        return results
 
 
 @contextmanager

@@ -148,6 +148,8 @@ class BatchOutcome:
     window_wall_s: float
     events: int
     events_equivalent: int
+    probe_wall_s: float = 0.0
+    tail_wall_s: float = 0.0
     certification: Optional[Certification] = None
     tail_tiles: int = 0
     diagnostics: dict = field(default_factory=dict)
@@ -353,6 +355,7 @@ def run_window(board, window_ns: float) -> BatchOutcome:
             chunk_queued.append(sum(vault.queued for vault in board.device.vaults))
     finally:
         controller.recorder = None
+    probe_wall_s = time.perf_counter() - wall_start
     probe_engine_events = sim.events_processed
     span_engine_events = probe_engine_events - span_engine_events
 
@@ -384,12 +387,14 @@ def run_window(board, window_ns: float) -> BatchOutcome:
             window_wall_s=time.perf_counter() - wall_start,
             events=window_events,
             events_equivalent=window_events,
+            probe_wall_s=probe_wall_s,
             certification=certification,
         )
 
     # Tile the trailing span across the remaining window.  A partial
     # tile keeps the records whose offset into the span precedes the
     # remainder - searchsorted over the stably sorted offsets.
+    tail_wall_start = time.perf_counter()
     span_ns = chunk_ns * SPAN_CHUNKS
     tail_ns = window_end_ns - probe_end_ns
     tiles = int(tail_ns // span_ns)
@@ -431,6 +436,7 @@ def run_window(board, window_ns: float) -> BatchOutcome:
     assert span_snapshot is not None
     _scale_stations(board, span_snapshot, tail_ns / span_ns)
     controller.end_measurement(at=window_end_ns)
+    tail_wall_s = time.perf_counter() - tail_wall_start
 
     probe_window_events = probe_engine_events - window_start_events
     events_equivalent = probe_window_events + int(
@@ -442,6 +448,8 @@ def run_window(board, window_ns: float) -> BatchOutcome:
         window_wall_s=time.perf_counter() - wall_start,
         events=probe_window_events,
         events_equivalent=events_equivalent,
+        probe_wall_s=probe_wall_s,
+        tail_wall_s=tail_wall_s,
         certification=certification,
         tail_tiles=tiles,
         diagnostics={

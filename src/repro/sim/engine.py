@@ -320,5 +320,20 @@ class Simulator:
         """
         return self._live
 
+    def snapshot(self) -> dict:
+        """Progress counters at this instant, for differential accounting.
+
+        Callers that interleave engine work with modelled (non-event)
+        advancement - the vector kernel's calibration prefix, cost
+        profiling - diff two snapshots to attribute events and time to a
+        phase without touching engine internals.  Only meaningful
+        between :meth:`run` calls (see :attr:`pending`).
+        """
+        return {
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "pending": self._live,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self.now:.3f}ns pending={self._live}>"

@@ -432,7 +432,46 @@ def test_fleet_executor_deduplicates_before_the_wire():
     settings = _tiny(window_us=12.375)
     point = _point(settings)
     client = CountingClient()
-    results = FleetExecutor(client).measure_points([point, point, point])
+    executor = FleetExecutor(client, use_cache=False)
+    results = executor.measure_points([point, point, point])
     assert len(client.batches) == 1
     assert len(client.batches[0]) == 1  # one unique point on the wire
     assert results[0] == results[1] == results[2]
+
+
+def test_fleet_executor_caches_fresh_results_locally(tmp_path):
+    """Fleet-fetched results land in the local memo and disk cache, so a
+    repeat batch - even from a fresh executor - never travels again."""
+    from repro.core.cache import ResultCache
+    from repro.core.experiment import simulate_point
+
+    class CountingClient:
+        def __init__(self):
+            self.batches = []
+
+        def measure_many(self, points):
+            self.batches.append(list(points))
+            return [simulate_point(p)[0] for p in points]
+
+    settings = _tiny(window_us=12.625)
+    point = _point(settings)
+    cache = ResultCache(root=tmp_path / "fleet-cache")
+    client = CountingClient()
+    parallel.reset()
+    first = FleetExecutor(client, cache=cache).measure_point(point)
+    assert len(client.batches) == 1
+    assert cache.load(cache_key(point)) is not None  # one store_many ran
+
+    # Same executor class, fresh instance, memo dropped: the disk cache
+    # answers and the wire stays quiet.
+    parallel.reset()
+    again = FleetExecutor(client, cache=cache).measure_point(point)
+    assert len(client.batches) == 1
+    assert repr(again) == repr(first)
+    assert parallel.stats().disk_hits == 1
+
+    # Memo now primed: a third call is a memo hit, still no round-trip.
+    third = FleetExecutor(client, cache=cache).measure_point(point)
+    assert len(client.batches) == 1
+    assert repr(third) == repr(first)
+    assert parallel.stats().memo_hits == 1

@@ -221,6 +221,51 @@ def test_certify_rejects_oscillating_latency():
     assert "latency" in cert.reason
 
 
+def test_certify_all_zero_queued_span_skips_queue_gate():
+    # Workloads that never queue (all-zero chunk_queued) must certify:
+    # the queue gate only engages at depths >= MIN_QUEUE_DEPTH_FOR_GATE,
+    # and a zero-depth span reports a clean 0.0 spread rather than the
+    # inf a naive relative spread of zeros would produce.
+    events, lats, outstanding, queued = _stationary_chunks()
+    assert not queued.any()
+    cert = batch._certify(events, lats, outstanding, queued)
+    assert cert.certified
+    assert cert.queue_spread == 0.0
+
+
+def test_certify_single_completion_chunks():
+    # One completion per chunk is the thinnest stream that is still
+    # fully observed: every chunk is non-empty and has a latency mean,
+    # so the gates must evaluate it (and a perfectly steady one-a-chunk
+    # stream certifies) instead of tripping an emptiness guard.
+    events = np.ones(batch.PROBE_CHUNKS)
+    lats = np.full(batch.PROBE_CHUNKS, 480.0)
+    outstanding = np.ones(batch.PROBE_CHUNKS)
+    queued = np.zeros(batch.PROBE_CHUNKS)
+    cert = batch._certify(events, lats, outstanding, queued)
+    assert cert.certified
+    assert cert.event_spread == 0.0
+    # ... but one missing completion in the span decertifies.
+    gappy = events.copy()
+    gappy[-3] = 0.0
+    assert not batch._certify(gappy, lats, outstanding, queued).certified
+
+
+def test_certify_nan_latency_means_decertify():
+    # A NaN latency mean marks a chunk that saw no completions; one NaN
+    # anywhere in the span - first, last, or everywhere - must decertify
+    # (NaNs would otherwise propagate into every spread metric).
+    events, lats, outstanding, queued = _stationary_chunks()
+    for position in (len(lats) - batch.SPAN_CHUNKS, len(lats) - 1):
+        nan_lats = lats.copy()
+        nan_lats[position] = math.nan
+        cert = batch._certify(events, nan_lats, outstanding, queued)
+        assert not cert.certified
+        assert cert.reason == "chunk without completions"
+    all_nan = np.full_like(lats, math.nan)
+    assert not batch._certify(events, all_nan, outstanding, queued).certified
+
+
 def test_tiled_stats_match_explicit_concatenation():
     rng = np.random.default_rng(7)
     span = rng.uniform(400.0, 900.0, size=311)
@@ -235,3 +280,197 @@ def test_tiled_stats_match_explicit_concatenation():
     assert stats.minimum == explicit.min()
     assert stats.maximum == explicit.max()
     assert batch._tiled_stats(np.array([]), np.array([]), 3) is None
+
+
+# ----------------------------------------------------------------------
+# the vectorized probe kernel
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "request_type, payload, mode",
+    [
+        (RequestType.READ, 128, AddressingMode.RANDOM),
+        (RequestType.WRITE, 64, AddressingMode.RANDOM),
+    ],
+    ids=["ro128r", "wo64r"],
+)
+def test_vector_certified_point_matches_des_within_tolerance(
+    request_type, payload, mode
+):
+    des_m, des_info = simulate_point_observed(
+        _point(DEFAULT, request_type, payload, mode)
+    )
+    vec_m, vec_info = simulate_point_observed(
+        _point(replace(DEFAULT, kernel="vector"), request_type, payload, mode)
+    )
+    assert des_info["kernel"] == "des"
+    assert vec_info["kernel"] == "vector", vec_info["reason"]
+    assert _worst_error(des_m, vec_m) <= PARITY_TOL
+    # 3 calibration chunks of 48: a 16x advance, ~3x the batch kernel's.
+    assert vec_info["events_equivalent"] / vec_info["events"] >= 15.0
+    # The wall breakdown is observable and covers the window wall.
+    assert vec_info["probe_wall_s"] > 0.0
+    assert vec_info["probe_wall_s"] + vec_info["tail_wall_s"] <= (
+        vec_info["window_wall_s"] + 1e-6
+    )
+
+
+def test_vector_decertified_window_falls_back_bit_identically(monkeypatch):
+    from repro.sim import vectorprobe
+    from repro.sim.batch import Certification
+
+    des_m, _ = simulate_point(_point(DEFAULT))
+    monkeypatch.setattr(
+        vectorprobe,
+        "_certify",
+        lambda *args, **kwargs: Certification(False, "forced decert"),
+    )
+    vec_m, info = simulate_point_observed(_point(replace(DEFAULT, kernel="vector")))
+    assert info["kernel"] == "des"
+    assert info["reason"] == "forced decert"
+    assert _worst_error(des_m, vec_m) == 0.0
+    assert vec_m.reads_completed == des_m.reads_completed
+    assert vec_m.writes_completed == des_m.writes_completed
+
+
+def test_vector_short_window_falls_back_statically():
+    # Windows below the static floor never even run the calibration:
+    # the synthetic model chunks cannot observe drift that happens
+    # after the probe, so short (--fast-style) windows go straight to
+    # the DES, bit-identically.
+    from repro.sim import vectorprobe
+
+    assert FAST.window_us < vectorprobe.MIN_WINDOW_US
+    des_m, _ = simulate_point(_point(FAST))
+    vec_m, info = simulate_point_observed(_point(replace(FAST, kernel="vector")))
+    assert info["kernel"] == "des"
+    assert info["reason"] == "window too short for vector calibration"
+    assert _worst_error(des_m, vec_m) == 0.0
+    assert vec_m.reads_completed == des_m.reads_completed
+
+
+def test_vector_topology_routes_to_des():
+    from repro.topology.spec import TopologySpec
+
+    settings = replace(FAST, kernel="vector", topology=TopologySpec("chain", 2))
+    _, info = simulate_point_observed(_point(settings))
+    assert info["kernel"] == "des"
+    assert info["reason"] == "topology"
+
+
+def test_vector_capacity_gate_rejects_impossible_rates(monkeypatch):
+    # A fit claiming more completions/ns than the construction-time
+    # delay tables can serve must decertify, not extrapolate garbage.
+    from repro.sim import vectorprobe
+
+    des_m, _ = simulate_point(_point(DEFAULT))
+    monkeypatch.setattr(vectorprobe, "capacity_per_ns", lambda *a, **k: 1e-6)
+    vec_m, info = simulate_point_observed(_point(replace(DEFAULT, kernel="vector")))
+    assert info["kernel"] == "des"
+    assert "capacity" in info["reason"]
+    assert _worst_error(des_m, vec_m) == 0.0
+
+
+def test_vector_group_matches_per_point_plan():
+    # The grouping parity contract: a warm-start group run (what the
+    # executor dispatches) is identical - not merely close - to running
+    # each point alone with the same plan's hints.
+    from repro.core.experiment import (
+        simulate_point_hinted,
+        simulate_vector_group,
+        vector_group_order,
+    )
+
+    settings = replace(DEFAULT, kernel="vector")
+    points = [
+        _point(settings, rt, payload, AddressingMode.RANDOM)
+        for rt, payload in [
+            (RequestType.READ, 128),
+            (RequestType.READ, 64),
+            (RequestType.WRITE, 128),
+        ]
+    ]
+    grouped = simulate_vector_group(points)
+    heads: dict = {}
+    for i in vector_group_order(points):
+        family = (points[i].request_type, points[i].mode)
+        measurement, events, info = simulate_point_hinted(
+            points[i], warm=heads.get(family)
+        )
+        if family not in heads:
+            heads[family] = info.get("steady_state")
+        assert grouped[i] == (measurement, events)
+
+
+def test_executor_groups_vector_sweeps():
+    # The jobs=1 executor path dispatches eligible vector points as one
+    # group and returns exactly what the group runner produces.
+    from repro.core import parallel
+    from repro.core.experiment import simulate_vector_group
+
+    settings = replace(DEFAULT, kernel="vector")
+    points = [
+        _point(settings, RequestType.READ, payload, AddressingMode.RANDOM)
+        for payload in (128, 64)
+    ]
+    groups, singles = parallel._vector_groups(points)
+    assert groups == [[0, 1]] and singles == []
+    executor = parallel.MeasurementExecutor(jobs=1, use_cache=False)
+    got = executor.measure_points(points)
+    want = [m for m, _ in simulate_vector_group(points)]
+    assert got == want
+    # Mixed batches leave non-vector (and topology) points ungrouped.
+    mixed = points + [_point(FAST)]
+    groups, singles = parallel._vector_groups(mixed)
+    assert groups == [[0, 1]] and singles == [2]
+
+
+def test_vector_warm_start_shrinks_probe_and_stays_in_budget():
+    # A warm-started window runs the shorter calibration (2 chunks, no
+    # transient guard), re-certifies independently, and still lands
+    # within the 0.1% parity budget of the event-exact run.
+    from repro.fpga.board import AC510Board
+    from repro.fpga.gups import PortConfig
+    from repro.sim import vectorprobe
+
+    def vector_window(payload, warm=None):
+        point = _point(DEFAULT, RequestType.READ, payload)
+        board = AC510Board(
+            config=DEFAULT.config,
+            calibration=DEFAULT.calibration,
+            max_block_bytes=DEFAULT.max_block_bytes,
+        )
+        gups = board.load_gups(
+            PortConfig(
+                request_type=point.request_type,
+                payload_bytes=point.payload_bytes,
+                mode=point.mode,
+                mask=point.mask,
+                seed=point.seed,
+            )
+        )
+        gups.start()
+        board.sim.run(until=DEFAULT.warmup_us * 1e3)
+        outcome = vectorprobe.run_window(
+            board, DEFAULT.window_us * 1e3, warm=warm
+        )
+        gups.stop()
+        return outcome, board.controller
+
+    cold, _ = vector_window(128)
+    assert cold.used_vector, cold.reason
+    assert cold.diagnostics["probe_chunks"] == vectorprobe.COLD_PROBE_CHUNKS
+    assert not cold.diagnostics["warm_started"]
+    assert cold.steady_state is not None
+
+    warm, controller = vector_window(64, warm=cold.steady_state)
+    assert warm.used_vector, warm.reason
+    assert warm.diagnostics["probe_chunks"] == vectorprobe.WARM_PROBE_CHUNKS
+    assert warm.diagnostics["warm_started"]
+    assert warm.events_equivalent / warm.events >= 20.0  # 48/2 = 24x
+
+    des_m, _ = simulate_point(_point(DEFAULT, RequestType.READ, 64))
+    assert _rel(des_m.bandwidth_gbs, controller.bandwidth_gbs) <= PARITY_TOL
+    assert (
+        _rel(des_m.read_latency_avg_ns, controller.read_latency.stats.mean)
+        <= PARITY_TOL
+    )
