@@ -30,8 +30,14 @@ Usage::
     python -m repro query --fleet --pattern "16 vaults" --size 128
     python -m repro sweep --patterns "16 vaults" --fleet --json
     python -m repro fleet down
+    python -m repro fleet up -n 3 --trace-sample 1 --log-level debug
+    python -m repro fleet top --iterations 1 --slo-p95-ms 500
+    python -m repro metrics --port 8642
+    python -m repro metrics --fleet --serve 9464
+    python -m repro serve --port 8642 --metrics-port 9100
     python -m repro trace run --pattern "16 vaults" --out trace.json
     python -m repro trace export spans.ndjson --format report
+    python -m repro trace export .repro-fleet/trace --out fleet_trace.json
     python -m repro run fig7 --fast --trace fig7_trace.json --trace-sample 16
 
 ``--json`` output is newline-delimited JSON in the versioned wire
@@ -458,9 +464,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_logging(args: argparse.Namespace, service: str) -> None:
+    """Honour ``--log-file`` by configuring the process event logger."""
+    log_file = getattr(args, "log_file", None)
+    if log_file:
+        from repro.obs import log as obs_log
+
+        obs_log.configure(target=log_file, service=service)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import run_service
 
+    _configure_logging(args, "backend")
     device = getattr(args, "device", None)
     if device:
         # The daemon measures whatever settings each request carries;
@@ -477,6 +493,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         max_queue=args.max_queue,
         max_batch=args.max_batch,
+        metrics_port=args.metrics_port,
     )
     return 0
 
@@ -569,6 +586,8 @@ def _cmd_fleet_up(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         device=getattr(args, "device", None),
         use_cache=not args.no_cache,
+        trace_sample=args.trace_sample,
+        log_level=args.log_level,
     )
     try:
         state = fleet_up(spec)
@@ -583,6 +602,11 @@ def _cmd_fleet_up(args: argparse.Namespace) -> int:
         print(
             f"  {backend.name}: {backend.host}:{backend.port} "
             f"(pid {backend.pid}, cache {backend.cache_dir})"
+        )
+    if spec.trace_sample:
+        print(
+            f"tracing: 1/{spec.trace_sample} of requests, "
+            f"spans in {spec.trace_dir()}"
         )
     print(f"state: {state.save()}")
     return 0
@@ -652,7 +676,9 @@ def _cmd_fleet_down(args: argparse.Namespace) -> int:
 def _cmd_fleet_route(args: argparse.Namespace) -> int:
     """Run the fleet router in the foreground (spawned by ``fleet up``)."""
     from repro.fleet.router import run_router
+    from repro.fleet.watch import SLOThresholds
 
+    _configure_logging(args, "router")
     backends = {}
     for entry in args.backend or []:
         name, sep, address = entry.partition("=")
@@ -678,8 +704,105 @@ def _cmd_fleet_route(args: argparse.Namespace) -> int:
         port=args.port,
         replicas=args.replicas,
         window=args.window,
+        metrics_port=args.metrics_port,
+        slo=SLOThresholds(
+            p95_ms=args.slo_p95_ms, failover_rate=args.slo_failover_rate
+        ),
     )
     return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics``: scrape-or-serve Prometheus text exposition.
+
+    One-shot (default): fetch the endpoint's metrics snapshot - one
+    daemon's registry, or the aggregated fleet view with ``--fleet`` -
+    render it in the Prometheus text format, and print it.  With
+    ``--serve PORT`` keep running as a scrape proxy: every HTTP GET of
+    ``/metrics`` re-fetches and re-renders a fresh snapshot, giving a
+    router-less fleet (or a remote Prometheus) one stable endpoint.
+    """
+    from repro.obs import export as obs_export
+
+    def snapshot() -> dict:
+        if args.fleet:
+            from repro.fleet.client import FleetClient
+
+            with FleetClient(run_dir=args.fleet_dir) as fleet_client:
+                return fleet_client.fleet_metrics()
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(host=args.host, port=args.port) as client:
+            return client.metrics()
+
+    if args.serve is None:
+        print(obs_export.prometheus_text(snapshot()), end="")
+        return 0
+    scrape = obs_export.MetricsHTTPServer(
+        lambda: obs_export.prometheus_text(snapshot()),
+        port=args.serve,
+    )
+    bound = scrape.start()
+    print(f"repro metrics: serving http://127.0.0.1:{bound}/metrics")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        scrape.stop()
+    return 0
+
+
+def _cmd_fleet_top(args: argparse.Namespace) -> int:
+    """``repro fleet top``: live per-backend fleet health table.
+
+    Polls the router's ``stats`` verb every ``--interval`` seconds and
+    renders the :func:`repro.fleet.watch.render_top` table, evaluating
+    the same SLO thresholds the router's watchdog uses so a breach
+    shows identically in both places.  ``--iterations N`` bounds the
+    loop (CI uses 1); the default 0 runs until interrupted.
+    """
+    import time as _time
+
+    from repro.fleet.spec import FleetState, FleetStateError
+    from repro.fleet.watch import SLOThresholds, evaluate_slo, render_top
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import ServiceError
+
+    try:
+        state = FleetState.load(args.run_dir)
+    except FleetStateError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    thresholds = SLOThresholds(
+        p95_ms=args.slo_p95_ms, failover_rate=args.slo_failover_rate
+    )
+    iteration = 0
+    try:
+        while True:
+            iteration += 1
+            try:
+                with ServiceClient(
+                    host=state.host,
+                    port=state.router_port,
+                    connect_timeout=5.0,
+                    read_timeout=10.0,
+                ) as client:
+                    stats = client.stats()
+            except (ServiceError, OSError) as exc:
+                print(f"fleet top: router unreachable: {exc}", file=sys.stderr)
+                return 1
+            breaches = (
+                evaluate_slo(stats, thresholds) if thresholds.enabled else []
+            )
+            print(render_top(stats, breaches))
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 @contextmanager
@@ -770,9 +893,17 @@ def _validate_against_profile(point, result) -> int:
 
 
 def _trace_export(args: argparse.Namespace) -> int:
-    """Re-render a span NDJSON file as Perfetto JSON or a report."""
+    """Re-render spans as Perfetto JSON or a report.
+
+    ``SPANS`` may be a lifecycle-span NDJSON file (from ``trace run
+    --spans``) or a *directory* of per-process wire-span sinks (a
+    fleet's ``<run_dir>/trace``); a directory assembles the distributed
+    client/router/backend/simulation tree into one Perfetto document.
+    """
     from repro.obs import export as obs_export
 
+    if os.path.isdir(args.spans):
+        return _trace_export_wire(args, obs_export)
     contexts = obs_export.read_spans(args.spans)
     if args.format == "report":
         print(
@@ -784,6 +915,33 @@ def _trace_export(args: argparse.Namespace) -> int:
     out = args.out or "trace.json"
     count = obs_export.write_chrome_trace(out, contexts, label=args.spans)
     print(f"wrote {out} ({count} traced requests)")
+    return 0
+
+
+def _trace_export_wire(args: argparse.Namespace, obs_export) -> int:
+    """Assemble a fleet trace directory into one Perfetto document."""
+    spans = obs_export.link_simulation_spans(
+        obs_export.load_wire_spans(args.spans)
+    )
+    if not spans:
+        print(f"no wire spans found under {args.spans}", file=sys.stderr)
+        return 1
+    services = sorted({span.service for span in spans})
+    pids = sorted({span.attrs.get("pid") for span in spans if span.attrs})
+    if args.format == "report":
+        print(
+            f"{args.spans}: {len(spans)} wire spans from "
+            f"{len(pids)} process(es), services: {', '.join(services)}"
+        )
+        traces = sorted({span.trace_id for span in spans if span.trace_id})
+        print(f"distributed traces: {len(traces)}")
+        return 0
+    out = args.out or "trace.json"
+    count = obs_export.write_wire_trace(out, spans, label=args.spans)
+    print(
+        f"wrote {out} ({count} wire spans, {len(pids)} process(es), "
+        f"services: {', '.join(services)})"
+    )
     return 0
 
 
@@ -1701,9 +1859,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="most points simulated per executor batch",
     )
+    serve_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also expose Prometheus /metrics on this HTTP port (0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--log-file",
+        default=None,
+        metavar="FILE",
+        help="write structured NDJSON events here (also: REPRO_LOG env)",
+    )
     add_executor_flags(serve_parser)
     add_device_flag(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="print (or serve) a Prometheus view of daemon/fleet metrics",
+    )
+    metrics_parser.add_argument("--host", default=DEFAULT_HOST)
+    metrics_parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    metrics_parser.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "keep running as an HTTP scrape proxy on this port "
+            "(0 = ephemeral); every GET /metrics re-fetches a fresh snapshot"
+        ),
+    )
+    add_fleet_flags(metrics_parser)
+    metrics_parser.set_defaults(func=_cmd_metrics)
 
     query_parser = sub.add_parser(
         "query", help="query a running measurement daemon"
@@ -1812,8 +2002,60 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the backends' on-disk result-cache shards",
     )
+    fleet_up_parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "trace every Nth request fleet-wide: every child samples wire "
+            "spans into <run-dir>/trace for `repro trace export <run-dir>/trace`"
+        ),
+    )
+    fleet_up_parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="REPRO_LOG_LEVEL for every fleet process (default: info)",
+    )
     add_device_flag(fleet_up_parser)
     fleet_up_parser.set_defaults(func=_cmd_fleet_up)
+
+    fleet_top_parser = fleet_sub.add_parser(
+        "top", help="live per-backend health table (alive/inflight/p50/p95)"
+    )
+    fleet_top_parser.add_argument(
+        "--run-dir", default=DEFAULT_RUN_DIR, metavar="DIR"
+    )
+    fleet_top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between refreshes (default: 2)",
+    )
+    fleet_top_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes (default: 0 = run until Ctrl-C)",
+    )
+    fleet_top_parser.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="flag backends whose p95 service latency exceeds this",
+    )
+    fleet_top_parser.add_argument(
+        "--slo-failover-rate",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="flag backends whose failover fraction exceeds this (0-1)",
+    )
+    fleet_top_parser.set_defaults(func=_cmd_fleet_top)
 
     fleet_status_parser = fleet_sub.add_parser(
         "status", help="report the fleet's process and ring health"
@@ -1870,6 +2112,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_RUN_DIR,
         metavar="DIR",
         help="fleet.json location used when no --backend is given",
+    )
+    fleet_route_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also expose Prometheus /metrics on this HTTP port (0 = ephemeral)",
+    )
+    fleet_route_parser.add_argument(
+        "--log-file",
+        default=None,
+        metavar="FILE",
+        help="write structured NDJSON events here (also: REPRO_LOG env)",
+    )
+    fleet_route_parser.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="watchdog: warn + count when a backend's p95 exceeds this",
+    )
+    fleet_route_parser.add_argument(
+        "--slo-failover-rate",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="watchdog: warn + count when a backend's failover rate exceeds this",
     )
     fleet_route_parser.set_defaults(func=_cmd_fleet_route)
     return parser

@@ -76,6 +76,9 @@ from repro.core.experiment import (
     simulate_point,
 )
 from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
+from repro.obs import wiretrace
+from repro.obs.log import get_logger
 
 #: In-process memo shared by every executor: key -> measurement.  This
 #: is what lets Figs. 9-12 and 16 reuse Fig. 7/8 measurements within a
@@ -327,8 +330,24 @@ atexit.register(shutdown_pool)
 
 
 def _simulate(point: MeasurementPoint) -> Tuple[BandwidthMeasurement, int]:
-    """Pool worker: run one simulation (module-level, hence picklable)."""
-    return simulate_point(point)
+    """Pool worker: run one simulation (module-level, hence picklable).
+
+    When a distributed span sink is configured (a traced fleet run:
+    ``REPRO_TRACE_DIR`` plus an active lifecycle sampling rate), the
+    lifecycle contexts this simulation finished are drained and written
+    to the worker's own span file as ``sim`` spans stamped with the
+    point's cache key - the only channel out of a fork worker, and how
+    the exporter telescopes the simulated RTT under the backend's serve
+    span.  The group path (:func:`_simulate_group`) deliberately skips
+    this: one group mixes many points, so per-point attribution would
+    be wrong.
+    """
+    outcome = simulate_point(point)
+    if wiretrace.sim_sink_active():
+        contexts = obs_trace.drain_finished()
+        if contexts:
+            wiretrace.record_sim_contexts(cache_key(point), contexts)
+    return outcome
 
 
 def _simulate_group(
@@ -552,6 +571,9 @@ class MeasurementExecutor:
         try:
             return list(get_pool(self.jobs).map(_simulate_group, group_points))
         except BrokenProcessPool:
+            get_logger("executor").warning(
+                "pool_broken", retry=True, groups=len(group_points)
+            )
             shutdown_pool()
             return list(get_pool(self.jobs).map(_simulate_group, group_points))
 
@@ -576,6 +598,9 @@ class MeasurementExecutor:
         except BrokenProcessPool:
             # A worker died (OOM kill, signal).  Replace the pool and
             # retry the batch once; a second failure propagates.
+            get_logger("executor").warning(
+                "pool_broken", retry=True, points=len(miss_points)
+            )
             shutdown_pool()
             mapped = list(
                 get_pool(self.jobs).map(_simulate, ordered, chunksize=chunksize)

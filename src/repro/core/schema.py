@@ -46,6 +46,7 @@ from repro.hmc.calibration import Calibration
 from repro.hmc.config import HMCConfig, LinkConfig
 from repro.hmc.packet import RequestType
 from repro.obs.trace import STAMPS, TraceContext
+from repro.obs.wiretrace import WireSpan
 from repro.topology.spec import TopologySpec
 
 #: The wire-schema version this process reads and writes.  Bump it (and
@@ -400,6 +401,48 @@ def span_from_dict(payload: Mapping[str, Any]) -> TraceContext:
         raise
     except (KeyError, TypeError, ValueError) as exc:
         raise SchemaError(f"invalid trace_span payload: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# distributed wire spans - the cross-process trace sink files
+# ----------------------------------------------------------------------
+def wire_span_to_dict(span: WireSpan) -> Dict[str, Any]:
+    """Wire payload for one finished cross-process span."""
+    return _envelope(
+        "wire_span",
+        {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "service": span.service,
+            "name": span.name,
+            "start_us": encode_float(span.start_us),
+            "duration_us": encode_float(span.duration_us),
+            "attrs": span.attrs,
+        },
+    )
+
+
+def wire_span_from_dict(payload: Mapping[str, Any]) -> WireSpan:
+    """Decode a :class:`~repro.obs.wiretrace.WireSpan` payload."""
+    body = check_envelope(payload, "wire_span")
+    try:
+        return WireSpan(
+            trace_id=str(body["trace_id"]),
+            span_id=str(body["span_id"]),
+            parent_id=(
+                None if body["parent_id"] is None else str(body["parent_id"])
+            ),
+            service=str(body["service"]),
+            name=str(body["name"]),
+            start_us=decode_float(body["start_us"]),
+            duration_us=decode_float(body["duration_us"]),
+            attrs=dict(body.get("attrs") or {}),
+        )
+    except SchemaError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"invalid wire_span payload: {exc}") from None
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,12 @@ Two routing modes:
 Daemon-*reported* failures (a simulation error) stay
 :class:`ServiceError` and are never retried - they are deterministic
 and would fail identically on every ring node.
+
+On construction the client adopts the fleet's persisted observability
+configuration (``fleet.json``'s ``"obs"`` block): when the fleet was
+launched with tracing enabled, the client's own wire spans sample at
+the fleet's rate into the fleet's shared trace directory - without
+clobbering explicit ``REPRO_TRACE_*`` settings in this process.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from repro.core.cache import cache_key
 from repro.core.experiment import BandwidthMeasurement, MeasurementPoint
 from repro.fleet.ring import HashRing
 from repro.fleet.spec import DEFAULT_RUN_DIR, FleetState
+from repro.obs import aggregate, wiretrace
 from repro.service.client import ServiceClient
 from repro.service.protocol import ServiceError, ServiceTimeoutError
 
@@ -111,6 +118,24 @@ class FleetClient:
         self._clients: Dict[str, ServiceClient] = {}
         self._dead: set = set()
         self._lock = threading.Lock()
+        self._adopt_obs(state.obs)
+
+    @staticmethod
+    def _adopt_obs(obs: Optional[Dict]) -> None:
+        """Adopt the fleet's persisted tracing config, without override.
+
+        ``override=False`` means explicit ``REPRO_TRACE_*`` settings in
+        this process (env or an earlier ``wiretrace.configure``) win;
+        the fleet's config only fills knobs nobody set.
+        """
+        if not obs:
+            return
+        sample = obs.get("trace_sample")
+        trace_dir = obs.get("trace_dir")
+        if sample and trace_dir:
+            wiretrace.configure(
+                trace_dir=str(trace_dir), sample=int(sample), override=False
+            )
 
     # ------------------------------------------------------------------
     # connections
@@ -264,6 +289,25 @@ class FleetClient:
         """The routing endpoint's metrics-registry snapshot."""
         endpoint = "router" if self.via == "router" else next(iter(self._addresses))
         return self._client(endpoint).metrics()
+
+    def fleet_metrics(self) -> Dict:
+        """The aggregated fleet-wide metrics snapshot.
+
+        Through the router this is one ``fleet_metrics`` round trip
+        (the router scatter-gathers its live backends and merges).  In
+        direct mode the client performs the identical aggregation
+        itself: each backend's ``metrics`` snapshot is labelled with
+        ``backend=<name>`` and merged with the same
+        :func:`repro.obs.aggregate.fleet_snapshot` math the router
+        uses, so both modes report the same series.
+        """
+        if self.via == "router":
+            return self._client("router").fleet_metrics()
+        snapshots = {
+            name: self._client(name).metrics()
+            for name in sorted(self._addresses)
+        }
+        return aggregate.fleet_snapshot(snapshots)
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -20,6 +20,32 @@ bounded wait, SIGKILL for stragglers, and finally removes
 ``fleet.json``.  Cache shards survive teardown on purpose - the next
 ``fleet up`` with the same run dir starts warm, because backend *names*
 (the ring identities) are stable across restarts.
+
+Observability propagation contract
+----------------------------------
+Spawned children inherit the manager's environment, then the manager
+*explicitly* overrides the observability knobs so the whole fleet
+shares one coherent configuration (see :func:`_child_env`):
+
+* ``REPRO_SERVICE_NAME`` - the child's fleet identity (``backend-0``
+  ..., ``router``); structured log events and wire spans carry it.
+* ``REPRO_LOG`` - NDJSON event-log destination.  Defaults to
+  ``<run_dir>/logs/<name>.events.ndjson``; an ambient ``REPRO_LOG``
+  in the manager's environment wins, letting operators redirect the
+  whole fleet (for example to ``stderr``) without new flags.
+* ``REPRO_LOG_LEVEL`` - from ``FleetSpec.log_level``.
+* ``REPRO_TRACE_SAMPLE`` / ``REPRO_TRACE_DIR`` - only when
+  ``FleetSpec.trace_sample`` is set: every child samples wire spans
+  at that rate into the shared ``<run_dir>/trace`` sink directory, so
+  one export assembles the whole distributed tree.  When unset, both
+  variables are *removed* from the child environment - a fleet is
+  traced by its spec, never accidentally by ambient state.
+* ``REPRO_CACHE_DIR`` - backends only, their private cache shard.
+
+The resolved configuration is persisted verbatim into ``fleet.json``
+under ``"obs"`` (see ``FleetSpec.obs_config``) so clients - which are
+*not* children of the manager - can adopt the same trace dir and
+sample rate by reading the state file.
 """
 
 from __future__ import annotations
@@ -41,6 +67,9 @@ from repro.fleet.spec import (
     FleetStateError,
     state_path,
 )
+from repro.obs.log import LEVEL_ENV, LOG_ENV, SERVICE_ENV, get_logger
+from repro.obs.trace import SAMPLE_ENV
+from repro.obs.wiretrace import TRACE_DIR_ENV
 
 #: Seconds to wait for a spawned process to print its ready line.
 LAUNCH_TIMEOUT = 30.0
@@ -121,6 +150,31 @@ def _kill_tree(pids: List[int]) -> None:
                 pass
 
 
+def _child_env(spec: FleetSpec, name: str) -> Dict[str, str]:
+    """The explicit observability environment of one fleet child.
+
+    Implements the propagation contract from the module docstring: the
+    child inherits the manager's environment, then ``REPRO_SERVICE_NAME``,
+    ``REPRO_LOG`` (ambient value wins over the per-child default),
+    ``REPRO_LOG_LEVEL``, and - when the spec enables tracing -
+    ``REPRO_TRACE_SAMPLE`` + ``REPRO_TRACE_DIR`` are set explicitly.
+    With tracing disabled both trace variables are removed so ambient
+    shell state cannot silently trace a fleet its spec says is
+    untraced.
+    """
+    env = dict(os.environ)
+    env[SERVICE_ENV] = name
+    env.setdefault(LOG_ENV, str(spec.events_path(name)))
+    env[LEVEL_ENV] = spec.log_level
+    if spec.trace_sample:
+        env[SAMPLE_ENV] = str(spec.trace_sample)
+        env[TRACE_DIR_ENV] = str(spec.trace_dir())
+    else:
+        env.pop(SAMPLE_ENV, None)
+        env.pop(TRACE_DIR_ENV, None)
+    return env
+
+
 def _backend_command(spec: FleetSpec) -> List[str]:
     command = [
         sys.executable,
@@ -164,6 +218,9 @@ def fleet_up(spec: FleetSpec) -> FleetState:
                 "(run `repro fleet down` first)"
             )
 
+    log = get_logger("manager")
+    if spec.trace_sample:
+        spec.trace_dir().mkdir(parents=True, exist_ok=True)
     launched: List[subprocess.Popen] = []
     try:
         backends: List[BackendState] = []
@@ -171,11 +228,14 @@ def fleet_up(spec: FleetSpec) -> FleetState:
             cache_dir = spec.cache_dir(name)
             cache_dir.mkdir(parents=True, exist_ok=True)
             log_path = spec.log_path(name)
-            env = dict(os.environ)
+            env = _child_env(spec, name)
             env["REPRO_CACHE_DIR"] = str(cache_dir)
             proc = _spawn(_backend_command(spec), log_path, env)
             launched.append(proc)
             host, port = _await_ready(proc, log_path, _SERVE_READY)
+            log.info(
+                "backend_launched", backend=name, child_pid=proc.pid, port=port
+            )
             backends.append(
                 BackendState(
                     name=name,
@@ -206,9 +266,14 @@ def fleet_up(spec: FleetSpec) -> FleetState:
                 "--backend",
                 f"{backend.name}={backend.host}:{backend.port}",
             ]
-        router_proc = _spawn(router_command, router_log, dict(os.environ))
+        router_proc = _spawn(
+            router_command, router_log, _child_env(spec, "router")
+        )
         launched.append(router_proc)
         router_host, router_port = _await_ready(router_proc, router_log, _ROUTER_READY)
+        log.info(
+            "router_launched", child_pid=router_proc.pid, port=router_port
+        )
     except BaseException:
         # Launch failed part-way: tear down whatever already started so
         # a failed `fleet up` never leaks daemons.
@@ -232,9 +297,19 @@ def fleet_up(spec: FleetSpec) -> FleetState:
             "max_queue": spec.max_queue,
             "max_batch": spec.max_batch,
             "use_cache": spec.use_cache,
+            "trace_sample": spec.trace_sample,
+            "log_level": spec.log_level,
         },
+        obs=spec.obs_config(),
     )
     state.save()
+    log.info(
+        "fleet_up",
+        backends=spec.backends,
+        router_port=router_port,
+        run_dir=str(run_dir),
+        trace_sample=spec.trace_sample,
+    )
     return state
 
 

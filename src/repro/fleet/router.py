@@ -43,6 +43,9 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 from repro.core import schema
 from repro.core.cache import cache_key
 from repro.fleet.ring import DEFAULT_REPLICAS, HashRing
+from repro.fleet.watch import WATCH_INTERVAL, SLOThresholds, evaluate_slo
+from repro.obs import aggregate, wiretrace
+from repro.obs.log import get_logger
 from repro.obs.registry import get_registry
 from repro.service import protocol
 from repro.service.metrics import LATENCY_BUCKETS, LatencyWindow
@@ -107,14 +110,26 @@ class BackendChannel:
                 f"{self.name} ({self.host}:{self.port}): connect failed: {exc}"
             ) from None
 
-    async def roundtrip(self, line: bytes) -> bytes:
+    async def roundtrip(
+        self, line: bytes, timing: Optional[Dict[str, float]] = None
+    ) -> bytes:
         """Send one request line, return the backend's response line.
 
         Raises :class:`BackendUnavailable` on connect failure, read
         timeout, or a connection closed mid-request - the signals the
-        router fails over on.
+        router fails over on.  When ``timing`` is given, the wait for
+        an in-flight window slot is reported into it as
+        ``queue_wait_start_us`` (epoch) / ``queue_wait_us`` (duration)
+        so the router can record a queue-wait span for traced requests.
         """
+        if timing is not None:
+            queue_entered = (time.time(), time.perf_counter())
         async with self._window:
+            if timing is not None:
+                timing["queue_wait_start_us"] = queue_entered[0] * 1e6
+                timing["queue_wait_us"] = (
+                    time.perf_counter() - queue_entered[1]
+                ) * 1e6
             reader, writer = await self._acquire()
             self.inflight += 1
             try:
@@ -178,12 +193,17 @@ class FleetRouter:
         window: int = DEFAULT_WINDOW,
         connect_timeout: float = CONNECT_TIMEOUT,
         read_timeout: float = READ_TIMEOUT,
+        slo: Optional[SLOThresholds] = None,
     ) -> None:
         if not backends:
             raise ValueError("a fleet router needs at least one backend")
         self.host = host
         self.port = port
         self.started = time.monotonic()
+        self.slo = slo if slo is not None else SLOThresholds()
+        self.slo_breaches = 0
+        self._slo_breaches_total: Dict[Tuple[str, str], object] = {}
+        self._log = get_logger("router")
         self.ring = HashRing(backends, replicas=replicas)
         self.channels: Dict[str, BackendChannel] = {
             name: BackendChannel(
@@ -236,12 +256,13 @@ class FleetRouter:
         self._line_tasks: Set[asyncio.Task] = set()
         self._writers: Set[asyncio.StreamWriter] = set()
         self._probe_task: Optional[asyncio.Task] = None
+        self._watch_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # lifecycle (mirrors MeasurementService)
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind the listener and start the dead-backend probe task."""
+        """Bind the listener and start the probe and watchdog tasks."""
         self._loop = asyncio.get_running_loop()
         self._stop_requested = asyncio.Event()
         self._server = await asyncio.start_server(
@@ -249,6 +270,14 @@ class FleetRouter:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._probe_task = self._loop.create_task(self._probe_loop())
+        if self.slo.enabled:
+            self._watch_task = self._loop.create_task(self._watch_loop())
+        self._log.info(
+            "router_started",
+            host=self.host,
+            port=self.port,
+            backends=sorted(self.channels),
+        )
 
     def request_shutdown(self) -> None:
         """Flag the router to drain and exit (signal- and thread-safe)."""
@@ -295,13 +324,15 @@ class FleetRouter:
             await self._server.wait_closed()
             self._server = None
         self.request_shutdown()
-        if self._probe_task is not None:
-            self._probe_task.cancel()
-            try:
-                await self._probe_task
-            except asyncio.CancelledError:
-                pass
-            self._probe_task = None
+        for task in (self._probe_task, self._watch_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._probe_task = None
+        self._watch_task = None
         if self._line_tasks:
             await asyncio.gather(*tuple(self._line_tasks), return_exceptions=True)
         for writer in tuple(self._writers):
@@ -309,6 +340,12 @@ class FleetRouter:
         self._writers.clear()
         for channel in self.channels.values():
             channel.close()
+        self._log.info(
+            "router_drained",
+            measure_requests=self.measure_requests,
+            failovers=self.failovers,
+            rebalances=self.rebalances,
+        )
 
     # ------------------------------------------------------------------
     # ring health
@@ -326,6 +363,9 @@ class FleetRouter:
         self.rebalances += 1
         self._rebalances_total["removed"].inc()
         self._alive_gauge.set(len(self.ring))
+        self._log.warning(
+            "backend_dead", backend=name, ring_nodes=sorted(self.ring.nodes)
+        )
 
     def _restore(self, name: str) -> None:
         """Re-add a recovered backend (its key share moves back)."""
@@ -336,6 +376,9 @@ class FleetRouter:
         self.rebalances += 1
         self._rebalances_total["restored"].inc()
         self._alive_gauge.set(len(self.ring))
+        self._log.info(
+            "backend_restored", backend=name, ring_nodes=sorted(self.ring.nodes)
+        )
 
     async def _probe_loop(self) -> None:
         """Ping dead backends periodically; restore the ones that answer."""
@@ -344,6 +387,41 @@ class FleetRouter:
             for name in sorted(self.dead):
                 if await self.channels[name].probe():
                     self._restore(name)
+
+    # ------------------------------------------------------------------
+    # SLO watchdog
+    # ------------------------------------------------------------------
+    async def _watch_loop(self) -> None:
+        """Evaluate the SLOs every :data:`WATCH_INTERVAL` seconds."""
+        while True:
+            await asyncio.sleep(WATCH_INTERVAL)
+            self.check_slo()
+
+    def check_slo(self) -> List[Dict]:
+        """Evaluate the configured SLOs once against the live stats.
+
+        Each breach *observation* (one violated objective on one
+        backend per evaluation) emits a structured warning event and
+        increments ``fleet_slo_breaches_total{backend,slo}`` - an
+        ongoing breach therefore counts once per watchdog interval,
+        which is what makes the counter's rate meaningful in a scrape.
+        Returns the breach records for callers (tests, ``fleet top``).
+        """
+        breaches = evaluate_slo(self.stats(), self.slo)
+        for breach in breaches:
+            self.slo_breaches += 1
+            self._slo_counter(breach["backend"], breach["slo"]).inc()
+            self._log.warning("slo_breach", **breach)
+        return breaches
+
+    def _slo_counter(self, backend: str, slo: str):
+        counter = self._slo_breaches_total.get((backend, slo))
+        if counter is None:
+            counter = get_registry().counter(
+                "fleet_slo_breaches_total", {"backend": backend, "slo": slo}
+            )
+            self._slo_breaches_total[(backend, slo)] = counter
+        return counter
 
     # ------------------------------------------------------------------
     # connection handling
@@ -401,6 +479,10 @@ class FleetRouter:
                     request.id, schema.metrics_to_dict(get_registry().snapshot())
                 ),
             )
+        elif request.verb == "fleet_metrics":
+            await self._send_payload(
+                writer, write_lock, await self._fleet_metrics(request.id)
+            )
         elif request.verb == "shutdown":
             await self._send_payload(
                 writer, write_lock, protocol.ok_response(request.id, {"stopping": True})
@@ -413,8 +495,27 @@ class FleetRouter:
             await self._send_raw(writer, write_lock, response)
 
     async def _route_measure(self, line: bytes, request: protocol.Request) -> bytes:
-        """Relay one measure line along its key's ring preference order."""
+        """Relay one measure line along its key's ring preference order.
+
+        Untraced lines relay verbatim (response lines always do).  A
+        *traced* request additionally grows a ``route`` span covering
+        the whole routing operation, one ``relay`` (or, on failure,
+        ``failover``) child per attempt, and a ``queue_wait`` child
+        under the successful relay for the in-flight window wait; the
+        relayed line's ``trace.span_id`` is rewritten per attempt so
+        the backend's serve span parents under the relay span.
+        """
         key = cache_key(request.point)
+        traced = wiretrace.parse_trace_field(request.trace)
+        route_span = None
+        if traced is not None:
+            route_span = wiretrace.start_span(
+                "router",
+                "route",
+                trace_id=traced["trace_id"],
+                parent_id=traced["span_id"],
+                attrs={"cache_key": key},
+            )
         tried: Set[str] = set()
         first = True
         # The preference list is re-read after each failure: marking a
@@ -432,24 +533,104 @@ class FleetRouter:
                 self.failovers += 1
             first = False
             channel = self.channels[name]
+            relay_line = line
+            relay_span = None
+            timing: Optional[Dict[str, float]] = None
+            if route_span is not None:
+                relay_span = wiretrace.start_span(
+                    "router",
+                    "relay",
+                    trace_id=route_span.trace_id,
+                    parent_id=route_span.span_id,
+                    attrs={"backend": name},
+                )
+                relay_line = _retrace_line(line, relay_span)
+                timing = {}
             started = time.monotonic()
             try:
-                response = await channel.roundtrip(line)
-            except BackendUnavailable:
+                response = await channel.roundtrip(relay_line, timing=timing)
+            except BackendUnavailable as exc:
                 self._failovers_total[name].inc()
+                if relay_span is not None:
+                    relay_span.name = "failover"
+                    relay_span.finish(ok=False, error=str(exc))
+                self._log.warning(
+                    "request_failover",
+                    backend=name,
+                    error=str(exc),
+                    trace_id=traced["trace_id"] if traced else None,
+                )
                 self._mark_dead(name)
                 continue
             self._requests_total[name].inc()
             elapsed = time.monotonic() - started
             self._latency[name].observe(elapsed)
             self._latency_seconds[name].observe(elapsed)
+            if relay_span is not None:
+                relay_span.finish(ok=True)
+                if timing and "queue_wait_us" in timing:
+                    wiretrace.record_span(
+                        "router",
+                        "queue_wait",
+                        trace_id=relay_span.trace_id,
+                        parent_id=relay_span.span_id,
+                        start_us=timing["queue_wait_start_us"],
+                        duration_us=timing["queue_wait_us"],
+                        attrs={"backend": name},
+                    )
+            if route_span is not None:
+                route_span.finish(backend=name, failovers=len(tried) - 1)
             return response
         self.errors += 1
+        if route_span is not None:
+            route_span.finish(ok=False, failovers=len(tried))
+        self._log.error(
+            "route_exhausted",
+            tried=sorted(tried),
+            trace_id=traced["trace_id"] if traced else None,
+        )
         payload = protocol.error_response(
             request.id,
             f"no backend available for this point (tried {sorted(tried)})",
         )
         return (schema.dumps(payload) + "\n").encode()
+
+    # ------------------------------------------------------------------
+    # fleet-wide metrics
+    # ------------------------------------------------------------------
+    async def _fleet_metrics(self, request_id: protocol.RequestId) -> Dict:
+        """Scatter ``metrics`` to live backends and merge the snapshots.
+
+        Backend series gain a ``backend=<name>`` label and merge per
+        :mod:`repro.obs.aggregate`; the router's own registry snapshot
+        (``fleet_*`` series, already backend-labelled) joins as-is.  A
+        backend that fails to answer is skipped with a warning event -
+        a degraded fleet still reports the survivors.
+        """
+        line = (schema.dumps(protocol.verb_request("metrics")) + "\n").encode()
+        names = [name for name in sorted(self.channels) if name not in self.dead]
+
+        async def fetch(name: str):
+            try:
+                raw = await self.channels[name].roundtrip(line)
+                response = protocol.parse_response(raw.decode())
+                if not response.get("ok"):
+                    raise schema.SchemaError(
+                        str(response.get("error") or "backend refused metrics")
+                    )
+                return name, schema.metrics_from_dict(response["result"])
+            except (BackendUnavailable, schema.SchemaError) as exc:
+                self._log.warning(
+                    "fleet_metrics_failed", backend=name, error=str(exc)
+                )
+                return name, None
+
+        gathered = await asyncio.gather(*(fetch(name) for name in names))
+        snapshots = {name: snap for name, snap in gathered if snap is not None}
+        merged = aggregate.fleet_snapshot(
+            snapshots, extra_series=get_registry().snapshot()["series"]
+        )
+        return protocol.ok_response(request_id, schema.metrics_to_dict(merged))
 
     # ------------------------------------------------------------------
     # stats
@@ -479,6 +660,7 @@ class FleetRouter:
                 "measure_requests": self.measure_requests,
                 "errors": self.errors,
                 "failovers": self.failovers,
+                "slo_breaches": self.slo_breaches,
             },
             "ring": {
                 "nodes": sorted(self.ring.nodes),
@@ -515,6 +697,25 @@ def _json_float(value) -> Optional[float]:
     return None if isinstance(value, float) and math.isnan(value) else value
 
 
+def _retrace_line(line: bytes, span: wiretrace.SpanHandle) -> bytes:
+    """Rewrite a traced request line so ``span`` becomes the parent.
+
+    Only the ``trace.span_id`` changes; the payload re-encodes through
+    the same canonical :func:`schema.dumps` the client used, so the
+    bytes differ from the original solely in that field.  On any decode
+    surprise the original line relays untouched - tracing must never
+    break routing.
+    """
+    try:
+        payload = schema.loads(line.decode())
+        trace = dict(payload.get("trace") or {})
+        trace["span_id"] = span.span_id
+        payload["trace"] = trace
+        return (schema.dumps(payload) + "\n").encode()
+    except (schema.SchemaError, UnicodeDecodeError, ValueError):
+        return line
+
+
 async def _close_writer(writer: asyncio.StreamWriter) -> None:
     try:
         if writer.can_write_eof():
@@ -535,21 +736,54 @@ def run_router(
     replicas: int = DEFAULT_REPLICAS,
     window: int = DEFAULT_WINDOW,
     ready_message: bool = True,
+    metrics_port: Optional[int] = None,
+    slo: Optional[SLOThresholds] = None,
 ) -> None:
-    """Run a router in the foreground until SIGTERM/SIGINT (the CLI path)."""
+    """Run a router in the foreground until SIGTERM/SIGINT (the CLI path).
+
+    ``metrics_port`` serves the router's registry as a Prometheus
+    ``/metrics`` scrape endpoint; ``slo`` enables the watchdog that
+    turns threshold crossings into warning events and the
+    ``fleet_slo_breaches_total`` counter.
+    """
 
     async def _main() -> None:
         router = FleetRouter(
-            backends, host=host, port=port, replicas=replicas, window=window
+            backends,
+            host=host,
+            port=port,
+            replicas=replicas,
+            window=window,
+            slo=slo,
         )
         await router.start()
+        scrape = None
+        if metrics_port is not None:
+            from repro.obs import export
+
+            scrape = export.MetricsHTTPServer(
+                lambda: export.prometheus_text(get_registry().snapshot()),
+                host=host,
+                port=metrics_port,
+            )
+            bound = scrape.start()
+            if ready_message:
+                print(
+                    f"repro fleet-router: metrics on "
+                    f"http://{host}:{bound}/metrics",
+                    flush=True,
+                )
         if ready_message:
             print(
                 f"repro fleet-router: routing on {router.host}:{router.port} "
                 f"across {len(backends)} backend(s)",
                 flush=True,
             )
-        await router.serve_until_shutdown()
+        try:
+            await router.serve_until_shutdown()
+        finally:
+            if scrape is not None:
+                scrape.stop()
         if ready_message:
             print(
                 "repro fleet-router: drained cleanly "

@@ -13,11 +13,13 @@ path.
 The run directory layout::
 
     <run_dir>/
-      fleet.json           # persisted FleetState
-      logs/router.log      # router stdout/stderr
+      fleet.json           # persisted FleetState (incl. resolved obs config)
+      logs/router.log      # router stdout/stderr (ready lines live here)
       logs/backend-0.log
+      logs/backend-0.events.ndjson   # structured NDJSON events (REPRO_LOG)
       cache/backend-0/     # that backend's REPRO_CACHE_DIR shard
       cache/backend-1/
+      trace/               # per-process wire-span sinks when tracing is on
       ...
 
 Backend *names* (``backend-0`` ...) are the hash-ring node identities;
@@ -65,6 +67,8 @@ class FleetSpec:
     replicas: int = DEFAULT_REPLICAS
     device: Optional[str] = None  # annotation passed to each backend
     use_cache: bool = True
+    trace_sample: Optional[int] = None  # REPRO_TRACE_SAMPLE for every child
+    log_level: str = "info"  # REPRO_LOG_LEVEL for every child
 
     def __post_init__(self) -> None:
         if self.backends < 1:
@@ -81,6 +85,34 @@ class FleetSpec:
     def log_path(self, name: str) -> Path:
         """The log file of one process (``router`` or a backend name)."""
         return Path(self.run_dir) / "logs" / f"{name}.log"
+
+    def events_path(self, name: str) -> Path:
+        """The structured NDJSON event log of one process."""
+        return Path(self.run_dir) / "logs" / f"{name}.events.ndjson"
+
+    def trace_dir(self) -> Path:
+        """The shared wire-span sink directory (``REPRO_TRACE_DIR``)."""
+        return Path(self.run_dir) / "trace"
+
+    def obs_config(self) -> Dict:
+        """The resolved observability contract for every fleet child.
+
+        This is what the manager injects into each child's environment
+        and persists into ``fleet.json`` (under ``"obs"``) so clients
+        can adopt the same tracing configuration without re-deriving
+        it.
+        """
+        return {
+            "trace_sample": self.trace_sample,
+            "trace_dir": (
+                str(self.trace_dir()) if self.trace_sample else None
+            ),
+            "log_level": self.log_level,
+            "event_logs": {
+                name: str(self.events_path(name))
+                for name in self.backend_names() + ["router"]
+            },
+        }
 
 
 @dataclass(frozen=True)
@@ -111,6 +143,7 @@ class FleetState:
     run_dir: str = DEFAULT_RUN_DIR
     device: Optional[str] = None
     spec: Optional[Dict] = field(default=None)
+    obs: Optional[Dict] = field(default=None)  # resolved observability config
 
     @property
     def router_address(self) -> Tuple[str, int]:
@@ -140,6 +173,7 @@ class FleetState:
             "device": self.device,
             "backends": [asdict(b) for b in self.backends],
             "spec": self.spec,
+            "obs": self.obs,
         }
 
     def save(self, run_dir: Union[str, Path, None] = None) -> Path:
@@ -173,6 +207,7 @@ class FleetState:
                 run_dir=payload.get("run_dir", DEFAULT_RUN_DIR),
                 device=payload.get("device"),
                 spec=payload.get("spec"),
+                obs=payload.get("obs"),
             )
         except (KeyError, TypeError) as exc:
             raise FleetStateError(f"malformed fleet state: {exc}") from None

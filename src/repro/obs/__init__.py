@@ -1,22 +1,33 @@
-"""Observability: transaction tracing, metrics registry, exporters.
+"""Observability: tracing, metrics, logging, exporters, aggregation.
 
 ``repro.obs`` is the cross-cutting measurement layer:
 
 * :mod:`repro.obs.trace` - span-based transaction lifecycle tracing
   with head-based sampling (zero overhead when disabled);
+* :mod:`repro.obs.wiretrace` - distributed wall-clock spans following
+  a measure request across client, router, backend, and fork-worker
+  processes (per-process NDJSON sinks, B3-style wire context);
 * :mod:`repro.obs.registry` - the process-wide metrics registry
   (counters/gauges/histograms with labels, one snapshot API);
-* :mod:`repro.obs.export` - Chrome/Perfetto ``trace_event`` JSON and
-  the plain-text Fig. 15 latency-deconstruction report, cross-validated
-  against :mod:`repro.core.profile`.
+* :mod:`repro.obs.aggregate` - pure merge math turning many backend
+  registry snapshots into one fleet view (counters sum, gauges keep
+  last, histogram buckets merge);
+* :mod:`repro.obs.log` - leveled, trace-correlated NDJSON event
+  logging configured through ``REPRO_LOG`` / ``REPRO_LOG_LEVEL``;
+* :mod:`repro.obs.export` - Chrome/Perfetto ``trace_event`` JSON
+  (single-process lifecycle and distributed fleet assembly), the
+  plain-text Fig. 15 latency-deconstruction report, the Prometheus
+  text-format renderer, and the stdlib ``/metrics`` scrape endpoint.
 
-``trace`` and ``registry`` are stdlib-only leaves, safe to import from
-any layer; ``export`` (which pulls in heavier model modules through
-the wire schema) loads lazily on first attribute access.
+``trace``, ``wiretrace``, ``registry``, ``aggregate``, and ``log`` are
+stdlib-only leaves, safe to import from any layer; ``export`` (which
+pulls in heavier model modules through the wire schema) loads lazily
+on first attribute access.
 """
 
 from __future__ import annotations
 
+from repro.obs import aggregate, log, wiretrace
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.trace import TraceContext, Tracer
 
@@ -25,8 +36,11 @@ __all__ = [
     "get_registry",
     "TraceContext",
     "Tracer",
+    "aggregate",
+    "log",
     "trace",
     "registry",
+    "wiretrace",
     "export",
 ]
 

@@ -1,0 +1,158 @@
+"""Merge metrics snapshots from many backends into one fleet view.
+
+The router's ``fleet_metrics`` verb scatter-gathers every backend's
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot` and merges them
+here.  Semantics follow the Prometheus federation conventions:
+
+* every backend series gains a ``backend=<name>`` label (unless the
+  series already carries one -- the router's own ``fleet_*`` families
+  are pre-labelled per backend);
+* **counters** with identical ``(name, labels)`` sum;
+* **gauges** keep the last value seen (backend iteration order, which
+  the router keeps sorted, makes this deterministic);
+* **histograms** merge bucket-wise: cumulative counts are de-cumulated
+  to per-bin increments, the bound sets unioned, increments re-binned
+  to the smallest merged bound that contains them, and the result
+  re-cumulated; ``sum`` and ``count`` add.
+
+All functions are pure and operate on the plain-dict snapshot shape
+(``{"series": [...]}``), so the math is unit-testable with synthetic
+snapshots and independent of the live registry singleton.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+_INF_KEY = "+Inf"
+
+
+def _bound(key: str) -> float:
+    """Parse a bucket key (``repr(float)`` or ``+Inf``) to its bound."""
+    return math.inf if key == _INF_KEY else float(key)
+
+
+def _key(bound: float) -> str:
+    """Render a bucket bound back to its canonical snapshot key."""
+    return _INF_KEY if math.isinf(bound) else repr(bound)
+
+
+def label_series(
+    series: Iterable[Mapping[str, Any]], labels: Mapping[str, str]
+) -> List[Dict[str, Any]]:
+    """Return copies of ``series`` with ``labels`` added where absent.
+
+    A label already present on a series wins, so pre-attributed series
+    (e.g. ``fleet_backend_latency_seconds{backend=...}``) pass through
+    unchanged.
+    """
+    out: List[Dict[str, Any]] = []
+    for entry in series:
+        merged = dict(entry)
+        merged["labels"] = {
+            **{k: v for k, v in labels.items()},
+            **dict(entry.get("labels") or {}),
+        }
+        if "buckets" in merged:
+            merged["buckets"] = dict(merged["buckets"])
+        out.append(merged)
+    return out
+
+
+def merge_histogram_buckets(
+    into: Dict[str, float], other: Mapping[str, float]
+) -> Dict[str, float]:
+    """Merge one cumulative bucket dict into another, in place.
+
+    Both dicts map bound-key -> cumulative count.  The result covers
+    the union of the bounds; each side's per-bin increments land in the
+    smallest merged bound that contains them, so totals are preserved
+    even when the bound sets differ.
+    """
+    bounds = sorted({_bound(k) for k in into} | {_bound(k) for k in other})
+
+    def increments(buckets: Mapping[str, float]) -> List[Tuple[float, float]]:
+        previous = 0.0
+        out = []
+        for bound in sorted(_bound(k) for k in buckets):
+            cumulative = buckets[_key(bound)]
+            out.append((bound, cumulative - previous))
+            previous = cumulative
+        return out
+
+    per_bin = {bound: 0.0 for bound in bounds}
+    for source in (into, other):
+        for bound, increment in increments(source):
+            per_bin[bound] += increment
+    into.clear()
+    running = 0.0
+    for bound in bounds:
+        running += per_bin[bound]
+        into[_key(bound)] = running
+    return into
+
+
+def merge_series(
+    entries: Iterable[Mapping[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Collapse series with identical identity per the type's semantics.
+
+    Identity is ``(name, type, labels)``.  Counters sum, gauges keep
+    the last value, histograms merge buckets and add ``sum``/``count``.
+    The result is sorted by ``(name, labels)`` like a registry
+    snapshot.
+    """
+    merged: Dict[Tuple[str, str, Tuple[Tuple[str, str], ...]], Dict[str, Any]] = {}
+    for entry in entries:
+        labels = dict(entry.get("labels") or {})
+        identity = (
+            str(entry["name"]),
+            str(entry.get("type", "gauge")),
+            tuple(sorted(labels.items())),
+        )
+        existing = merged.get(identity)
+        if existing is None:
+            copy = dict(entry)
+            copy["labels"] = labels
+            if "buckets" in copy:
+                copy["buckets"] = dict(copy["buckets"])
+            merged[identity] = copy
+            continue
+        kind = identity[1]
+        if kind == "counter":
+            existing["value"] = existing.get("value", 0) + entry.get("value", 0)
+        elif kind == "histogram":
+            existing["count"] = existing.get("count", 0) + entry.get("count", 0)
+            existing["sum"] = existing.get("sum", 0.0) + entry.get("sum", 0.0)
+            merge_histogram_buckets(
+                existing["buckets"], entry.get("buckets") or {}
+            )
+        else:  # gauge: last value wins
+            existing["value"] = entry.get("value")
+    return sorted(
+        merged.values(),
+        key=lambda e: (e["name"], tuple(sorted(e["labels"].items()))),
+    )
+
+
+def fleet_snapshot(
+    backend_snapshots: Mapping[str, Mapping[str, Any]],
+    extra_series: Optional[Iterable[Mapping[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Merge per-backend snapshots (plus optional local series) into one.
+
+    ``backend_snapshots`` maps backend name -> registry snapshot; each
+    backend's series are labelled ``backend=<name>`` before the merge.
+    ``extra_series`` (e.g. the router's own snapshot) join unlabelled.
+    Returns a snapshot-shaped dict ``{"series": [...]}``.
+    """
+    combined: List[Dict[str, Any]] = []
+    for name in sorted(backend_snapshots):
+        snapshot = backend_snapshots[name]
+        combined.extend(
+            label_series(snapshot.get("series") or (), {"backend": name})
+        )
+    if extra_series is not None:
+        combined.extend(dict(entry) for entry in extra_series)
+    return {"series": merge_series(combined)}

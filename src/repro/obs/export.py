@@ -18,12 +18,36 @@ hottest family must match.  The families bridge the two views - the
 profiler reports busy fractions of shared serving stations, the tracer
 reports where sampled transactions waited, and at a bottleneck both
 concentrate on the same station.
+
+This module also renders the *distributed* side of observability:
+
+* :func:`load_wire_spans` / :func:`link_simulation_spans` /
+  :func:`assemble_trace` reassemble the per-process span files of
+  :mod:`repro.obs.wiretrace` into one Perfetto document where a client
+  request's tree spans client, router, backend, and fork-worker
+  simulation processes;
+* :func:`prometheus_text` renders a metrics-registry snapshot (local
+  or fleet-merged) in the Prometheus text exposition format, and
+  :class:`MetricsHTTPServer` serves it as a stdlib ``/metrics`` scrape
+  endpoint.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import math
+import os
+import threading
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.obs.trace import (
     STAGES,
@@ -31,6 +55,7 @@ from repro.obs.trace import (
     STAGE_TITLES,
     TraceContext,
 )
+from repro.obs.wiretrace import WireSpan
 from repro.sim.stats import OnlineStats
 
 #: Families the analytic profiler can attribute (``repro.core.profile``
@@ -221,6 +246,333 @@ def read_spans(path: str) -> List[TraceContext]:
             if line.strip():
                 contexts.append(schema.span_from_dict(schema.loads(line)))
     return contexts
+
+
+# ----------------------------------------------------------------------
+# distributed wire-span reassembly (client -> router -> backend -> sim)
+# ----------------------------------------------------------------------
+#: Perfetto process ids per service, ordered the way a request flows.
+SERVICE_PIDS = {"client": 1, "router": 2, "backend": 3, "sim": 4}
+
+
+def read_wire_spans(path: str) -> List[WireSpan]:
+    """Read one ``wire_span`` NDJSON sink file."""
+    from repro.core import schema
+
+    spans: List[WireSpan] = []
+    with open(path) as handle:
+        for line in handle:
+            if line.strip():
+                spans.append(schema.wire_span_from_dict(schema.loads(line)))
+    return spans
+
+
+def load_wire_spans(trace_dir: str) -> List[WireSpan]:
+    """Read every per-process ``spans-*.ndjson`` file under a directory.
+
+    Each fleet process (and each fork worker) writes its own file, so
+    one traced sweep leaves several; this is the gather step of the
+    offline reassembly.  Spans come back ordered by start time.
+    """
+    spans: List[WireSpan] = []
+    for entry in sorted(os.listdir(trace_dir)):
+        if entry.startswith("spans-") and entry.endswith(".ndjson"):
+            spans.extend(read_wire_spans(os.path.join(trace_dir, entry)))
+    spans.sort(key=lambda span: span.start_us)
+    return spans
+
+
+def link_simulation_spans(spans: Sequence[WireSpan]) -> List[WireSpan]:
+    """Join worker simulation subtrees onto their backend serve spans.
+
+    Fork workers cannot know the serve span's id, so they stamp their
+    ``simulated rtt`` roots with the point's ``cache_key`` instead; the
+    backend's serve span carries the same key.  This pass rewrites each
+    sim root's ``trace_id``/``parent_id`` to the *earliest* serve span
+    with a matching key (requests for the same point coalesce to one
+    simulation) and propagates the trace id down to the stage children,
+    producing one connected tree per traced request.  Spans are
+    modified in place and returned as a list.
+    """
+    serve_by_key: Dict[str, WireSpan] = {}
+    for span in spans:
+        if span.service != "backend" or span.name != "serve":
+            continue
+        key = span.attrs.get("cache_key")
+        if not key:
+            continue
+        current = serve_by_key.get(key)
+        if current is None or span.start_us < current.start_us:
+            serve_by_key[key] = span
+    by_id = {span.span_id: span for span in spans}
+    for span in spans:  # roots first: children copy their trace id
+        if span.service != "sim" or span.parent_id is not None:
+            continue
+        serve = serve_by_key.get(span.attrs.get("cache_key", ""))
+        if serve is not None:
+            span.trace_id = serve.trace_id
+            span.parent_id = serve.span_id
+    for span in spans:
+        if span.service != "sim" or span.trace_id:
+            continue
+        parent = by_id.get(span.parent_id or "")
+        if parent is not None:
+            span.trace_id = parent.trace_id
+    return list(spans)
+
+
+def assemble_trace(
+    spans: Sequence[WireSpan], label: str = "repro fleet"
+) -> Dict[str, object]:
+    """Distributed spans as one Chrome ``trace_event`` JSON document.
+
+    Each service renders as its own Perfetto process (client=1,
+    router=2, backend=3, sim=4) with one thread row per originating OS
+    pid.  Wall-clock spans normalise to the earliest span's start;
+    simulation subtrees (which carry *simulated* time) re-base so each
+    ``simulated rtt`` starts where its backend serve span starts -
+    visually telescoping the lifecycle stages into the measured RTT.
+    """
+    wall = [span for span in spans if span.service != "sim"]
+    t0 = min((span.start_us for span in wall), default=0.0)
+    ts_of: Dict[str, float] = {
+        span.span_id: span.start_us - t0 for span in wall
+    }
+    by_id = {span.span_id: span for span in spans}
+
+    # Re-base simulation subtrees: roots align to their (non-sim)
+    # parent's normalised start; children inherit the root's offset.
+    offsets: Dict[str, float] = {}
+    for span in spans:
+        if span.service != "sim":
+            continue
+        parent = by_id.get(span.parent_id or "")
+        if parent is None or parent.service == "sim":
+            continue
+        offsets[span.span_id] = ts_of.get(parent.span_id, 0.0) - span.start_us
+    for span in spans:
+        if span.service != "sim" or span.span_id in offsets:
+            continue
+        parent = by_id.get(span.parent_id or "")
+        offset = offsets.get(parent.span_id if parent else "", 0.0)
+        offsets[span.span_id] = offset
+    for span in spans:
+        if span.service == "sim":
+            ts_of[span.span_id] = span.start_us + offsets.get(span.span_id, 0.0)
+
+    events: List[Dict[str, object]] = []
+    seen_services: List[str] = []
+    seen_threads: List[Tuple[str, object]] = []
+    for span in spans:
+        service = span.service
+        if service not in seen_services:
+            seen_services.append(service)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": SERVICE_PIDS.get(service, 0),
+                    "tid": 0,
+                    "args": {"name": f"{label}: {service}"},
+                }
+            )
+        tid = span.attrs.get("pid", 0)
+        if (service, tid) not in seen_threads:
+            seen_threads.append((service, tid))
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": SERVICE_PIDS.get(service, 0),
+                    "tid": tid,
+                    "args": {"name": f"{service} pid {tid}"},
+                }
+            )
+        args: Dict[str, object] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+        }
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        args.update(
+            {key: value for key, value in span.attrs.items() if key != "pid"}
+        )
+        events.append(
+            {
+                "name": span.name,
+                "cat": service,
+                "ph": "X",
+                "pid": SERVICE_PIDS.get(service, 0),
+                "tid": tid,
+                "ts": ts_of.get(span.span_id, 0.0),
+                "dur": span.duration_us,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_wire_trace(
+    path: str, spans: Sequence[WireSpan], label: str = "repro fleet"
+) -> int:
+    """Write :func:`assemble_trace` output to ``path``; returns span count."""
+    document = assemble_trace(spans, label=label)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return len(spans)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_value(value) -> str:
+    """One sample value in exposition syntax (non-finite spelled out)."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _prom_labels(labels: Mapping[str, object]) -> str:
+    """A label set as ``{k="v",...}`` with exposition-format escaping."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = (
+            str(labels[key])
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def prometheus_text(snapshot: Mapping[str, object]) -> str:
+    """Render a registry snapshot in the Prometheus text format (0.0.4).
+
+    Accepts both a local :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
+    and the router's fleet-merged snapshot.  Counters and gauges render
+    one sample per series; histograms expand to cumulative
+    ``_bucket{le=...}`` samples plus ``_sum`` and ``_count``.  A
+    ``# TYPE`` line precedes each family's first series.
+    """
+    lines: List[str] = []
+    typed: set = set()
+    series = sorted(
+        snapshot.get("series", ()),
+        key=lambda entry: (
+            entry["name"],
+            sorted((entry.get("labels") or {}).items()),
+        ),
+    )
+    for entry in series:
+        name = entry["name"]
+        kind = entry.get("type", "gauge")
+        labels = entry.get("labels") or {}
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            buckets = entry.get("buckets") or {}
+            for key in sorted(
+                buckets, key=lambda k: math.inf if k == "+Inf" else float(k)
+            ):
+                lines.append(
+                    f"{name}_bucket{_prom_labels({**labels, 'le': key})} "
+                    f"{_prom_value(buckets[key])}"
+                )
+            lines.append(
+                f"{name}_sum{_prom_labels(labels)} "
+                f"{_prom_value(entry.get('sum', 0.0))}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(labels)} "
+                f"{_prom_value(entry.get('count', 0))}"
+            )
+        else:
+            lines.append(
+                f"{name}{_prom_labels(labels)} "
+                f"{_prom_value(entry.get('value', 0))}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+class MetricsHTTPServer:
+    """A stdlib HTTP ``/metrics`` scrape endpoint on a daemon thread.
+
+    ``render`` is called per scrape and must return the exposition
+    text - pass a closure over :func:`prometheus_text` and whatever
+    snapshot source fits (the local registry, or a fleet client's
+    merged view).  ``port=0`` binds an ephemeral port; :meth:`start`
+    returns the bound one.  A ``render`` failure answers 503 with the
+    error as a comment line instead of killing the endpoint.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self.host = host
+        self.port = port
+        self._server = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        render = self._render
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (stdlib handler contract)
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_error(404)
+                    return
+                try:
+                    body = render().encode("utf-8")
+                    status = 200
+                except Exception as exc:  # keep scraping alive
+                    body = f"# scrape failed: {exc}\n".encode("utf-8")
+                    status = 503
+                self.send_response(status)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *_args) -> None:
+                pass  # scrapes must not spam the service's stdio
+
+        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join its thread (idempotent)."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,430 @@
+"""Distributed wire spans across client, router, backend, and worker.
+
+:mod:`repro.obs.trace` (PR 5) stamps the *simulated* lifecycle of one
+transaction -- nine telescoping nanosecond stamps inside a single
+process.  This module adds the *wall-clock* half of the story: spans
+that follow a measure request across process boundaries, so one
+Perfetto export shows ``client -> router -> backend -> simulation``
+as a single tree.
+
+Design constraints, in order:
+
+1. **The wire stays byte-identical when untraced.**  Sampling stamps
+   an optional ``trace`` field onto the measure *request* only; the
+   response is never touched, so the router's verbatim byte relay and
+   every committed golden hold with tracing on or off.
+2. **Spans travel out-of-band.**  Each process appends its finished
+   spans to its own ``spans-<pid>.ndjson`` file under the directory
+   named by ``REPRO_TRACE_DIR`` (per-process files make concurrent
+   fleet writes trivially safe).  ``repro trace export`` reassembles
+   the tree offline from the files; nothing rides on the response.
+3. **Stdlib only, append-only, bounded.**  Span records also land in
+   a bounded in-memory buffer so single-process tests (and the
+   in-process :class:`~repro.fleet.router.BackgroundRouter` fixtures)
+   can assert on spans without a filesystem.
+
+The context carried in the wire field is ``{"trace_id", "span_id",
+"sampled"}`` -- the caller's span id becomes the callee's parent, B3
+style.  Sampling is head-based at the client: a countdown over
+``REPRO_TRACE_SAMPLE`` (shared with the lifecycle tracer) decides per
+request, and every downstream hop simply honours the decision.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+from repro.obs import trace as lifecycle
+
+#: Environment variable naming the span sink directory.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Hard cap on buffered spans per process (oldest dropped first).
+BUFFER_CAPACITY = 100_000
+
+#: At most this many simulated lifecycles convert to spans per point.
+MAX_SIM_CONTEXTS = 8
+
+
+def new_trace_id() -> str:
+    """Return a fresh 128-bit trace id as 32 hex characters."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """Return a fresh 64-bit span id as 16 hex characters."""
+    return os.urandom(8).hex()
+
+
+class WireSpan:
+    """One finished span: identity, position in the tree, and timing.
+
+    ``start_us`` is wall-clock epoch microseconds (comparable across
+    processes on one host); ``duration_us`` comes from a monotonic
+    clock.  Simulation spans reuse the *simulated* nanosecond stamps
+    scaled to microseconds -- the exporter re-bases them under their
+    backend serve span, so the two time bases never mix in a file.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "service",
+        "name",
+        "start_us",
+        "duration_us",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        service: str,
+        name: str,
+        start_us: float,
+        duration_us: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.service = service
+        self.name = name
+        self.start_us = start_us
+        self.duration_us = duration_us
+        self.attrs = dict(attrs) if attrs else {}
+
+
+class SpanRecorder:
+    """Process-wide span sink: bounded buffer plus optional NDJSON file.
+
+    The file is opened per append (``O_APPEND``) against a path keyed
+    by the *current* pid, so fork-pool workers inherit the recorder but
+    never share a file offset with their parent.
+    """
+
+    def __init__(
+        self, trace_dir: Optional[str] = None, capacity: int = BUFFER_CAPACITY
+    ) -> None:
+        self.trace_dir = trace_dir
+        self.spans: Deque[WireSpan] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def record(self, span: WireSpan) -> None:
+        """Buffer one finished span and append it to the file sink."""
+        span.attrs.setdefault("pid", os.getpid())
+        with self._lock:
+            if len(self.spans) == self.spans.maxlen:
+                self.dropped += 1
+            self.spans.append(span)
+            if self.trace_dir:
+                self._append(span)
+
+    def _append(self, span: WireSpan) -> None:
+        from repro.core import schema  # local import: schema imports us
+
+        path = os.path.join(self.trace_dir, f"spans-{os.getpid()}.ndjson")
+        try:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            with open(path, "a", encoding="utf-8") as sink:
+                sink.write(schema.dumps(schema.wire_span_to_dict(span)) + "\n")
+        except OSError:
+            self.dropped += 1  # a full disk must never fail a request
+
+    def drain(self) -> List[WireSpan]:
+        """Return and clear the buffered spans (file sink untouched)."""
+        with self._lock:
+            spans = list(self.spans)
+            self.spans.clear()
+        return spans
+
+
+class SpanHandle:
+    """An open span: finish it to record and get the :class:`WireSpan`.
+
+    The handle captures wall start (epoch) and a monotonic reference at
+    creation; :meth:`finish` computes the duration, merges any final
+    attributes, and hands the span to the process recorder.  ``name``
+    is mutable so a failed relay can be re-labelled ``failover`` before
+    finishing.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "service",
+        "name",
+        "attrs",
+        "start_us",
+        "_perf",
+        "_done",
+    )
+
+    def __init__(
+        self,
+        service: str,
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.service = service
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.start_us = time.time() * 1e6
+        self._perf = time.perf_counter()
+        self._done = False
+
+    def trace_field(self) -> Dict[str, Any]:
+        """Wire ``trace`` field announcing this span as the parent."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": True,
+        }
+
+    def finish(self, **attrs: Any) -> Optional[WireSpan]:
+        """Close the span, record it, and return it (once)."""
+        if self._done:
+            return None
+        self._done = True
+        for key, value in attrs.items():
+            if value is not None:
+                self.attrs[key] = value
+        span = WireSpan(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            service=self.service,
+            name=self.name,
+            start_us=self.start_us,
+            duration_us=(time.perf_counter() - self._perf) * 1e6,
+            attrs=self.attrs,
+        )
+        recorder().record(span)
+        return span
+
+
+_LOCK = threading.Lock()
+_RECORDER: Optional[SpanRecorder] = None
+_TRACE_DIR: Optional[str] = None
+_SAMPLE: Optional[int] = None
+_COUNTDOWN = 1
+
+
+def configure(
+    trace_dir: Optional[str] = None,
+    sample: Optional[int] = None,
+    override: bool = True,
+) -> None:
+    """Set the span sink directory and/or wire sampling rate.
+
+    With ``override=False`` only unset knobs are filled -- the
+    :class:`~repro.fleet.client.FleetClient` uses that to adopt the
+    fleet's persisted observability config without clobbering an
+    explicit caller choice.  Pass ``override=True`` with ``None``
+    values to clear back to the environment defaults.
+    """
+    global _TRACE_DIR, _SAMPLE, _RECORDER, _COUNTDOWN
+    with _LOCK:
+        if override:
+            _TRACE_DIR = trace_dir
+            _SAMPLE = sample
+            _RECORDER = None
+            _COUNTDOWN = 1
+            return
+        if _TRACE_DIR is None and trace_dir is not None:
+            _TRACE_DIR = trace_dir
+            _RECORDER = None
+        if _SAMPLE is None and sample is not None:
+            _SAMPLE = sample
+            _COUNTDOWN = 1
+
+
+def active_dir() -> Optional[str]:
+    """Span sink directory: configured value else ``REPRO_TRACE_DIR``."""
+    if _TRACE_DIR is not None:
+        return _TRACE_DIR
+    value = os.environ.get(TRACE_DIR_ENV, "").strip()
+    return value or None
+
+
+def active_sample() -> Optional[int]:
+    """Wire sampling rate: configured else the lifecycle tracer's."""
+    if _SAMPLE is not None:
+        return _SAMPLE if _SAMPLE > 0 else None
+    return lifecycle.active_sample()
+
+
+def recorder() -> SpanRecorder:
+    """Return the process recorder, rebuilding it if the sink moved."""
+    global _RECORDER
+    directory = active_dir()
+    with _LOCK:
+        if _RECORDER is None or _RECORDER.trace_dir != directory:
+            _RECORDER = SpanRecorder(trace_dir=directory)
+        return _RECORDER
+
+
+def reset() -> None:
+    """Clear configuration and buffered spans (test isolation)."""
+    global _RECORDER, _TRACE_DIR, _SAMPLE, _COUNTDOWN
+    with _LOCK:
+        _RECORDER = None
+        _TRACE_DIR = None
+        _SAMPLE = None
+        _COUNTDOWN = 1
+
+
+def start_span(
+    service: str,
+    name: str,
+    trace_id: Optional[str] = None,
+    parent_id: Optional[str] = None,
+    attrs: Optional[Dict[str, Any]] = None,
+) -> SpanHandle:
+    """Open a span (fresh trace when ``trace_id`` is omitted)."""
+    return SpanHandle(
+        service=service,
+        name=name,
+        trace_id=trace_id or new_trace_id(),
+        parent_id=parent_id,
+        attrs=attrs,
+    )
+
+
+def sample_request(
+    service: str = "client",
+    name: str = "measure",
+    attrs: Optional[Dict[str, Any]] = None,
+) -> Optional[SpanHandle]:
+    """Head-sample one outbound request; a handle means *traced*.
+
+    Every Nth call (N = :func:`active_sample`) opens a root client span
+    whose :meth:`~SpanHandle.trace_field` rides the wire; the rest
+    return ``None`` and the request is byte-identical to an untraced
+    one.
+    """
+    global _COUNTDOWN
+    rate = active_sample()
+    if rate is None:
+        return None
+    with _LOCK:
+        _COUNTDOWN -= 1
+        if _COUNTDOWN > 0:
+            return None
+        _COUNTDOWN = rate
+    return start_span(service, name, attrs=attrs)
+
+
+def record_span(
+    service: str,
+    name: str,
+    trace_id: str,
+    parent_id: Optional[str],
+    start_us: float,
+    duration_us: float,
+    attrs: Optional[Dict[str, Any]] = None,
+) -> WireSpan:
+    """Record a span whose timing was measured externally."""
+    span = WireSpan(
+        trace_id=trace_id,
+        span_id=new_span_id(),
+        parent_id=parent_id,
+        service=service,
+        name=name,
+        start_us=start_us,
+        duration_us=duration_us,
+        attrs=attrs,
+    )
+    recorder().record(span)
+    return span
+
+
+def parse_trace_field(value: Any) -> Optional[Dict[str, Any]]:
+    """Validate a wire ``trace`` field; ``None`` unless usably sampled."""
+    if not isinstance(value, dict):
+        return None
+    trace_id = value.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    if not value.get("sampled"):
+        return None
+    span_id = value.get("span_id")
+    return {
+        "trace_id": trace_id,
+        "span_id": span_id if isinstance(span_id, str) else None,
+        "sampled": True,
+    }
+
+
+def sim_sink_active() -> bool:
+    """Whether fork workers should convert lifecycles to wire spans.
+
+    Requires both a span sink directory (the only channel out of a
+    pool worker) and an active lifecycle sampling rate; plain
+    ``repro trace run`` sessions configure neither, so their drained
+    contexts stay untouched.
+    """
+    return active_dir() is not None and lifecycle.active_sample() is not None
+
+
+def record_sim_contexts(key: str, contexts: Iterable[Any]) -> int:
+    """Convert finished lifecycle contexts into simulation spans.
+
+    Each context becomes one ``simulated rtt`` span plus a child per
+    lifecycle stage, all stamped with the point's ``cache_key`` so the
+    exporter can hang the subtree under the backend serve span that
+    carries the same key.  Timestamps stay in *simulated* microseconds
+    (``trace_id`` is left empty -- the exporter assigns it when
+    linking).  Returns the number of contexts recorded.
+    """
+    rec = recorder()
+    recorded = 0
+    for context in contexts:
+        if recorded >= MAX_SIM_CONTEXTS:
+            break
+        if not getattr(context, "finished", False):
+            continue
+        rtt = WireSpan(
+            trace_id="",
+            span_id=new_span_id(),
+            parent_id=None,
+            service="sim",
+            name="simulated rtt",
+            start_us=context.submit_ns / 1e3,
+            duration_us=context.latency_ns / 1e3,
+            attrs={
+                "cache_key": key,
+                "port": context.port,
+                "kind": "write" if context.is_write else "read",
+            },
+        )
+        rec.record(rtt)
+        for stage, start_ns, end_ns in context.spans():
+            rec.record(
+                WireSpan(
+                    trace_id="",
+                    span_id=new_span_id(),
+                    parent_id=rtt.span_id,
+                    service="sim",
+                    name=stage,
+                    start_us=start_ns / 1e3,
+                    duration_us=(end_ns - start_ns) / 1e3,
+                    attrs={"cache_key": key},
+                )
+            )
+        recorded += 1
+    return recorded

@@ -10,6 +10,13 @@ which is also how concurrent clients exercise the daemon's coalescing.
 Being synchronous and dependency-free, it embeds anywhere: the
 ``repro query`` CLI, test harnesses, notebooks, or a separate process
 feeding measurement requests into a shared warm daemon.
+
+When distributed tracing is sampling (:mod:`repro.obs.wiretrace`), the
+client head-samples measure requests: a sampled request opens a root
+``client/measure`` span, rides the wire with a ``trace`` context
+field, and the span finishes when its response is matched - so the
+client span covers the full round trip including pipelining delay.
+Unsampled requests are byte-identical to the untraced wire format.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.core import schema
 from repro.core.experiment import BandwidthMeasurement, MeasurementPoint
+from repro.obs import wiretrace
 from repro.service import protocol
 from repro.service.protocol import ServiceError, ServiceTimeoutError
 
@@ -92,9 +100,32 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # verbs
     # ------------------------------------------------------------------
+    def _measure_payload(self, point: MeasurementPoint, request_id=None):
+        """Build one measure payload, head-sampling a client span."""
+        span = wiretrace.sample_request(
+            attrs={
+                "pattern": point.pattern_name,
+                "payload_bytes": point.payload_bytes,
+            }
+        )
+        payload = protocol.measure_request(
+            point,
+            request_id=request_id,
+            trace=span.trace_field() if span is not None else None,
+        )
+        return payload, span
+
     def measure(self, point: MeasurementPoint) -> BandwidthMeasurement:
         """Measure one point through the daemon."""
-        response = self._roundtrip(protocol.measure_request(point))
+        payload, span = self._measure_payload(point)
+        try:
+            response = self._roundtrip(payload)
+        except Exception:
+            if span is not None:
+                span.finish(ok=False)
+            raise
+        if span is not None:
+            span.finish(ok=True)
         return schema.measurement_from_dict(response["result"])
 
     def measure_many(
@@ -108,16 +139,30 @@ class ServiceClient:
         """
         batch = list(points)
         ids = []
+        spans: Dict[int, wiretrace.SpanHandle] = {}
         for point in batch:
             request_id = self._next_id
             self._next_id += 1
             ids.append(request_id)
-            self._send(protocol.measure_request(point, request_id=request_id))
+            payload, span = self._measure_payload(point, request_id=request_id)
+            if span is not None:
+                spans[request_id] = span
+            self._send(payload)
         self._file.flush()
         by_id: Dict[int, BandwidthMeasurement] = {}
-        for _ in batch:
-            response = self._read_response()
-            by_id[response["id"]] = schema.measurement_from_dict(response["result"])
+        try:
+            for _ in batch:
+                response = self._read_response()
+                answered = response["id"]
+                span = spans.pop(answered, None)
+                if span is not None:
+                    span.finish(ok=True)
+                by_id[answered] = schema.measurement_from_dict(
+                    response["result"]
+                )
+        finally:
+            for span in spans.values():
+                span.finish(ok=False)
         try:
             return [by_id[request_id] for request_id in ids]
         except KeyError as exc:
@@ -134,6 +179,15 @@ class ServiceClient:
         counter/gauge/histogram series the daemon process exports.
         """
         response = self._roundtrip(protocol.verb_request("metrics"))
+        return schema.metrics_from_dict(response["result"])
+
+    def fleet_metrics(self) -> Dict:
+        """The fleet-wide merged snapshot (router's ``fleet_metrics`` verb).
+
+        Only meaningful against a fleet router; a single daemon rejects
+        the verb with a :class:`ServiceError` naming the router.
+        """
+        response = self._roundtrip(protocol.verb_request("fleet_metrics"))
         return schema.metrics_from_dict(response["result"])
 
     def ping(self) -> bool:

@@ -82,14 +82,29 @@ class LatencyWindow:
         self.count += 1
 
     def snapshot_ms(self) -> Dict[str, float]:
-        """p50/p95/p99/max over the window, in milliseconds."""
+        """p50/p95/p99/max over the window, in milliseconds.
+
+        An empty window reports ``None``-safe zeros (with ``count`` 0)
+        rather than NaN: aggregated fleet views weight percentiles by
+        ``count``, so an idle backend contributes nothing instead of
+        poisoning the merge, and the JSON wire never needs a NaN
+        sentinel for the common "no traffic yet" case.
+        """
         samples = list(self._samples)
+        if not samples:
+            return {
+                "count": 0,
+                "p50_ms": 0.0,
+                "p95_ms": 0.0,
+                "p99_ms": 0.0,
+                "max_ms": 0.0,
+            }
         return {
             "count": self.count,
             "p50_ms": round(percentile(samples, 0.50) * 1e3, 3),
             "p95_ms": round(percentile(samples, 0.95) * 1e3, 3),
             "p99_ms": round(percentile(samples, 0.99) * 1e3, 3),
-            "max_ms": round(max(samples) * 1e3, 3) if samples else math.nan,
+            "max_ms": round(max(samples) * 1e3, 3),
         }
 
 

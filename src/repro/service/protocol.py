@@ -12,6 +12,12 @@ Verbs:
     ``{"schema": 1, "verb": "measure", "id": ..., "point": {...}}`` -
     the point payload is a wire-schema ``measurement_point``.  The
     response's ``result`` is a wire-schema ``bandwidth_measurement``.
+    A *sampled* request may additionally carry ``"trace": {"trace_id":
+    ..., "span_id": ..., "sampled": true}`` - the distributed-tracing
+    context (:mod:`repro.obs.wiretrace`): the caller's span id becomes
+    the callee's parent span.  The key is emitted only for sampled
+    requests, so untraced payloads are byte-identical to schema
+    version 1 without tracing; responses never carry trace fields.
 ``stats``
     Service counters: requests served, coalesced, cache-served,
     simulated, queue depth, p50/p95/p99 service latency, and the
@@ -21,6 +27,12 @@ Verbs:
     (:mod:`repro.obs.registry`) as a wire-schema ``metrics_snapshot``
     payload: every counter/gauge/histogram series the process exports,
     including the daemon's own ``service_*`` series.
+``fleet_metrics``
+    Router-only scatter-gather: the fleet router fans ``metrics`` out
+    to every live backend and answers with the merged fleet-wide
+    ``metrics_snapshot`` (:mod:`repro.obs.aggregate` semantics, each
+    backend's series labelled ``backend=<name>``).  A single daemon
+    rejects the verb with an error pointing at the router.
 ``ping``
     Liveness probe; the response result is ``{"pong": true}``.
 ``shutdown``
@@ -41,7 +53,7 @@ from repro.core.experiment import MeasurementPoint
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
 
-VERBS = ("measure", "stats", "metrics", "ping", "shutdown")
+VERBS = ("measure", "stats", "metrics", "fleet_metrics", "ping", "shutdown")
 
 #: Request ids are opaque echo tokens chosen by the client.
 RequestId = Union[int, str, None]
@@ -68,6 +80,7 @@ class Request:
     verb: str
     id: RequestId = None
     point: Optional[MeasurementPoint] = None
+    trace: Optional[Dict[str, Any]] = None
 
 
 def parse_request(line: str) -> Request:
@@ -80,15 +93,29 @@ def parse_request(line: str) -> Request:
         )
     request_id = payload.get("id")
     point = None
+    trace = None
     if verb == "measure":
         if "point" not in payload:
             raise schema.SchemaError("measure request has no 'point' payload")
         point = schema.point_from_dict(payload["point"])
-    return Request(verb=verb, id=request_id, point=point)
+        trace = payload.get("trace")
+        if trace is not None and not isinstance(trace, dict):
+            raise schema.SchemaError("measure request 'trace' must be a dict")
+    return Request(verb=verb, id=request_id, point=point, trace=trace)
 
 
-def measure_request(point: MeasurementPoint, request_id: RequestId = None) -> Dict:
-    """Build a ``measure`` request payload."""
+def measure_request(
+    point: MeasurementPoint,
+    request_id: RequestId = None,
+    trace: Optional[Dict[str, Any]] = None,
+) -> Dict:
+    """Build a ``measure`` request payload.
+
+    ``trace`` is the optional distributed-tracing context; the key is
+    only emitted when given, keeping untraced payloads byte-identical
+    to the pre-tracing wire format (the same optional-key convention
+    the settings encoder uses).
+    """
     payload: Dict[str, Any] = {
         "schema": schema.SCHEMA_VERSION,
         "verb": "measure",
@@ -96,6 +123,8 @@ def measure_request(point: MeasurementPoint, request_id: RequestId = None) -> Di
     }
     if request_id is not None:
         payload["id"] = request_id
+    if trace is not None:
+        payload["trace"] = trace
     return payload
 
 

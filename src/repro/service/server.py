@@ -23,7 +23,10 @@ import time
 from typing import Optional, Set
 
 from repro.core import parallel, schema
+from repro.core.cache import cache_key
 from repro.core.parallel import MeasurementExecutor
+from repro.obs import wiretrace
+from repro.obs.log import get_logger
 from repro.obs.registry import get_registry
 from repro.service import protocol
 from repro.service.batcher import BatcherClosed, CoalescingBatcher
@@ -52,6 +55,7 @@ class MeasurementService:
         self.host = host
         self.port = port
         self.metrics = ServiceMetrics()
+        self._log = get_logger("backend")
         self._executor = MeasurementExecutor(jobs=jobs, use_cache=use_cache)
         self._batcher = CoalescingBatcher(
             self._executor,
@@ -82,6 +86,10 @@ class MeasurementService:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._log.info(
+            "serve_started", host=self.host, port=self.port,
+            workers=parallel.pool_workers(),
+        )
 
     def request_shutdown(self) -> None:
         """Flag the daemon to drain and exit (signal- and thread-safe)."""
@@ -137,6 +145,11 @@ class MeasurementService:
         for writer in tuple(self._writers):
             await _close_writer(writer)
         self._writers.clear()
+        self._log.info(
+            "serve_drained",
+            measure_requests=self.metrics.measure_requests,
+            errors=self.metrics.errors,
+        )
 
     # ------------------------------------------------------------------
     # connection handling
@@ -191,6 +204,12 @@ class MeasurementService:
             response = protocol.ok_response(
                 request.id, schema.metrics_to_dict(get_registry().snapshot())
             )
+        elif request.verb == "fleet_metrics":
+            response = protocol.error_response(
+                request.id,
+                "fleet_metrics is a fleet-router verb; this is a single "
+                "daemon (use 'metrics' here, or query the router)",
+            )
         elif request.verb == "shutdown":
             response = protocol.ok_response(request.id, {"stopping": True})
             self.request_shutdown()
@@ -201,18 +220,42 @@ class MeasurementService:
     async def _handle_measure(self, request: protocol.Request) -> dict:
         self.metrics.measure_requests += 1
         started = time.monotonic()
+        assert request.point is not None
+        traced = wiretrace.parse_trace_field(request.trace)
+        span = None
+        if traced is not None:
+            # The serve span carries the point's cache key so the
+            # exporter can hang the fork worker's simulation subtree
+            # (stamped with the same key) underneath it.
+            span = wiretrace.start_span(
+                "backend",
+                "serve",
+                trace_id=traced["trace_id"],
+                parent_id=traced["span_id"],
+                attrs={"cache_key": cache_key(request.point)},
+            )
         try:
-            assert request.point is not None
             measurement = await self._batcher.submit(request.point)
         except BatcherClosed as exc:
             self.metrics.errors += 1
+            if span is not None:
+                span.finish(ok=False, error=str(exc))
             return protocol.error_response(request.id, str(exc))
         except Exception as exc:  # simulation failure: report, keep serving
             self.metrics.errors += 1
+            self._log.error(
+                "measure_failed",
+                trace_id=traced["trace_id"] if traced else None,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            if span is not None:
+                span.finish(ok=False, error=f"{type(exc).__name__}: {exc}")
             return protocol.error_response(
                 request.id, f"{type(exc).__name__}: {exc}"
             )
         self.metrics.observe_latency(time.monotonic() - started)
+        if span is not None:
+            span.finish(ok=True)
         return protocol.ok_response(
             request.id, schema.measurement_to_dict(measurement)
         )
@@ -250,8 +293,15 @@ def run_service(
     max_queue: int = 256,
     max_batch: int = 64,
     ready_message: bool = True,
+    metrics_port: Optional[int] = None,
 ) -> None:
-    """Run a daemon in the foreground until SIGTERM/SIGINT (the CLI path)."""
+    """Run a daemon in the foreground until SIGTERM/SIGINT (the CLI path).
+
+    ``metrics_port`` additionally serves the process registry as a
+    Prometheus ``/metrics`` scrape endpoint on that port (0 picks an
+    ephemeral one); the endpoint starts *after* the worker pool forks
+    so workers never inherit its socket.
+    """
 
     async def _main() -> None:
         service = MeasurementService(
@@ -263,9 +313,28 @@ def run_service(
             max_batch=max_batch,
         )
         await service.start()
+        scrape = None
+        if metrics_port is not None:
+            from repro.obs import export
+
+            scrape = export.MetricsHTTPServer(
+                lambda: export.prometheus_text(get_registry().snapshot()),
+                host=host,
+                port=metrics_port,
+            )
+            bound = scrape.start()
+            if ready_message:
+                print(
+                    f"repro serve: metrics on http://{host}:{bound}/metrics",
+                    flush=True,
+                )
         if ready_message:
             print(f"repro serve: listening on {service.host}:{service.port}", flush=True)
-        await service.serve_until_shutdown()
+        try:
+            await service.serve_until_shutdown()
+        finally:
+            if scrape is not None:
+                scrape.stop()
         if ready_message:
             snapshot = service.metrics.snapshot()
             print(

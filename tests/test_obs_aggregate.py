@@ -1,0 +1,224 @@
+"""Fleet metrics aggregation math and the Prometheus exposition."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import aggregate
+from repro.obs import export as obs_export
+
+
+def _counter(name, value, labels=None):
+    return {
+        "name": name,
+        "type": "counter",
+        "labels": labels or {},
+        "value": value,
+    }
+
+
+def _gauge(name, value, labels=None):
+    return {"name": name, "type": "gauge", "labels": labels or {}, "value": value}
+
+
+def _histogram(name, buckets, total, count, labels=None):
+    return {
+        "name": name,
+        "type": "histogram",
+        "labels": labels or {},
+        "buckets": dict(buckets),
+        "sum": total,
+        "count": count,
+    }
+
+
+# ------------------------------------------------------- merge math
+
+
+def test_counters_with_identical_identity_sum():
+    merged = aggregate.merge_series(
+        [_counter("requests_total", 3), _counter("requests_total", 4)]
+    )
+    assert merged == [_counter("requests_total", 7)]
+
+
+def test_different_labels_stay_separate_series():
+    merged = aggregate.merge_series(
+        [
+            _counter("requests_total", 3, {"backend": "backend-0"}),
+            _counter("requests_total", 4, {"backend": "backend-1"}),
+        ]
+    )
+    assert [entry["value"] for entry in merged] == [3, 4]
+
+
+def test_gauges_keep_the_last_value():
+    merged = aggregate.merge_series(
+        [_gauge("uptime_seconds", 10.0), _gauge("uptime_seconds", 99.0)]
+    )
+    assert merged[0]["value"] == 99.0
+
+
+def test_histogram_merge_same_bounds_adds_cumulative_counts():
+    merged = aggregate.merge_series(
+        [
+            _histogram("lat", {"0.1": 2, "+Inf": 5}, 1.0, 5),
+            _histogram("lat", {"0.1": 1, "+Inf": 4}, 2.0, 4),
+        ]
+    )
+    entry = merged[0]
+    assert entry["buckets"] == {"0.1": 3.0, "+Inf": 9.0}
+    assert entry["sum"] == 3.0
+    assert entry["count"] == 9
+
+
+def test_histogram_merge_unions_differing_bounds_preserving_totals():
+    into = {"0.1": 2.0, "+Inf": 6.0}
+    aggregate.merge_histogram_buckets(into, {"0.5": 3.0, "+Inf": 10.0})
+    # Per-bin increments: into gives 0.1->2 and +Inf->4; other gives
+    # 0.5->3 and +Inf->7.  Re-cumulated over the union of bounds that
+    # is 2, 2+3=5, and 5+4+7=16 -- totals are 6 + 10, nothing lost.
+    assert into == {"0.1": 2.0, "0.5": 5.0, "+Inf": 16.0}
+    assert into["+Inf"] == 16.0  # no increments lost in the union
+
+
+def test_label_series_does_not_clobber_existing_labels():
+    labelled = aggregate.label_series(
+        [
+            _counter("fleet_requests_total", 1, {"backend": "backend-9"}),
+            _counter("service_requests_total", 2),
+        ],
+        {"backend": "backend-0"},
+    )
+    assert labelled[0]["labels"] == {"backend": "backend-9"}
+    assert labelled[1]["labels"] == {"backend": "backend-0"}
+
+
+def test_fleet_snapshot_labels_sums_and_appends_extra_series():
+    merged = aggregate.fleet_snapshot(
+        {
+            "backend-0": {"series": [_counter("service_requests_total", 5)]},
+            "backend-1": {"series": [_counter("service_requests_total", 7)]},
+        },
+        extra_series=[_counter("fleet_requests_total", 12)],
+    )
+    by_name = {}
+    for entry in merged["series"]:
+        by_name.setdefault(entry["name"], []).append(entry)
+    assert len(by_name["service_requests_total"]) == 2  # one per backend
+    assert {
+        entry["labels"]["backend"]
+        for entry in by_name["service_requests_total"]
+    } == {"backend-0", "backend-1"}
+    assert by_name["fleet_requests_total"][0]["value"] == 12
+
+
+# ------------------------------------------- Prometheus exposition
+
+
+def test_prometheus_text_renders_counter_gauge_and_type_lines():
+    text = obs_export.prometheus_text(
+        {
+            "series": [
+                _counter("requests_total", 7, {"backend": "backend-0"}),
+                _counter("requests_total", 9, {"backend": "backend-1"}),
+                _gauge("uptime_seconds", 12.5),
+            ]
+        }
+    )
+    lines = text.splitlines()
+    assert lines.count("# TYPE requests_total counter") == 1  # once per family
+    assert 'requests_total{backend="backend-0"} 7' in lines
+    assert 'requests_total{backend="backend-1"} 9' in lines
+    assert "uptime_seconds 12.5" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_text_histogram_conformance():
+    text = obs_export.prometheus_text(
+        {
+            "series": [
+                _histogram(
+                    "latency_seconds",
+                    {"+Inf": 5, "0.1": 2, "0.5": 4},
+                    1.25,
+                    5,
+                )
+            ]
+        }
+    )
+    lines = text.splitlines()
+    bucket_lines = [line for line in lines if "_bucket" in line]
+    # Buckets sort by numeric bound with +Inf last, cumulative counts.
+    assert bucket_lines == [
+        'latency_seconds_bucket{le="0.1"} 2',
+        'latency_seconds_bucket{le="0.5"} 4',
+        'latency_seconds_bucket{le="+Inf"} 5',
+    ]
+    assert "latency_seconds_sum 1.25" in lines
+    assert "latency_seconds_count 5" in lines
+    assert "# TYPE latency_seconds histogram" in lines
+
+
+def test_prometheus_label_escaping():
+    text = obs_export.prometheus_text(
+        {
+            "series": [
+                _gauge("g", 1, {"path": 'a\\b"c\nd'}),
+            ]
+        }
+    )
+    assert '{path="a\\\\b\\"c\\nd"}' in text
+
+
+def test_prometheus_non_finite_values_spelled_out():
+    text = obs_export.prometheus_text(
+        {
+            "series": [
+                _gauge("g_nan", float("nan")),
+                _gauge("g_inf", float("inf")),
+            ]
+        }
+    )
+    assert "g_nan NaN" in text
+    assert "g_inf +Inf" in text
+
+
+# -------------------------------------------------- scrape endpoint
+
+
+def test_metrics_http_server_serves_and_recovers(tmp_path):
+    calls = {"n": 0}
+
+    def render() -> str:
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise RuntimeError("registry busy")
+        return "# TYPE up gauge\nup 1\n"
+
+    scrape = obs_export.MetricsHTTPServer(render)
+    port = scrape.start()
+    try:
+        url = f"http://127.0.0.1:{port}/metrics"
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            assert response.status == 200
+            assert "version=0.0.4" in response.headers["Content-Type"]
+            assert response.read().decode() == "# TYPE up gauge\nup 1\n"
+        # A render failure answers 503 without killing the endpoint.
+        with pytest.raises(urllib.error.HTTPError) as failure:
+            urllib.request.urlopen(url, timeout=5.0)
+        assert failure.value.code == 503
+        assert b"scrape failed" in failure.value.read()
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            assert response.status == 200
+        with pytest.raises(urllib.error.HTTPError) as missing:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/nope", timeout=5.0
+            )
+        assert missing.value.code == 404
+    finally:
+        scrape.stop()
+    scrape.stop()  # idempotent

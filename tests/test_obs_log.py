@@ -1,0 +1,104 @@
+"""Structured NDJSON event logging: levels, targets, env resolution."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def _fresh_logger(monkeypatch):
+    """Isolate every test from ambient REPRO_LOG* and the cached logger."""
+    monkeypatch.delenv(obs_log.LOG_ENV, raising=False)
+    monkeypatch.delenv(obs_log.LEVEL_ENV, raising=False)
+    monkeypatch.delenv(obs_log.SERVICE_ENV, raising=False)
+    obs_log.reset()
+    yield
+    obs_log.reset()
+
+
+def _events(path) -> list:
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def test_disabled_by_default_and_full_noop_api():
+    logger = obs_log.get_logger("backend")
+    assert not logger.enabled
+    # Every level helper must be callable without a stream configured.
+    logger.debug("a")
+    logger.info("b", extra=1)
+    logger.warning("c")
+    logger.error("d", trace_id="t")
+
+
+def test_configure_writes_one_json_object_per_event(tmp_path):
+    target = tmp_path / "events.ndjson"
+    logger = obs_log.configure(target=str(target), service="router")
+    logger.info("router_started", port=1234)
+    logger.warning("backend_dead", backend="backend-0")
+    events = _events(target)
+    assert [e["event"] for e in events] == ["router_started", "backend_dead"]
+    assert events[0]["service"] == "router"
+    assert events[0]["level"] == "info"
+    assert events[0]["port"] == 1234
+    assert events[1]["level"] == "warning"
+    assert isinstance(events[0]["ts"], float)
+
+
+def test_level_threshold_filters_lower_levels(tmp_path):
+    target = tmp_path / "events.ndjson"
+    logger = obs_log.configure(
+        target=str(target), level="warning", service="s"
+    )
+    logger.debug("dropped")
+    logger.info("dropped too")
+    logger.warning("kept")
+    logger.error("kept too")
+    assert [e["event"] for e in _events(target)] == ["kept", "kept too"]
+
+
+def test_env_configuration_and_service_name_priority(tmp_path, monkeypatch):
+    target = tmp_path / "env.ndjson"
+    monkeypatch.setenv(obs_log.LOG_ENV, str(target))
+    monkeypatch.setenv(obs_log.SERVICE_ENV, "backend-1")
+    obs_log.reset()
+    # The env-stamped identity wins over the call-site fallback: a
+    # fleet-spawned daemon stays `backend-1` even though server.py
+    # asks for the generic "backend".
+    logger = obs_log.get_logger("backend")
+    logger.info("serve_started")
+    assert _events(target)[0]["service"] == "backend-1"
+
+
+def test_bind_shares_stream_with_new_service(tmp_path):
+    target = tmp_path / "bind.ndjson"
+    logger = obs_log.configure(target=str(target), service="router")
+    logger.bind("manager").info("fleet_up")
+    logger.info("router_started")
+    events = _events(target)
+    assert [(e["service"], e["event"]) for e in events] == [
+        ("manager", "fleet_up"),
+        ("router", "router_started"),
+    ]
+
+
+def test_trace_id_rides_along_when_given(tmp_path):
+    target = tmp_path / "t.ndjson"
+    logger = obs_log.configure(target=str(target), service="router")
+    logger.warning("slo_breach", trace_id="abc123", backend="backend-0")
+    event = _events(target)[0]
+    assert event["trace_id"] == "abc123"
+
+
+def test_unserializable_fields_fall_back_to_str(tmp_path):
+    target = tmp_path / "weird.ndjson"
+    logger = obs_log.configure(target=str(target), service="s")
+    logger.info("odd", payload={1, 2}.__class__)  # a type object
+    assert "odd" in target.read_text()

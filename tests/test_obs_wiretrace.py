@@ -1,0 +1,329 @@
+"""Distributed wire spans: sampling, wire bit-identity, reassembly.
+
+The contract under test, in order of importance:
+
+1. untraced measure requests are byte-identical to the committed
+   golden lines -- tracing must be invisible when off;
+2. a traced request differs *only* by its ``trace`` field, and the
+   cache key never changes either way;
+3. spans written by separate "processes" (distinct sink files, as a
+   real fleet produces) reassemble into one parented trace whose
+   simulation subtree telescopes exactly to the backend serve span.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import schema
+from repro.core.cache import cache_key
+from repro.core.experiment import ExperimentSettings, MeasurementPoint
+from repro.core.patterns import pattern_by_name
+from repro.hmc.packet import RequestType
+from repro.obs import export as obs_export
+from repro.obs import wiretrace
+from repro.service import protocol
+from repro.service.client import ServiceClient
+
+DATA = Path(__file__).parent / "data"
+
+#: The settings the committed request goldens were generated with
+#: (identical to the fleet golden settings in test_fleet.py).
+GOLDEN_SETTINGS = ExperimentSettings(warmup_us=2.0, window_us=10.0)
+
+
+@pytest.fixture(autouse=True)
+def _untraced_baseline(monkeypatch):
+    """Every test starts with tracing fully off and ends clean."""
+    monkeypatch.delenv(wiretrace.TRACE_DIR_ENV, raising=False)
+    monkeypatch.delenv("REPRO_TRACE_SAMPLE", raising=False)
+    wiretrace.reset()
+    yield
+    wiretrace.reset()
+
+
+def _golden_points():
+    return [
+        MeasurementPoint.for_pattern(
+            pattern_by_name(name, GOLDEN_SETTINGS.config),
+            request_type=RequestType.READ,
+            payload_bytes=32,
+            settings=GOLDEN_SETTINGS,
+        )
+        for name in ("8 banks", "1 vault")
+    ]
+
+
+# ------------------------------------------------- wire bit-identity
+
+
+def test_untraced_requests_match_committed_golden_bytes():
+    golden = (DATA / "wire_request_golden.ndjson").read_text().splitlines()
+    lines = [
+        schema.dumps(protocol.measure_request(point, request_id=index))
+        for index, point in enumerate(_golden_points())
+    ]
+    assert lines == golden
+
+
+def test_client_payload_is_golden_untraced_and_differs_only_by_trace():
+    golden = (DATA / "wire_request_golden.ndjson").read_text().splitlines()
+    points = _golden_points()
+    client = ServiceClient.__new__(ServiceClient)  # no connection needed
+
+    untraced = []
+    for index, point in enumerate(points):
+        payload, span = client._measure_payload(point, request_id=index)
+        assert span is None
+        untraced.append(schema.dumps(payload))
+    assert untraced == golden
+
+    wiretrace.configure(sample=1)
+    for index, point in enumerate(points):
+        payload, span = client._measure_payload(point, request_id=index)
+        assert span is not None
+        assert payload["trace"] == span.trace_field()
+        stripped = dict(payload)
+        del stripped["trace"]
+        # Everything except the trace field is the untraced golden.
+        assert schema.dumps(stripped) == golden[index]
+
+
+def test_cache_key_is_identical_traced_or_not():
+    point = _golden_points()[0]
+    untraced_key = cache_key(point)
+    wiretrace.configure(sample=1)
+    assert cache_key(point) == untraced_key
+
+
+# ----------------------------------------------------- head sampling
+
+
+def test_sample_request_countdown_traces_every_nth():
+    wiretrace.configure(sample=3)
+    decisions = [wiretrace.sample_request() is not None for _ in range(9)]
+    assert decisions == [True, False, False] * 3
+
+
+def test_sample_request_disabled_returns_none():
+    assert wiretrace.sample_request() is None
+
+
+def test_parse_trace_field_validates_shape():
+    good = {"trace_id": "ab" * 16, "span_id": "cd" * 8, "sampled": True}
+    parsed = wiretrace.parse_trace_field(good)
+    assert parsed == good
+    assert wiretrace.parse_trace_field(None) is None
+    assert wiretrace.parse_trace_field("nope") is None
+    assert wiretrace.parse_trace_field({"trace_id": ""}) is None
+    assert (
+        wiretrace.parse_trace_field({"trace_id": "ab", "sampled": False})
+        is None
+    )
+    # A non-string span id is dropped, not propagated.
+    odd = wiretrace.parse_trace_field(
+        {"trace_id": "ab", "span_id": 7, "sampled": True}
+    )
+    assert odd is not None and odd["span_id"] is None
+
+
+# --------------------------------------------------- span recording
+
+
+def test_finished_span_lands_in_buffer_with_pid(tmp_path):
+    wiretrace.configure(trace_dir=str(tmp_path))
+    handle = wiretrace.start_span("backend", "serve", attrs={"cache_key": "k"})
+    span = handle.finish(ok=True)
+    assert span is not None
+    assert handle.finish() is None  # once only
+    assert span.attrs["cache_key"] == "k"
+    assert span.attrs["ok"] is True
+    assert isinstance(span.attrs["pid"], int)
+    assert wiretrace.recorder().drain() == [span]
+
+
+def test_span_file_sink_roundtrips_through_wire_schema(tmp_path):
+    wiretrace.configure(trace_dir=str(tmp_path))
+    parent = wiretrace.start_span("client", "measure")
+    child = wiretrace.start_span(
+        "router", "route", trace_id=parent.trace_id, parent_id=parent.span_id
+    )
+    child.finish()
+    parent.finish()
+    files = sorted(tmp_path.glob("spans-*.ndjson"))
+    assert len(files) == 1
+    loaded = obs_export.read_wire_spans(str(files[0]))
+    assert [s.name for s in loaded] == ["route", "measure"]
+    assert loaded[0].trace_id == loaded[1].trace_id
+    assert loaded[0].parent_id == loaded[1].span_id
+
+
+class _FakeContext:
+    """Minimal stand-in for a finished lifecycle TraceContext."""
+
+    def __init__(self, submit_ns, latency_ns, stages):
+        self.finished = True
+        self.submit_ns = submit_ns
+        self.latency_ns = latency_ns
+        self.port = 0
+        self.is_write = False
+        self._stages = stages
+
+    def spans(self):
+        return self._stages
+
+
+def test_record_sim_contexts_writes_rtt_plus_stage_children(tmp_path):
+    wiretrace.configure(trace_dir=str(tmp_path))
+    context = _FakeContext(
+        submit_ns=1000.0,
+        latency_ns=500.0,
+        stages=[("req link", 1000.0, 1200.0), ("vault DRAM", 1200.0, 1500.0)],
+    )
+    count = wiretrace.record_sim_contexts("deadbeef", [context])
+    assert count == 1
+    spans = wiretrace.recorder().drain()
+    rtt = spans[0]
+    assert rtt.name == "simulated rtt"
+    assert rtt.trace_id == ""  # assigned by the exporter at link time
+    assert rtt.attrs["cache_key"] == "deadbeef"
+    children = spans[1:]
+    assert [c.name for c in children] == ["req link", "vault DRAM"]
+    assert all(c.parent_id == rtt.span_id for c in children)
+    # Stage children telescope inside the rtt in simulated time.
+    assert sum(c.duration_us for c in children) == pytest.approx(
+        rtt.duration_us
+    )
+
+
+def test_record_sim_contexts_caps_and_skips_unfinished(tmp_path):
+    wiretrace.configure(trace_dir=str(tmp_path))
+    unfinished = _FakeContext(0.0, 0.0, [])
+    unfinished.finished = False
+    many = [unfinished] + [
+        _FakeContext(float(i), 10.0, []) for i in range(20)
+    ]
+    assert (
+        wiretrace.record_sim_contexts("k", many) == wiretrace.MAX_SIM_CONTEXTS
+    )
+
+
+# -------------------------------------- cross-process reassembly
+
+
+def _write_sink(tmp_path, pid, spans):
+    path = tmp_path / f"spans-{pid}.ndjson"
+    with open(path, "w", encoding="utf-8") as sink:
+        for span in spans:
+            sink.write(schema.dumps(schema.wire_span_to_dict(span)) + "\n")
+
+
+def test_three_process_trace_reassembles_into_one_parented_tree(tmp_path):
+    """Client, router, backend, and sim sinks merge into one trace.
+
+    Mirrors exactly what a traced fleet produces: each process its own
+    ``spans-<pid>.ndjson``, the simulation subtree keyed by cache_key
+    with simulated timestamps, and the exporter linking + rebasing it
+    under the backend serve span.
+    """
+    trace_id = wiretrace.new_trace_id()
+    W = wiretrace.WireSpan
+    client_span = W(
+        trace_id, "c" * 16, None, "client", "measure", 1000.0, 900.0,
+        {"pid": 101},
+    )
+    route = W(
+        trace_id, "r" * 16, "c" * 16, "router", "route", 1100.0, 700.0,
+        {"pid": 202},
+    )
+    relay = W(
+        trace_id, "e" * 16, "r" * 16, "router", "relay", 1150.0, 600.0,
+        {"pid": 202},
+    )
+    serve = W(
+        trace_id, "b" * 16, "e" * 16, "backend", "serve", 1200.0, 500.0,
+        {"pid": 303, "cache_key": "feedface"},
+    )
+    sim_rtt = W(
+        "", "s" * 16, None, "sim", "simulated rtt", 5000.0, 400.0,
+        {"pid": 404, "cache_key": "feedface"},
+    )
+    sim_stage = W(
+        "", "a" * 16, "s" * 16, "sim", "req link", 5000.0, 400.0,
+        {"pid": 404, "cache_key": "feedface"},
+    )
+    _write_sink(tmp_path, 101, [client_span])
+    _write_sink(tmp_path, 202, [route, relay])
+    _write_sink(tmp_path, 303, [serve])
+    _write_sink(tmp_path, 404, [sim_rtt, sim_stage])
+
+    spans = obs_export.link_simulation_spans(
+        obs_export.load_wire_spans(str(tmp_path))
+    )
+    by_id = {s.span_id: s for s in spans}
+    # The sim subtree joined the distributed trace under the serve span.
+    assert by_id["s" * 16].trace_id == trace_id
+    assert by_id["s" * 16].parent_id == "b" * 16
+    assert by_id["a" * 16].trace_id == trace_id
+    assert {s.trace_id for s in spans} == {trace_id}
+
+    document = obs_export.assemble_trace(spans, label="test fleet")
+    events = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+    # One trace spanning >= 3 distinct processes.
+    assert {e["pid"] for e in events} == {
+        obs_export.SERVICE_PIDS[s] for s in ("client", "router", "backend", "sim")
+    }
+    by_name = {e["name"]: e for e in events}
+    # Wall spans are normalised to the earliest start.
+    assert by_name["measure"]["ts"] == 0.0
+    assert by_name["serve"]["ts"] == 200.0
+    # The simulated rtt is rebased to start exactly at its serve span
+    # and telescopes to the serve subtree, not simulated epoch 5000.
+    assert by_name["simulated rtt"]["ts"] == by_name["serve"]["ts"]
+    assert by_name["req link"]["ts"] == by_name["simulated rtt"]["ts"]
+    assert by_name["simulated rtt"]["dur"] == 400.0
+    process_names = {
+        e["args"]["name"]
+        for e in document["traceEvents"]
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    assert {"client", "router", "backend", "sim"} <= {
+        name.split(": ")[-1] for name in process_names
+    }
+
+
+def test_service_span_field_separates_single_process_fixtures(tmp_path):
+    """One shared recorder still distinguishes router vs backend spans.
+
+    BackgroundService + BackgroundRouter tests run in one process; the
+    per-span ``service`` field (not the pid) is what keeps the tree
+    legible there.
+    """
+    wiretrace.configure(trace_dir=str(tmp_path))
+    root = wiretrace.start_span("client", "measure")
+    wiretrace.start_span(
+        "router", "route", trace_id=root.trace_id, parent_id=root.span_id
+    ).finish()
+    root.finish()
+    spans = obs_export.load_wire_spans(str(tmp_path))
+    assert {s.service for s in spans} == {"client", "router"}
+    pids = {s.attrs["pid"] for s in spans}
+    assert len(pids) == 1  # same process, distinguished by service
+
+
+def test_wire_span_schema_rejects_malformed_payload():
+    with pytest.raises(schema.SchemaError):
+        schema.wire_span_from_dict({"kind": "wire_span", "schema": 1})
+    payload = json.loads(
+        schema.dumps(
+            schema.wire_span_to_dict(
+                wiretrace.WireSpan("t", "s", None, "client", "measure", 1.0, 2.0)
+            )
+        )
+    )
+    restored = schema.wire_span_from_dict(payload)
+    assert restored.span_id == "s"
+    assert restored.parent_id is None

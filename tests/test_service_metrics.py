@@ -60,13 +60,21 @@ def test_percentile_rank_is_clamped():
 # ----------------------------------------------------------------------
 # LatencyWindow
 # ----------------------------------------------------------------------
-def test_empty_window_snapshot_is_all_nan():
+def test_empty_window_snapshot_is_zeros_with_count():
+    """No traffic reports count 0 + zero percentiles, never NaN.
+
+    Fleet aggregation weights percentiles by ``count``, so zeros from
+    an idle backend are inert; NaN would poison any merge and needs a
+    sentinel on the JSON wire.
+    """
     snapshot = LatencyWindow().snapshot_ms()
-    assert snapshot["count"] == 0
-    assert math.isnan(snapshot["p50_ms"])
-    assert math.isnan(snapshot["p95_ms"])
-    assert math.isnan(snapshot["p99_ms"])
-    assert math.isnan(snapshot["max_ms"])
+    assert snapshot == {
+        "count": 0,
+        "p50_ms": 0.0,
+        "p95_ms": 0.0,
+        "p99_ms": 0.0,
+        "max_ms": 0.0,
+    }
 
 
 def test_single_sample_snapshot_collapses_to_it():
@@ -100,10 +108,10 @@ def test_snapshot_with_no_latency_samples_is_strict_json():
     assert snapshot["queue_depth"] == 3
     assert snapshot["inflight"] == 1
     assert snapshot["latency"]["count"] == 0
-    assert snapshot["latency"]["p50_ms"] is None
-    assert snapshot["latency"]["p95_ms"] is None
-    assert snapshot["latency"]["p99_ms"] is None
-    assert snapshot["latency"]["max_ms"] is None
+    assert snapshot["latency"]["p50_ms"] == 0.0
+    assert snapshot["latency"]["p95_ms"] == 0.0
+    assert snapshot["latency"]["p99_ms"] == 0.0
+    assert snapshot["latency"]["max_ms"] == 0.0
 
 
 def test_snapshot_reports_observed_latency():
